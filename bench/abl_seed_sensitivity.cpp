@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Robustness check: are the headline Figure 12 conclusions an artifact
+ * of one synthetic-workload seed? Re-run the combined-techniques
+ * comparison under several seeds and report the spread of the INT/FP
+ * average speedups.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace lsqscale;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    const std::uint64_t seeds[] = {1, 2, 3};
+
+    std::vector<double> intAvgs, fpAvgs;
+    for (std::uint64_t seed : seeds) {
+        NamedConfig base{"base s" + std::to_string(seed),
+                         [seed](const std::string &b) {
+                             SimConfig c = benchBase(b);
+                             c.seed = seed;
+                             return c;
+                         }};
+        NamedConfig tech{"tech s" + std::to_string(seed),
+                         [seed](const std::string &b) {
+                             SimConfig c = configs::allTechniques(
+                                 benchBase(b));
+                             c.seed = seed;
+                             return c;
+                         }};
+        ResultRow rb = runner.run(base);
+        ResultRow rt = runner.run(tech);
+        auto sp = runner.speedups(rb, rt);
+        intAvgs.push_back(runner.intAvg(sp));
+        fpAvgs.push_back(runner.fpAvg(sp));
+        std::printf("seed %llu: Int %+5.1f%%  Fp %+5.1f%%\n",
+                    static_cast<unsigned long long>(seed),
+                    intAvgs.back() * 100.0, fpAvgs.back() * 100.0);
+    }
+
+    auto meanStd = [](const std::vector<double> &v) {
+        double m = 0;
+        for (double x : v)
+            m += x;
+        m /= static_cast<double>(v.size());
+        double s = 0;
+        for (double x : v)
+            s += (x - m) * (x - m);
+        s = std::sqrt(s / static_cast<double>(v.size()));
+        return std::pair<double, double>(m, s);
+    };
+    auto [im, is] = meanStd(intAvgs);
+    auto [fm, fs] = meanStd(fpAvgs);
+    std::printf("\nFigure 12 combined speedup across seeds:\n");
+    std::printf("  Int.Avg %+5.1f%% (stddev %.1f pts)\n", im * 100.0,
+                is * 100.0);
+    std::printf("  Fp.Avg  %+5.1f%% (stddev %.1f pts)\n", fm * 100.0,
+                fs * 100.0);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure experiment benches.
+ */
+
+#ifndef LSQSCALE_BENCH_BENCH_COMMON_HH
+#define LSQSCALE_BENCH_BENCH_COMMON_HH
+
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/sim_config.hh"
+
+namespace lsqscale {
+
+/**
+ * The base configuration all benches derive from. Measurement window
+ * defaults to 300k instructions per benchmark (the paper uses 500M on
+ * real SPEC2K; our synthetic streams reach steady state much sooner).
+ * Override with the LSQSCALE_INSTS environment variable.
+ */
+inline SimConfig
+benchBase(const std::string &benchmark)
+{
+    SimConfig cfg = configs::base(benchmark);
+    cfg.instructions = 300000;
+    return cfg;
+}
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_BENCH_BENCH_COMMON_HH

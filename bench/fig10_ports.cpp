@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 10: performance benefit from combining the two search
+ * bandwidth reduction techniques.
+ *
+ * Bars (all relative to the 2-ported conventional base): a 1-ported
+ * conventional queue, a 1-ported queue with the pair predictor + load
+ * buffer, a 2-ported queue with the techniques, and a 4-ported
+ * conventional queue. Expected shape: 1-port conventional drops
+ * sharply (the paper reports -24% average); 1-port + techniques beats
+ * the 2-port base; 2-port + techniques ~= 4-port conventional.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace lsqscale;
+
+namespace {
+
+SimConfig
+withTechniques(SimConfig cfg)
+{
+    cfg = configs::withPairPredictor(std::move(cfg));
+    cfg = configs::withLoadBuffer(std::move(cfg), 2);
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    ExperimentRunner runner;
+    std::vector<NamedConfig> cfgs = {
+        {"base 2-port",
+         [](const std::string &b) { return benchBase(b); }},
+        {"1-port conventional",
+         [](const std::string &b) {
+             return configs::withPorts(benchBase(b), 1);
+         }},
+        {"1-port + techniques",
+         [](const std::string &b) {
+             return configs::withPorts(withTechniques(benchBase(b)), 1);
+         }},
+        {"2-port + techniques",
+         [](const std::string &b) {
+             return withTechniques(benchBase(b));
+         }},
+        {"4-port conventional",
+         [](const std::string &b) {
+             return configs::withPorts(benchBase(b), 4);
+         }},
+    };
+    auto rows = runner.runAll(cfgs);
+
+    std::vector<std::pair<std::string, std::vector<double>>> cols;
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        cols.emplace_back(cfgs[i].label,
+                          runner.speedups(rows[0], rows[i]));
+
+    std::printf("%s",
+                runner.table("Figure 10: speedup over a 2-ported "
+                             "conventional LSQ",
+                             cols, true)
+                    .c_str());
+    return 0;
+}

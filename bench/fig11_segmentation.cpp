@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 11: performance benefit from the segmentation of the
+ * load/store queue.
+ *
+ * Speedups over the 32-entry conventional base for: a no-self-circular
+ * 4x28 segmented queue, a self-circular 4x28 segmented queue, and an
+ * (unrealistic) flat 128-entry queue. Expected shape: self-circular >
+ * no-self-circular; no-self-circular loses on low-occupancy INT
+ * benchmarks; FP gains are much larger than INT gains; self-circular
+ * can beat the flat 128-entry queue on bandwidth.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace lsqscale;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    std::vector<NamedConfig> cfgs = {
+        {"base 32-entry",
+         [](const std::string &b) { return benchBase(b); }},
+        {"no-self-circular 4x28",
+         [](const std::string &b) {
+             return configs::withSegmentation(
+                 benchBase(b), 4, 28, SegAllocPolicy::NoSelfCircular);
+         }},
+        {"self-circular 4x28",
+         [](const std::string &b) {
+             return configs::withSegmentation(
+                 benchBase(b), 4, 28, SegAllocPolicy::SelfCircular);
+         }},
+        {"flat 128-entry",
+         [](const std::string &b) {
+             return configs::withQueueSize(benchBase(b), 128);
+         }},
+    };
+    auto rows = runner.runAll(cfgs);
+
+    std::vector<std::pair<std::string, std::vector<double>>> cols;
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        cols.emplace_back(cfgs[i].label,
+                          runner.speedups(rows[0], rows[i]));
+
+    std::printf("%s",
+                runner.table("Figure 11: speedup over a 32-entry "
+                             "conventional LSQ",
+                             cols, true)
+                    .c_str());
+    return 0;
+}

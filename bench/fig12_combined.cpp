@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 12: performance of a one-ported load/store queue with all
+ * three techniques combined (pair predictor + load buffer +
+ * self-circular 4x28 segmentation), on today's processor and on a
+ * scaled processor (12-wide issue, 96-entry IQ, 3-cycle L1).
+ *
+ * Each bar is the speedup over the matching processor's 2-ported
+ * conventional 32+32 LSQ. Expected shape: positive everywhere on
+ * average, FP >> INT, and larger gains on the scaled processor.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace lsqscale;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    std::vector<NamedConfig> cfgs = {
+        {"base 2-port",
+         [](const std::string &b) { return benchBase(b); }},
+        {"1-port + all techniques",
+         [](const std::string &b) {
+             return configs::allTechniques(benchBase(b));
+         }},
+        {"scaled base 2-port",
+         [](const std::string &b) {
+             return configs::scaledProcessor(benchBase(b));
+         }},
+        {"scaled 1-port + all techniques",
+         [](const std::string &b) {
+             return configs::allTechniques(
+                 configs::scaledProcessor(benchBase(b)));
+         }},
+    };
+    auto rows = runner.runAll(cfgs);
+
+    std::vector<std::pair<std::string, std::vector<double>>> cols = {
+        {"today's processor", runner.speedups(rows[0], rows[1])},
+        {"scaled processor", runner.speedups(rows[2], rows[3])},
+    };
+    std::printf("%s",
+                runner.table("Figure 12: 1-ported LSQ with all three "
+                             "techniques vs the matching 2-ported "
+                             "conventional LSQ",
+                             cols, true)
+                    .c_str());
+    return 0;
+}

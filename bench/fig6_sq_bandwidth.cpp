@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 6: search bandwidth reduction in the store queue by using
+ * different predictors.
+ *
+ * Y axis of the paper: SQ search demand normalized to the base case
+ * (a two-ported conventional LSQ where every load searches the SQ).
+ * Bars: perfect predictor, aggressive (alias-free) predictor, and the
+ * store-load pair predictor. Expected shape: perfect ~0.14 of base on
+ * average, aggressive slightly above, pair predictor ~0.25-0.35.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace lsqscale;
+
+int
+main()
+{
+    ExperimentRunner runner;
+
+    std::vector<NamedConfig> cfgs = {
+        {"base", [](const std::string &b) { return benchBase(b); }},
+        {"perfect",
+         [](const std::string &b) {
+             return configs::withPerfectPredictor(benchBase(b));
+         }},
+        {"aggressive",
+         [](const std::string &b) {
+             return configs::withAggressivePredictor(benchBase(b));
+         }},
+        {"pair",
+         [](const std::string &b) {
+             return configs::withPairPredictor(benchBase(b));
+         }},
+    };
+    auto rows = runner.runAll(cfgs);
+
+    auto searches = [](const SimResult &r) {
+        return static_cast<double>(r.sqSearches());
+    };
+
+    std::vector<std::pair<std::string, std::vector<double>>> cols;
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        cols.emplace_back(cfgs[i].label,
+                          runner.normalized(rows[0], rows[i], searches));
+
+    std::printf("%s",
+                runner.table("Figure 6: SQ search demand relative to a "
+                             "conventional store queue",
+                             cols, false)
+                    .c_str());
+    return 0;
+}

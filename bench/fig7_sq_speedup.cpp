@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 7: performance benefit from the search bandwidth reduction in
+ * the store queue.
+ *
+ * Speedup of the perfect, aggressive, and store-load pair predictors
+ * over the two-ported conventional base. Expected shape: near-zero
+ * mean benefit (two ports already provide enough bandwidth), with the
+ * aggressive predictor *hurting* squash-prone benchmarks (the paper
+ * highlights vortex and wupwise).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace lsqscale;
+
+int
+main()
+{
+    ExperimentRunner runner;
+
+    std::vector<NamedConfig> cfgs = {
+        {"base", [](const std::string &b) { return benchBase(b); }},
+        {"perfect",
+         [](const std::string &b) {
+             return configs::withPerfectPredictor(benchBase(b));
+         }},
+        {"aggressive",
+         [](const std::string &b) {
+             return configs::withAggressivePredictor(benchBase(b));
+         }},
+        {"pair",
+         [](const std::string &b) {
+             return configs::withPairPredictor(benchBase(b));
+         }},
+    };
+    auto rows = runner.runAll(cfgs);
+
+    std::vector<std::pair<std::string, std::vector<double>>> cols;
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        cols.emplace_back(cfgs[i].label,
+                          runner.speedups(rows[0], rows[i]));
+
+    std::printf("%s",
+                runner.table("Figure 7: speedup over a 2-ported "
+                             "conventional store queue",
+                             cols, true)
+                    .c_str());
+    return 0;
+}

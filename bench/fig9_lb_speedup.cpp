@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 9: performance benefit from the search bandwidth reduction in
+ * the load queue.
+ *
+ * Speedups over the conventional base for: in-order-always-search
+ * (loads issue in order AND still search the LQ), the 0-entry load
+ * buffer (in-order issue, no searches), and 1/2/4-entry load buffers.
+ * Expected shape: in-order issue loses; 1 entry recovers most of the
+ * loss; 2 entries ~= 4 entries.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace lsqscale;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    std::vector<NamedConfig> cfgs = {
+        {"base", [](const std::string &b) { return benchBase(b); }},
+        {"in-order-always-search",
+         [](const std::string &b) {
+             return configs::withInOrderLoads(benchBase(b), true);
+         }},
+        {"0-entry (in-order)",
+         [](const std::string &b) {
+             return configs::withInOrderLoads(benchBase(b), false);
+         }},
+        {"1-entry",
+         [](const std::string &b) {
+             return configs::withLoadBuffer(benchBase(b), 1);
+         }},
+        {"2-entry",
+         [](const std::string &b) {
+             return configs::withLoadBuffer(benchBase(b), 2);
+         }},
+        {"4-entry",
+         [](const std::string &b) {
+             return configs::withLoadBuffer(benchBase(b), 4);
+         }},
+    };
+    auto rows = runner.runAll(cfgs);
+
+    std::vector<std::pair<std::string, std::vector<double>>> cols;
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        cols.emplace_back(cfgs[i].label,
+                          runner.speedups(rows[0], rows[i]));
+
+    std::printf("%s",
+                runner.table("Figure 9: speedup over a conventional "
+                             "load queue",
+                             cols, true)
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 5: average number of entries *needed* in the load and store
+ * queues — measured on a large (128+128) queue so demand is not
+ * capped by the base machine's 32 entries.
+ *
+ * The paper uses this to explain Figure 11: INT benchmarks whose
+ * working set fits one 28-entry segment lose under no-self-circular
+ * allocation, while the FP benchmarks that want 50-90 load entries
+ * gain from the added capacity.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace lsqscale;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    NamedConfig cfg{"128-entry queues", [](const std::string &b) {
+                        return configs::withQueueSize(benchBase(b),
+                                                      128);
+                    }};
+    ResultRow row = runner.run(cfg);
+
+    TextTable t;
+    t.header({"benchmark", "avg LQ", "avg SQ"});
+    for (const auto &r : row) {
+        t.row({r.benchmark,
+               TextTable::num(
+                   r.stats.getHistogram("lq.occupancy").mean(), 1),
+               TextTable::num(
+                   r.stats.getHistogram("sq.occupancy").mean(), 1)});
+    }
+    std::printf("%s",
+                ("== Table 5: average number of entries needed in the "
+                 "load and store queues ==\n" +
+                 t.render())
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 6: distribution of the number of segments searched by loads
+ * looking for the latest store value (self-circular allocation).
+ *
+ * Expected shape: the vast majority of loads finish within one or two
+ * segments (the paper reports 90% in one segment for INT, 79% for FP),
+ * so the variable search latency rarely hurts.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace lsqscale;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    NamedConfig cfg{"self-circular 4x28",
+                    [](const std::string &b) {
+                        return configs::withSegmentation(
+                            benchBase(b), 4, 28,
+                            SegAllocPolicy::SelfCircular);
+                    }};
+    ResultRow row = runner.run(cfg);
+
+    TextTable t;
+    t.header({"benchmark", "1", "2", "3", "4"});
+    for (const auto &r : row) {
+        const Histogram &h = r.stats.getHistogram("sq.search.segments");
+        std::vector<std::string> cells = {r.benchmark};
+        for (unsigned k = 1; k <= 4; ++k)
+            cells.push_back(
+                TextTable::num(h.fraction(k) * 100.0, 1));
+        t.row(std::move(cells));
+    }
+    std::printf("%s",
+                ("== Table 6: distribution (%%) of segments searched "
+                 "by loads for the latest store ==\n" +
+                 t.render())
+                    .c_str());
+    return 0;
+}

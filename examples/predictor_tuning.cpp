@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Store-load pair predictor tuning: sweep SSIT size, LFST size, and
+ * the in-flight counter width, reporting search-demand reduction and
+ * squash rate. Reproduces the paper's claim that 4K/128 entries and a
+ * 3-bit counter are sufficient (Section 2.1).
+ *
+ * Usage: predictor_tuning [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+using namespace lsqscale;
+
+namespace {
+
+SimResult
+runWith(const std::string &bench, std::uint64_t insts, unsigned ssit,
+        unsigned lfst, unsigned counterBits)
+{
+    SimConfig cfg = configs::withPairPredictor(configs::base(bench));
+    cfg.core.storeSet.ssitEntries = ssit;
+    cfg.core.storeSet.lfstEntries = lfst;
+    cfg.core.storeSet.counterBits = counterBits;
+    cfg.instructions = insts;
+    return Simulator(cfg).run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "vortex";
+    std::uint64_t insts = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                   : 150000;
+
+    SimConfig baseCfg = configs::base(bench);
+    baseCfg.instructions = insts;
+    SimResult base = Simulator(baseCfg).run();
+
+    std::printf("pair-predictor sizing on %s "
+                "(base SQ searches: %llu)\n\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(base.sqSearches()));
+
+    TextTable t;
+    t.header({"SSIT", "LFST", "ctr bits", "SQ demand", "squash/kinst",
+              "IPC"});
+    const struct
+    {
+        unsigned ssit, lfst, bits;
+    } points[] = {
+        {256, 32, 3},  {1024, 64, 3}, {4096, 128, 1},
+        {4096, 128, 2}, {4096, 128, 3}, {16384, 512, 3},
+    };
+    for (const auto &pt : points) {
+        SimResult r = runWith(bench, insts, pt.ssit, pt.lfst, pt.bits);
+        double demand = base.sqSearches()
+                            ? static_cast<double>(r.sqSearches()) /
+                                  static_cast<double>(base.sqSearches())
+                            : 0.0;
+        double squash =
+            1000.0 * static_cast<double>(
+                         r.stats.value("squash.storeload.commit")) /
+            static_cast<double>(std::max<std::uint64_t>(r.committed, 1));
+        t.row({std::to_string(pt.ssit), std::to_string(pt.lfst),
+               std::to_string(pt.bits), TextTable::num(demand, 3),
+               TextTable::num(squash, 3), TextTable::num(r.ipc(), 3)});
+        std::fprintf(stderr, "[done] ssit=%u lfst=%u bits=%u\n",
+                     pt.ssit, pt.lfst, pt.bits);
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: simulate one benchmark on the paper's base machine and
+ * on the fully-equipped one-ported LSQ, and compare.
+ *
+ * Usage: quickstart [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+using namespace lsqscale;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "bzip";
+    std::uint64_t insts = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                   : 200000;
+
+    SimConfig baseCfg = configs::base(bench);
+    baseCfg.instructions = insts;
+
+    SimConfig techCfg = configs::allTechniques(baseCfg);
+
+    std::printf("benchmark: %s (%llu instructions measured)\n\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(insts));
+
+    Simulator baseSim(baseCfg);
+    SimResult base = baseSim.run();
+    std::printf("base (2-port conventional 32+32 LSQ):\n");
+    std::printf("  IPC             %.3f\n", base.ipc());
+    std::printf("  cycles          %llu\n",
+                static_cast<unsigned long long>(base.cycles));
+    std::printf("  SQ searches     %llu\n",
+                static_cast<unsigned long long>(base.sqSearches()));
+    std::printf("  LQ searches     %llu\n",
+                static_cast<unsigned long long>(base.lqSearches()));
+    std::printf("  ld fwd          %llu\n",
+                static_cast<unsigned long long>(
+                    base.stats.value("loads.forwarded")));
+    std::printf("  squashes        %llu (st-ld exec %llu, commit %llu, "
+                "ld-ld %llu)\n",
+                static_cast<unsigned long long>(
+                    base.stats.value("squash.total")),
+                static_cast<unsigned long long>(
+                    base.stats.value("squash.storeload.exec")),
+                static_cast<unsigned long long>(
+                    base.stats.value("squash.storeload.commit")),
+                static_cast<unsigned long long>(
+                    base.stats.value("squash.loadload")));
+    std::printf("  br mispredicts  %llu\n",
+                static_cast<unsigned long long>(
+                    base.stats.value("fetch.mispredicts")));
+    double l1dAcc = static_cast<double>(
+        base.stats.value("l1d.hits") + base.stats.value("l1d.misses"));
+    std::printf("  L1D miss rate   %.1f%%\n",
+                l1dAcc > 0
+                    ? 100.0 * base.stats.value("l1d.misses") / l1dAcc
+                    : 0.0);
+    std::printf("  LQ/SQ occupancy %.1f / %.1f\n",
+                base.stats.getHistogram("lq.occupancy").mean(),
+                base.stats.getHistogram("sq.occupancy").mean());
+    std::printf("  ooo loads       %.2f\n\n",
+                base.stats.getHistogram("ooo.inflight").mean());
+
+    Simulator techSim(techCfg);
+    SimResult tech = techSim.run();
+    std::printf("1-port LSQ + pair predictor + load buffer + "
+                "segmentation:\n");
+    std::printf("  IPC             %.3f  (%+.1f%% vs base)\n",
+                tech.ipc(), (tech.ipc() / base.ipc() - 1.0) * 100.0);
+    std::printf("  SQ searches     %llu  (%.0f%% of base)\n",
+                static_cast<unsigned long long>(tech.sqSearches()),
+                100.0 * tech.sqSearches() /
+                    std::max<std::uint64_t>(base.sqSearches(), 1));
+    std::printf("  LQ searches     %llu  (%.0f%% of base)\n",
+                static_cast<unsigned long long>(tech.lqSearches()),
+                100.0 * tech.lqSearches() /
+                    std::max<std::uint64_t>(base.lqSearches(), 1));
+    return 0;
+}

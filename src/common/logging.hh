@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (simulator bug);
+ *            aborts so the failure is loud in tests.
+ * fatal()  - the user asked for something unsatisfiable (bad config);
+ *            exits with an error code.
+ * warn()   - something is modeled approximately; simulation continues.
+ */
+
+#ifndef LSQSCALE_COMMON_LOGGING_HH
+#define LSQSCALE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lsqscale {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Format helper: tiny printf-style wrapper returning std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace lsqscale
+
+#define LSQ_PANIC(...) \
+    ::lsqscale::panicImpl(__FILE__, __LINE__, ::lsqscale::strfmt(__VA_ARGS__))
+
+#define LSQ_FATAL(...) \
+    ::lsqscale::fatalImpl(__FILE__, __LINE__, ::lsqscale::strfmt(__VA_ARGS__))
+
+#define LSQ_WARN(...) \
+    ::lsqscale::warnImpl(__FILE__, __LINE__, ::lsqscale::strfmt(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds. */
+#define LSQ_ASSERT(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::lsqscale::panicImpl(__FILE__, __LINE__,                     \
+                std::string("assertion failed: " #cond " — ") +           \
+                ::lsqscale::strfmt(__VA_ARGS__));                         \
+        }                                                                 \
+    } while (0)
+
+#endif // LSQSCALE_COMMON_LOGGING_HH

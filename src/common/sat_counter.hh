@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Saturating counters used throughout the predictors.
+ */
+
+#ifndef LSQSCALE_COMMON_SAT_COUNTER_HH
+#define LSQSCALE_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+/**
+ * An n-bit saturating counter (n <= 8).
+ *
+ * Used for branch-direction 2-bit counters, the hybrid chooser, and
+ * the store-load pair predictor's 3-bit in-flight-store counter
+ * (Section 2.1.1 of the paper).
+ */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits = 2, std::uint8_t initial = 0)
+        : max_(static_cast<std::uint8_t>((1u << bits) - 1)), val_(initial)
+    {
+        LSQ_ASSERT(bits >= 1 && bits <= 8, "SatCounter bits=%u", bits);
+        LSQ_ASSERT(initial <= max_, "SatCounter initial out of range");
+    }
+
+    /** Increment, saturating at the maximum. @return true if moved. */
+    bool
+    increment()
+    {
+        if (val_ == max_)
+            return false;
+        ++val_;
+        return true;
+    }
+
+    /** Decrement, saturating at zero. @return true if moved. */
+    bool
+    decrement()
+    {
+        if (val_ == 0)
+            return false;
+        --val_;
+        return true;
+    }
+
+    /** Reset to zero. */
+    void reset() { val_ = 0; }
+
+    /** Set to an explicit value (clamped to the range). */
+    void set(std::uint8_t v) { val_ = v > max_ ? max_ : v; }
+
+    std::uint8_t value() const { return val_; }
+    std::uint8_t max() const { return max_; }
+    bool saturatedHigh() const { return val_ == max_; }
+    bool isZero() const { return val_ == 0; }
+
+    /** Taken/strong interpretation: top half of the range. */
+    bool taken() const { return val_ > max_ / 2; }
+
+  private:
+    std::uint8_t max_;
+    std::uint8_t val_;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_COMMON_SAT_COUNTER_HH

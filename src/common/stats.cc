@@ -1,0 +1,93 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+Counter &
+StatSet::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Histogram &
+StatSet::histogram(const std::string &name, std::size_t buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(buckets)).first;
+    return it->second;
+}
+
+std::uint64_t
+StatSet::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+StatSet::ratio(const std::string &num, const std::string &den) const
+{
+    std::uint64_t d = value(den);
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(value(num)) / static_cast<double>(d);
+}
+
+bool
+StatSet::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+bool
+StatSet::hasHistogram(const std::string &name) const
+{
+    return histograms_.count(name) != 0;
+}
+
+const Histogram &
+StatSet::getHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    LSQ_ASSERT(it != histograms_.end(), "no histogram named %s",
+               name.c_str());
+    return it->second;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : histograms_) {
+        os << kv.first << ".mean " << kv.second.mean() << "\n";
+        os << kv.first << ".samples " << kv.second.samples() << "\n";
+    }
+    return os.str();
+}
+
+std::vector<std::string>
+StatSet::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Lightweight statistics package for the simulator.
+ *
+ * Modeled loosely on gem5's Stats: named scalar counters, derived
+ * ratios, and bucketed histograms, registered in a StatSet so the
+ * simulation driver can dump everything uniformly. The per-experiment
+ * benches read the individual stats directly to build the paper's
+ * tables and figures.
+ */
+
+#ifndef LSQSCALE_COMMON_STATS_HH
+#define LSQSCALE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lsqscale {
+
+/** A named monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Fixed-bucket histogram over small integer samples.
+ *
+ * Samples >= bucket count land in the final (overflow) bucket. Used for
+ * e.g. the Table 6 distribution of segments searched per load and the
+ * Table 4/5 occupancy averages (via mean()).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 16) : buckets_(buckets, 0) {}
+
+    void
+    sample(std::uint64_t v, std::uint64_t count = 1)
+    {
+        std::size_t idx = v < buckets_.size() ? static_cast<std::size_t>(v)
+                                              : buckets_.size() - 1;
+        buckets_[idx] += count;
+        sum_ += v * count;
+        samples_ += count;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        sum_ = 0;
+        samples_ = 0;
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t samples() const { return samples_; }
+
+    double
+    mean() const
+    {
+        return samples_ ? static_cast<double>(sum_) /
+                              static_cast<double>(samples_)
+                        : 0.0;
+    }
+
+    /** Fraction of samples that fell in bucket i. */
+    double
+    fraction(std::size_t i) const
+    {
+        return samples_ ? static_cast<double>(bucket(i)) /
+                              static_cast<double>(samples_)
+                        : 0.0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+/**
+ * A registry of named counters and histograms.
+ *
+ * Each simulator component owns a StatSet (or contributes to its
+ * parent's); the Simulator merges them into one report. Lookup is by
+ * dotted name, e.g. "lsq.sq.searches".
+ */
+class StatSet
+{
+  public:
+    /** Get (creating on first use) the counter with the given name. */
+    Counter &counter(const std::string &name);
+
+    /** Get (creating on first use) a histogram with the given name. */
+    Histogram &histogram(const std::string &name,
+                         std::size_t buckets = 16);
+
+    /** Value of a counter, 0 if it was never touched. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** Ratio of two counters; 0 when the denominator is 0. */
+    double ratio(const std::string &num, const std::string &den) const;
+
+    bool hasCounter(const std::string &name) const;
+    bool hasHistogram(const std::string &name) const;
+    const Histogram &getHistogram(const std::string &name) const;
+
+    /** Reset every registered stat to zero. */
+    void resetAll();
+
+    /** Render "name value" lines, sorted by name. */
+    std::string dump() const;
+
+    /** Names of all registered counters, sorted. */
+    std::vector<std::string> counterNames() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_COMMON_STATS_HH

@@ -1,0 +1,94 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace lsqscale {
+
+namespace {
+const std::string kSepMarker = "\x01";
+} // namespace
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+TextTable::row(std::vector<std::string> cols)
+{
+    rows_.push_back(std::move(cols));
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back({kSepMarker});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header + all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cols) {
+        if (!cols.empty() && cols[0] == kSepMarker)
+            return;
+        if (widths.size() < cols.size())
+            widths.resize(cols.size(), 0);
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            widths[i] = std::max(widths[i], cols[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    auto emit = [&](std::ostringstream &os,
+                    const std::vector<std::string> &cols) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cols.size() ? cols[i] : "";
+            os << cell;
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    if (!header_.empty()) {
+        emit(os, header_);
+        os << std::string(total ? total - 2 : 0, '-') << "\n";
+    }
+    for (const auto &r : rows_) {
+        if (!r.empty() && r[0] == kSepMarker)
+            os << std::string(total ? total - 2 : 0, '-') << "\n";
+        else
+            emit(os, r);
+    }
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table rendering for the experiment benches.
+ *
+ * Every bench prints the rows the paper reports (one row per benchmark
+ * plus INT/FP averages); TextTable handles alignment so the output is
+ * diffable and pleasant to read.
+ */
+
+#ifndef LSQSCALE_COMMON_TABLE_HH
+#define LSQSCALE_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace lsqscale {
+
+/** Column-aligned text table builder. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a data row. Rows may be ragged; short rows are padded. */
+    void row(std::vector<std::string> cols);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render with 2-space gutters and a rule under the header. */
+    std::string render() const;
+
+    /** Format a double with the given precision (fixed). */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a percentage ("+12.3%" style, always signed). */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    // Each row; an empty optional-like marker row (single "\x01") means
+    // separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_COMMON_TABLE_HH

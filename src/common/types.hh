@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every lsqscale module.
+ *
+ * The simulator uses explicit typedefs rather than raw integers so the
+ * intent of each quantity (a cycle count, a dynamic sequence number, a
+ * byte address) is visible at interfaces.
+ */
+
+#ifndef LSQSCALE_COMMON_TYPES_HH
+#define LSQSCALE_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace lsqscale {
+
+/** Simulated clock cycle. Monotonically increasing from 0. */
+using Cycle = std::uint64_t;
+
+/**
+ * Dynamic instruction sequence number in committed program order.
+ *
+ * Sequence numbers are assigned at trace-generation time, never reused,
+ * and survive squash/replay: a replayed instruction keeps its number so
+ * age comparisons between in-flight instructions are always exact.
+ */
+using SeqNum = std::uint64_t;
+
+/** Byte address in the simulated (flat, physical) address space. */
+using Addr = std::uint64_t;
+
+/** Program counter value of a static instruction. */
+using Pc = std::uint64_t;
+
+/** Physical register index. */
+using PhysReg = std::uint16_t;
+
+/** Architectural register index. */
+using ArchReg = std::uint8_t;
+
+/** Sentinel for "no cycle" / "not yet scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no sequence number". */
+inline constexpr SeqNum kNoSeq = std::numeric_limits<SeqNum>::max();
+
+/** Sentinel physical register meaning "no register". */
+inline constexpr PhysReg kNoReg = std::numeric_limits<PhysReg>::max();
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_COMMON_TYPES_HH

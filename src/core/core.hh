@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The out-of-order superscalar pipeline.
+ *
+ * A cycle-level model in the sim-outorder tradition, trace-driven from
+ * an InstStream. Stages run in reverse order each cycle (commit,
+ * writeback, issue, dispatch, fetch) so information flows one cycle at
+ * a time. Wrong-path execution after branch mispredictions is modeled
+ * as a fetch stall of the full misprediction penalty (DESIGN.md §4);
+ * memory-order violations perform a real squash-and-refetch through
+ * the replayable instruction stream.
+ */
+
+#ifndef LSQSCALE_CORE_CORE_HH
+#define LSQSCALE_CORE_CORE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/core_params.hh"
+#include "core/issue_queue.hh"
+#include "core/phys_reg_file.hh"
+#include "core/rob.hh"
+#include "lsq/lsq.hh"
+#include "memory/memory_system.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/store_set.hh"
+#include "workload/inst_stream.hh"
+
+namespace lsqscale {
+
+/** Why a squash happened (stat attribution). */
+enum class SquashReason : std::uint8_t {
+    StoreLoadExec,   ///< store found a premature load at execute
+    StoreLoadCommit, ///< store found a premature load at commit
+    LoadLoad,        ///< load-load ordering violation
+    Invalidation,    ///< external invalidation hit an outstanding load
+};
+
+/** The processor. */
+class Core
+{
+  public:
+    /** Drive from the synthetic workload for (profile, seed). */
+    Core(const CoreParams &coreParams, const LsqParams &lsqParams,
+         const MemoryParams &memParams, const BenchmarkProfile &profile,
+         std::uint64_t seed, StatSet &stats);
+
+    /** Drive from any instruction source (e.g. a recorded trace). */
+    Core(const CoreParams &coreParams, const LsqParams &lsqParams,
+         const MemoryParams &memParams,
+         std::unique_ptr<InstSource> source, StatSet &stats);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run until @p numInsts have committed (panics on no progress). */
+    void run(std::uint64_t numInsts);
+
+    Cycle cycle() const { return now_; }
+    std::uint64_t committed() const { return committed_; }
+    double
+    ipc() const
+    {
+        return now_ ? static_cast<double>(committed_) /
+                          static_cast<double>(now_)
+                    : 0.0;
+    }
+
+    /** Diagnostic dump of the stall state (used on no-progress panic). */
+    std::string debugDump() const;
+
+    Lsq &lsq() { return lsq_; }
+    MemorySystem &memory() { return mem_; }
+    const HybridBranchPredictor &branchPredictor() const { return bp_; }
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct FetchedInst
+    {
+        MicroOp op;
+        Cycle fetchCycle;
+        bool mispredicted = false;
+    };
+
+    struct CompletionEvent
+    {
+        SeqNum seq;
+        std::uint64_t robId;
+    };
+
+    // Pipeline stages (called newest-to-oldest each tick).
+    void invalidationStage();
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // Issue helpers. Return true if the instruction issued (or caused
+    // a squash) and the caller should count an issue slot.
+    bool tryIssueLoad(RobEntry &re, IqEntry &qe);
+    bool tryIssueStore(RobEntry &re, IqEntry &qe);
+    bool tryIssueAlu(RobEntry &re, IqEntry &qe, unsigned &intUsed,
+                     unsigned &fpUsed);
+
+    /** Decide whether this load should search the store queue. */
+    bool wantSqSearch(const RobEntry &re, Addr addr) const;
+
+    void scheduleCompletion(const RobEntry &re, Cycle when);
+    void performSquash(SeqNum from, SquashReason reason);
+    void finishCommit(RobEntry &head);
+
+    PhysRegFile &fileFor(ArchReg flat);
+    static unsigned classIndex(ArchReg flat);
+
+    CoreParams cp_;
+    LsqParams lsqp_;
+    StatSet &stats_;
+
+    InstStream stream_;
+    MemorySystem mem_;
+    Lsq lsq_;
+    HybridBranchPredictor bp_;
+    StoreSetPredictor ssp_;
+    Rob rob_;
+    IssueQueue iq_;
+    PhysRegFile intRegs_;
+    PhysRegFile fpRegs_;
+
+    std::deque<FetchedInst> fetchQ_;
+    std::multimap<Cycle, CompletionEvent> completions_;
+
+    Cycle now_ = 0;
+    std::uint64_t committed_ = 0;
+    std::uint64_t nextRobId_ = 1;
+
+    Cycle fetchResumeCycle_ = 0;
+    SeqNum pendingBranch_ = kNoSeq;
+    /** Highest branch seq already trained (replays skip training). */
+    SeqNum bpTrainedUpTo_ = 0;
+    bool bpEverTrained_ = false;
+
+    Addr lastFetchBlock_ = ~0ULL;
+
+    /** Cached commit-stall counters, indexed (opClass * 2 + state). */
+    Counter *commitBlockCounters_[kNumOpClasses * 2] = {};
+
+    // --- multiprocessor-invalidation extension ---
+    Rng invalRng_{0x1234567890abcdefULL};
+    /** Recently committed load addresses (invalidation targets). */
+    std::vector<Addr> recentCommittedLoads_;
+    std::size_t recentLoadPos_ = 0;
+    /** Invalidation waiting for a free LQ port. */
+    Addr pendingInval_ = 0;
+    bool pendingInvalValid_ = false;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_CORE_CORE_HH

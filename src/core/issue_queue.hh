@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Issue queue (scheduler) with register wakeup and oldest-first select.
+ */
+
+#ifndef LSQSCALE_CORE_ISSUE_QUEUE_HH
+#define LSQSCALE_CORE_ISSUE_QUEUE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "workload/op_class.hh"
+
+namespace lsqscale {
+
+/** One waiting instruction. */
+struct IqEntry
+{
+    SeqNum seq = kNoSeq;
+    OpClass op = OpClass::IntAlu;
+
+    PhysReg src1 = kNoReg;
+    bool src1Fp = false;
+    PhysReg src2 = kNoReg;
+    bool src2Fp = false;
+
+    /** Earliest cycle this entry may issue (dispatch+1, replays). */
+    Cycle notBefore = 0;
+};
+
+/**
+ * The scheduler's waiting station.
+ *
+ * Readiness is evaluated at select time against the physical register
+ * ready bits (the core provides a callback), which models wakeup
+ * without explicit broadcast bookkeeping.
+ */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    void
+    push(const IqEntry &e)
+    {
+        LSQ_ASSERT(!full(), "issue queue overflow");
+        entries_.push_back(e);
+    }
+
+    /** Remove the entry with @p seq (after successful issue). */
+    void
+    remove(SeqNum seq)
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].seq == seq) {
+                entries_.erase(entries_.begin() + i);
+                return;
+            }
+        }
+        LSQ_PANIC("IssueQueue::remove: seq %llu not present",
+                  static_cast<unsigned long long>(seq));
+    }
+
+    /** Remove every entry with seq >= @p seq (squash). */
+    void
+    squashFrom(SeqNum seq)
+    {
+        std::erase_if(entries_, [seq](const IqEntry &e) {
+            return e.seq >= seq;
+        });
+    }
+
+    /**
+     * Entries eligible this cycle, oldest first. @p ready is a
+     * predicate over (PhysReg, isFp).
+     */
+    template <typename ReadyFn>
+    std::vector<IqEntry *>
+    selectReady(Cycle now, ReadyFn &&ready)
+    {
+        std::vector<IqEntry *> out;
+        for (auto &e : entries_) {
+            if (e.notBefore > now)
+                continue;
+            if (e.src1 != kNoReg && !ready(e.src1, e.src1Fp))
+                continue;
+            if (e.src2 != kNoReg && !ready(e.src2, e.src2Fp))
+                continue;
+            out.push_back(&e);
+        }
+        // Entries are kept in dispatch order, so `out` is oldest-first.
+        return out;
+    }
+
+    IqEntry *
+    find(SeqNum seq)
+    {
+        for (auto &e : entries_)
+            if (e.seq == seq)
+                return &e;
+        return nullptr;
+    }
+
+  private:
+    unsigned capacity_;
+    std::vector<IqEntry> entries_;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_CORE_ISSUE_QUEUE_HH

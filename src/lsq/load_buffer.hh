@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The load buffer (Section 2.2 of the paper).
+ *
+ * A tiny CAM holding only loads that issued out of order with respect
+ * to older not-yet-issued loads. Load-load ordering checks search this
+ * buffer instead of the whole load queue. The owning Lsq drives the
+ * NILP (Non-Issued Load Pointer) / LIV (Load Issue Vector) protocol:
+ *
+ *  - when a load issues while an older load is still non-issued, it
+ *    inserts its address here (stalling if the buffer is full);
+ *  - when the NILP passes an already-issued load, that load's entry is
+ *    released and the load performs its (deferred) ordering search;
+ *  - a load issuing in order (NILP pointing at it) searches the buffer
+ *    immediately and never occupies an entry.
+ */
+
+#ifndef LSQSCALE_LSQ_LOAD_BUFFER_HH
+#define LSQSCALE_LSQ_LOAD_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lsqscale {
+
+/** The small out-of-order-issued-loads CAM. */
+class LoadBuffer
+{
+  public:
+    /**
+     * @param entries capacity; 0 models the in-order-issue baseline
+     *        (nothing can be inserted).
+     * @param unbounded if true, capacity is ignored (used to gather
+     *        Table 4 statistics in configurations without a real
+     *        load buffer).
+     */
+    explicit LoadBuffer(unsigned entries, bool unbounded = false)
+        : capacity_(entries), unbounded_(unbounded)
+    {}
+
+    bool
+    full() const
+    {
+        return !unbounded_ && live_.size() >= capacity_;
+    }
+
+    std::size_t size() const { return live_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Insert an out-of-order-issued load. Caller checks full(). */
+    void
+    insert(SeqNum seq, Addr addr, Cycle executeCycle)
+    {
+        live_.push_back(Entry{seq, addr, executeCycle});
+    }
+
+    /** Release the entry of @p seq (NILP passed it). No-op if absent. */
+    void
+    release(SeqNum seq)
+    {
+        for (std::size_t i = 0; i < live_.size(); ++i) {
+            if (live_[i].seq == seq) {
+                live_.erase(live_.begin() + i);
+                return;
+            }
+        }
+    }
+
+    /** Remove every entry with sequence number >= @p seq (squash). */
+    void
+    squashFrom(SeqNum seq)
+    {
+        std::erase_if(live_, [seq](const Entry &e) {
+            return e.seq >= seq;
+        });
+    }
+
+    /**
+     * Ordering search on behalf of the load (@p seq, @p addr) that
+     * executed at @p executeCycle: find the *oldest* load in the buffer
+     * that is younger than seq, matches the address, and executed
+     * strictly earlier — i.e. a load-load order violation.
+     *
+     * @return the violating load's seq, or kNoSeq.
+     */
+    SeqNum
+    findViolation(SeqNum seq, Addr addr, Cycle executeCycle) const
+    {
+        SeqNum worst = kNoSeq;
+        for (const Entry &e : live_) {
+            if (e.seq > seq && e.addr == addr &&
+                e.executeCycle < executeCycle) {
+                if (worst == kNoSeq || e.seq < worst)
+                    worst = e.seq;
+            }
+        }
+        return worst;
+    }
+
+    void clear() { live_.clear(); }
+
+  private:
+    struct Entry
+    {
+        SeqNum seq;
+        Addr addr;
+        Cycle executeCycle;
+    };
+
+    unsigned capacity_;
+    bool unbounded_;
+    std::vector<Entry> live_;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_LSQ_LOAD_BUFFER_HH

@@ -1,0 +1,579 @@
+#include "lsq/lsq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+Lsq::Lsq(const LsqParams &params, StatSet &stats)
+    : params_(params), stats_(stats),
+      lqAlloc_(params.numSegments, params.lqEntries, params.allocPolicy),
+      sqAlloc_(params.numSegments, params.sqEntries, params.allocPolicy),
+      lqPorts_(params.numSegments, params.searchPorts),
+      sqPorts_(params.numSegments, params.searchPorts),
+      lb_(params.loadBufferEntries,
+          params.loadCheck != LoadCheckPolicy::LoadBuffer)
+{
+    // Pre-create histograms with appropriately sized bucket ranges.
+    stats_.histogram("lq.occupancy", params.totalLqEntries() + 2);
+    stats_.histogram("sq.occupancy", params.totalSqEntries() + 2);
+    stats_.histogram("ooo.inflight", 64);
+    stats_.histogram("sq.search.segments", params.numSegments + 1);
+}
+
+// ---------------------------------------------------- allocation ------
+
+void
+Lsq::allocateLoad(SeqNum seq, Pc pc)
+{
+    LSQ_ASSERT(canAllocateLoad(), "LQ full");
+    LSQ_ASSERT(lq_.empty() || lq_.back().seq < seq,
+               "loads must allocate in program order");
+    LoadEntry e;
+    e.seq = seq;
+    e.pc = pc;
+    e.segment = loadAlloc().allocate();
+    lq_.push_back(e);
+}
+
+void
+Lsq::allocateStore(SeqNum seq, Pc pc)
+{
+    LSQ_ASSERT(canAllocateStore(), "SQ full");
+    LSQ_ASSERT(sq_.empty() || sq_.back().seq < seq,
+               "stores must allocate in program order");
+    StoreEntry e;
+    e.seq = seq;
+    e.pc = pc;
+    e.segment = storeAlloc().allocate();
+    sq_.push_back(e);
+}
+
+// ---------------------------------------------------- lookups ---------
+
+Lsq::LoadEntry *
+Lsq::findLoad(SeqNum seq)
+{
+    for (auto &e : lq_)
+        if (e.seq == seq)
+            return &e;
+    return nullptr;
+}
+
+Lsq::StoreEntry *
+Lsq::findStore(SeqNum seq)
+{
+    for (auto &e : sq_)
+        if (e.seq == seq)
+            return &e;
+    return nullptr;
+}
+
+const Lsq::LoadEntry *
+Lsq::oldestNonIssued() const
+{
+    for (const auto &e : lq_)
+        if (!e.executed)
+            return &e;
+    return nullptr;
+}
+
+bool
+Lsq::olderMatchingStore(SeqNum loadSeq, Addr addr) const
+{
+    for (const auto &s : sq_)
+        if (s.seq < loadSeq && s.addrValid && s.addr == addr)
+            return true;
+    return false;
+}
+
+bool
+Lsq::storePendingAddress(SeqNum seq) const
+{
+    for (const auto &s : sq_)
+        if (s.seq == seq)
+            return !s.addrValid;
+    return false;
+}
+
+bool
+Lsq::anyOlderStoreUnaddressed(SeqNum loadSeq) const
+{
+    for (const auto &s : sq_) {
+        if (s.seq >= loadSeq)
+            break;
+        if (!s.addrValid)
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------- search plans ----
+
+Lsq::SqSearchPlan
+Lsq::planSqSearch(SeqNum loadSeq, Addr addr) const
+{
+    SqSearchPlan plan;
+    // Walk stores from youngest-older toward the head; the search
+    // pipeline advances one segment per cycle, so record the order of
+    // distinct segments encountered.
+    unsigned allOlderSegs = 0;
+    {
+        // Count distinct segments over *all* older stores: if they fit
+        // in one segment the load's latency is knowable at issue
+        // (head-segment rule).
+        std::vector<unsigned> segs;
+        for (const auto &s : sq_) {
+            if (s.seq >= loadSeq)
+                break;
+            if (std::find(segs.begin(), segs.end(), s.segment) ==
+                segs.end())
+                segs.push_back(s.segment);
+        }
+        allOlderSegs = static_cast<unsigned>(segs.size());
+    }
+    plan.endsAtHead = allOlderSegs <= 1;
+
+    for (auto it = sq_.rbegin(); it != sq_.rend(); ++it) {
+        if (it->seq >= loadSeq)
+            continue;
+        if (std::find(plan.visit.begin(), plan.visit.end(),
+                      it->segment) == plan.visit.end())
+            plan.visit.push_back(it->segment);
+        if (it->addrValid && it->addr == addr) {
+            plan.match = &*it;
+            break;
+        }
+    }
+    if (plan.visit.empty())
+        plan.visit.push_back(storeAlloc().tailSegment());
+    return plan;
+}
+
+Lsq::LqSearchPlan
+Lsq::planStoreLqSearch(SeqNum storeSeq, Addr addr) const
+{
+    LqSearchPlan plan;
+    for (const auto &e : lq_) {
+        if (e.seq <= storeSeq)
+            continue;
+        if (std::find(plan.visit.begin(), plan.visit.end(),
+                      e.segment) == plan.visit.end())
+            plan.visit.push_back(e.segment);
+        bool stale = e.forwardedFrom == kNoSeq ||
+                     e.forwardedFrom < storeSeq;
+        if (e.executed && e.addr == addr && stale) {
+            plan.violator = &e;
+            break;
+        }
+    }
+    if (plan.visit.empty())
+        plan.visit.push_back(loadAlloc().tailSegment());
+    return plan;
+}
+
+Lsq::LqSearchPlan
+Lsq::planLoadLqSearch(SeqNum loadSeq, Addr addr,
+                      Cycle executeCycle) const
+{
+    LqSearchPlan plan;
+    unsigned ownSegment = loadAlloc().tailSegment();
+    for (const auto &e : lq_) {
+        if (e.seq == loadSeq)
+            ownSegment = e.segment;
+        if (e.seq <= loadSeq)
+            continue;
+        if (std::find(plan.visit.begin(), plan.visit.end(),
+                      e.segment) == plan.visit.end())
+            plan.visit.push_back(e.segment);
+        if (e.executed && e.addr == addr &&
+            e.executeCycle < executeCycle) {
+            plan.violator = &e;
+            break;
+        }
+    }
+    if (plan.visit.empty())
+        plan.visit.push_back(ownSegment);
+    return plan;
+}
+
+// ---------------------------------------------------- load issue ------
+
+void
+Lsq::advanceNilp(LoadIssueOutcome &outcome)
+{
+    bool useLb = params_.loadCheck == LoadCheckPolicy::LoadBuffer;
+    for (auto &e : lq_) {
+        if (!e.executed)
+            break;
+        if (e.passedByNilp)
+            continue;
+        e.passedByNilp = true;
+        if (!e.wasOoo)
+            continue;
+        LSQ_ASSERT(oooLive_ > 0, "oooLive underflow");
+        --oooLive_;
+        if (useLb) {
+            // Release the entry, then run the deferred ordering search
+            // (Section 2.2.1: "at this time, the load relevant to the
+            // LIV entry has to search the load buffer").
+            lb_.release(e.seq);
+            stats_.counter("lb.searches").inc();
+            SeqNum v = lb_.findViolation(e.seq, e.addr, e.executeCycle);
+            if (v != kNoSeq)
+                outcome.llViolations.push_back(v);
+        }
+    }
+}
+
+LoadIssueOutcome
+Lsq::issueLoad(SeqNum seq, Addr addr, Cycle now, bool wantSqSearch)
+{
+    LoadIssueOutcome out;
+    LoadEntry *e = findLoad(seq);
+    LSQ_ASSERT(e != nullptr, "issueLoad: unknown load %llu",
+               static_cast<unsigned long long>(seq));
+    LSQ_ASSERT(!e->executed, "issueLoad: load issued twice");
+
+    const LoadEntry *oldest = oldestNonIssued();
+    bool isOldest = oldest && oldest->seq == seq;
+
+    if (params_.inOrderLoads() && !isOldest) {
+        out.status = LoadIssueStatus::InOrderStall;
+        return out;
+    }
+
+    bool useLb = params_.loadCheck == LoadCheckPolicy::LoadBuffer;
+    bool needLbEntry = useLb && !isOldest;
+    if (needLbEntry && lb_.full()) {
+        stats_.counter("lb.stallfull").inc();
+        out.status = LoadIssueStatus::LoadBufferFull;
+        return out;
+    }
+
+    // Plan both searches before touching any port so the reservation
+    // is atomic.
+    bool doSq = wantSqSearch;
+    SqSearchPlan sqPlan;
+    if (doSq)
+        sqPlan = planSqSearch(seq, addr);
+
+    bool doLq =
+        params_.loadCheck == LoadCheckPolicy::SearchLoadQueue ||
+        params_.loadCheck == LoadCheckPolicy::InOrderAlwaysSearch;
+    LqSearchPlan lqPlan;
+    if (doLq)
+        lqPlan = planLoadLqSearch(seq, addr, now);
+
+    if (doSq && sqPorts().freePorts(sqPlan.visit[0], now) == 0) {
+        out.status = LoadIssueStatus::NoSqPort;
+        return out;
+    }
+    if (doLq && lqPorts().freePorts(lqPlan.visit[0], now) == 0) {
+        out.status = LoadIssueStatus::NoLqPort;
+        return out;
+    }
+    bool sqOk = !doSq || sqPorts().canReserveWalk(sqPlan.visit, now);
+    bool lqOk = !doLq || lqPorts().canReserveWalk(lqPlan.visit, now);
+
+    // Combined queue: both walks book the *same* schedule, so their
+    // per-(segment, cycle) demands add up. The port arbiter staggers
+    // the ordering walk by up to a few cycles to fit both (a single
+    // port cannot serve two walks in one slot).
+    Cycle lqOffset = 0;
+    if (params_.combinedQueue && doSq && doLq && sqOk && lqOk) {
+        PortSchedule &ps = lqPorts();
+        bool found = false;
+        while (lqOffset <= 4 && !found) {
+            bool ok = true;
+            for (std::size_t i = 0; ok && i < sqPlan.visit.size();
+                 ++i) {
+                unsigned demand = 1;
+                for (std::size_t j = 0; j < lqPlan.visit.size(); ++j)
+                    if (lqPlan.visit[j] == sqPlan.visit[i] &&
+                        lqOffset + j == i)
+                        ++demand;
+                if (ps.freePorts(sqPlan.visit[i], now + i) < demand)
+                    ok = false;
+            }
+            for (std::size_t j = 0; ok && j < lqPlan.visit.size(); ++j)
+                if (ps.freePorts(lqPlan.visit[j],
+                                 now + lqOffset + j) == 0)
+                    ok = false;
+            if (ok)
+                found = true;
+            else
+                ++lqOffset;
+        }
+        if (!found)
+            lqOk = false;
+    }
+    if (!sqOk || !lqOk) {
+        // First segment had a port but a downstream slot is booked by
+        // an earlier-initiated search: the paper's contention case.
+        stats_.counter("lsq.contention.loads").inc();
+        out.status =
+            params_.contentionPolicy == ContentionPolicy::SquashReplay
+                ? LoadIssueStatus::Contention
+                : (!sqOk ? LoadIssueStatus::NoSqPort
+                         : LoadIssueStatus::NoLqPort);
+        return out;
+    }
+
+    if (doSq) {
+        sqPorts().reserveWalk(sqPlan.visit, now);
+        stats_.counter("sq.searches").inc();
+        stats_.histogram("sq.search.segments",
+                         params_.numSegments + 1)
+            .sample(sqPlan.visit.size());
+        out.searchedSq = true;
+        out.sqSegmentsVisited =
+            static_cast<unsigned>(sqPlan.visit.size());
+        if (sqPlan.match) {
+            stats_.counter("sq.searches.matched").inc();
+            out.forwarded = true;
+            out.forwardedFrom = sqPlan.match->seq;
+            out.forwardedFromPc = sqPlan.match->pc;
+        }
+    }
+    if (doLq) {
+        lqPorts().reserveWalk(lqPlan.visit, now + lqOffset);
+        stats_.counter("lq.searches.byload").inc();
+        if (lqPlan.violator)
+            out.llViolations.push_back(lqPlan.violator->seq);
+    }
+
+    std::size_t spanSq = doSq ? sqPlan.visit.size() : 0;
+    std::size_t spanLq =
+        doLq ? static_cast<std::size_t>(lqOffset) + lqPlan.visit.size()
+             : 0;
+    out.searchDoneCycle = now + std::max<std::size_t>(
+                                    1, std::max(spanSq, spanLq));
+    out.constantLatency =
+        !params_.segmented() || !doSq ||
+        (sqPlan.visit.size() == 1 && sqPlan.endsAtHead);
+
+    // Commit the issue.
+    e->addr = addr;
+    e->executed = true;
+    e->executeCycle = now;
+    e->forwardedFrom = out.forwarded ? out.forwardedFrom : kNoSeq;
+
+    if (!isOldest) {
+        e->wasOoo = true;
+        ++oooLive_;
+        if (useLb) {
+            lb_.insert(seq, addr, now);
+            stats_.counter("lb.inserts").inc();
+        }
+    } else if (useLb) {
+        // In-order load: immediate load-buffer ordering search.
+        stats_.counter("lb.searches").inc();
+        SeqNum v = lb_.findViolation(seq, addr, now);
+        if (v != kNoSeq)
+            out.llViolations.push_back(v);
+    }
+
+    advanceNilp(out);
+    out.status = LoadIssueStatus::Accepted;
+    return out;
+}
+
+// ---------------------------------------------------- store side ------
+
+StoreSearchOutcome
+Lsq::storeAddrReady(SeqNum seq, Addr addr, Cycle now)
+{
+    StoreSearchOutcome out;
+    StoreEntry *s = findStore(seq);
+    LSQ_ASSERT(s != nullptr, "storeAddrReady: unknown store %llu",
+               static_cast<unsigned long long>(seq));
+
+    if (params_.checkViolationsAtCommit) {
+        // Pair-predictor scheme: no execute-time search; the address
+        // simply becomes visible for forwarding.
+        s->addr = addr;
+        s->addrValid = true;
+        out.accepted = true;
+        out.searchDoneCycle = now;
+        return out;
+    }
+
+    LqSearchPlan plan = planStoreLqSearch(seq, addr);
+    if (lqPorts().freePorts(plan.visit[0], now) == 0) {
+        out.accepted = false;   // retry next cycle
+        return out;
+    }
+    if (!lqPorts().canReserveWalk(plan.visit, now)) {
+        // Delaying a store's execute-time search is harmless.
+        out.accepted = false;
+        out.contention = true;
+        return out;
+    }
+    lqPorts().reserveWalk(plan.visit, now);
+    stats_.counter("lq.searches.bystore").inc();
+
+    s->addr = addr;
+    s->addrValid = true;
+    out.accepted = true;
+    out.segmentsVisited = static_cast<unsigned>(plan.visit.size());
+    out.searchDoneCycle = now + plan.visit.size();
+    if (plan.violator) {
+        out.violationLoad = plan.violator->seq;
+        out.violationLoadPc = plan.violator->pc;
+    }
+    return out;
+}
+
+StoreSearchOutcome
+Lsq::invalidate(Addr addr, Cycle now)
+{
+    StoreSearchOutcome out;
+    // Plan: all segments holding executed loads to @p addr; the
+    // oldest match is the squash target (it and everything younger
+    // refetch, like the R10000's outstanding-load check).
+    LqSearchPlan plan;
+    for (const auto &e : lq_) {
+        if (std::find(plan.visit.begin(), plan.visit.end(),
+                      e.segment) == plan.visit.end())
+            plan.visit.push_back(e.segment);
+        if (e.executed && e.addr == addr) {
+            plan.violator = &e;
+            break;
+        }
+    }
+    if (plan.visit.empty())
+        plan.visit.push_back(loadAlloc().tailSegment());
+
+    if (lqPorts().freePorts(plan.visit[0], now) == 0 ||
+        !lqPorts().canReserveWalk(plan.visit, now)) {
+        out.accepted = false;   // coherence controller retries
+        return out;
+    }
+    lqPorts().reserveWalk(plan.visit, now);
+    stats_.counter("lq.searches.invalidation").inc();
+    out.accepted = true;
+    out.segmentsVisited = static_cast<unsigned>(plan.visit.size());
+    out.searchDoneCycle = now + plan.visit.size();
+    if (plan.violator) {
+        out.violationLoad = plan.violator->seq;
+        out.violationLoadPc = plan.violator->pc;
+    }
+    return out;
+}
+
+StoreSearchOutcome
+Lsq::commitStore(SeqNum seq, Cycle now)
+{
+    StoreSearchOutcome out;
+    LSQ_ASSERT(!sq_.empty() && sq_.front().seq == seq,
+               "commitStore: %llu is not the SQ head",
+               static_cast<unsigned long long>(seq));
+
+    if (params_.checkViolationsAtCommit) {
+        LqSearchPlan plan = planStoreLqSearch(seq, sq_.front().addr);
+        if (lqPorts().freePorts(plan.visit[0], now) == 0 ||
+            !lqPorts().canReserveWalk(plan.visit, now)) {
+            // Section 3.2: "easily solved by delaying the commit of
+            // the store".
+            stats_.counter("lsq.commit.delays").inc();
+            out.accepted = false;
+            return out;
+        }
+        lqPorts().reserveWalk(plan.visit, now);
+        stats_.counter("lq.searches.bystore").inc();
+        out.segmentsVisited = static_cast<unsigned>(plan.visit.size());
+        out.searchDoneCycle = now + plan.visit.size();
+        if (plan.violator) {
+            out.violationLoad = plan.violator->seq;
+            out.violationLoadPc = plan.violator->pc;
+        }
+    } else {
+        out.searchDoneCycle = now;
+    }
+
+    sq_.pop_front();
+    storeAlloc().freeOldest();
+    out.accepted = true;
+    return out;
+}
+
+void
+Lsq::commitLoad(SeqNum seq)
+{
+    LSQ_ASSERT(!lq_.empty() && lq_.front().seq == seq,
+               "commitLoad: %llu is not the LQ head",
+               static_cast<unsigned long long>(seq));
+    LoadEntry &e = lq_.front();
+    LSQ_ASSERT(e.executed, "committing an unexecuted load");
+    if (e.wasOoo && !e.passedByNilp) {
+        LSQ_ASSERT(oooLive_ > 0, "oooLive underflow at commit");
+        --oooLive_;
+        lb_.release(e.seq);
+    }
+    lq_.pop_front();
+    loadAlloc().freeOldest();
+}
+
+// ---------------------------------------------------- recovery --------
+
+void
+Lsq::squashFrom(SeqNum seq)
+{
+    if (params_.combinedQueue) {
+        // The shared allocator frees youngest-first across *both*
+        // instruction types, so interleave by global age.
+        while (true) {
+            SeqNum lt = lq_.empty() ? kNoSeq : lq_.back().seq;
+            SeqNum st = sq_.empty() ? kNoSeq : sq_.back().seq;
+            bool loadEligible = lt != kNoSeq && lt >= seq;
+            bool storeEligible = st != kNoSeq && st >= seq;
+            if (!loadEligible && !storeEligible)
+                break;
+            if (loadEligible && (!storeEligible || lt > st)) {
+                LoadEntry &e = lq_.back();
+                if (e.wasOoo && !e.passedByNilp) {
+                    LSQ_ASSERT(oooLive_ > 0,
+                               "oooLive underflow at squash");
+                    --oooLive_;
+                }
+                lq_.pop_back();
+            } else {
+                sq_.pop_back();
+            }
+            lqAlloc_.freeYoungest();
+        }
+        lb_.squashFrom(seq);
+        return;
+    }
+
+    while (!lq_.empty() && lq_.back().seq >= seq) {
+        LoadEntry &e = lq_.back();
+        if (e.wasOoo && !e.passedByNilp) {
+            LSQ_ASSERT(oooLive_ > 0, "oooLive underflow at squash");
+            --oooLive_;
+        }
+        lq_.pop_back();
+        lqAlloc_.freeYoungest();
+    }
+    while (!sq_.empty() && sq_.back().seq >= seq) {
+        sq_.pop_back();
+        sqAlloc_.freeYoungest();
+    }
+    lb_.squashFrom(seq);
+}
+
+// ---------------------------------------------------- stats -----------
+
+void
+Lsq::sampleOccupancy()
+{
+    stats_.histogram("lq.occupancy", params_.totalLqEntries() + 2)
+        .sample(lqLive());
+    stats_.histogram("sq.occupancy", params_.totalSqEntries() + 2)
+        .sample(sqLive());
+    stats_.histogram("ooo.inflight", 64).sample(oooLive_);
+}
+
+} // namespace lsqscale

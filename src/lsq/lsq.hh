@@ -1,0 +1,279 @@
+/**
+ * @file
+ * The load/store queue model.
+ *
+ * One class implements every design point of the paper:
+ *
+ *  - a conventional split LQ/SQ with N search ports (numSegments = 1);
+ *  - the store-load pair predictor scheme: the core gates SQ searches
+ *    per prediction and violation detection moves to store commit;
+ *  - the load buffer: load-load ordering checks leave the LQ;
+ *  - the segmented queue: per-segment ports, pipelined multi-segment
+ *    searches, variable load latency, allocation policies, and the
+ *    contention rule of Section 3.2.
+ *
+ * Three searches exist (Figure 1 of the paper):
+ *  1. load execute  -> SQ  : youngest older matching store (forwarding)
+ *  2. store (exec or commit) -> LQ : oldest younger premature load
+ *     (store-load order violation)
+ *  3. load execute  -> LQ or load buffer : younger same-address load
+ *     issued out of order (load-load order violation)
+ */
+
+#ifndef LSQSCALE_LSQ_LSQ_HH
+#define LSQSCALE_LSQ_LSQ_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "lsq/load_buffer.hh"
+#include "lsq/lsq_params.hh"
+#include "lsq/port_schedule.hh"
+#include "lsq/segment_allocator.hh"
+
+namespace lsqscale {
+
+/** Why a load could not issue this cycle. */
+enum class LoadIssueStatus : std::uint8_t {
+    Accepted,
+    NoSqPort,       ///< no SQ search port free this cycle
+    NoLqPort,       ///< no LQ search port free this cycle
+    LoadBufferFull, ///< out-of-order load, load buffer full
+    InOrderStall,   ///< in-order policy: an older load is non-issued
+    Contention,     ///< future segment slot booked (squash & replay)
+};
+
+/** Result of a load issue attempt. */
+struct LoadIssueOutcome
+{
+    LoadIssueStatus status = LoadIssueStatus::Accepted;
+
+    bool searchedSq = false;
+    bool forwarded = false;
+    SeqNum forwardedFrom = kNoSeq;
+    Pc forwardedFromPc = 0;
+
+    /** Segments visited by the SQ forwarding search. */
+    unsigned sqSegmentsVisited = 0;
+    /** Cycle the (slower of the) searches completes. */
+    Cycle searchDoneCycle = 0;
+    /**
+     * True when the load's latency is knowable at issue (head-segment
+     * rule, Section 3): dependents keep early wakeup.
+     */
+    bool constantLatency = true;
+
+    /**
+     * Load-load order violations detected by this issue (the issuing
+     * load's own search plus any deferred searches triggered by NILP
+     * advancing). Values are the *violating* (younger) loads' seqs.
+     */
+    std::vector<SeqNum> llViolations;
+};
+
+/** Result of a store-initiated LQ search (execute- or commit-time). */
+struct StoreSearchOutcome
+{
+    bool accepted = false;      ///< false: no port, retry next cycle
+    bool contention = false;    ///< segmented: future slot booked
+    SeqNum violationLoad = kNoSeq;
+    Pc violationLoadPc = 0;
+    unsigned segmentsVisited = 0;
+    Cycle searchDoneCycle = 0;
+};
+
+/** The load/store queue. */
+class Lsq
+{
+  public:
+    Lsq(const LsqParams &params, StatSet &stats);
+
+    // ------------------------------------------------ allocation -----
+    bool canAllocateLoad() const { return loadAlloc().canAllocate(); }
+    bool canAllocateStore() const
+    {
+        return storeAlloc().canAllocate();
+    }
+    void allocateLoad(SeqNum seq, Pc pc);
+    void allocateStore(SeqNum seq, Pc pc);
+
+    // ------------------------------------------------ oracle ---------
+    /**
+     * True if an older store with a valid matching address is in the
+     * SQ. Used by the Perfect SQ-search policy and by tests.
+     */
+    bool olderMatchingStore(SeqNum loadSeq, Addr addr) const;
+
+    /**
+     * Store-set wait support: true if the store @p seq is still in the
+     * SQ without a valid address (i.e. has not executed).
+     */
+    bool storePendingAddress(SeqNum seq) const;
+
+    /**
+     * Total-order baseline support: true if any store older than
+     * @p loadSeq has not yet exposed its address.
+     */
+    bool anyOlderStoreUnaddressed(SeqNum loadSeq) const;
+
+    // ------------------------------------------------ execution ------
+    /**
+     * Attempt to issue the load @p seq with effective address @p addr
+     * at cycle @p now. @p wantSqSearch reflects the SQ-search policy
+     * decision made by the core.
+     */
+    LoadIssueOutcome issueLoad(SeqNum seq, Addr addr, Cycle now,
+                               bool wantSqSearch);
+
+    /**
+     * The store @p seq computed its address at cycle @p now. In the
+     * conventional scheme this also performs the LQ violation search
+     * (and can be rejected for lack of a port — retry next cycle).
+     */
+    StoreSearchOutcome storeAddrReady(SeqNum seq, Addr addr, Cycle now);
+
+    /**
+     * External invalidation (Section 2.2's "scheme 2", MIPS R10000
+     * style): another processor wrote @p addr. Searches the LQ for
+     * any outstanding load to that address; the caller squashes the
+     * oldest match. Consumes an LQ search port (rejected when none is
+     * free this cycle — the coherence controller retries).
+     */
+    StoreSearchOutcome invalidate(Addr addr, Cycle now);
+
+    // ------------------------------------------------ commit ---------
+    /**
+     * Commit the store at the SQ head (must be @p seq). Performs the
+     * commit-time LQ search when checkViolationsAtCommit is set; a
+     * port shortfall rejects the commit (caller retries — "delaying
+     * the commit of the store" per Section 3.2).
+     */
+    StoreSearchOutcome commitStore(SeqNum seq, Cycle now);
+
+    /** Commit the load at the LQ head (must be @p seq). */
+    void commitLoad(SeqNum seq);
+
+    // ------------------------------------------------ recovery -------
+    /** Remove every entry with sequence number >= @p seq. */
+    void squashFrom(SeqNum seq);
+
+    // ------------------------------------------------ stats ----------
+    /** Call once per cycle to sample occupancy histograms. */
+    void sampleOccupancy();
+
+    unsigned lqLive() const
+    {
+        return static_cast<unsigned>(lq_.size());
+    }
+    unsigned sqLive() const
+    {
+        return static_cast<unsigned>(sq_.size());
+    }
+    const LsqParams &params() const { return params_; }
+    const LoadBuffer &loadBuffer() const { return lb_; }
+
+  private:
+    struct LoadEntry
+    {
+        SeqNum seq;
+        Pc pc;
+        unsigned segment;
+        Addr addr = 0;
+        bool executed = false;
+        Cycle executeCycle = kNoCycle;
+        SeqNum forwardedFrom = kNoSeq;
+        bool wasOoo = false;
+        bool passedByNilp = false;
+    };
+
+    struct StoreEntry
+    {
+        SeqNum seq;
+        Pc pc;
+        unsigned segment;
+        Addr addr = 0;
+        bool addrValid = false;
+    };
+
+    LoadEntry *findLoad(SeqNum seq);
+    StoreEntry *findStore(SeqNum seq);
+    const LoadEntry *oldestNonIssued() const;
+
+    /**
+     * Plan the SQ forwarding search for (@p loadSeq, @p addr): the
+     * ordered list of distinct segments visited (youngest-older store
+     * first, toward the head) and the match, if any.
+     */
+    struct SqSearchPlan
+    {
+        std::vector<unsigned> visit;
+        const StoreEntry *match = nullptr;
+        bool endsAtHead = false;   ///< search covered the oldest stores
+    };
+    SqSearchPlan planSqSearch(SeqNum loadSeq, Addr addr) const;
+
+    /**
+     * Plan a store's LQ violation search: segments of loads younger
+     * than @p storeSeq (oldest first), stopping at the first violating
+     * load.
+     */
+    struct LqSearchPlan
+    {
+        std::vector<unsigned> visit;
+        const LoadEntry *violator = nullptr;
+    };
+    LqSearchPlan planStoreLqSearch(SeqNum storeSeq, Addr addr) const;
+
+    /** Plan a load's own LQ load-load search (conventional scheme). */
+    LqSearchPlan planLoadLqSearch(SeqNum loadSeq, Addr addr,
+                                  Cycle executeCycle) const;
+
+    /**
+     * Advance the NILP past issued loads, releasing load-buffer
+     * entries and running their deferred ordering searches.
+     */
+    void advanceNilp(LoadIssueOutcome &outcome);
+
+    /** Allocator backing loads (shared in combined mode). */
+    SegmentAllocator &loadAlloc() { return lqAlloc_; }
+    const SegmentAllocator &loadAlloc() const { return lqAlloc_; }
+    /** Allocator backing stores (shared in combined mode). */
+    SegmentAllocator &
+    storeAlloc()
+    {
+        return params_.combinedQueue ? lqAlloc_ : sqAlloc_;
+    }
+    const SegmentAllocator &
+    storeAlloc() const
+    {
+        return params_.combinedQueue ? lqAlloc_ : sqAlloc_;
+    }
+    /** Port schedule for store-queue (forwarding) searches. */
+    PortSchedule &
+    sqPorts()
+    {
+        return params_.combinedQueue ? lqPorts_ : sqPorts_;
+    }
+    /** Port schedule for load-queue (ordering) searches. */
+    PortSchedule &lqPorts() { return lqPorts_; }
+
+    LsqParams params_;
+    StatSet &stats_;
+
+    std::deque<LoadEntry> lq_;
+    std::deque<StoreEntry> sq_;
+    SegmentAllocator lqAlloc_;
+    SegmentAllocator sqAlloc_;
+    PortSchedule lqPorts_;
+    PortSchedule sqPorts_;
+    LoadBuffer lb_;
+
+    /** Live loads issued out of order and not yet passed by the NILP. */
+    unsigned oooLive_ = 0;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_LSQ_LSQ_HH

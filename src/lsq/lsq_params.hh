@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Configuration of the load/store queue models.
+ *
+ * One parameter struct drives every design point in the paper:
+ * conventional flat queues of any port count, the store-load pair
+ * predictor scheme (SQ-search gating + commit-time violation checks),
+ * the load buffer, in-order load issue baselines, and the segmented
+ * queue with either allocation policy.
+ */
+
+#ifndef LSQSCALE_LSQ_LSQ_PARAMS_HH
+#define LSQSCALE_LSQ_LSQ_PARAMS_HH
+
+#include <cstdint>
+
+namespace lsqscale {
+
+/** Which loads search the store queue for forwarding. */
+enum class SqSearchPolicy : std::uint8_t {
+    Always,   ///< conventional: every load searches
+    Perfect,  ///< oracle: search iff an older matching store is present
+    Pair,     ///< the store-load pair predictor decides
+};
+
+/** How loads are checked against the load-load ordering rule. */
+enum class LoadCheckPolicy : std::uint8_t {
+    SearchLoadQueue,     ///< conventional: every load searches the LQ
+    LoadBuffer,          ///< the paper's load buffer
+    InOrderAlwaysSearch, ///< loads issue in order AND search the LQ
+    InOrder,             ///< loads issue in order, no LQ search
+                         ///< ("0-entry load buffer")
+    None,                ///< ordering not enforced (ablation only)
+};
+
+/** Allocation policy for the segmented queue (Section 3.1). */
+enum class SegAllocPolicy : std::uint8_t {
+    NoSelfCircular, ///< one global circular buffer across segments
+    SelfCircular,   ///< circular within a segment; spill when full
+};
+
+/** What happens when a load's search hits segment-port contention. */
+enum class ContentionPolicy : std::uint8_t {
+    SquashReplay, ///< squash to the memory stage and re-issue (paper)
+    Stall,        ///< stall the search until ports free (alternative)
+};
+
+/** Full LSQ configuration. */
+struct LsqParams
+{
+    // ------------------------------------------------ capacity -------
+    unsigned lqEntries = 32;       ///< per segment when segmented
+    unsigned sqEntries = 32;       ///< per segment when segmented
+    unsigned numSegments = 1;      ///< 1 = conventional flat queue
+    SegAllocPolicy allocPolicy = SegAllocPolicy::SelfCircular;
+
+    /**
+     * Combined queue (Figure 5 of the paper): loads and stores share
+     * one set of segments (lqEntries per segment; sqEntries ignored)
+     * and one pool of search ports. Forwarding searches walk toward
+     * the head while violation searches walk toward the tail of the
+     * *same* structure, so the Section 3.2 cross-direction contention
+     * case becomes reachable — in the default split-queue design it
+     * structurally cannot occur (see EXPERIMENTS.md).
+     */
+    bool combinedQueue = false;
+
+    // ------------------------------------------------ bandwidth ------
+    /** Search ports per queue (per segment when segmented). */
+    unsigned searchPorts = 2;
+
+    // ------------------------------------------------ techniques -----
+    SqSearchPolicy sqPolicy = SqSearchPolicy::Always;
+    LoadCheckPolicy loadCheck = LoadCheckPolicy::SearchLoadQueue;
+    unsigned loadBufferEntries = 2;
+
+    /**
+     * Store-load order violations are detected when the store commits
+     * (pair-predictor scheme, Section 2.1) instead of when it executes
+     * (conventional).
+     */
+    bool checkViolationsAtCommit = false;
+
+    // ------------------------------------------------ timing ---------
+    /**
+     * Extra completion delay for segmented loads whose search latency
+     * is variable (not confined to the head segment): the scheduler
+     * foregoes early wakeup of their dependents (Section 3).
+     */
+    unsigned lateWakeupPenalty = 2;
+
+    /** Re-issue delay for a load squashed by segment-port contention. */
+    unsigned contentionReplayDelay = 3;
+
+    ContentionPolicy contentionPolicy = ContentionPolicy::SquashReplay;
+
+    // ------------------------------------------------ helpers --------
+    unsigned totalLqEntries() const { return lqEntries * numSegments; }
+    unsigned totalSqEntries() const { return sqEntries * numSegments; }
+    bool segmented() const { return numSegments > 1; }
+    bool
+    inOrderLoads() const
+    {
+        return loadCheck == LoadCheckPolicy::InOrder ||
+               loadCheck == LoadCheckPolicy::InOrderAlwaysSearch;
+    }
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_LSQ_LSQ_PARAMS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-segment, per-cycle search-port reservation.
+ *
+ * A segmented queue search occupies one segment in each consecutive
+ * cycle (Section 3: searches pipeline through the segment chain). The
+ * PortSchedule books those (segment, cycle) slots ahead of time so
+ * conflicting searches are detected at initiation, implementing the
+ * paper's contention rule: already-booked (earlier-initiated) searches
+ * win; the newcomer is delayed or squashed by the caller.
+ */
+
+#ifndef LSQSCALE_LSQ_PORT_SCHEDULE_HH
+#define LSQSCALE_LSQ_PORT_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lsqscale {
+
+/** Rolling reservation table for one queue's segment ports. */
+class PortSchedule
+{
+  public:
+    PortSchedule(unsigned segments, unsigned portsPerSegment)
+        : segments_(segments), ports_(portsPerSegment),
+          slots_(segments * kWindow)
+    {
+        LSQ_ASSERT(segments >= 1, "PortSchedule needs >= 1 segment");
+        LSQ_ASSERT(portsPerSegment >= 1, "PortSchedule needs >= 1 port");
+    }
+
+    /** Free ports at (segment, cycle). */
+    unsigned
+    freePorts(unsigned segment, Cycle cycle) const
+    {
+        const Slot &s = slot(segment, cycle);
+        unsigned used = (s.cycle == cycle) ? s.used : 0;
+        return used >= ports_ ? 0 : ports_ - used;
+    }
+
+    /**
+     * Check that the walk visiting @p visitOrder[i] at cycle
+     * @p start + i can be fully booked.
+     */
+    bool
+    canReserveWalk(const std::vector<unsigned> &visitOrder,
+                   Cycle start) const
+    {
+        for (std::size_t i = 0; i < visitOrder.size(); ++i)
+            if (freePorts(visitOrder[i], start + i) == 0)
+                return false;
+        return true;
+    }
+
+    /** Book the walk. Caller must have checked canReserveWalk. */
+    void
+    reserveWalk(const std::vector<unsigned> &visitOrder, Cycle start)
+    {
+        for (std::size_t i = 0; i < visitOrder.size(); ++i)
+            reserve(visitOrder[i], start + i);
+    }
+
+    /** Book a single (segment, cycle) slot. */
+    void
+    reserve(unsigned segment, Cycle cycle)
+    {
+        Slot &s = slot(segment, cycle);
+        if (s.cycle != cycle) {
+            s.cycle = cycle;
+            s.used = 0;
+        }
+        LSQ_ASSERT(s.used < ports_, "overbooked segment %u cycle %llu",
+                   segment, static_cast<unsigned long long>(cycle));
+        ++s.used;
+    }
+
+    unsigned numSegments() const { return segments_; }
+    unsigned portsPerSegment() const { return ports_; }
+
+  private:
+    struct Slot
+    {
+        Cycle cycle = kNoCycle;
+        unsigned used = 0;
+    };
+
+    Slot &
+    slot(unsigned segment, Cycle cycle)
+    {
+        return slots_[segment * kWindow +
+                      static_cast<unsigned>(cycle % kWindow)];
+    }
+
+    const Slot &
+    slot(unsigned segment, Cycle cycle) const
+    {
+        return slots_[segment * kWindow +
+                      static_cast<unsigned>(cycle % kWindow)];
+    }
+
+    /**
+     * Rolling window length. Searches span at most numSegments
+     * consecutive cycles and numSegments <= 8 in every configuration
+     * we model, so 16 cycles of lookahead is ample.
+     */
+    static constexpr unsigned kWindow = 16;
+
+    unsigned segments_;
+    unsigned ports_;
+    std::vector<Slot> slots_;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_LSQ_PORT_SCHEDULE_HH

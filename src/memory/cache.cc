@@ -1,0 +1,114 @@
+#include "memory/cache.hh"
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    LSQ_ASSERT(params_.assoc >= 1, "%s: assoc", params_.name.c_str());
+    LSQ_ASSERT(isPow2(params_.blockBytes), "%s: block size not pow2",
+               params_.name.c_str());
+    numSets_ = params_.sizeBytes / (params_.assoc * params_.blockBytes);
+    LSQ_ASSERT(numSets_ >= 1 && isPow2(numSets_),
+               "%s: sets=%llu not a power of two", params_.name.c_str(),
+               static_cast<unsigned long long>(numSets_));
+    lines_.resize(numSets_ * params_.assoc);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / params_.blockBytes) & (numSets_ - 1);
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / params_.blockBytes) / numSets_;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    Line *base = &lines_[set * params_.assoc];
+
+    ++stamp_;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = stamp_;
+            ++hits_;
+            return true;
+        }
+    }
+
+    // Miss: fill into the LRU way.
+    unsigned victim = 0;
+    for (unsigned w = 1; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lru < base[victim].lru)
+            victim = w;
+    }
+    base[victim].valid = true;
+    base[victim].tag = tag;
+    base[victim].lru = stamp_;
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+Cache::tryPort(Cycle now)
+{
+    if (portCycle_ != now) {
+        portCycle_ = now;
+        portsUsed_ = 0;
+    }
+    if (portsUsed_ >= params_.ports)
+        return false;
+    ++portsUsed_;
+    return true;
+}
+
+unsigned
+Cache::freePorts(Cycle now) const
+{
+    if (portCycle_ != now)
+        return params_.ports;
+    return portsUsed_ >= params_.ports ? 0 : params_.ports - portsUsed_;
+}
+
+void
+Cache::exportStats(StatSet &stats) const
+{
+    stats.counter(params_.name + ".hits").inc(hits_);
+    stats.counter(params_.name + ".misses").inc(misses_);
+}
+
+} // namespace lsqscale

@@ -1,0 +1,115 @@
+#include "memory/memory_system.hh"
+
+#include <algorithm>
+
+namespace lsqscale {
+
+MemorySystem::MemorySystem(const MemoryParams &params)
+    : params_(params), l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2)
+{
+}
+
+MemAccessResult
+MemorySystem::walk(Cycle now, Addr addr, Cache &l1)
+{
+    MemAccessResult res{};
+    res.l1Hit = l1.access(addr);
+    if (res.l1Hit) {
+        res.readyCycle = now + l1.params().hitLatency;
+        return res;
+    }
+    res.l2Hit = l2_.access(addr);
+    if (res.l2Hit) {
+        res.readyCycle = now + l1.params().hitLatency +
+                         l2_.params().hitLatency;
+        return res;
+    }
+    res.readyCycle = now + l1.params().hitLatency +
+                     l2_.params().hitLatency + params_.memLatency;
+    return res;
+}
+
+void
+MemorySystem::pruneFills(Cycle now)
+{
+    for (auto it = pendingFills_.begin(); it != pendingFills_.end();) {
+        if (it->second <= now)
+            it = pendingFills_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::size_t
+MemorySystem::outstandingFills(Cycle now) const
+{
+    std::size_t n = 0;
+    for (const auto &kv : pendingFills_)
+        n += kv.second > now;
+    return n;
+}
+
+bool
+MemorySystem::canAcceptData(Cycle now, Addr addr)
+{
+    if (params_.l1dMshrs == 0)
+        return true;
+    pruneFills(now);
+    Addr block = addr / params_.l1d.blockBytes;
+    if (pendingFills_.count(block))
+        return true;
+    return l1d_.probe(addr) ||
+           pendingFills_.size() < params_.l1dMshrs;
+}
+
+MemAccessResult
+MemorySystem::accessData(Cycle now, Addr addr, bool isWrite)
+{
+    (void)isWrite;  // write-allocate: timing identical for our model
+    if (params_.l1dMshrs == 0)
+        return walk(now, addr, l1d_);
+
+    pruneFills(now);
+    Addr block = addr / params_.l1d.blockBytes;
+
+    auto fill = pendingFills_.find(block);
+    if (fill != pendingFills_.end()) {
+        // Secondary miss / hit-under-fill: merge into the in-flight
+        // MSHR; data arrives with the fill.
+        MemAccessResult res{};
+        res.l1Hit = l1d_.probe(addr);
+        res.readyCycle =
+            std::max<Cycle>(fill->second,
+                            now + params_.l1d.hitLatency);
+        return res;
+    }
+
+    // Primary access: a miss needs a free MSHR.
+    if (!l1d_.probe(addr) &&
+        pendingFills_.size() >= params_.l1dMshrs) {
+        MemAccessResult res{};
+        res.rejected = true;
+        res.readyCycle = now + 1;
+        return res;
+    }
+    MemAccessResult res = walk(now, addr, l1d_);
+    if (!res.l1Hit)
+        pendingFills_.emplace(block, res.readyCycle);
+    return res;
+}
+
+MemAccessResult
+MemorySystem::accessInst(Cycle now, Addr pc)
+{
+    return walk(now, pc, l1i_);
+}
+
+void
+MemorySystem::exportStats(StatSet &stats) const
+{
+    l1i_.exportStats(stats);
+    l1d_.exportStats(stats);
+    l2_.exportStats(stats);
+}
+
+} // namespace lsqscale

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The full memory hierarchy: split L1 I/D, unified L2, flat memory.
+ *
+ * Latencies follow Table 1 of the paper: pipelined 2-cycle L1 hits
+ * (64K, 2-way, 32B blocks; 2 I-ports / 4 D-ports), pipelined 12-cycle
+ * L2 hits (2M, 8-way, 64B blocks), and a 150-cycle memory.
+ */
+
+#ifndef LSQSCALE_MEMORY_MEMORY_SYSTEM_HH
+#define LSQSCALE_MEMORY_MEMORY_SYSTEM_HH
+
+#include <map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/cache.hh"
+
+namespace lsqscale {
+
+/** Hierarchy-wide configuration. */
+struct MemoryParams
+{
+    CacheParams l1i{"l1i", 64 * 1024, 2, 32, 2, 2};
+    CacheParams l1d{"l1d", 64 * 1024, 2, 32, 2, 4};
+    CacheParams l2{"l2", 2 * 1024 * 1024, 8, 64, 12, 4};
+    unsigned memLatency = 150;
+    /**
+     * L1-D miss-status holding registers: the maximum number of
+     * outstanding (distinct-block) misses. Accesses to a block with a
+     * fill in flight merge into its MSHR; primary misses beyond the
+     * limit are rejected and the core retries. 0 = unlimited (the
+     * paper does not specify an MSHR count; memory-level parallelism
+     * is then bounded by the load queue, see DESIGN.md §4).
+     */
+    unsigned l1dMshrs = 0;
+};
+
+/** Result of a timing access. */
+struct MemAccessResult
+{
+    Cycle readyCycle;   ///< cycle the data (or write ack) is available
+    bool l1Hit;
+    bool l2Hit;         ///< meaningful only when !l1Hit
+    /** No MSHR free for a new miss: retry next cycle. */
+    bool rejected = false;
+};
+
+/**
+ * Timing-only memory system.
+ *
+ * Accesses are non-blocking: each access independently computes its
+ * completion cycle from the levels it traverses. Port limits apply at
+ * the L1s (the caller checks/consumes D-cache ports before issuing a
+ * load; fetch consumes I-cache ports).
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemoryParams &params = MemoryParams());
+
+    /** Data access (load or committed store). */
+    MemAccessResult accessData(Cycle now, Addr addr, bool isWrite);
+
+    /**
+     * True if accessData(now, addr, ...) would be accepted (i.e. the
+     * access hits, merges into an in-flight fill, or a free MSHR
+     * exists). Always true with unlimited MSHRs.
+     */
+    bool canAcceptData(Cycle now, Addr addr);
+
+    /** Instruction fetch access for the block containing @p pc. */
+    MemAccessResult accessInst(Cycle now, Addr pc);
+
+    Cache &l1d() { return l1d_; }
+    Cache &l1i() { return l1i_; }
+    Cache &l2() { return l2_; }
+    const MemoryParams &params() const { return params_; }
+
+    /** Outstanding L1-D fills (for tests/stats). */
+    std::size_t outstandingFills(Cycle now) const;
+
+    void exportStats(StatSet &stats) const;
+
+  private:
+    MemAccessResult walk(Cycle now, Addr addr, Cache &l1);
+    void pruneFills(Cycle now);
+
+    MemoryParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+
+    /** In-flight L1-D fills: block number -> data-arrival cycle. */
+    std::map<Addr, Cycle> pendingFills_;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_MEMORY_MEMORY_SYSTEM_HH

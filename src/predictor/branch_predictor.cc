@@ -1,0 +1,165 @@
+#include "predictor/branch_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+namespace {
+
+unsigned
+maskFor(unsigned entries)
+{
+    LSQ_ASSERT(entries && (entries & (entries - 1)) == 0,
+               "table entries must be a power of two, got %u", entries);
+    return entries - 1;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- GAg ----
+
+GAgPredictor::GAgPredictor(const BranchPredictorParams &params)
+    : histMask_((1u << params.historyBits) - 1),
+      tableMask_(maskFor(params.tableEntries)),
+      pht_(params.tableEntries, SatCounter(2, 1))
+{
+}
+
+unsigned
+GAgPredictor::index(Pc pc) const
+{
+    return (history_ ^ static_cast<unsigned>(pc >> 2)) & tableMask_;
+}
+
+bool
+GAgPredictor::predict(Pc pc) const
+{
+    return pht_[index(pc)].taken();
+}
+
+void
+GAgPredictor::update(Pc pc, bool taken)
+{
+    SatCounter &ctr = pht_[index(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & histMask_;
+}
+
+// ------------------------------------------------------------- PAg ----
+
+PAgPredictor::PAgPredictor(const BranchPredictorParams &params)
+    : histMask_((1u << params.historyBits) - 1),
+      tableMask_(maskFor(params.tableEntries)),
+      bhtMask_(maskFor(params.bhtEntries)),
+      bht_(params.bhtEntries, 0),
+      pht_(params.tableEntries, SatCounter(2, 1))
+{
+}
+
+unsigned
+PAgPredictor::bhtIndex(Pc pc) const
+{
+    return static_cast<unsigned>(pc >> 2) & bhtMask_;
+}
+
+unsigned
+PAgPredictor::phtIndex(Pc pc) const
+{
+    return bht_[bhtIndex(pc)] & tableMask_;
+}
+
+bool
+PAgPredictor::predict(Pc pc) const
+{
+    return pht_[phtIndex(pc)].taken();
+}
+
+void
+PAgPredictor::update(Pc pc, bool taken)
+{
+    SatCounter &ctr = pht_[phtIndex(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    unsigned &hist = bht_[bhtIndex(pc)];
+    hist = ((hist << 1) | (taken ? 1 : 0)) & histMask_;
+}
+
+// --------------------------------------------------------- bimodal ----
+
+BimodalPredictor::BimodalPredictor(const BranchPredictorParams &params)
+    : tableMask_(maskFor(params.tableEntries)),
+      pht_(params.tableEntries, SatCounter(2, 1))
+{
+}
+
+bool
+BimodalPredictor::predict(Pc pc) const
+{
+    return pht_[static_cast<unsigned>(pc >> 2) & tableMask_].taken();
+}
+
+void
+BimodalPredictor::update(Pc pc, bool taken)
+{
+    SatCounter &ctr =
+        pht_[static_cast<unsigned>(pc >> 2) & tableMask_];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+// ---------------------------------------------------------- hybrid ----
+
+HybridBranchPredictor::HybridBranchPredictor(
+    const BranchPredictorParams &params)
+    : kind_(params.kind), gag_(params), pag_(params), bimodal_(params),
+      chooserMask_(maskFor(params.tableEntries)),
+      chooser_(params.tableEntries, SatCounter(2, 2))
+{
+}
+
+unsigned
+HybridBranchPredictor::chooserIndex(Pc pc) const
+{
+    return static_cast<unsigned>(pc >> 2) & chooserMask_;
+}
+
+bool
+HybridBranchPredictor::predict(Pc pc) const
+{
+    switch (kind_) {
+      case BranchPredictorKind::GAg:
+        return gag_.predict(pc);
+      case BranchPredictorKind::PAg:
+        return pag_.predict(pc);
+      case BranchPredictorKind::Bimodal:
+        return bimodal_.predict(pc);
+      case BranchPredictorKind::Hybrid:
+        break;
+    }
+    bool preferPag = chooser_[chooserIndex(pc)].taken();
+    return preferPag ? pag_.predict(pc) : gag_.predict(pc);
+}
+
+void
+HybridBranchPredictor::update(Pc pc, bool taken)
+{
+    bool gagRight = gag_.predict(pc) == taken;
+    bool pagRight = pag_.predict(pc) == taken;
+    SatCounter &ch = chooser_[chooserIndex(pc)];
+    if (pagRight && !gagRight)
+        ch.increment();
+    else if (gagRight && !pagRight)
+        ch.decrement();
+    gag_.update(pc, taken);
+    pag_.update(pc, taken);
+    bimodal_.update(pc, taken);
+}
+
+} // namespace lsqscale

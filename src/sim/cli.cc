@@ -1,0 +1,302 @@
+#include "sim/cli.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "workload/benchmark_profile.hh"
+#include "workload/trace_file.hh"
+
+namespace lsqscale {
+
+namespace {
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseUnsigned(const std::string &s, unsigned &out)
+{
+    std::uint64_t v;
+    if (!parseU64(s, v) || v > 0xffffffffu)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace
+
+std::string
+cliUsage()
+{
+    return
+        "lsqsim — LSQ-scaling simulator "
+        "(Park/Ooi/Vijaykumar, MICRO-36 2003)\n"
+        "\n"
+        "usage: lsqsim [options]\n"
+        "\n"
+        "workload:\n"
+        "  --benchmark NAME     synthetic SPEC2K-like workload "
+        "(default bzip)\n"
+        "  --trace PATH         replay a recorded .trace file\n"
+        "  --insts N            measured instructions (default 500000)\n"
+        "  --warmup N           warm-up instructions (default 50000)\n"
+        "  --seed N             workload seed (default 1)\n"
+        "  --record PATH        record the synthetic trace to PATH and "
+        "exit\n"
+        "  --record-insts N     trace length for --record "
+        "(default 1000000)\n"
+        "  --list-benchmarks    print the 18 built-in profiles and "
+        "exit\n"
+        "\n"
+        "LSQ design point:\n"
+        "  --ports N            search ports per queue (default 2)\n"
+        "  --lq N / --sq N      queue entries (per segment when "
+        "segmented)\n"
+        "  --segments N         segment count (default 1 = flat)\n"
+        "  --combined           one shared load/store queue "
+        "(Figure 5)\n"
+        "  --alloc POLICY       self-circular | no-self-circular\n"
+        "  --predictor KIND     conventional | perfect | aggressive | "
+        "pair\n"
+        "  --load-buffer N      N-entry load buffer (0 = in-order "
+        "loads)\n"
+        "  --in-order-search    in-order loads that still search the "
+        "LQ\n"
+        "  --all-techniques     pair + 2-entry buffer + 4x28 "
+        "self-circular, 1 port\n"
+        "  --scaled             12-wide issue, 96-entry IQ, 3-cycle L1\n"
+        "  --invalidations R    external invalidations per kcycle "
+        "(default 0)\n"
+        "\n"
+        "output:\n"
+        "  --json               machine-readable result\n"
+        "  --dump-stats         print every counter\n"
+        "  --help               this text\n";
+}
+
+std::string
+parseCli(const std::vector<std::string> &args, CliOptions &opts)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto value = [&](std::string &out) -> bool {
+            if (i + 1 >= args.size())
+                return false;
+            out = args[++i];
+            return true;
+        };
+        std::string v;
+
+        if (a == "--help" || a == "-h") {
+            opts.showHelp = true;
+        } else if (a == "--list-benchmarks") {
+            opts.listBenchmarks = true;
+        } else if (a == "--json") {
+            opts.jsonOutput = true;
+        } else if (a == "--dump-stats") {
+            opts.dumpStats = true;
+        } else if (a == "--benchmark") {
+            if (!value(v))
+                return "--benchmark needs a name";
+            if (!profileExists(v))
+                return "unknown benchmark '" + v +
+                       "' (see --list-benchmarks)";
+            opts.config.benchmark = v;
+        } else if (a == "--trace") {
+            if (!value(v))
+                return "--trace needs a path";
+            opts.config.tracePath = v;
+        } else if (a == "--record") {
+            if (!value(v))
+                return "--record needs a path";
+            opts.recordPath = v;
+        } else if (a == "--record-insts") {
+            if (!value(v) || !parseU64(v, opts.recordCount) ||
+                opts.recordCount == 0)
+                return "--record-insts needs a positive count";
+        } else if (a == "--insts") {
+            if (!value(v) || !parseU64(v, opts.config.instructions) ||
+                opts.config.instructions == 0)
+                return "--insts needs a positive count";
+        } else if (a == "--warmup") {
+            if (!value(v) || !parseU64(v, opts.config.warmup))
+                return "--warmup needs a count";
+        } else if (a == "--seed") {
+            if (!value(v) || !parseU64(v, opts.config.seed))
+                return "--seed needs a number";
+        } else if (a == "--ports") {
+            if (!value(v) ||
+                !parseUnsigned(v, opts.config.lsq.searchPorts) ||
+                opts.config.lsq.searchPorts == 0)
+                return "--ports needs a positive count";
+        } else if (a == "--lq") {
+            if (!value(v) ||
+                !parseUnsigned(v, opts.config.lsq.lqEntries) ||
+                opts.config.lsq.lqEntries == 0)
+                return "--lq needs a positive count";
+        } else if (a == "--sq") {
+            if (!value(v) ||
+                !parseUnsigned(v, opts.config.lsq.sqEntries) ||
+                opts.config.lsq.sqEntries == 0)
+                return "--sq needs a positive count";
+        } else if (a == "--segments") {
+            if (!value(v) ||
+                !parseUnsigned(v, opts.config.lsq.numSegments) ||
+                opts.config.lsq.numSegments == 0)
+                return "--segments needs a positive count";
+        } else if (a == "--combined") {
+            opts.config.lsq.combinedQueue = true;
+        } else if (a == "--alloc") {
+            if (!value(v))
+                return "--alloc needs a policy";
+            if (v == "self-circular")
+                opts.config.lsq.allocPolicy =
+                    SegAllocPolicy::SelfCircular;
+            else if (v == "no-self-circular")
+                opts.config.lsq.allocPolicy =
+                    SegAllocPolicy::NoSelfCircular;
+            else
+                return "unknown allocation policy '" + v + "'";
+        } else if (a == "--predictor") {
+            if (!value(v))
+                return "--predictor needs a kind";
+            if (v == "conventional") {
+                opts.config.lsq.sqPolicy = SqSearchPolicy::Always;
+                opts.config.lsq.checkViolationsAtCommit = false;
+                opts.config.core.storeSet.aliasFree = false;
+            } else if (v == "perfect") {
+                opts.config.lsq.sqPolicy = SqSearchPolicy::Perfect;
+            } else if (v == "pair") {
+                opts.config.lsq.sqPolicy = SqSearchPolicy::Pair;
+                opts.config.lsq.checkViolationsAtCommit = true;
+            } else if (v == "aggressive") {
+                opts.config.lsq.sqPolicy = SqSearchPolicy::Pair;
+                opts.config.lsq.checkViolationsAtCommit = true;
+                opts.config.core.storeSet.aliasFree = true;
+            } else {
+                return "unknown predictor '" + v + "'";
+            }
+        } else if (a == "--load-buffer") {
+            unsigned n;
+            if (!value(v) || !parseUnsigned(v, n))
+                return "--load-buffer needs a count";
+            opts.config.lsq.loadCheck =
+                n == 0 ? LoadCheckPolicy::InOrder
+                       : LoadCheckPolicy::LoadBuffer;
+            opts.config.lsq.loadBufferEntries = n;
+        } else if (a == "--in-order-search") {
+            opts.config.lsq.loadCheck =
+                LoadCheckPolicy::InOrderAlwaysSearch;
+        } else if (a == "--all-techniques") {
+            opts.config = configs::allTechniques(opts.config);
+        } else if (a == "--scaled") {
+            opts.config = configs::scaledProcessor(opts.config);
+        } else if (a == "--invalidations") {
+            if (!value(v))
+                return "--invalidations needs a rate";
+            char *end = nullptr;
+            opts.config.core.invalidationsPerKCycle =
+                std::strtod(v.c_str(), &end);
+            if (!end || *end != '\0' ||
+                opts.config.core.invalidationsPerKCycle < 0)
+                return "--invalidations needs a non-negative rate";
+        } else {
+            return "unknown option '" + a + "' (see --help)";
+        }
+    }
+    return "";
+}
+
+std::string
+resultToJson(const SimResult &result, const SimConfig &config)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"benchmark\": \"" << result.benchmark << "\",\n";
+    os << "  \"trace\": \"" << config.tracePath << "\",\n";
+    os << "  \"cycles\": " << result.cycles << ",\n";
+    os << "  \"committed\": " << result.committed << ",\n";
+    char ipc[32];
+    std::snprintf(ipc, sizeof(ipc), "%.6f", result.ipc());
+    os << "  \"ipc\": " << ipc << ",\n";
+    os << "  \"sq_searches\": " << result.sqSearches() << ",\n";
+    os << "  \"lq_searches\": " << result.lqSearches() << ",\n";
+    os << "  \"counters\": {";
+    bool first = true;
+    for (const auto &name : result.stats.counterNames()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    \"" << name << "\": "
+           << result.stats.value(name);
+    }
+    os << "\n  }\n}\n";
+    return os.str();
+}
+
+int
+runCli(const CliOptions &opts)
+{
+    if (opts.showHelp) {
+        std::fputs(cliUsage().c_str(), stdout);
+        return 0;
+    }
+    if (opts.listBenchmarks) {
+        for (const auto &name : allBenchmarks()) {
+            const BenchmarkProfile &p = profileFor(name);
+            std::printf("%-10s %s  (paper base IPC %.1f)\n",
+                        name.c_str(), p.isFp ? "FP " : "INT",
+                        p.paperBaseIpc);
+        }
+        return 0;
+    }
+    if (!opts.recordPath.empty()) {
+        recordSyntheticTrace(opts.config.benchmark, opts.config.seed,
+                             opts.recordCount, opts.recordPath);
+        std::printf("recorded %llu instructions of %s to %s\n",
+                    static_cast<unsigned long long>(opts.recordCount),
+                    opts.config.benchmark.c_str(),
+                    opts.recordPath.c_str());
+        return 0;
+    }
+
+    Simulator sim(opts.config);
+    SimResult result = sim.run();
+
+    if (opts.jsonOutput) {
+        std::fputs(resultToJson(result, opts.config).c_str(), stdout);
+    } else {
+        std::printf("benchmark   %s\n", result.benchmark.c_str());
+        if (!opts.config.tracePath.empty())
+            std::printf("trace       %s\n",
+                        opts.config.tracePath.c_str());
+        std::printf("committed   %llu\n",
+                    static_cast<unsigned long long>(result.committed));
+        std::printf("cycles      %llu\n",
+                    static_cast<unsigned long long>(result.cycles));
+        std::printf("IPC         %.3f\n", result.ipc());
+        std::printf("SQ searches %llu\n",
+                    static_cast<unsigned long long>(
+                        result.sqSearches()));
+        std::printf("LQ searches %llu\n",
+                    static_cast<unsigned long long>(
+                        result.lqSearches()));
+        std::printf("squashes    %llu\n",
+                    static_cast<unsigned long long>(
+                        result.stats.value("squash.total")));
+    }
+    if (opts.dumpStats)
+        std::fputs(result.stats.dump().c_str(), stdout);
+    return 0;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Command-line interface for the lsqsim driver binary.
+ *
+ * The parsing is a pure function over an argument vector so it is unit
+ * testable; tools/lsqsim.cpp is a thin wrapper around parseCli() and
+ * runCli().
+ */
+
+#ifndef LSQSCALE_SIM_CLI_HH
+#define LSQSCALE_SIM_CLI_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+namespace lsqscale {
+
+/** Parsed command-line request. */
+struct CliOptions
+{
+    SimConfig config;
+
+    bool showHelp = false;
+    bool listBenchmarks = false;
+    bool jsonOutput = false;
+    bool dumpStats = false;
+
+    /** Record a synthetic trace to this path and exit. */
+    std::string recordPath;
+    std::uint64_t recordCount = 1000000;
+};
+
+/**
+ * Parse @p args (without argv[0]).
+ * @return an empty string on success, else a user-facing error.
+ */
+std::string parseCli(const std::vector<std::string> &args,
+                     CliOptions &opts);
+
+/** The --help text. */
+std::string cliUsage();
+
+/**
+ * Execute a parsed request; output goes to stdout.
+ * @return process exit code.
+ */
+int runCli(const CliOptions &opts);
+
+/** JSON rendering of a result (stable key order). */
+std::string resultToJson(const SimResult &result,
+                         const SimConfig &config);
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_SIM_CLI_HH

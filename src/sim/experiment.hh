@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Experiment harness shared by every bench binary.
+ *
+ * Runs named configurations across the paper's benchmark list and
+ * renders paper-style rows: one row per benchmark plus Int.Avg and
+ * Fp.Avg rows (arithmetic means, as in the paper's bar charts).
+ */
+
+#ifndef LSQSCALE_SIM_EXPERIMENT_HH
+#define LSQSCALE_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workload/benchmark_profile.hh"
+
+namespace lsqscale {
+
+/** A design point: label plus a per-benchmark config factory. */
+struct NamedConfig
+{
+    std::string label;
+    std::function<SimConfig(const std::string &)> make;
+};
+
+/** Results of one design point across all benchmarks (paper order). */
+using ResultRow = std::vector<SimResult>;
+
+/** Experiment runner with progress reporting. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param benchmarks which benchmarks to run (defaults to all 18).
+     *        The LSQSCALE_BENCH env var (comma list) overrides.
+     */
+    explicit ExperimentRunner(
+        std::vector<std::string> benchmarks = allBenchmarks());
+
+    /** Run one design point over every benchmark. */
+    ResultRow run(const NamedConfig &config) const;
+
+    /** Run several design points. Order preserved. */
+    std::vector<ResultRow>
+    runAll(const std::vector<NamedConfig> &configs) const;
+
+    const std::vector<std::string> &benchmarks() const
+    {
+        return benchmarks_;
+    }
+
+    // ------------------------------------------------ aggregation ----
+    /** Mean of @p values over the INT benchmarks present. */
+    double intAvg(const std::vector<double> &values) const;
+    /** Mean of @p values over the FP benchmarks present. */
+    double fpAvg(const std::vector<double> &values) const;
+
+    /** Per-benchmark metric extraction. */
+    std::vector<double>
+    metric(const ResultRow &row,
+           const std::function<double(const SimResult &)> &fn) const;
+
+    /** speedup[i] = test[i].ipc / base[i].ipc - 1. */
+    std::vector<double> speedups(const ResultRow &base,
+                                 const ResultRow &test) const;
+
+    /** ratio[i] = fn(test[i]) / fn(base[i]) (0 if base is 0). */
+    std::vector<double>
+    normalized(const ResultRow &base, const ResultRow &test,
+               const std::function<double(const SimResult &)> &fn) const;
+
+    // ------------------------------------------------ rendering ------
+    /**
+     * Render a table: first column benchmark names, one column per
+     * (label, values) pair, plus Int.Avg / Fp.Avg rows. @p asPercent
+     * formats values like the paper's speedup axes.
+     *
+     * When the LSQSCALE_CSV_DIR environment variable is set, the same
+     * data is also written to "<dir>/<slug-of-title>.csv" for
+     * plotting.
+     */
+    std::string
+    table(const std::string &title,
+          const std::vector<std::pair<std::string,
+                                      std::vector<double>>> &columns,
+          bool asPercent) const;
+
+    /** Raw CSV rendering of the same data (header + one row/bench). */
+    std::string
+    csv(const std::vector<std::pair<std::string,
+                                    std::vector<double>>> &columns)
+        const;
+
+  private:
+    std::vector<std::string> benchmarks_;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_SIM_EXPERIMENT_HH

@@ -1,0 +1,120 @@
+#include "sim/sim_config.hh"
+
+namespace lsqscale {
+namespace configs {
+
+SimConfig
+base(const std::string &benchmark)
+{
+    SimConfig cfg;
+    cfg.benchmark = benchmark;
+    // CoreParams/LsqParams/MemoryParams defaults are Table 1 already:
+    // 8-wide, 256 ROB, 64 IQ, 356+356 regs, 8+8 FUs, hybrid 4K
+    // predictor, 4K SSIT / 128 LFST, 64K L1s, 2M L2, 150-cycle memory,
+    // 32+32-entry 2-ported conventional LSQ.
+    return cfg;
+}
+
+SimConfig
+withPorts(SimConfig cfg, unsigned ports)
+{
+    cfg.lsq.searchPorts = ports;
+    return cfg;
+}
+
+SimConfig
+withPairPredictor(SimConfig cfg)
+{
+    cfg.lsq.sqPolicy = SqSearchPolicy::Pair;
+    cfg.lsq.checkViolationsAtCommit = true;
+    return cfg;
+}
+
+SimConfig
+withPerfectPredictor(SimConfig cfg)
+{
+    cfg.lsq.sqPolicy = SqSearchPolicy::Perfect;
+    // The oracle never misses a match, so execute-time checking stays.
+    return cfg;
+}
+
+SimConfig
+withAggressivePredictor(SimConfig cfg)
+{
+    cfg = withPairPredictor(std::move(cfg));
+    cfg.core.storeSet.aliasFree = true;
+    return cfg;
+}
+
+SimConfig
+withLoadBuffer(SimConfig cfg, unsigned entries)
+{
+    cfg.lsq.loadCheck = entries == 0 ? LoadCheckPolicy::InOrder
+                                     : LoadCheckPolicy::LoadBuffer;
+    cfg.lsq.loadBufferEntries = entries;
+    return cfg;
+}
+
+SimConfig
+withInOrderLoads(SimConfig cfg, bool alwaysSearch)
+{
+    cfg.lsq.loadCheck = alwaysSearch
+                            ? LoadCheckPolicy::InOrderAlwaysSearch
+                            : LoadCheckPolicy::InOrder;
+    return cfg;
+}
+
+SimConfig
+withSegmentation(SimConfig cfg, unsigned segments, unsigned perSegment,
+                 SegAllocPolicy policy)
+{
+    cfg.lsq.numSegments = segments;
+    cfg.lsq.lqEntries = perSegment;
+    cfg.lsq.sqEntries = perSegment;
+    cfg.lsq.allocPolicy = policy;
+    return cfg;
+}
+
+SimConfig
+withQueueSize(SimConfig cfg, unsigned entriesPerQueue)
+{
+    cfg.lsq.lqEntries = entriesPerQueue;
+    cfg.lsq.sqEntries = entriesPerQueue;
+    return cfg;
+}
+
+SimConfig
+withCombinedQueue(SimConfig cfg, unsigned entriesPerSegment)
+{
+    cfg.lsq.combinedQueue = true;
+    cfg.lsq.lqEntries = entriesPerSegment;
+    cfg.lsq.sqEntries = entriesPerSegment;
+    return cfg;
+}
+
+SimConfig
+scaledProcessor(SimConfig cfg)
+{
+    cfg.core.issueWidth = 12;
+    cfg.core.fetchWidth = 12;
+    cfg.core.dispatchWidth = 12;
+    cfg.core.commitWidth = 12;
+    cfg.core.iqEntries = 96;
+    cfg.memory.l1d.hitLatency = 3;
+    cfg.memory.l1i.hitLatency = 3;
+    return cfg;
+}
+
+SimConfig
+allTechniques(SimConfig cfg)
+{
+    cfg = withPairPredictor(std::move(cfg));
+    cfg = withLoadBuffer(std::move(cfg), 2);
+    cfg = withSegmentation(std::move(cfg), 4, 28,
+                           SegAllocPolicy::SelfCircular);
+    cfg = withPorts(std::move(cfg), 1);
+    return cfg;
+}
+
+} // namespace configs
+} // namespace lsqscale

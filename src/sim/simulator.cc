@@ -1,0 +1,109 @@
+#include "sim/simulator.hh"
+
+#include <cstdlib>
+
+#include <memory>
+
+#include "core/core.hh"
+#include "workload/address_stream.hh"
+#include "workload/benchmark_profile.hh"
+#include "workload/trace_file.hh"
+
+namespace lsqscale {
+
+namespace {
+
+/**
+ * Bring the cache hierarchy to an approximation of steady state: the
+ * paper fast-forwards 3 billion instructions before measuring, so the
+ * stream arrays, the hot pointer-chase subset, the stack window, and
+ * the code footprint are all resident in whatever level fits them.
+ */
+void
+prewarmCaches(MemorySystem &mem, const BenchmarkProfile &profile)
+{
+    unsigned blk = mem.params().l1d.blockBytes;
+    for (const auto &e : AddressStream::streamLayout(profile))
+        for (Addr a = e.base; a < e.base + e.size; a += blk)
+            mem.accessData(0, a, false);
+    Addr hot = AddressStream::chaseHotBytes(profile);
+    for (Addr a = kChaseBase; a < kChaseBase + hot; a += blk)
+        mem.accessData(0, a, false);
+    // The hot stack window plus drift room.
+    for (Addr a = kStackBase; a < kStackBase + (1ULL << 17); a += blk)
+        mem.accessData(0, a, false);
+    Addr codeBytes = static_cast<Addr>(profile.codeFootprintKb) * 1024;
+    unsigned iblk = mem.params().l1i.blockBytes;
+    for (Addr a = kCodeBase; a < kCodeBase + codeBytes; a += iblk)
+        mem.accessInst(0, a);
+}
+
+} // namespace
+
+std::uint64_t
+effectiveInstructions(std::uint64_t configured)
+{
+    if (const char *env = std::getenv("LSQSCALE_INSTS")) {
+        std::uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return configured;
+}
+
+SimResult
+Simulator::run()
+{
+    SimResult result;
+    result.benchmark = config_.benchmark;
+
+    std::unique_ptr<Core> corePtr;
+    if (!config_.tracePath.empty()) {
+        corePtr = std::make_unique<Core>(
+            config_.core, config_.lsq, config_.memory,
+            std::make_unique<TraceFileReader>(config_.tracePath),
+            result.stats);
+        // If the label names a built-in profile, its region layout
+        // still describes the trace's addresses: pre-warm as usual.
+        if (profileExists(config_.benchmark))
+            prewarmCaches(corePtr->memory(),
+                          profileFor(config_.benchmark));
+    } else {
+        const BenchmarkProfile &profile =
+            profileFor(config_.benchmark);
+        corePtr = std::make_unique<Core>(config_.core, config_.lsq,
+                                         config_.memory, profile,
+                                         config_.seed, result.stats);
+        prewarmCaches(corePtr->memory(), profile);
+    }
+    Core &core = *corePtr;
+
+    std::uint64_t measured = effectiveInstructions(config_.instructions);
+    std::uint64_t warmup = std::min(config_.warmup, measured / 4);
+
+    if (warmup > 0) {
+        core.run(warmup);
+        result.stats.resetAll();
+    }
+    Cycle startCycle = core.cycle();
+    std::uint64_t startCommitted = core.committed();
+    std::uint64_t l1dH = core.memory().l1d().hits();
+    std::uint64_t l1dM = core.memory().l1d().misses();
+    std::uint64_t l2H = core.memory().l2().hits();
+    std::uint64_t l2M = core.memory().l2().misses();
+
+    core.run(startCommitted + measured);
+
+    result.cycles = core.cycle() - startCycle;
+    result.committed = core.committed() - startCommitted;
+    result.stats.counter("l1d.hits").inc(core.memory().l1d().hits() -
+                                         l1dH);
+    result.stats.counter("l1d.misses").inc(core.memory().l1d().misses() -
+                                           l1dM);
+    result.stats.counter("l2.hits").inc(core.memory().l2().hits() - l2H);
+    result.stats.counter("l2.misses").inc(core.memory().l2().misses() -
+                                          l2M);
+    return result;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Top-level simulation driver: builds a Core from a SimConfig, runs
+ * warm-up plus measurement, and returns the stats the experiments
+ * consume.
+ */
+
+#ifndef LSQSCALE_SIM_SIMULATOR_HH
+#define LSQSCALE_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/sim_config.hh"
+
+namespace lsqscale {
+
+/** Everything measured over the measurement window. */
+struct SimResult
+{
+    std::string benchmark;
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+    StatSet stats;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** SQ forwarding-search initiations. */
+    std::uint64_t sqSearches() const { return stats.value("sq.searches"); }
+
+    /** LQ search initiations (loads + stores). */
+    std::uint64_t
+    lqSearches() const
+    {
+        return stats.value("lq.searches.byload") +
+               stats.value("lq.searches.bystore");
+    }
+};
+
+/** Runs one configuration on one benchmark. */
+class Simulator
+{
+  public:
+    explicit Simulator(SimConfig config) : config_(std::move(config)) {}
+
+    /** Execute warm-up + measurement; deterministic per config. */
+    SimResult run();
+
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+};
+
+/**
+ * Instruction-count override for quick runs: if the environment
+ * variable LSQSCALE_INSTS is set, both tests and benches scale their
+ * measurement windows to it.
+ */
+std::uint64_t effectiveInstructions(std::uint64_t configured);
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_SIM_SIMULATOR_HH

@@ -1,0 +1,427 @@
+#include "workload/benchmark_profile.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+namespace {
+
+/**
+ * Build the profile table once.
+ *
+ * Guiding data, per benchmark:
+ *  - Table 2 of the paper (base IPC) sets the ILP / memory-boundedness
+ *    balance (depDistMean, footprints).
+ *  - Table 5 (average LQ/SQ occupancy) sets how memory-latency-bound
+ *    each benchmark is (footprints vs cache sizes).
+ *  - The paper's reported mixes: mgrid 51% loads / 2% stores,
+ *    vortex 18% / 23%, equake 42% loads.
+ *  - SPECint is branchier with harder branches and lower ILP; SPECfp
+ *    is loop-dominated with predictable branches and high MLP.
+ */
+std::map<std::string, BenchmarkProfile>
+buildTable()
+{
+    std::map<std::string, BenchmarkProfile> t;
+
+    auto add = [&t](BenchmarkProfile p) { t[p.name] = std::move(p); };
+
+    // ------------------------------------------------------ SPECint ----
+    {
+        BenchmarkProfile p;
+        p.name = "bzip";
+        p.isFp = false;
+        p.loadFrac = 0.26; p.storeFrac = 0.11; p.branchFrac = 0.12;
+        p.fpFrac = 0.0; p.longLatFrac = 0.03;
+        p.depDistMean = 12.0; p.twoSrcProb = 0.55;
+        p.addrChainProb = 0.25;
+        p.stackWeight = 0.35; p.strideWeight = 0.55; p.chaseWeight = 0.10;
+        p.strideFootprintKb = 40; p.chaseFootprintKb = 96;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 4;
+        p.loadAliasStoreProb = 0.13; p.loadAliasLoadProb = 0.05;
+        p.easyBranchFrac = 0.80; p.loopBranchFrac = 0.25;
+        p.loopPeriodMean = 32.0; p.codeFootprintKb = 24;
+        p.paperBaseIpc = 2.5;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "gcc";
+        p.isFp = false;
+        p.loadFrac = 0.25; p.storeFrac = 0.12; p.branchFrac = 0.16;
+        p.fpFrac = 0.0; p.longLatFrac = 0.02;
+        p.depDistMean = 12.0; p.twoSrcProb = 0.55;
+        p.addrChainProb = 0.1;
+        p.stackWeight = 0.45; p.strideWeight = 0.35; p.chaseWeight = 0.20;
+        p.strideFootprintKb = 40; p.chaseFootprintKb = 128;
+        p.chaseHotProb = 0.85;
+        p.numStreams = 3;
+        p.loadAliasStoreProb = 0.16; p.loadAliasLoadProb = 0.06;
+        p.numStaticBranches = 1024;
+        p.easyBranchFrac = 0.70; p.loopBranchFrac = 0.15;
+        p.loopPeriodMean = 12.0; p.codeFootprintKb = 160;
+        p.paperBaseIpc = 2.1;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "gzip";
+        p.isFp = false;
+        p.loadFrac = 0.22; p.storeFrac = 0.08; p.branchFrac = 0.13;
+        p.fpFrac = 0.0; p.longLatFrac = 0.03;
+        p.depDistMean = 4.0; p.twoSrcProb = 0.60;
+        p.addrChainProb = 0.1;
+        p.stackWeight = 0.30; p.strideWeight = 0.60; p.chaseWeight = 0.10;
+        p.strideFootprintKb = 80; p.chaseFootprintKb = 64;
+        p.chaseHotProb = 0.85;
+        p.numStreams = 3;
+        p.loadAliasStoreProb = 0.12; p.loadAliasLoadProb = 0.06;
+        p.easyBranchFrac = 0.55; p.loopBranchFrac = 0.22;
+        p.loopPeriodMean = 20.0; p.codeFootprintKb = 24;
+        p.paperBaseIpc = 2.0;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mcf";
+        p.isFp = false;
+        p.loadFrac = 0.31; p.storeFrac = 0.09; p.branchFrac = 0.17;
+        p.fpFrac = 0.0; p.longLatFrac = 0.02;
+        p.depDistMean = 4.0; p.twoSrcProb = 0.50;
+        p.addrChainProb = 0.95;
+        p.stackWeight = 0.10; p.strideWeight = 0.15; p.chaseWeight = 0.75;
+        p.strideFootprintKb = 512; p.chaseFootprintKb = 32768;
+        p.chaseHotProb = 0.72;
+        p.numStreams = 2;
+        p.loadAliasStoreProb = 0.08; p.loadAliasLoadProb = 0.04;
+        p.easyBranchFrac = 0.55; p.loopBranchFrac = 0.10;
+        p.loopPeriodMean = 10.0; p.codeFootprintKb = 16;
+        p.paperBaseIpc = 0.3;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "parser";
+        p.isFp = false;
+        p.loadFrac = 0.24; p.storeFrac = 0.09; p.branchFrac = 0.15;
+        p.fpFrac = 0.0; p.longLatFrac = 0.02;
+        p.depDistMean = 11.0; p.twoSrcProb = 0.55;
+        p.addrChainProb = 0.12;
+        p.stackWeight = 0.40; p.strideWeight = 0.30; p.chaseWeight = 0.30;
+        p.strideFootprintKb = 48; p.chaseFootprintKb = 128;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 3;
+        p.loadAliasStoreProb = 0.14; p.loadAliasLoadProb = 0.06;
+        p.numStaticBranches = 512;
+        p.easyBranchFrac = 0.72; p.loopBranchFrac = 0.12;
+        p.loopPeriodMean = 10.0; p.codeFootprintKb = 64;
+        p.paperBaseIpc = 1.9;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "perl";
+        p.isFp = false;
+        p.loadFrac = 0.28; p.storeFrac = 0.16; p.branchFrac = 0.14;
+        p.fpFrac = 0.0; p.longLatFrac = 0.02;
+        p.depDistMean = 10.0; p.twoSrcProb = 0.50;
+        p.addrChainProb = 0.25;
+        p.stackWeight = 0.55; p.strideWeight = 0.35; p.chaseWeight = 0.10;
+        p.strideFootprintKb = 32; p.chaseFootprintKb = 64;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 3;
+        p.loadAliasStoreProb = 0.20; p.loadAliasLoadProb = 0.08;
+        p.numStaticBranches = 512;
+        p.easyBranchFrac = 0.80; p.loopBranchFrac = 0.18;
+        p.loopPeriodMean = 16.0; p.codeFootprintKb = 96;
+        p.paperBaseIpc = 3.0;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "twolf";
+        p.isFp = false;
+        p.loadFrac = 0.25; p.storeFrac = 0.09; p.branchFrac = 0.14;
+        p.fpFrac = 0.05; p.longLatFrac = 0.04;
+        p.depDistMean = 7.0; p.twoSrcProb = 0.60;
+        p.addrChainProb = 0.15;
+        p.stackWeight = 0.30; p.strideWeight = 0.35; p.chaseWeight = 0.25;
+        p.strideFootprintKb = 96; p.chaseFootprintKb = 2048;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 3;
+        p.loadAliasStoreProb = 0.11; p.loadAliasLoadProb = 0.05;
+        p.easyBranchFrac = 0.68; p.loopBranchFrac = 0.14;
+        p.loopPeriodMean = 12.0; p.codeFootprintKb = 48;
+        p.paperBaseIpc = 1.5;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "vortex";
+        p.isFp = false;
+        // The paper: just 18% of vortex's instructions are loads and
+        // 23% are stores.
+        p.loadFrac = 0.18; p.storeFrac = 0.23; p.branchFrac = 0.14;
+        p.fpFrac = 0.0; p.longLatFrac = 0.02;
+        p.depDistMean = 12.0; p.twoSrcProb = 0.50;
+        p.addrChainProb = 0.3;
+        p.stackWeight = 0.50; p.strideWeight = 0.40; p.chaseWeight = 0.10;
+        p.strideFootprintKb = 40; p.chaseFootprintKb = 128;
+        p.chaseHotProb = 0.85;
+        p.numStreams = 4;
+        p.loadAliasStoreProb = 0.24; p.loadAliasLoadProb = 0.08;
+        p.numStaticBranches = 768;
+        p.easyBranchFrac = 0.88; p.loopBranchFrac = 0.15;
+        p.loopPeriodMean = 12.0; p.codeFootprintKb = 128;
+        p.paperBaseIpc = 2.2;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "vpr";
+        p.isFp = false;
+        p.loadFrac = 0.28; p.storeFrac = 0.11; p.branchFrac = 0.13;
+        p.fpFrac = 0.10; p.longLatFrac = 0.05;
+        p.depDistMean = 6.5; p.twoSrcProb = 0.60;
+        p.addrChainProb = 0.15;
+        p.stackWeight = 0.25; p.strideWeight = 0.35; p.chaseWeight = 0.40;
+        p.strideFootprintKb = 96; p.chaseFootprintKb = 1024;
+        p.chaseHotProb = 0.88;
+        p.numStreams = 3;
+        p.loadAliasStoreProb = 0.10; p.loadAliasLoadProb = 0.05;
+        p.easyBranchFrac = 0.60; p.loopBranchFrac = 0.14;
+        p.loopPeriodMean = 14.0; p.codeFootprintKb = 48;
+        p.paperBaseIpc = 1.3;
+        add(p);
+    }
+
+    // ------------------------------------------------------- SPECfp ----
+    {
+        BenchmarkProfile p;
+        p.name = "ammp";
+        p.isFp = true;
+        p.loadFrac = 0.27; p.storeFrac = 0.09; p.branchFrac = 0.06;
+        p.fpFrac = 0.75; p.longLatFrac = 0.12;
+        p.depDistMean = 8.0; p.twoSrcProb = 0.65;
+        p.addrChainProb = 0.97;
+        p.stackWeight = 0.10; p.strideWeight = 0.55; p.chaseWeight = 0.35;
+        p.strideFootprintKb = 512; p.chaseFootprintKb = 8192;
+        p.chaseHotProb = 0.85;
+        p.numStreams = 4;
+        p.loadAliasStoreProb = 0.05; p.loadAliasLoadProb = 0.05;
+        p.easyBranchFrac = 0.85; p.loopBranchFrac = 0.40;
+        p.loopPeriodMean = 24.0; p.codeFootprintKb = 32;
+        p.paperBaseIpc = 1.2;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "applu";
+        p.isFp = true;
+        p.loadFrac = 0.30; p.storeFrac = 0.08; p.branchFrac = 0.03;
+        p.fpFrac = 0.85; p.longLatFrac = 0.10;
+        p.depDistMean = 18.0; p.twoSrcProb = 0.65;
+        p.addrChainProb = 0.08;
+        p.stackWeight = 0.05; p.strideWeight = 0.90; p.chaseWeight = 0.05;
+        p.strideFootprintKb = 1024; p.chaseFootprintKb = 256;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 8;
+        p.loadAliasStoreProb = 0.05; p.loadAliasLoadProb = 0.04;
+        p.easyBranchFrac = 0.92; p.loopBranchFrac = 0.60;
+        p.loopPeriodMean = 48.0; p.codeFootprintKb = 48;
+        p.paperBaseIpc = 2.6;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "art";
+        p.isFp = true;
+        p.loadFrac = 0.28; p.storeFrac = 0.07; p.branchFrac = 0.09;
+        p.fpFrac = 0.70; p.longLatFrac = 0.08;
+        p.depDistMean = 4.5; p.twoSrcProb = 0.60;
+        p.addrChainProb = 0.55;
+        p.stackWeight = 0.05; p.strideWeight = 0.55; p.chaseWeight = 0.40;
+        p.strideFootprintKb = 4096; p.chaseFootprintKb = 16384;
+        p.chaseHotProb = 0.20;
+        p.numStreams = 4;
+        p.loadAliasStoreProb = 0.06; p.loadAliasLoadProb = 0.04;
+        p.easyBranchFrac = 0.85; p.loopBranchFrac = 0.45;
+        p.loopPeriodMean = 40.0; p.codeFootprintKb = 16;
+        p.paperBaseIpc = 0.3;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "equake";
+        p.isFp = true;
+        // The paper: 42% of equake's dynamic instructions are loads.
+        p.loadFrac = 0.42; p.storeFrac = 0.09; p.branchFrac = 0.05;
+        p.fpFrac = 0.70; p.longLatFrac = 0.10;
+        p.depDistMean = 12.0; p.twoSrcProb = 0.65;
+        p.addrChainProb = 0.3;
+        p.stackWeight = 0.10; p.strideWeight = 0.75; p.chaseWeight = 0.15;
+        p.strideFootprintKb = 2048; p.chaseFootprintKb = 2048;
+        p.chaseHotProb = 0.85;
+        p.numStreams = 6;
+        p.loadAliasStoreProb = 0.05; p.loadAliasLoadProb = 0.05;
+        p.easyBranchFrac = 0.88; p.loopBranchFrac = 0.50;
+        p.loopPeriodMean = 32.0; p.codeFootprintKb = 24;
+        p.paperBaseIpc = 1.1;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mesa";
+        p.isFp = true;
+        p.loadFrac = 0.26; p.storeFrac = 0.12; p.branchFrac = 0.08;
+        p.fpFrac = 0.55; p.longLatFrac = 0.06;
+        p.depDistMean = 24.0; p.twoSrcProb = 0.55;
+        p.addrChainProb = 0.15;
+        p.stackWeight = 0.35; p.strideWeight = 0.55; p.chaseWeight = 0.10;
+        p.strideFootprintKb = 56; p.chaseFootprintKb = 64;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 4;
+        p.loadAliasStoreProb = 0.1; p.loadAliasLoadProb = 0.07;
+        p.easyBranchFrac = 0.88; p.loopBranchFrac = 0.30;
+        p.loopPeriodMean = 20.0; p.codeFootprintKb = 64;
+        p.paperBaseIpc = 3.3;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mgrid";
+        p.isFp = true;
+        // The paper: 51% of mgrid's dynamic instructions are loads and
+        // just 2% are stores.
+        p.loadFrac = 0.51; p.storeFrac = 0.02; p.branchFrac = 0.02;
+        p.fpFrac = 0.90; p.longLatFrac = 0.08;
+        p.depDistMean = 22.0; p.twoSrcProb = 0.70;
+        p.addrChainProb = 0.05;
+        p.stackWeight = 0.02; p.strideWeight = 0.95; p.chaseWeight = 0.03;
+        p.strideFootprintKb = 1280; p.chaseFootprintKb = 128;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 8;
+        p.loadAliasStoreProb = 0.02; p.loadAliasLoadProb = 0.04;
+        p.easyBranchFrac = 0.95; p.loopBranchFrac = 0.70;
+        p.loopPeriodMean = 64.0; p.codeFootprintKb = 16;
+        p.paperBaseIpc = 2.2;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "sixtrack";
+        p.isFp = true;
+        p.loadFrac = 0.30; p.storeFrac = 0.12; p.branchFrac = 0.05;
+        p.fpFrac = 0.80; p.longLatFrac = 0.10;
+        p.depDistMean = 12.0; p.twoSrcProb = 0.65;
+        p.addrChainProb = 0.1;
+        p.stackWeight = 0.20; p.strideWeight = 0.70; p.chaseWeight = 0.10;
+        p.strideFootprintKb = 256; p.chaseFootprintKb = 128;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 6;
+        p.loadAliasStoreProb = 0.05; p.loadAliasLoadProb = 0.05;
+        p.easyBranchFrac = 0.90; p.loopBranchFrac = 0.50;
+        p.loopPeriodMean = 36.0; p.codeFootprintKb = 96;
+        p.paperBaseIpc = 2.9;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "swim";
+        p.isFp = true;
+        p.loadFrac = 0.27; p.storeFrac = 0.08; p.branchFrac = 0.02;
+        p.fpFrac = 0.90; p.longLatFrac = 0.08;
+        p.depDistMean = 16.0; p.twoSrcProb = 0.70;
+        p.addrChainProb = 0.05;
+        p.stackWeight = 0.02; p.strideWeight = 0.95; p.chaseWeight = 0.03;
+        p.strideFootprintKb = 12288; p.chaseFootprintKb = 256;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 8;
+        p.loadAliasStoreProb = 0.025; p.loadAliasLoadProb = 0.03;
+        p.easyBranchFrac = 0.95; p.loopBranchFrac = 0.70;
+        p.loopPeriodMean = 96.0; p.codeFootprintKb = 12;
+        p.paperBaseIpc = 1.0;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "wupwise";
+        p.isFp = true;
+        p.loadFrac = 0.22; p.storeFrac = 0.12; p.branchFrac = 0.05;
+        p.fpFrac = 0.75; p.longLatFrac = 0.12;
+        p.depDistMean = 15.0; p.twoSrcProb = 0.60;
+        p.addrChainProb = 0.12;
+        p.stackWeight = 0.20; p.strideWeight = 0.70; p.chaseWeight = 0.10;
+        p.strideFootprintKb = 384; p.chaseFootprintKb = 256;
+        p.chaseHotProb = 0.9;
+        p.numStreams = 6;
+        p.loadAliasStoreProb = 0.08; p.loadAliasLoadProb = 0.06;
+        p.easyBranchFrac = 0.90; p.loopBranchFrac = 0.45;
+        p.loopPeriodMean = 28.0; p.codeFootprintKb = 48;
+        p.paperBaseIpc = 2.9;
+        add(p);
+    }
+
+    return t;
+}
+
+const std::map<std::string, BenchmarkProfile> &
+table()
+{
+    static const std::map<std::string, BenchmarkProfile> t = buildTable();
+    return t;
+}
+
+} // namespace
+
+bool
+profileExists(const std::string &name)
+{
+    return table().count(name) != 0;
+}
+
+const BenchmarkProfile &
+profileFor(const std::string &name)
+{
+    auto it = table().find(name);
+    if (it == table().end())
+        LSQ_FATAL("unknown benchmark '%s'", name.c_str());
+    return it->second;
+}
+
+const std::vector<std::string> &
+intBenchmarks()
+{
+    static const std::vector<std::string> v = {
+        "bzip", "gcc", "gzip", "mcf", "parser",
+        "perl", "twolf", "vortex", "vpr",
+    };
+    return v;
+}
+
+const std::vector<std::string> &
+fpBenchmarks()
+{
+    static const std::vector<std::string> v = {
+        "ammp", "applu", "art", "equake", "mesa",
+        "mgrid", "sixtrack", "swim", "wupwise",
+    };
+    return v;
+}
+
+const std::vector<std::string> &
+allBenchmarks()
+{
+    static const std::vector<std::string> v = [] {
+        std::vector<std::string> all = intBenchmarks();
+        const auto &fp = fpBenchmarks();
+        all.insert(all.end(), fp.begin(), fp.end());
+        return all;
+    }();
+    return v;
+}
+
+} // namespace lsqscale

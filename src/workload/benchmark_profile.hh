@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-benchmark workload profiles.
+ *
+ * SPEC2K binaries and reference inputs are proprietary, so (as recorded
+ * in DESIGN.md §4) each of the 18 benchmarks the paper evaluates is
+ * modeled as a parameterized stochastic instruction stream. The
+ * parameters are chosen from the characteristics the paper itself
+ * reports (instruction mix for mgrid/vortex/equake, base IPC in
+ * Table 2, LSQ occupancy in Table 5, forwarding incidence ~14%) plus
+ * published SPEC2K characterization data.
+ */
+
+#ifndef LSQSCALE_WORKLOAD_BENCHMARK_PROFILE_HH
+#define LSQSCALE_WORKLOAD_BENCHMARK_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsqscale {
+
+/**
+ * All knobs of the synthetic instruction stream for one benchmark.
+ *
+ * Fractions are of dynamic instructions unless stated otherwise and
+ * need not sum to 1: the remainder after loads, stores, and branches is
+ * arithmetic, split between INT and FP by fpFrac.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+    bool isFp = false;          ///< member of SPECfp (vs SPECint)
+
+    // --- instruction mix -------------------------------------------------
+    double loadFrac = 0.25;     ///< loads / all instructions
+    double storeFrac = 0.10;    ///< stores / all instructions
+    double branchFrac = 0.12;   ///< conditional branches / all
+    double fpFrac = 0.0;        ///< FP share of arithmetic ops
+    double longLatFrac = 0.05;  ///< mult/div share of arithmetic ops
+
+    // --- dependence structure (ILP) --------------------------------------
+    /** Mean register-dependence distance, in dynamic instructions. */
+    double depDistMean = 6.0;
+    /** Probability an arithmetic op reads a second source. */
+    double twoSrcProb = 0.6;
+    /**
+     * Probability a memory op's address register is produced by a
+     * recent in-flight instruction (possibly another load — dependent
+     * pointer chains, which serialize misses). Array codes compute
+     * addresses from long-ready induction variables (low values);
+     * pointer-chasers like mcf are high.
+     */
+    double addrChainProb = 0.25;
+
+    // --- data memory behaviour -------------------------------------------
+    double stackWeight = 0.3;   ///< share of accesses to the stack region
+    double strideWeight = 0.5;  ///< share to strided array streams
+    double chaseWeight = 0.2;   ///< share to pointer-chase region
+    std::uint32_t strideFootprintKb = 256;  ///< total array footprint
+    std::uint32_t chaseFootprintKb = 64;    ///< pointer-chase footprint
+    std::uint32_t numStreams = 4;           ///< concurrent array streams
+    /**
+     * Probability a pointer-chase access lands in the hot subset
+     * (footprint/32, capped at 512KB). Real pointer-chasing codes hit
+     * caches on hot nodes; this sets how memory-bound chase traffic is.
+     */
+    double chaseHotProb = 0.7;
+
+    /**
+     * Probability that a load's address is taken from a recent store
+     * (creates store→load forwarding and potential order violations).
+     * The paper reports ~14% of SQ searches find a matching store.
+     */
+    double loadAliasStoreProb = 0.12;
+    /** Probability a load repeats a recent load address (load-load). */
+    double loadAliasLoadProb = 0.05;
+
+    // --- control behaviour -------------------------------------------------
+    std::uint32_t numStaticBranches = 256;
+    /** Share of static branches that are strongly biased (easy). */
+    double easyBranchFrac = 0.70;
+    /** Share of static branches that are loop back-edges. */
+    double loopBranchFrac = 0.20;
+    /** Mean loop trip count for loop back-edges. */
+    double loopPeriodMean = 24.0;
+    /** Code footprint in KB (drives I-cache behaviour). */
+    std::uint32_t codeFootprintKb = 48;
+
+    /** Base-config IPC the paper reports (Table 2); documentation. */
+    double paperBaseIpc = 0.0;
+};
+
+/** Profile lookup by benchmark name; fatal if unknown. */
+const BenchmarkProfile &profileFor(const std::string &name);
+
+/** True if @p name names one of the built-in benchmark profiles. */
+bool profileExists(const std::string &name);
+
+/** The nine SPECint names the paper evaluates, in paper order. */
+const std::vector<std::string> &intBenchmarks();
+
+/** The nine SPECfp names the paper evaluates, in paper order. */
+const std::vector<std::string> &fpBenchmarks();
+
+/** All eighteen, INT first then FP (paper bar-chart order). */
+const std::vector<std::string> &allBenchmarks();
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_WORKLOAD_BENCHMARK_PROFILE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Abstract instruction source.
+ *
+ * The pipeline consumes MicroOps from an InstSource through the
+ * replayable InstStream window. The synthetic TraceGenerator is one
+ * implementation; TraceFileReader (workload/trace_file.hh) replays
+ * recorded traces, letting users bring externally captured workloads
+ * (e.g. from a binary-instrumentation tool) to the same simulator.
+ */
+
+#ifndef LSQSCALE_WORKLOAD_INST_SOURCE_HH
+#define LSQSCALE_WORKLOAD_INST_SOURCE_HH
+
+#include "workload/micro_op.hh"
+
+namespace lsqscale {
+
+/** Produces the committed-path dynamic instruction stream. */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /**
+     * The next dynamic instruction. Sequence numbers must be dense,
+     * starting at 0. Called exactly once per instruction — replay
+     * after squashes is handled by the InstStream window above.
+     */
+    virtual MicroOp next() = 0;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_WORKLOAD_INST_SOURCE_HH

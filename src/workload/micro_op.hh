@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The dynamic micro-operation record produced by the trace generator
+ * and consumed by the pipeline.
+ */
+
+#ifndef LSQSCALE_WORKLOAD_MICRO_OP_HH
+#define LSQSCALE_WORKLOAD_MICRO_OP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "workload/op_class.hh"
+
+namespace lsqscale {
+
+/**
+ * Architectural register file layout: one flat space, the low half
+ * integer and the high half floating point. Register 0 is a hardwired
+ * zero register and is never used as a destination.
+ */
+inline constexpr unsigned kNumIntArchRegs = 32;
+inline constexpr unsigned kNumFpArchRegs = 32;
+inline constexpr unsigned kNumArchRegs = kNumIntArchRegs + kNumFpArchRegs;
+inline constexpr ArchReg kNoArchReg = 0xff;
+
+/** True if the flat arch-reg index names an FP register. */
+constexpr bool
+isFpReg(ArchReg r)
+{
+    return r >= kNumIntArchRegs && r != kNoArchReg;
+}
+
+/**
+ * One dynamic instruction.
+ *
+ * Sequence numbers are assigned once at generation time and preserved
+ * across squash/replay, so age comparisons (central to every LSQ
+ * ordering rule) are exact. The record carries everything the
+ * timing model needs: register identifiers for renaming, the memory
+ * address for loads/stores, and the resolved branch outcome (the
+ * branch predictor predicts against it).
+ */
+struct MicroOp
+{
+    SeqNum seq = kNoSeq;
+    Pc pc = 0;
+    OpClass op = OpClass::IntAlu;
+
+    ArchReg src1 = kNoArchReg;
+    ArchReg src2 = kNoArchReg;
+    ArchReg dest = kNoArchReg;
+
+    /** Effective address; valid only for loads and stores. */
+    Addr addr = 0;
+    /** Access size in bytes; valid only for loads and stores. */
+    std::uint8_t size = 8;
+
+    /** Resolved direction; valid only for branches. */
+    bool taken = false;
+    /** Resolved target; valid only for branches. */
+    Pc target = 0;
+
+    bool isLoad() const { return lsqscale::isLoad(op); }
+    bool isStore() const { return lsqscale::isStore(op); }
+    bool isMem() const { return isMemOp(op); }
+    bool isBranch() const { return lsqscale::isBranch(op); }
+    bool hasDest() const { return dest != kNoArchReg; }
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_WORKLOAD_MICRO_OP_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Micro-operation classes and their static properties.
+ */
+
+#ifndef LSQSCALE_WORKLOAD_OP_CLASS_HH
+#define LSQSCALE_WORKLOAD_OP_CLASS_HH
+
+#include <cstdint>
+
+namespace lsqscale {
+
+/**
+ * The dynamic instruction classes the simulator distinguishes.
+ *
+ * The set mirrors what the paper's evaluation needs: integer and FP
+ * arithmetic with distinct latencies (FP benchmarks expose more ILP
+ * through longer chains), memory operations, and conditional branches.
+ */
+enum class OpClass : std::uint8_t {
+    IntAlu,     ///< single-cycle integer op
+    IntMult,    ///< pipelined integer multiply
+    FpAlu,      ///< pipelined FP add/sub/convert
+    FpMult,     ///< pipelined FP multiply
+    FpDiv,      ///< long-latency FP divide (pipelined in our FUs)
+    Load,       ///< memory read
+    Store,      ///< memory write
+    BranchCond, ///< conditional branch
+};
+
+/** Number of OpClass values (for array sizing). */
+inline constexpr unsigned kNumOpClasses = 8;
+
+/** True for loads and stores. */
+constexpr bool
+isMemOp(OpClass c)
+{
+    return c == OpClass::Load || c == OpClass::Store;
+}
+
+constexpr bool isLoad(OpClass c) { return c == OpClass::Load; }
+constexpr bool isStore(OpClass c) { return c == OpClass::Store; }
+constexpr bool isBranch(OpClass c) { return c == OpClass::BranchCond; }
+
+/** True for ops that execute on the FP functional units. */
+constexpr bool
+isFpOp(OpClass c)
+{
+    return c == OpClass::FpAlu || c == OpClass::FpMult ||
+           c == OpClass::FpDiv;
+}
+
+/**
+ * Execution latency in cycles, excluding memory access time.
+ * Loads take address-generation latency here; the cache adds the rest.
+ */
+constexpr unsigned
+execLatency(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:     return 1;
+      case OpClass::IntMult:    return 3;
+      case OpClass::FpAlu:      return 3;
+      case OpClass::FpMult:     return 5;
+      case OpClass::FpDiv:      return 12;
+      case OpClass::Load:       return 1;  // AGEN; cache latency on top
+      case OpClass::Store:      return 1;  // AGEN only
+      case OpClass::BranchCond: return 1;
+    }
+    return 1;
+}
+
+/** Short mnemonic, for debug traces. */
+constexpr const char *
+opName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:     return "ialu";
+      case OpClass::IntMult:    return "imul";
+      case OpClass::FpAlu:      return "falu";
+      case OpClass::FpMult:     return "fmul";
+      case OpClass::FpDiv:      return "fdiv";
+      case OpClass::Load:       return "ld";
+      case OpClass::Store:      return "st";
+      case OpClass::BranchCond: return "br";
+    }
+    return "?";
+}
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_WORKLOAD_OP_CLASS_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Binary trace file format: record a MicroOp stream to disk and replay
+ * it through the simulator.
+ *
+ * Layout (little-endian, fixed-width):
+ *   header:  magic "LSQT" (4 bytes), u32 version, u64 count
+ *   records: one per instruction —
+ *     u64 pc, u64 addr, u64 target,
+ *     u8 opClass, u8 src1, u8 src2, u8 dest,
+ *     u8 size, u8 flags (bit0 = branch taken), u16 pad
+ *
+ * Sequence numbers are implicit (record index), which keeps files
+ * compact and guarantees the density the pipeline requires.
+ */
+
+#ifndef LSQSCALE_WORKLOAD_TRACE_FILE_HH
+#define LSQSCALE_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "workload/inst_source.hh"
+
+namespace lsqscale {
+
+/** Magic bytes identifying a lsqscale trace file. */
+inline constexpr char kTraceMagic[4] = {'L', 'S', 'Q', 'T'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** Streaming writer. */
+class TraceFileWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one instruction (seq is implicit). */
+    void append(const MicroOp &op);
+
+    /** Finalize the header (count) and close. Idempotent. */
+    void close();
+
+    std::uint64_t written() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+};
+
+/** Replays a trace file as an InstSource. */
+class TraceFileReader : public InstSource
+{
+  public:
+    /** Open @p path; fatal on open/format errors. */
+    explicit TraceFileReader(const std::string &path);
+    ~TraceFileReader() override;
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    /**
+     * Next instruction. When the file is exhausted the trace wraps to
+     * the beginning (sequence numbers keep increasing), so short
+     * recordings can still drive long measurements.
+     */
+    MicroOp next() override;
+
+    std::uint64_t instructionCount() const { return count_; }
+
+  private:
+    void readHeader(const std::string &path);
+    void seekToRecords();
+
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t cursor_ = 0;   ///< record index within the file
+    SeqNum nextSeq_ = 0;
+};
+
+/**
+ * Convenience: record @p n instructions of the synthetic generator for
+ * (benchmark, seed) into @p path.
+ */
+void recordSyntheticTrace(const std::string &benchmark,
+                          std::uint64_t seed, std::uint64_t n,
+                          const std::string &path);
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,332 @@
+#include "workload/trace_generator.hh"
+
+#include <algorithm>
+
+namespace lsqscale {
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile &profile,
+                               std::uint64_t seed)
+    : profile_(profile),
+      seed_(seed),
+      rng_(seed ^ 0xabcdef0123456789ULL),
+      addrs_(profile, rng_.split()),
+      branches_(profile, rng_.split()),
+      pc_(kCodeBase)
+{
+}
+
+std::size_t
+TraceGenerator::pickByDeficit(const double *targets,
+                              std::uint64_t *assigned, std::size_t n)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        total += assigned[i];
+    std::size_t best = 0;
+    double bestDeficit = -1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+        double deficit = targets[i] * static_cast<double>(total + 1) -
+                         static_cast<double>(assigned[i]);
+        if (deficit > bestDeficit) {
+            bestDeficit = deficit;
+            best = i;
+        }
+    }
+    ++assigned[best];
+    return best;
+}
+
+const TraceGenerator::StaticInst &
+TraceGenerator::staticAt(Pc pc)
+{
+    auto it = program_.find(pc);
+    if (it != program_.end())
+        return it->second;
+
+    // Static attributes are fixed at first visit and cached, so loop
+    // bodies replay identically. Category choices are stratified over
+    // creation order (see pickByDeficit); per-PC hashing decides only
+    // the attributes where variety is all that matters.
+    Rng local(pc * 0x9e3779b97f4a7c15ULL ^ (seed_ + 0x51ed2701));
+
+    StaticInst si{};
+    const double classTargets[4] = {
+        profile_.loadFrac, profile_.storeFrac, profile_.branchFrac,
+        std::max(0.0, 1.0 - profile_.loadFrac - profile_.storeFrac -
+                          profile_.branchFrac)};
+    switch (pickByDeficit(classTargets, classAssigned_, 4)) {
+      case 0:
+        si.cls = OpClass::Load;
+        break;
+      case 1:
+        si.cls = OpClass::Store;
+        break;
+      case 2:
+        si.cls = OpClass::BranchCond;
+        break;
+      default: {
+        bool fp = local.chance(profile_.fpFrac);
+        bool lng = local.chance(profile_.longLatFrac);
+        if (fp) {
+            si.cls = lng ? (local.chance(0.4) ? OpClass::FpDiv
+                                              : OpClass::FpMult)
+                         : OpClass::FpAlu;
+        } else {
+            si.cls = lng ? OpClass::IntMult : OpClass::IntAlu;
+        }
+        break;
+      }
+    }
+
+    if (isMemOp(si.cls)) {
+        double total = profile_.stackWeight + profile_.strideWeight +
+                       profile_.chaseWeight;
+        if (total <= 0)
+            total = 1.0;
+        const double regionTargets[3] = {
+            profile_.stackWeight / total,
+            profile_.strideWeight / total,
+            profile_.chaseWeight / total};
+        switch (pickByDeficit(regionTargets, regionAssigned_, 3)) {
+          case 0:
+            si.region = MemRegion::Stack;
+            break;
+          case 1:
+            si.region = MemRegion::Stride;
+            break;
+          default:
+            si.region = MemRegion::Chase;
+            break;
+        }
+        si.streamId = streamRr_++;
+        if (streamRr_ >= std::max(1u, profile_.numStreams))
+            streamRr_ = 0;
+    }
+
+    if (si.cls == OpClass::Load) {
+        // A fixed subset of static loads participates in address
+        // reuse; the subset is stable so the predictors can learn it.
+        double reloadFrac =
+            std::min(0.5, profile_.loadAliasStoreProb * 1.5);
+        double repeatFrac =
+            std::min(0.4, profile_.loadAliasLoadProb * 1.5);
+        const double roleTargets[3] = {
+            std::max(0.0, 1.0 - reloadFrac - repeatFrac), reloadFrac,
+            repeatFrac};
+        switch (pickByDeficit(roleTargets, roleAssigned_, 3)) {
+          case 1:
+            si.role = LoadRole::ReloadStore;
+            break;
+          case 2:
+            si.role = LoadRole::RepeatLoad;
+            break;
+          default:
+            si.role = LoadRole::Pure;
+            break;
+        }
+        si.fpDest = local.chance(profile_.fpFrac);
+    }
+
+    return program_.emplace(pc, si).first->second;
+}
+
+ArchReg
+TraceGenerator::pickSource(bool fp)
+{
+    return pickSourceWithMean(fp, profile_.depDistMean);
+}
+
+ArchReg
+TraceGenerator::pickSourceWithMean(bool fp, double mean_in)
+{
+    std::vector<ArchReg> &ring = fp ? recentFpDests_ : recentIntDests_;
+    if (ring.empty()) {
+        // Cold start: any committed-long-ago register.
+        return static_cast<ArchReg>(
+            fp ? kNumIntArchRegs + 1 + rng_.below(kNumFpArchRegs - 1)
+               : 1 + rng_.below(kNumIntArchRegs - 1));
+    }
+    // Dependence distance ~ 1 + geometric.
+    double mean = std::max(1.0, mean_in);
+    std::uint64_t d = 1 + rng_.geometric(1.0 / mean, 8 * ring.size());
+    if (d > ring.size()) {
+        // Producer far in the past (already committed): model as the
+        // oldest tracked producer, which is long since ready.
+        d = ring.size();
+    }
+    std::size_t pos = fp ? fpRingPos_ : intRingPos_;
+    // ring is circular with pos = next write slot = oldest entry.
+    std::size_t idx = (pos + ring.size() - d) % ring.size();
+    return ring[idx];
+}
+
+ArchReg
+TraceGenerator::pickDest(bool fp)
+{
+    ArchReg r;
+    if (fp) {
+        r = static_cast<ArchReg>(rrFp_);
+        rrFp_ = rrFp_ + 1;
+        if (rrFp_ >= kNumArchRegs)
+            rrFp_ = kNumIntArchRegs + 1;
+    } else {
+        r = static_cast<ArchReg>(rrInt_);
+        rrInt_ = rrInt_ + 1;
+        if (rrInt_ >= kNumIntArchRegs)
+            rrInt_ = 1;
+    }
+    std::vector<ArchReg> &ring = fp ? recentFpDests_ : recentIntDests_;
+    std::size_t &pos = fp ? fpRingPos_ : intRingPos_;
+    if (ring.size() < kDestRing) {
+        ring.push_back(r);
+    } else {
+        ring[pos] = r;
+        pos = (pos + 1) % kDestRing;
+    }
+    return r;
+}
+
+ArchReg
+TraceGenerator::pickAluAddrSource()
+{
+    if (recentIntAluDests_.empty())
+        return static_cast<ArchReg>(0);   // zero register: ready
+    // Very short dependence distance: address arithmetic just ahead
+    // of the access.
+    std::uint64_t d =
+        1 + rng_.geometric(0.5, recentIntAluDests_.size() - 1);
+    if (d > recentIntAluDests_.size())
+        d = recentIntAluDests_.size();
+    std::size_t idx = (intAluRingPos_ + recentIntAluDests_.size() - d) %
+                      recentIntAluDests_.size();
+    return recentIntAluDests_[idx];
+}
+
+MicroOp
+TraceGenerator::next()
+{
+    const StaticInst &si = staticAt(pc_);
+
+    MicroOp op;
+    op.seq = nextSeq_++;
+    op.pc = pc_;
+    op.op = si.cls;
+
+    switch (si.cls) {
+      case OpClass::Load: {
+        switch (si.role) {
+          case LoadRole::ReloadStore: {
+            // Stable producer-consumer pair: the load re-reads the
+            // latest address written by its partner store PC (bound on
+            // first execution) — the spill/reload and struct-field
+            // pattern the store-load pair predictor learns.
+            auto pit = reloadPartner_.find(op.pc);
+            if (pit == reloadPartner_.end() && lastStorePc_ != 0) {
+                pit = reloadPartner_.emplace(op.pc, lastStorePc_).first;
+            }
+            Addr a = 0;
+            bool reuse = false;
+            if (pit != reloadPartner_.end() && rng_.chance(0.85)) {
+                auto ait = lastStoreAddrByPc_.find(pit->second);
+                if (ait != lastStoreAddrByPc_.end()) {
+                    a = ait->second;
+                    reuse = true;
+                }
+            }
+            op.addr = reuse ? a
+                            : addrs_.fromRegion(si.region, si.streamId, op.pc);
+            break;
+          }
+          case LoadRole::RepeatLoad: {
+            // Stable same-address load pair: re-read the latest address
+            // of a partner load PC (the pattern the load-load ordering
+            // rule polices). Binding to a fixed partner keeps the pair
+            // predictor's store sets from merging transitively.
+            auto pit = repeatPartner_.find(op.pc);
+            if (pit == repeatPartner_.end() && lastLoadPc_ != 0 &&
+                lastLoadPc_ != op.pc) {
+                pit = repeatPartner_.emplace(op.pc, lastLoadPc_).first;
+            }
+            Addr a = 0;
+            bool reuse = false;
+            if (pit != repeatPartner_.end() && rng_.chance(0.75)) {
+                auto ait = lastLoadAddrByPc_.find(pit->second);
+                if (ait != lastLoadAddrByPc_.end()) {
+                    a = ait->second;
+                    reuse = true;
+                }
+            }
+            op.addr = reuse ? a
+                            : addrs_.fromRegion(si.region, si.streamId, op.pc);
+            break;
+          }
+          case LoadRole::Pure:
+            // Mostly independent; rare, unstable aliasing with recent
+            // stores (untrainable coincidences — these exercise the
+            // predictors' misprediction paths).
+            op.addr =
+                rng_.chance(profile_.loadAliasStoreProb * 0.01)
+                    ? addrs_.recentStoreAddr(si.region, si.streamId, op.pc)
+                    : addrs_.fromRegion(si.region, si.streamId, op.pc);
+            break;
+        }
+        addrs_.noteLoad(op.addr);
+        lastLoadAddrByPc_[op.pc] = op.addr;
+        lastLoadPc_ = op.pc;
+        // Address base: an in-flight producer (dependent chain) or a
+        // long-ready induction register (modeled by the zero register).
+        // Chained addresses bind tightly (single chain, not a tree).
+        op.src1 = rng_.chance(profile_.addrChainProb)
+                      ? pickSourceWithMean(false, 2.0)
+                      : pickAluAddrSource();
+        op.dest = pickDest(si.fpDest);
+        break;
+      }
+      case OpClass::Store: {
+        op.addr = addrs_.fromRegion(si.region, si.streamId, op.pc);
+        addrs_.noteStore(op.addr);
+        lastStoreAddrByPc_[op.pc] = op.addr;
+        lastStorePc_ = op.pc;
+        op.src1 = rng_.chance(profile_.addrChainProb)
+                      ? pickSourceWithMean(false, 2.0)
+                      : pickAluAddrSource();
+        op.src2 = pickSource(rng_.chance(profile_.fpFrac)); // data
+        break;
+      }
+      case OpClass::BranchCond: {
+        op.src1 = pickSource(false);   // condition register
+        BranchOutcome out = branches_.resolve(pc_);
+        op.taken = out.taken;
+        op.target = out.target;
+        break;
+      }
+      default: {
+        bool fp = isFpOp(si.cls);
+        op.src1 = pickSource(fp);
+        if (rng_.chance(profile_.twoSrcProb))
+            op.src2 = pickSource(fp);
+        op.dest = pickDest(fp);
+        if (si.cls == OpClass::IntAlu) {
+            if (recentIntAluDests_.size() < 16) {
+                recentIntAluDests_.push_back(op.dest);
+            } else {
+                recentIntAluDests_[intAluRingPos_] = op.dest;
+                intAluRingPos_ = (intAluRingPos_ + 1) % 16;
+            }
+        }
+        break;
+      }
+    }
+
+    // Advance the program counter through the code footprint.
+    if (op.isBranch() && op.taken) {
+        pc_ = op.target;
+    } else {
+        pc_ += 4;
+        if (pc_ >= branches_.codeBase() + branches_.codeBytes())
+            pc_ = branches_.codeBase();
+    }
+    return op;
+}
+
+} // namespace lsqscale

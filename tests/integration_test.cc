@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Integration tests: whole-pipeline properties across configurations —
+ * cheap versions of the paper's experiments, checked for *shape*.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+#include "workload/benchmark_profile.hh"
+
+using namespace lsqscale;
+
+namespace {
+
+SimResult
+runQuick(SimConfig cfg, std::uint64_t insts = 15000)
+{
+    cfg.instructions = insts;
+    cfg.warmup = insts / 4;
+    return Simulator(std::move(cfg)).run();
+}
+
+} // namespace
+
+// ------------------------------------------ bandwidth properties ------
+
+TEST(Integration, PairPredictorNeverSearchesMoreThanBase)
+{
+    for (const char *b : {"bzip", "mgrid", "vortex"}) {
+        SimResult base = runQuick(configs::base(b));
+        SimResult pair = runQuick(configs::withPairPredictor(
+            configs::base(b)));
+        EXPECT_LE(pair.sqSearches(), base.sqSearches()) << b;
+    }
+}
+
+TEST(Integration, PerfectSearchesLeastAmongPredictors)
+{
+    SimResult perfect = runQuick(configs::withPerfectPredictor(
+        configs::base("gcc")));
+    SimResult pair = runQuick(configs::withPairPredictor(
+        configs::base("gcc")));
+    EXPECT_LE(perfect.sqSearches(), pair.sqSearches());
+}
+
+TEST(Integration, LoadBufferCutsLqDemand)
+{
+    for (const char *b : {"bzip", "equake"}) {
+        SimResult base = runQuick(configs::base(b));
+        SimResult lb = runQuick(configs::withLoadBuffer(
+            configs::base(b), 2));
+        EXPECT_LT(lb.lqSearches(), base.lqSearches()) << b;
+        // Store-initiated checks remain.
+        EXPECT_GT(lb.stats.value("lq.searches.bystore"), 0u) << b;
+        EXPECT_EQ(lb.stats.value("lq.searches.byload"), 0u) << b;
+    }
+}
+
+TEST(Integration, MgridBarelySearchesUnderPair)
+{
+    // mgrid: 51% loads, 2% stores — the paper's best case.
+    SimResult pair = runQuick(configs::withPairPredictor(
+        configs::base("mgrid")));
+    SimResult base = runQuick(configs::base("mgrid"));
+    EXPECT_LT(static_cast<double>(pair.sqSearches()),
+              0.1 * static_cast<double>(base.sqSearches()));
+}
+
+// --------------------------------------------- ordering invariants ----
+
+TEST(Integration, CommittedInstructionCountsMatchAcrossConfigs)
+{
+    // Same trace, different microarchitecture: the committed-path
+    // instruction mix is identical.
+    SimResult a = runQuick(configs::base("parser"));
+    SimResult b = runQuick(configs::withPorts(
+        configs::base("parser"), 4));
+    // The committed path is the same trace; the measurement window
+    // boundary may differ by up to a commit group.
+    EXPECT_NEAR(static_cast<double>(
+                    a.stats.value("core.committed.loads")),
+                static_cast<double>(
+                    b.stats.value("core.committed.loads")),
+                16.0);
+    EXPECT_NEAR(static_cast<double>(
+                    a.stats.value("core.committed.stores")),
+                static_cast<double>(
+                    b.stats.value("core.committed.stores")),
+                16.0);
+    EXPECT_NEAR(static_cast<double>(
+                    a.stats.value("core.committed.branches")),
+                static_cast<double>(
+                    b.stats.value("core.committed.branches")),
+                16.0);
+}
+
+TEST(Integration, NoAliasProfileMeansNoViolations)
+{
+    // mgrid/wupwise have almost no same-address traffic; squashes are
+    // essentially absent.
+    SimResult r = runQuick(configs::base("mgrid"));
+    EXPECT_LT(r.stats.value("squash.total"), 20u);
+}
+
+TEST(Integration, CommitSchemeMovesDetectionToCommit)
+{
+    SimResult pair = runQuick(configs::withPairPredictor(
+        configs::base("perl")), 30000);
+    EXPECT_EQ(pair.stats.value("squash.storeload.exec"), 0u);
+    SimResult base = runQuick(configs::base("perl"), 30000);
+    EXPECT_EQ(base.stats.value("squash.storeload.commit"), 0u);
+}
+
+TEST(Integration, ForwardingHappensInAliasHeavyBenchmarks)
+{
+    SimResult r = runQuick(configs::base("vortex"), 30000);
+    EXPECT_GT(r.stats.value("loads.forwarded"), 100u);
+    EXPECT_EQ(r.stats.value("loads.forwarded"),
+              r.stats.value("sq.searches.matched"));
+}
+
+// ----------------------------------------------- capacity shapes ------
+
+TEST(Integration, SegmentationHelpsMemoryBoundFp)
+{
+    for (const char *b : {"art", "swim"}) {
+        SimResult base = runQuick(configs::base(b));
+        SimResult seg = runQuick(configs::withSegmentation(
+            configs::base(b), 4, 28, SegAllocPolicy::SelfCircular));
+        EXPECT_GT(seg.ipc(), base.ipc() * 1.1) << b;
+    }
+}
+
+TEST(Integration, SelfCircularAtLeastAsGoodAsNoSelfCircular)
+{
+    double selfTotal = 0, noSelfTotal = 0;
+    for (const char *b : {"bzip", "perl", "equake"}) {
+        selfTotal += runQuick(configs::withSegmentation(
+                                  configs::base(b), 4, 28,
+                                  SegAllocPolicy::SelfCircular))
+                         .ipc();
+        noSelfTotal += runQuick(configs::withSegmentation(
+                                    configs::base(b), 4, 28,
+                                    SegAllocPolicy::NoSelfCircular))
+                           .ipc();
+    }
+    EXPECT_GE(selfTotal, noSelfTotal * 0.99);
+}
+
+TEST(Integration, SegmentedSearchesMostlyOneSegment)
+{
+    SimResult seg = runQuick(configs::withSegmentation(
+        configs::base("twolf"), 4, 28, SegAllocPolicy::SelfCircular));
+    const Histogram &h = seg.stats.getHistogram("sq.search.segments");
+    ASSERT_GT(h.samples(), 0u);
+    EXPECT_GT(h.fraction(1) + h.fraction(2), 0.8);
+}
+
+// --------------------------------------------------- port shapes ------
+
+TEST(Integration, OnePortConventionalLosesOnWideWorkloads)
+{
+    SimResult base = runQuick(configs::base("mesa"));
+    SimResult one = runQuick(configs::withPorts(
+        configs::base("mesa"), 1));
+    EXPECT_LT(one.ipc(), base.ipc());
+}
+
+TEST(Integration, TechniquesRescueOnePort)
+{
+    SimConfig tech = configs::withLoadBuffer(
+        configs::withPairPredictor(configs::base("mesa")), 2);
+    SimResult one = runQuick(configs::withPorts(
+        configs::base("mesa"), 1));
+    SimResult oneTech = runQuick(configs::withPorts(tech, 1));
+    EXPECT_GT(oneTech.ipc(), one.ipc());
+}
+
+TEST(Integration, AllTechniquesBeatBaseOnFp)
+{
+    SimResult base = runQuick(configs::base("mgrid"));
+    SimResult all = runQuick(configs::allTechniques(
+        configs::base("mgrid")));
+    EXPECT_GT(all.ipc(), base.ipc());
+}
+
+// ------------------------------------------------- table 3/4 style ----
+
+TEST(Integration, OooLoadsAreFew)
+{
+    SimResult r = runQuick(configs::base("mgrid"));
+    EXPECT_LT(r.stats.getHistogram("ooo.inflight").mean(), 1.0);
+}
+
+TEST(Integration, PairSquashRateIsSmall)
+{
+    SimResult pair = runQuick(configs::withPairPredictor(
+        configs::base("bzip")), 30000);
+    double rate =
+        static_cast<double>(
+            pair.stats.value("squash.storeload.commit")) /
+        static_cast<double>(pair.committed);
+    EXPECT_LT(rate, 0.01);
+}
+
+TEST(Integration, OccupancyTracksMemoryBoundedness)
+{
+    // Memory-bound FP fills the LQ; an ILP-rich INT benchmark does not.
+    SimResult art = runQuick(configs::base("art"));
+    SimResult bzip = runQuick(configs::base("bzip"));
+    EXPECT_GT(art.stats.getHistogram("lq.occupancy").mean(),
+              bzip.stats.getHistogram("lq.occupancy").mean());
+}
+
+// ------------------------------------- seed robustness (property) -----
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, PipelineInvariantsHoldAcrossSeeds)
+{
+    SimConfig cfg = configs::allTechniques(configs::base("perl"));
+    cfg.seed = GetParam();
+    cfg.instructions = 8000;
+    cfg.warmup = 2000;
+    SimResult r = Simulator(cfg).run();
+    EXPECT_GE(r.committed, 8000u);
+    EXPECT_GT(r.ipc(), 0.05);
+    // The pair scheme never performs execute-time store searches.
+    EXPECT_EQ(r.stats.value("squash.storeload.exec"), 0u);
+    // Loads never search the LQ with a load buffer.
+    EXPECT_EQ(r.stats.value("lq.searches.byload"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 17u, 12345u));

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Unit tests for src/predictor: GAg/PAg/hybrid branch prediction and
+ * the store-set / store-load pair predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/store_set.hh"
+
+using namespace lsqscale;
+
+// ------------------------------------------------ branch predictor ----
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    HybridBranchPredictor bp;
+    Pc pc = 0x400100;
+    // The per-address history needs ~historyBits updates to converge.
+    for (int i = 0; i < 30; ++i)
+        bp.predictAndUpdate(pc, true);
+    EXPECT_TRUE(bp.predict(pc));
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    HybridBranchPredictor bp;
+    Pc pc = 0x400200;
+    for (int i = 0; i < 30; ++i)
+        bp.predictAndUpdate(pc, false);
+    EXPECT_FALSE(bp.predict(pc));
+}
+
+TEST(BranchPredictor, BiasedBranchAccuracy)
+{
+    HybridBranchPredictor bp;
+    Rng rng(3);
+    Pc pc = 0x400300;
+    unsigned hits = 0;
+    const unsigned warm = 200, n = 5000;
+    for (unsigned i = 0; i < warm; ++i)
+        bp.predictAndUpdate(pc, rng.chance(0.95));
+    for (unsigned i = 0; i < n; ++i) {
+        bool taken = rng.chance(0.95);
+        hits += bp.predictAndUpdate(pc, taken) == taken;
+    }
+    EXPECT_GT(static_cast<double>(hits) / n, 0.90);
+}
+
+TEST(BranchPredictor, PAgLearnsShortPeriodicPattern)
+{
+    // T T T N repeating: local history catches it perfectly.
+    PAgPredictor pag{BranchPredictorParams{}};
+    Pc pc = 0x400400;
+    for (int i = 0; i < 400; ++i)
+        pag.update(pc, i % 4 != 3);
+    unsigned hits = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool taken = i % 4 != 3;
+        hits += pag.predict(pc) == taken;
+        pag.update(pc, taken);
+    }
+    EXPECT_GT(hits, 390u);
+}
+
+TEST(BranchPredictor, GAgUsesGlobalCorrelation)
+{
+    // Branch B always equals the previous branch A's outcome: global
+    // history predicts B perfectly once trained.
+    GAgPredictor gag{BranchPredictorParams{}};
+    Rng rng(5);
+    Pc a = 0x400500, b = 0x400504;
+    for (int i = 0; i < 2000; ++i) {
+        bool oa = rng.chance(0.5);
+        gag.update(a, oa);
+        gag.update(b, oa);
+    }
+    unsigned hits = 0;
+    const unsigned n = 1000;
+    for (unsigned i = 0; i < n; ++i) {
+        bool oa = rng.chance(0.5);
+        gag.update(a, oa);
+        hits += gag.predict(b) == oa;
+        gag.update(b, oa);
+    }
+    EXPECT_GT(static_cast<double>(hits) / n, 0.9);
+}
+
+TEST(BranchPredictor, HybridBeatsWorstComponent)
+{
+    // Mix of a local-periodic branch and a global-correlated pair; the
+    // chooser should route each to the right component, yielding high
+    // overall accuracy.
+    HybridBranchPredictor bp;
+    Rng rng(7);
+    Pc loop = 0x400600, a = 0x400700, b = 0x400704;
+    unsigned hits = 0, total = 0;
+    for (int i = 0; i < 6000; ++i) {
+        bool lt = i % 5 != 4;
+        bool pa = rng.chance(0.5);
+        bool predL = bp.predictAndUpdate(loop, lt);
+        bool predA = bp.predictAndUpdate(a, pa);
+        bool predB = bp.predictAndUpdate(b, pa);
+        if (i > 2000) {
+            hits += (predL == lt) + (predA == pa) + (predB == pa);
+            total += 3;
+        }
+    }
+    // predA is a coin flip (~50%); loop and B are learnable, so the
+    // aggregate should be well above 2/3 * 50% + ...
+    EXPECT_GT(static_cast<double>(hits) / total, 0.75);
+}
+
+TEST(BranchPredictor, MispredictCounting)
+{
+    HybridBranchPredictor bp;
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndUpdate(0x400800, true);
+    EXPECT_EQ(bp.lookups(), 100u);
+    // History warm-up costs ~a dozen mispredicts, then it locks in.
+    EXPECT_LT(bp.mispredicts(), 20u);
+}
+
+TEST(BranchPredictor, RejectsNonPow2Tables)
+{
+    BranchPredictorParams p;
+    p.tableEntries = 1000;
+    EXPECT_DEATH({ HybridBranchPredictor bp(p); }, "power of two");
+}
+
+// ---------------------------------------------------- store sets ------
+
+namespace {
+
+StoreSetParams
+noClear(bool aliasFree = false)
+{
+    StoreSetParams p;
+    p.clearInterval = 0;
+    p.aliasFree = aliasFree;
+    return p;
+}
+
+} // namespace
+
+TEST(StoreSet, UntrainedLoadHasNoSet)
+{
+    StoreSetPredictor ssp(noClear());
+    LoadPrediction lp = ssp.loadFetch(0x400100);
+    EXPECT_FALSE(lp.hasSet());
+    EXPECT_FALSE(lp.mustSearchStoreQueue);
+    EXPECT_EQ(lp.waitForStore, kNoSeq);
+}
+
+TEST(StoreSet, TrainedPairPredictsDependence)
+{
+    StoreSetPredictor ssp(noClear());
+    Pc storePc = 0x400100, loadPc = 0x400200;
+    ssp.trainPair(storePc, loadPc);
+
+    StorePrediction sp = ssp.storeFetch(storePc, 10);
+    ASSERT_TRUE(sp.hasSet());
+
+    LoadPrediction lp = ssp.loadFetch(loadPc);
+    ASSERT_TRUE(lp.hasSet());
+    EXPECT_EQ(lp.ssid, sp.ssid);
+    EXPECT_EQ(lp.waitForStore, 10u);       // wait for the store
+    EXPECT_TRUE(lp.mustSearchStoreQueue);  // counter is 1
+}
+
+TEST(StoreSet, ValidBitClearsAtIssue)
+{
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x100, 0x200);
+    StorePrediction sp = ssp.storeFetch(0x100, 5);
+    EXPECT_TRUE(ssp.storeStillPending(sp.ssid, 5));
+    ssp.storeIssued(sp, 5);
+    EXPECT_FALSE(ssp.storeStillPending(sp.ssid, 5));
+    // Pair-predictor counter still non-zero until commit.
+    EXPECT_TRUE(ssp.counterNonZero(sp.ssid));
+}
+
+TEST(StoreSet, CounterClearsAtCommitNotIssue)
+{
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x100, 0x200);
+    StorePrediction sp = ssp.storeFetch(0x100, 5);
+    ssp.storeIssued(sp, 5);
+    EXPECT_TRUE(ssp.counterNonZero(sp.ssid));
+    ssp.storeCommitted(sp);
+    EXPECT_FALSE(ssp.counterNonZero(sp.ssid));
+}
+
+TEST(StoreSet, MultipleInFlightStoresNeedMultiBitCounter)
+{
+    // Section 2.1.1: a single valid bit is insufficient; the counter
+    // tracks all in-flight instances.
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x100, 0x200);
+    StorePrediction s1 = ssp.storeFetch(0x100, 1);
+    StorePrediction s2 = ssp.storeFetch(0x100, 2);
+    StorePrediction s3 = ssp.storeFetch(0x100, 3);
+    ssp.storeCommitted(s1);
+    EXPECT_TRUE(ssp.counterNonZero(s1.ssid));
+    ssp.storeCommitted(s2);
+    EXPECT_TRUE(ssp.counterNonZero(s2.ssid));
+    ssp.storeCommitted(s3);
+    EXPECT_FALSE(ssp.counterNonZero(s3.ssid));
+}
+
+TEST(StoreSet, CounterSaturatesGracefully)
+{
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x100, 0x200);
+    std::vector<StorePrediction> tags;
+    for (SeqNum i = 0; i < 20; ++i)
+        tags.push_back(ssp.storeFetch(0x100, i));
+    // 3-bit counter saturates at 7; commits below saturation keep it
+    // non-zero; draining everything reaches zero without underflow.
+    for (auto &t : tags)
+        ssp.storeCommitted(t);
+    EXPECT_FALSE(ssp.counterNonZero(tags[0].ssid));
+    ssp.storeCommitted(tags[0]);   // extra decrement: saturates at 0
+    EXPECT_FALSE(ssp.counterNonZero(tags[0].ssid));
+}
+
+TEST(StoreSet, SquashRollsBackCounter)
+{
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x100, 0x200);
+    StorePrediction s1 = ssp.storeFetch(0x100, 1);
+    StorePrediction s2 = ssp.storeFetch(0x100, 2);
+    ssp.storeSquashed(s2, 2);
+    EXPECT_TRUE(ssp.counterNonZero(s1.ssid));
+    ssp.storeCommitted(s1);
+    EXPECT_FALSE(ssp.counterNonZero(s1.ssid));
+}
+
+TEST(StoreSet, SquashClearsValidBitForLastStore)
+{
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x100, 0x200);
+    StorePrediction sp = ssp.storeFetch(0x100, 7);
+    EXPECT_TRUE(ssp.storeStillPending(sp.ssid, 7));
+    ssp.storeSquashed(sp, 7);
+    EXPECT_FALSE(ssp.storeStillPending(sp.ssid, 7));
+}
+
+TEST(StoreSet, StoreStoreSerialization)
+{
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x100, 0x200);
+    StorePrediction s1 = ssp.storeFetch(0x100, 1);
+    EXPECT_EQ(s1.waitForStore, kNoSeq);   // first store of the set
+    StorePrediction s2 = ssp.storeFetch(0x100, 2);
+    EXPECT_EQ(s2.waitForStore, 1u);       // chained behind s1
+    ssp.storeIssued(s1, 1);
+    StorePrediction s3 = ssp.storeFetch(0x100, 3);
+    EXPECT_EQ(s3.waitForStore, 2u);       // still behind s2
+}
+
+TEST(StoreSet, MergeRuleSmallerSsidWins)
+{
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x1000, 0x2000);
+    ssp.trainPair(0x3000, 0x4000);
+    StorePrediction a = ssp.storeFetch(0x1000, 1);
+    StorePrediction b = ssp.storeFetch(0x3000, 2);
+    std::uint16_t winner = std::min(a.ssid, b.ssid);
+    // Merge the two sets via a cross pair.
+    ssp.trainPair(0x1000, 0x4000);
+    StorePrediction a2 = ssp.storeFetch(0x1000, 3);
+    LoadPrediction l2 = ssp.loadFetch(0x4000);
+    EXPECT_EQ(a2.ssid, winner);
+    EXPECT_EQ(l2.ssid, winner);
+}
+
+TEST(StoreSet, TrainAssignsBothSides)
+{
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x100, 0x200);
+    EXPECT_TRUE(ssp.storeFetch(0x100, 1).hasSet());
+    EXPECT_TRUE(ssp.loadFetch(0x200).hasSet());
+    EXPECT_EQ(ssp.pairsTrained(), 1u);
+}
+
+TEST(StoreSet, AliasFreeKeepsPcsSeparate)
+{
+    // In alias-free mode two unrelated PCs can never share a set by
+    // collision.
+    StoreSetPredictor ssp(noClear(true));
+    ssp.trainPair(0x100, 0x200);
+    for (Pc pc = 0x10000; pc < 0x20000; pc += 4)
+        EXPECT_FALSE(ssp.loadFetch(pc).hasSet());
+}
+
+TEST(StoreSet, BoundedTablesAliasEventually)
+{
+    // With a 4K-entry SSIT, at least one untrained PC collides with a
+    // trained slot across a large PC range (constructive interference).
+    StoreSetParams params = noClear();
+    StoreSetPredictor ssp(params);
+    for (Pc pc = 0x100; pc < 0x100 + 4096 * 8; pc += 8)
+        ssp.trainPair(pc, pc + 4);
+    bool aliased = false;
+    for (Pc pc = 0x900000; pc < 0x900000 + (1 << 16) && !aliased;
+         pc += 4)
+        aliased = ssp.loadFetch(pc).hasSet();
+    EXPECT_TRUE(aliased);
+}
+
+TEST(StoreSet, CyclicClearingFlushesSets)
+{
+    StoreSetParams p;
+    p.clearInterval = 10;
+    StoreSetPredictor ssp(p);
+    ssp.trainPair(0x100, 0x200);
+    EXPECT_TRUE(ssp.loadFetch(0x200).hasSet());
+    for (int i = 0; i < 12; ++i)
+        ssp.loadFetch(0x9000 + 4 * i);
+    EXPECT_FALSE(ssp.loadFetch(0x200).hasSet());
+    EXPECT_GE(ssp.tableClears(), 1u);
+}
+
+TEST(StoreSet, ClearTablesIsSafeMidFlight)
+{
+    // Stores in flight across a clear must not corrupt state: their
+    // commit decrements saturate at zero.
+    StoreSetPredictor ssp(noClear());
+    ssp.trainPair(0x100, 0x200);
+    StorePrediction sp = ssp.storeFetch(0x100, 1);
+    ssp.clearTables();
+    ssp.storeCommitted(sp);   // no crash, no underflow
+    ssp.storeIssued(sp, 1);
+    EXPECT_FALSE(ssp.counterNonZero(sp.ssid));
+}
+
+TEST(StoreSet, LoadWithoutSetNeverWaits)
+{
+    StoreSetPredictor ssp(noClear());
+    ssp.storeFetch(0x100, 1);   // untrained store: no set
+    LoadPrediction lp = ssp.loadFetch(0x200);
+    EXPECT_FALSE(lp.hasSet());
+    EXPECT_FALSE(ssp.storeStillPending(lp.ssid, 1));
+    EXPECT_FALSE(ssp.counterNonZero(kNoSsid));
+}
+
+// Parameterized: both table modes obey the same lifecycle invariants.
+class StoreSetModes : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(StoreSetModes, FetchIssueCommitLifecycle)
+{
+    StoreSetPredictor ssp(noClear(GetParam()));
+    ssp.trainPair(0x100, 0x200);
+    for (SeqNum seq = 0; seq < 100; ++seq) {
+        StorePrediction sp = ssp.storeFetch(0x100, seq);
+        ASSERT_TRUE(sp.hasSet());
+        LoadPrediction lp = ssp.loadFetch(0x200);
+        EXPECT_TRUE(lp.mustSearchStoreQueue);
+        EXPECT_EQ(lp.waitForStore, seq);
+        ssp.storeIssued(sp, seq);
+        ssp.storeCommitted(sp);
+        EXPECT_FALSE(ssp.counterNonZero(sp.ssid)) << "seq " << seq;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, StoreSetModes,
+                         ::testing::Values(false, true));
+
+// ------------------------------------------- predictor kinds ----------
+
+TEST(BranchPredictor, BimodalLearnsBias)
+{
+    BranchPredictorParams p;
+    BimodalPredictor bm(p);
+    Pc pc = 0x400900;
+    for (int i = 0; i < 10; ++i)
+        bm.update(pc, true);
+    EXPECT_TRUE(bm.predict(pc));
+    for (int i = 0; i < 10; ++i)
+        bm.update(pc, false);
+    EXPECT_FALSE(bm.predict(pc));
+}
+
+TEST(BranchPredictor, BimodalCannotLearnPattern)
+{
+    // T T T N repeating defeats history-less prediction: accuracy is
+    // stuck at ~75% (predict taken always).
+    BranchPredictorParams p;
+    BimodalPredictor bm(p);
+    Pc pc = 0x400A00;
+    unsigned hits = 0;
+    for (int i = 0; i < 800; ++i) {
+        bool taken = i % 4 != 3;
+        if (i >= 400)
+            hits += bm.predict(pc) == taken;
+        bm.update(pc, taken);
+    }
+    EXPECT_NEAR(hits / 400.0, 0.75, 0.05);
+}
+
+TEST(BranchPredictor, KindSelectsComponent)
+{
+    // A pure loop pattern: PAg (and the hybrid) learn it; bimodal
+    // saturates at the bias.
+    auto accuracyFor = [](BranchPredictorKind kind) {
+        BranchPredictorParams p;
+        p.kind = kind;
+        HybridBranchPredictor bp(p);
+        Pc pc = 0x400B00;
+        for (int i = 0; i < 400; ++i)
+            bp.predictAndUpdate(pc, i % 4 != 3);
+        unsigned hits = 0;
+        for (int i = 0; i < 400; ++i) {
+            bool taken = i % 4 != 3;
+            hits += bp.predictAndUpdate(pc, taken) == taken;
+        }
+        return hits / 400.0;
+    };
+    EXPECT_GT(accuracyFor(BranchPredictorKind::PAg), 0.95);
+    EXPECT_GT(accuracyFor(BranchPredictorKind::Hybrid), 0.95);
+    EXPECT_LT(accuracyFor(BranchPredictorKind::Bimodal), 0.85);
+}

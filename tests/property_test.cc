@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Randomized property tests: drive the LSQ structures with fuzzed
+ * operation sequences and check invariants that must hold for any
+ * legal sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "lsq/lsq.hh"
+#include "lsq/segment_allocator.hh"
+#include "predictor/store_set.hh"
+
+using namespace lsqscale;
+
+// ---------------------------------------------- SegmentAllocator ------
+
+class AllocatorFuzz
+    : public ::testing::TestWithParam<std::tuple<SegAllocPolicy,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(AllocatorFuzz, OccupancyInvariants)
+{
+    auto [policy, seed] = GetParam();
+    const unsigned segments = 4, perSegment = 7;
+    SegmentAllocator a(segments, perSegment, policy);
+    Rng rng(seed);
+    unsigned live = 0;
+
+    for (int step = 0; step < 20000; ++step) {
+        double r = rng.uniform();
+        if (r < 0.45 && a.canAllocate()) {
+            unsigned seg = a.allocate();
+            ASSERT_LT(seg, segments);
+            ++live;
+        } else if (r < 0.75 && live > 0) {
+            a.freeOldest();
+            --live;
+        } else if (live > 0) {
+            a.freeYoungest();
+            --live;
+        }
+        ASSERT_EQ(a.live(), live);
+        unsigned sum = 0;
+        for (unsigned s = 0; s < segments; ++s) {
+            ASSERT_LE(a.occupancy(s), perSegment);
+            sum += a.occupancy(s);
+        }
+        ASSERT_EQ(sum, live);
+        ASSERT_EQ(a.canAllocate(), live < segments * perSegment);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, AllocatorFuzz,
+    ::testing::Combine(::testing::Values(SegAllocPolicy::NoSelfCircular,
+                                         SegAllocPolicy::SelfCircular),
+                       ::testing::Values(1u, 7u, 99u, 1234u)));
+
+// ---------------------------------------------------- LSQ fuzz --------
+
+namespace {
+
+struct ShadowLoad
+{
+    SeqNum seq;
+    bool executed = false;
+};
+
+struct ShadowStore
+{
+    SeqNum seq;
+    bool executed = false;
+};
+
+} // namespace
+
+class LsqFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>>
+{
+};
+
+TEST_P(LsqFuzz, ShadowModelAgreesOnOccupancy)
+{
+    auto [seed, combined] = GetParam();
+    LsqParams params;
+    params.lqEntries = 8;
+    params.sqEntries = 8;
+    params.numSegments = 2;
+    params.searchPorts = 2;
+    params.allocPolicy = SegAllocPolicy::SelfCircular;
+    params.combinedQueue = combined;
+
+    StatSet stats;
+    Lsq lsq(params, stats);
+    Rng rng(seed);
+
+    std::deque<ShadowLoad> loads;
+    std::deque<ShadowStore> stores;
+    SeqNum nextSeq = 0;
+    Cycle now = 0;
+
+    for (int step = 0; step < 30000; ++step) {
+        ++now;
+        double r = rng.uniform();
+        if (r < 0.30) {
+            // Allocate a memory op.
+            bool isLoad = rng.chance(0.7);
+            if (isLoad && lsq.canAllocateLoad()) {
+                lsq.allocateLoad(nextSeq, 0x1000 + 4 * nextSeq);
+                loads.push_back({nextSeq, false});
+                ++nextSeq;
+            } else if (!isLoad && lsq.canAllocateStore()) {
+                lsq.allocateStore(nextSeq, 0x1000 + 4 * nextSeq);
+                stores.push_back({nextSeq, false});
+                ++nextSeq;
+            } else {
+                ++nextSeq;   // arithmetic op, seq advances
+            }
+        } else if (r < 0.50) {
+            // Execute a random non-executed load.
+            std::vector<ShadowLoad *> cands;
+            for (auto &l : loads)
+                if (!l.executed)
+                    cands.push_back(&l);
+            if (!cands.empty()) {
+                ShadowLoad *l = cands[rng.below(cands.size())];
+                Addr addr = 0x8000 + 8 * (l->seq % 32);
+                LoadIssueOutcome out =
+                    lsq.issueLoad(l->seq, addr, now, rng.chance(0.8));
+                if (out.status == LoadIssueStatus::Accepted)
+                    l->executed = true;
+            }
+        } else if (r < 0.65) {
+            // AGEN a random non-executed store.
+            std::vector<ShadowStore *> cands;
+            for (auto &s : stores)
+                if (!s.executed)
+                    cands.push_back(&s);
+            if (!cands.empty()) {
+                ShadowStore *s = cands[rng.below(cands.size())];
+                Addr addr = 0x8000 + 8 * (s->seq % 32);
+                if (lsq.storeAddrReady(s->seq, addr, now).accepted)
+                    s->executed = true;
+            }
+        } else if (r < 0.85) {
+            // Commit the oldest memory op if it has executed.
+            SeqNum oldestLoad =
+                loads.empty() ? kNoSeq : loads.front().seq;
+            SeqNum oldestStore =
+                stores.empty() ? kNoSeq : stores.front().seq;
+            if (oldestLoad != kNoSeq &&
+                (oldestStore == kNoSeq || oldestLoad < oldestStore)) {
+                if (loads.front().executed) {
+                    lsq.commitLoad(oldestLoad);
+                    loads.pop_front();
+                }
+            } else if (oldestStore != kNoSeq) {
+                if (stores.front().executed &&
+                    lsq.commitStore(oldestStore, now).accepted)
+                    stores.pop_front();
+            }
+        } else if (r < 0.90 && (loads.size() + stores.size()) > 0) {
+            // Squash from a random live seq.
+            SeqNum lo = kNoSeq;
+            if (!loads.empty())
+                lo = loads.front().seq;
+            if (!stores.empty())
+                lo = lo == kNoSeq ? stores.front().seq
+                                  : std::min(lo, stores.front().seq);
+            SeqNum target = lo + rng.below(nextSeq - lo + 1);
+            lsq.squashFrom(target);
+            while (!loads.empty() && loads.back().seq >= target)
+                loads.pop_back();
+            while (!stores.empty() && stores.back().seq >= target)
+                stores.pop_back();
+            // The stream replays: reuse seq numbers from the target.
+            nextSeq = std::max(target, lo);
+        }
+
+        ASSERT_EQ(lsq.lqLive(), loads.size());
+        ASSERT_EQ(lsq.sqLive(), stores.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, LsqFuzz,
+    ::testing::Combine(::testing::Values(3u, 11u, 42u, 500u, 9001u),
+                       ::testing::Bool()));
+
+// ------------------------------------------- StoreSet counter fuzz ----
+
+class StoreSetFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(StoreSetFuzz, CounterNeverDesyncsFromInFlightSet)
+{
+    // Fetch/issue/commit/squash stores of one set randomly; the
+    // counter must be zero exactly when nothing is in flight (up to
+    // saturation, which only occurs above 7 simultaneous stores —
+    // avoided here).
+    StoreSetParams params;
+    params.clearInterval = 0;
+    StoreSetPredictor ssp(params);
+    ssp.trainPair(0x100, 0x200);
+
+    Rng rng(GetParam());
+    std::vector<std::pair<SeqNum, StorePrediction>> inflight;
+    SeqNum next = 0;
+
+    for (int step = 0; step < 20000; ++step) {
+        double r = rng.uniform();
+        if (r < 0.4 && inflight.size() < 7) {
+            StorePrediction tag = ssp.storeFetch(0x100, next);
+            inflight.emplace_back(next, tag);
+            ++next;
+        } else if (r < 0.7 && !inflight.empty()) {
+            // Commit the oldest.
+            auto [seq, tag] = inflight.front();
+            inflight.erase(inflight.begin());
+            ssp.storeIssued(tag, seq);
+            ssp.storeCommitted(tag);
+        } else if (!inflight.empty()) {
+            // Squash the youngest.
+            auto [seq, tag] = inflight.back();
+            inflight.pop_back();
+            ssp.storeSquashed(tag, seq);
+        }
+        ASSERT_EQ(ssp.counterNonZero(inflight.empty()
+                                         ? ssp.loadFetch(0x200).ssid
+                                         : inflight.front().second.ssid),
+                  !inflight.empty())
+            << "step " << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreSetFuzz,
+                         ::testing::Values(2u, 29u, 777u));
+
+// -------------------------------------------- forwarding property -----
+
+TEST(LsqProperty, ForwardingAlwaysReturnsYoungestOlderMatch)
+{
+    // Randomized store sets; every load's forwarding source must be
+    // the maximum store seq among matching older stores.
+    Rng rng(77);
+    for (int trial = 0; trial < 200; ++trial) {
+        LsqParams params;
+        params.lqEntries = 16;
+        params.sqEntries = 16;
+        params.searchPorts = 4;
+        params.loadCheck = LoadCheckPolicy::None;
+        StatSet stats;
+        Lsq lsq(params, stats);
+
+        std::vector<std::pair<SeqNum, Addr>> storeAddrs;
+        SeqNum seq = 0;
+        unsigned nStores = 1 + rng.below(12);
+        Cycle now = 0;
+        for (unsigned i = 0; i < nStores; ++i) {
+            Addr a = 0x9000 + 8 * rng.below(4);
+            lsq.allocateStore(seq, 0x1000 + 4 * seq);
+            while (!lsq.storeAddrReady(seq, a, now).accepted)
+                ++now;
+            storeAddrs.emplace_back(seq, a);
+            ++seq;
+            ++now;
+        }
+        Addr target = 0x9000 + 8 * rng.below(4);
+        lsq.allocateLoad(seq, 0x1000 + 4 * seq);
+        LoadIssueOutcome out;
+        do {
+            out = lsq.issueLoad(seq, target, now++, true);
+        } while (out.status != LoadIssueStatus::Accepted);
+
+        SeqNum expect = kNoSeq;
+        for (auto &[s, a] : storeAddrs)
+            if (a == target && s < seq &&
+                (expect == kNoSeq || s > expect))
+                expect = s;
+        if (expect == kNoSeq) {
+            EXPECT_FALSE(out.forwarded);
+        } else {
+            ASSERT_TRUE(out.forwarded);
+            EXPECT_EQ(out.forwardedFrom, expect);
+        }
+    }
+}
