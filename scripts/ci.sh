@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI driver: build and test the four correctness flavors
+# (docs/CHECKING.md). Fails on the first problem.
+#
+#   1. release     — tier-1: the default RelWithDebInfo build + ctest
+#   2. asan-ubsan  — AddressSanitizer + UBSan, LSQ_DCHECK on
+#   3. checker     — LSQ_CHECKER=ON: every simulation shadow-executed
+#                    against the memory-ordering oracle; also runs the
+#                    fig7_sq_speedup bench under the oracle
+#   4. lint        — scripts/lint.py standalone (also a ctest in every
+#                    flavor above, so this is a fast final recheck)
+#
+# Usage: scripts/ci.sh [jobs]     (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+run_flavor() {
+    local name="$1"; shift
+    local dir="build-ci-$name"
+    banner "flavor: $name (configure)"
+    cmake -B "$dir" -S . "$@" >/dev/null
+    banner "flavor: $name (build)"
+    cmake --build "$dir" -j "$JOBS"
+    banner "flavor: $name (ctest)"
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_flavor release
+run_flavor asan-ubsan -DLSQ_ASAN=ON -DLSQ_UBSAN=ON
+run_flavor checker -DLSQ_CHECKER=ON
+
+banner "flavor: checker (fig7_sq_speedup bench under the oracle)"
+LSQSCALE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}" \
+    ./build-ci-checker/bench/fig7_sq_speedup
+
+banner "flavor: lint"
+python3 scripts/lint.py
+
+banner "all flavors green"

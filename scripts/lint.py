@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the lsqscale simulator (docs/CHECKING.md).
+
+Four checks, each encoding a correctness rule the generic toolchain
+does not enforce:
+
+  raw-new           ownership must go through containers or
+                    std::make_unique; a raw `new` leaks on the many
+                    early-return paths of the pipeline stages.
+  narrowing-cast    cycle/sequence arithmetic is 64-bit by design
+                    (common/types.hh); casting it to a 32-bit type
+                    truncates after ~4G cycles and produced wrong
+                    wrap-around comparisons in early prototypes.
+  partial-switch    every `switch` over an `enum class` must name all
+                    enumerators and carry no `default:`, so adding an
+                    enumerator makes -Wswitch flag every site that
+                    needs updating.
+  stats-buckets     StatSet::histogram(name, buckets) sizes the
+                    histogram on *first* use only; two call sites
+                    naming the same histogram with different bucket
+                    expressions silently truncate samples.
+  bare-assert       invariants use LSQ_ASSERT/LSQ_DCHECK (cold failure
+                    path, survives NDEBUG where intended), never the
+                    C assert macro.
+
+A finding can be suppressed by appending `// lint: allow-<rule>` to
+the offending line. Exit status is the number of findings (0 = clean).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ["src", "tools"]
+ENUM_DIRS = ["src"]
+SOURCE_EXTS = {".hh", ".cc", ".cpp", ".hpp"}
+
+NARROW_TYPES = (
+    r"(?:unsigned(?:\s+int)?|int|short|std::u?int(?:8|16|32)_t|"
+    r"u?int(?:8|16|32)_t)"
+)
+# Identifiers that mark 64-bit cycle/sequence arithmetic.
+WIDE_MARKERS = re.compile(
+    r"\b(?:now_?|Cycle|cycle|SeqNum|seq\b|executeCycle|commitCycle|"
+    r"searchDoneCycle|readyCycle)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, msg: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line-comment":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block-comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string or char
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (mode == "string" and c == '"') or (
+                    mode == "char" and c == "'"):
+                mode = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def allowed(raw_line: str, rule: str) -> bool:
+    return f"lint: allow-{rule}" in raw_line
+
+
+def iter_sources(root: Path, dirs) -> list[Path]:
+    files = []
+    for d in dirs:
+        base = root / d
+        if base.is_dir():
+            files.extend(p for p in sorted(base.rglob("*"))
+                         if p.suffix in SOURCE_EXTS)
+    return files
+
+
+# --------------------------------------------------------- raw-new ----
+
+RAW_NEW = re.compile(r"\bnew\b(?!\s*\()\s*[A-Za-z_:<(]")
+
+
+def check_raw_new(path, raw_lines, code_lines, findings):
+    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if RAW_NEW.search(code) and not allowed(raw, "raw-new"):
+            findings.append(Finding(
+                path, ln, "raw-new",
+                "raw `new`: use std::make_unique or a container"))
+
+
+# --------------------------------------------------- narrowing-cast ----
+
+CAST_RE = re.compile(
+    r"(?:static_cast\s*<\s*(" + NARROW_TYPES + r")\s*>"
+    r"|\(\s*(" + NARROW_TYPES + r")\s*\))\s*\(")
+
+
+def check_narrowing_casts(path, raw_lines, code_lines, findings):
+    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        for m in CAST_RE.finditer(code):
+            # Examine the cast operand (up to the matching paren).
+            depth, j = 1, m.end()
+            while j < len(code) and depth > 0:
+                if code[j] == "(":
+                    depth += 1
+                elif code[j] == ")":
+                    depth -= 1
+                j += 1
+            operand = code[m.end():j - 1]
+            if WIDE_MARKERS.search(operand) and not allowed(
+                    raw, "narrowing-cast"):
+                findings.append(Finding(
+                    path, ln, "narrowing-cast",
+                    f"cycle/seq arithmetic narrowed to "
+                    f"{m.group(1) or m.group(2)}: `{operand.strip()}`"))
+
+
+# --------------------------------------------------- partial-switch ----
+
+ENUM_RE = re.compile(
+    r"enum\s+class\s+([A-Za-z_]\w*)\s*(?::[^({]*)?\{([^}]*)\}",
+    re.DOTALL)
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+CASE_RE = re.compile(r"\bcase\s+(?:\w+::)*(\w+)\s*::\s*(\w+)\s*:")
+
+
+def collect_enums(root: Path):
+    enums = {}
+    for path in iter_sources(root, ENUM_DIRS):
+        code = strip_comments_and_strings(path.read_text())
+        for m in ENUM_RE.finditer(code):
+            name, body = m.group(1), m.group(2)
+            members = []
+            for part in body.split(","):
+                part = part.split("=")[0].strip()
+                if part:
+                    members.append(part)
+            if members:
+                enums[name] = members
+    return enums
+
+
+def switch_bodies(code: str):
+    """Yield (line, body-text) for each switch statement."""
+    for m in SWITCH_RE.finditer(code):
+        # Find the brace that opens the switch body.
+        i = code.find("{", m.end())
+        if i < 0:
+            continue
+        depth, j = 1, i + 1
+        while j < len(code) and depth > 0:
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+            j += 1
+        yield code[:m.start()].count("\n") + 1, code[i:j]
+
+
+def check_partial_switches(path, raw_lines, code, enums, findings):
+    for line, body in switch_bodies(code):
+        cases = CASE_RE.findall(body)
+        if not cases:
+            continue
+        enum_names = {name for name, _ in cases}
+        for enum_name in enum_names:
+            if enum_name not in enums:
+                continue
+            if allowed(raw_lines[line - 1], "partial-switch"):
+                continue
+            covered = {mem for name, mem in cases if name == enum_name}
+            missing = [m for m in enums[enum_name] if m not in covered]
+            if missing:
+                findings.append(Finding(
+                    path, line, "partial-switch",
+                    f"switch over enum class {enum_name} misses: "
+                    + ", ".join(missing)))
+            elif re.search(r"\bdefault\s*:", body):
+                findings.append(Finding(
+                    path, line, "partial-switch",
+                    f"switch over enum class {enum_name} has a "
+                    f"default: label; drop it so -Wswitch flags new "
+                    f"enumerators"))
+
+
+# ---------------------------------------------------- stats-buckets ----
+
+HIST_RE = re.compile(r'\.histogram\s*\(\s*"([^"]+)"\s*(?:,([^;]*?))?\)')
+
+
+def normalize_expr(expr: str) -> str:
+    return re.sub(r"[\s_]", "", expr or "")
+
+
+def check_stats_buckets(root, findings):
+    sites = {}
+    for path in iter_sources(root, SOURCE_DIRS):
+        raw = path.read_text()
+        code = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        for m in HIST_RE.finditer(code):
+            ln = code[:m.start()].count("\n") + 1
+            if allowed(raw_lines[ln - 1], "stats-buckets"):
+                continue
+            name, buckets = m.group(1), normalize_expr(m.group(2))
+            sites.setdefault(name, []).append((path, ln, buckets))
+    for name, uses in sites.items():
+        shapes = {b for _, _, b in uses}
+        if len(shapes) > 1:
+            for path, ln, b in uses:
+                findings.append(Finding(
+                    path, ln, "stats-buckets",
+                    f'histogram "{name}" sized inconsistently across '
+                    f"call sites ({', '.join(s or '<default>' for s in sorted(shapes))}); "
+                    f"the first registration wins and later sizes are "
+                    f"silently ignored"))
+
+
+# ------------------------------------------------------ bare-assert ----
+
+BARE_ASSERT = re.compile(r"(?<![A-Za-z_])assert\s*\(")
+
+
+def check_bare_assert(path, raw_lines, code_lines, findings):
+    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if BARE_ASSERT.search(code) and not allowed(raw, "bare-assert"):
+            findings.append(Finding(
+                path, ln, "bare-assert",
+                "use LSQ_ASSERT / LSQ_DCHECK instead of assert()"))
+
+
+# ------------------------------------------------------------ main ----
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: script's parent)")
+    args = ap.parse_args()
+    root = args.root
+
+    findings: list[Finding] = []
+    enums = collect_enums(root)
+
+    for path in iter_sources(root, SOURCE_DIRS):
+        raw = path.read_text()
+        code = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        code_lines = code.splitlines()
+        check_raw_new(path, raw_lines, code_lines, findings)
+        check_narrowing_casts(path, raw_lines, code_lines, findings)
+        check_partial_switches(path, raw_lines, code, enums, findings)
+        check_bare_assert(path, raw_lines, code_lines, findings)
+
+    check_stats_buckets(root, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlint: {len(findings)} finding(s)")
+    else:
+        print(f"lint: clean ({len(enums)} enums checked across "
+              f"{len(iter_sources(root, SOURCE_DIRS))} files)")
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,525 @@
+#include "check/lsq_checker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+const char *
+checkErrorKindName(CheckErrorKind kind)
+{
+    switch (kind) {
+      case CheckErrorKind::WrongForwarder:
+        return "wrong-forwarder";
+      case CheckErrorKind::MissedForward:
+        return "missed-forward";
+      case CheckErrorKind::PhantomForward:
+        return "phantom-forward";
+      case CheckErrorKind::MissedStoreLoadViolation:
+        return "missed-store-load-violation";
+      case CheckErrorKind::PhantomStoreLoadViolation:
+        return "phantom-store-load-violation";
+      case CheckErrorKind::MissedStoreLoadDetection:
+        return "missed-store-load-detection";
+      case CheckErrorKind::PhantomLoadLoadViolation:
+        return "phantom-load-load-violation";
+      case CheckErrorKind::UndetectedLoadLoadOrder:
+        return "undetected-load-load-order";
+      case CheckErrorKind::BrokenProtocol:
+        return "broken-protocol";
+    }
+    return "unknown";
+}
+
+LsqChecker::LsqChecker(const LsqParams &params) : params_(params) {}
+
+// ------------------------------------------------------ plumbing ------
+
+void
+LsqChecker::fail(CheckError err)
+{
+    ++mismatches_;
+    if (errors_.size() < kMaxStoredErrors)
+        errors_.push_back(err);
+    if (abortOnError_)
+        LSQ_PANIC("LSQ oracle mismatch: %s", report().c_str());
+}
+
+void
+LsqChecker::protocolFail(SeqNum seq, Cycle cycle, const std::string &what)
+{
+    CheckError err;
+    err.kind = CheckErrorKind::BrokenProtocol;
+    err.seq = seq;
+    err.cycle = cycle;
+    err.detail = what;
+    fail(err);
+}
+
+LsqChecker::ShadowLoad *
+LsqChecker::findLoad(SeqNum seq)
+{
+    for (auto &e : lq_)
+        if (e.seq == seq)
+            return &e;
+    return nullptr;
+}
+
+LsqChecker::ShadowStore *
+LsqChecker::findStore(SeqNum seq)
+{
+    for (auto &e : sq_)
+        if (e.seq == seq)
+            return &e;
+    return nullptr;
+}
+
+std::string
+LsqChecker::report() const
+{
+    std::string out = strfmt(
+        "%llu mismatch(es) over %llu checked ops "
+        "(lq=%zu sq=%zu in flight)\n",
+        static_cast<unsigned long long>(mismatches_),
+        static_cast<unsigned long long>(opsChecked_), lq_.size(),
+        sq_.size());
+    for (const CheckError &e : errors_) {
+        out += strfmt(
+            "  [%s] seq=%llu pc=%#llx addr=%#llx cycle=%llu "
+            "expected=%lld actual=%lld: %s\n",
+            checkErrorKindName(e.kind),
+            static_cast<unsigned long long>(e.seq),
+            static_cast<unsigned long long>(e.pc),
+            static_cast<unsigned long long>(e.addr),
+            static_cast<unsigned long long>(e.cycle),
+            e.expected == kNoSeq ? -1LL
+                                 : static_cast<long long>(e.expected),
+            e.actual == kNoSeq ? -1LL
+                               : static_cast<long long>(e.actual),
+            e.detail.c_str());
+    }
+    if (mismatches_ > errors_.size())
+        out += strfmt("  ... %llu further mismatch(es) not stored\n",
+                      static_cast<unsigned long long>(
+                          mismatches_ - errors_.size()));
+    return out;
+}
+
+// ------------------------------------------------------ reference -----
+
+const LsqChecker::ShadowStore *
+LsqChecker::expectedForwarder(SeqNum loadSeq, Addr addr) const
+{
+    // Figure 1, search 1: youngest older store with a valid matching
+    // address. The shadow SQ is in program order, so scan from the
+    // young end.
+    for (auto it = sq_.rbegin(); it != sq_.rend(); ++it)
+        if (it->seq < loadSeq && it->addrValid && it->addr == addr)
+            return &*it;
+    return nullptr;
+}
+
+const LsqChecker::ShadowLoad *
+LsqChecker::expectedViolator(SeqNum storeSeq, Addr addr) const
+{
+    // Figure 1, search 2: oldest younger load that already executed
+    // with a matching address and did not get its value from this
+    // store or a younger one ("stale" rule of planStoreLqSearch).
+    for (const auto &e : lq_) {
+        if (e.seq <= storeSeq || !e.executed || e.addr != addr)
+            continue;
+        bool stale = e.forwardedFrom == kNoSeq ||
+                     e.forwardedFrom < storeSeq;
+        if (stale)
+            return &e;
+    }
+    return nullptr;
+}
+
+// ------------------------------------------------------ allocation ----
+
+void
+LsqChecker::onAllocateLoad(SeqNum seq, Pc pc)
+{
+    if (!lq_.empty() && lq_.back().seq >= seq)
+        protocolFail(seq, kNoCycle,
+                     "load allocated out of program order");
+    std::size_t cap = params_.totalLqEntries();
+    std::size_t live = params_.combinedQueue ? lq_.size() + sq_.size()
+                                             : lq_.size();
+    if (live >= cap)
+        protocolFail(seq, kNoCycle, "load allocated past LQ capacity");
+    lq_.push_back(ShadowLoad{seq, pc, 0, false, kNoCycle, kNoSeq, false});
+    ++opsChecked_;
+}
+
+void
+LsqChecker::onAllocateStore(SeqNum seq, Pc pc)
+{
+    if (!sq_.empty() && sq_.back().seq >= seq)
+        protocolFail(seq, kNoCycle,
+                     "store allocated out of program order");
+    std::size_t cap = params_.combinedQueue ? params_.totalLqEntries()
+                                            : params_.totalSqEntries();
+    std::size_t live = params_.combinedQueue ? lq_.size() + sq_.size()
+                                             : sq_.size();
+    if (live >= cap)
+        protocolFail(seq, kNoCycle, "store allocated past SQ capacity");
+    sq_.push_back(ShadowStore{seq, pc, 0, false, kNoCycle});
+    ++opsChecked_;
+}
+
+// ------------------------------------------------------ load issue ----
+
+void
+LsqChecker::onLoadIssue(SeqNum seq, Addr addr, Cycle now,
+                        const LoadIssueOutcome &out)
+{
+    if (out.status != LoadIssueStatus::Accepted)
+        return;   // rejected issues leave the LSQ untouched
+
+    ShadowLoad *e = findLoad(seq);
+    if (!e) {
+        protocolFail(seq, now, "issue of a load the shadow LQ lacks");
+        return;
+    }
+    if (e->executed) {
+        protocolFail(seq, now, "load issued twice without a squash");
+        return;
+    }
+
+    // Cross-check the forwarding decision against the reference rule.
+    const ShadowStore *ref = expectedForwarder(seq, addr);
+    if (out.searchedSq) {
+        if (ref && (!out.forwarded || out.forwardedFrom != ref->seq)) {
+            CheckError err;
+            err.kind = out.forwarded ? CheckErrorKind::WrongForwarder
+                                     : CheckErrorKind::MissedForward;
+            err.seq = seq;
+            err.pc = e->pc;
+            err.addr = addr;
+            err.cycle = now;
+            err.expected = ref->seq;
+            err.actual = out.forwarded ? out.forwardedFrom : kNoSeq;
+            err.detail = strfmt(
+                "SQ search should forward from store seq=%llu "
+                "(addr ready at cycle %llu)",
+                static_cast<unsigned long long>(ref->seq),
+                static_cast<unsigned long long>(ref->addrReadyCycle));
+            fail(err);
+        } else if (!ref && out.forwarded) {
+            CheckError err;
+            err.kind = CheckErrorKind::PhantomForward;
+            err.seq = seq;
+            err.pc = e->pc;
+            err.addr = addr;
+            err.cycle = now;
+            err.actual = out.forwardedFrom;
+            err.detail = "no older addr-valid matching store in the "
+                         "shadow SQ";
+            fail(err);
+        }
+    } else if (out.forwarded) {
+        CheckError err;
+        err.kind = CheckErrorKind::PhantomForward;
+        err.seq = seq;
+        err.pc = e->pc;
+        err.addr = addr;
+        err.cycle = now;
+        err.actual = out.forwardedFrom;
+        err.detail = "load forwarded without searching the SQ";
+        fail(err);
+    }
+
+    // Commit the shadow execution *before* vetting the load-load
+    // reports: the issuing load itself is a legal older partner for a
+    // violation found by its own (immediate) ordering search.
+    e->addr = addr;
+    e->executed = true;
+    e->executeCycle = now;
+    e->searchedSq = out.searchedSq;
+    e->forwardedFrom = out.forwarded ? out.forwardedFrom : kNoSeq;
+
+    // Every reported load-load violation must name a genuine violating
+    // pair: a younger executed load whose value was obtained earlier
+    // than some older load's (Section 2.2 ordering rule). The paired
+    // older load is either the issuing load or a load the NILP just
+    // passed, so membership is checked against the whole shadow LQ.
+    for (SeqNum v : out.llViolations) {
+        const ShadowLoad *young = findLoad(v);
+        bool genuine = false;
+        if (young && young->executed) {
+            for (const auto &old : lq_) {
+                if (old.seq >= young->seq)
+                    break;
+                if (old.executed && old.addr == young->addr &&
+                    young->executeCycle < old.executeCycle) {
+                    genuine = true;
+                    break;
+                }
+            }
+        }
+        if (!genuine) {
+            CheckError err;
+            err.kind = CheckErrorKind::PhantomLoadLoadViolation;
+            err.seq = seq;
+            err.pc = e->pc;
+            err.addr = addr;
+            err.cycle = now;
+            err.actual = v;
+            err.detail =
+                young ? strfmt("reported violator seq=%llu has no "
+                               "older same-address load that executed "
+                               "later",
+                               static_cast<unsigned long long>(v))
+                      : strfmt("reported violator seq=%llu is not in "
+                               "the shadow LQ",
+                               static_cast<unsigned long long>(v));
+            fail(err);
+        }
+    }
+    ++opsChecked_;
+}
+
+// ------------------------------------------------------ store side ----
+
+void
+LsqChecker::checkStoreSearch(SeqNum seq, Addr addr, Cycle now,
+                             const StoreSearchOutcome &out,
+                             const char *when)
+{
+    const ShadowLoad *ref = expectedViolator(seq, addr);
+    SeqNum expect = ref ? ref->seq : kNoSeq;
+    if (expect == out.violationLoad)
+        return;
+    CheckError err;
+    err.kind = expect == kNoSeq
+                   ? CheckErrorKind::PhantomStoreLoadViolation
+                   : CheckErrorKind::MissedStoreLoadDetection;
+    err.seq = seq;
+    err.addr = addr;
+    err.cycle = now;
+    err.expected = expect;
+    err.actual = out.violationLoad;
+    err.detail = strfmt("%s LQ search: reference violator %lld, "
+                        "reported %lld",
+                        when,
+                        expect == kNoSeq
+                            ? -1LL
+                            : static_cast<long long>(expect),
+                        out.violationLoad == kNoSeq
+                            ? -1LL
+                            : static_cast<long long>(out.violationLoad));
+    fail(err);
+}
+
+void
+LsqChecker::onStoreAddrReady(SeqNum seq, Addr addr, Cycle now,
+                             const StoreSearchOutcome &out)
+{
+    if (!out.accepted)
+        return;   // no port: the Lsq did not mutate
+
+    ShadowStore *s = findStore(seq);
+    if (!s) {
+        protocolFail(seq, now, "AGEN of a store the shadow SQ lacks");
+        return;
+    }
+    if (s->addrValid) {
+        protocolFail(seq, now, "store address exposed twice");
+        return;
+    }
+
+    // Conventional scheme: the AGEN doubles as the violation search.
+    // Pair scheme (checkViolationsAtCommit) performs no search here.
+    if (!params_.checkViolationsAtCommit)
+        checkStoreSearch(seq, addr, now, out, "execute-time");
+
+    s->addr = addr;
+    s->addrValid = true;
+    s->addrReadyCycle = now;
+    ++opsChecked_;
+}
+
+void
+LsqChecker::onStoreCommit(SeqNum seq, Cycle now,
+                          const StoreSearchOutcome &out)
+{
+    if (!out.accepted)
+        return;   // delayed commit: nothing happened
+
+    if (sq_.empty() || sq_.front().seq != seq) {
+        protocolFail(seq, now, "store commit out of SQ order");
+        return;
+    }
+    ShadowStore s = sq_.front();
+    sq_.pop_front();
+    if (!s.addrValid) {
+        protocolFail(seq, now, "store committed without an address");
+        return;
+    }
+
+    // Pair scheme: violation detection happens here instead.
+    if (params_.checkViolationsAtCommit)
+        checkStoreSearch(seq, s.addr, now, out, "commit-time");
+
+    if (!oracle_.commitStore(seq, s.pc, s.addr, s.addrReadyCycle, now))
+        protocolFail(seq, now, "memory ops retired out of program order");
+    ++opsChecked_;
+}
+
+// ------------------------------------------------------ load commit ---
+
+void
+LsqChecker::onLoadCommit(SeqNum seq)
+{
+    if (lq_.empty() || lq_.front().seq != seq) {
+        protocolFail(seq, kNoCycle, "load commit out of LQ order");
+        return;
+    }
+    ShadowLoad e = lq_.front();
+    lq_.pop_front();
+    if (!e.executed) {
+        protocolFail(seq, kNoCycle, "unexecuted load committed");
+        return;
+    }
+
+    // The decisive end-to-end check: resolve the load's committed
+    // (final) execution against the golden memory image. Commits are
+    // in program order, so the image's last writer of this address is
+    // exactly the youngest older store — the architecturally required
+    // value source.
+    const MemoryOracle::StoreRecord *g = oracle_.lastStore(e.addr);
+    if (g == nullptr) {
+        if (e.forwardedFrom != kNoSeq) {
+            CheckError err;
+            err.kind = CheckErrorKind::PhantomForward;
+            err.seq = seq;
+            err.pc = e.pc;
+            err.addr = e.addr;
+            err.cycle = e.executeCycle;
+            err.actual = e.forwardedFrom;
+            err.detail = "committed a forwarded value but no older "
+                         "store ever wrote this address";
+            fail(err);
+        }
+    } else if (e.forwardedFrom != g->seq) {
+        if (e.forwardedFrom != kNoSeq) {
+            CheckError err;
+            err.kind = CheckErrorKind::WrongForwarder;
+            err.seq = seq;
+            err.pc = e.pc;
+            err.addr = e.addr;
+            err.cycle = e.executeCycle;
+            err.expected = g->seq;
+            err.actual = e.forwardedFrom;
+            err.detail = strfmt(
+                "committed value came from store seq=%llu but the "
+                "youngest older writer is seq=%llu (pc=%#llx)",
+                static_cast<unsigned long long>(e.forwardedFrom),
+                static_cast<unsigned long long>(g->seq),
+                static_cast<unsigned long long>(g->pc));
+            fail(err);
+        } else if (g->commitCycle > e.executeCycle) {
+            // Read memory before the correct writer reached it, and
+            // never forwarded: the value is stale. Distinguish a
+            // skipped/broken forward (address was visible in the SQ)
+            // from a missed premature-load squash (it was not).
+            CheckError err;
+            err.kind = g->addrReadyCycle <= e.executeCycle
+                           ? CheckErrorKind::MissedForward
+                           : CheckErrorKind::MissedStoreLoadViolation;
+            err.seq = seq;
+            err.pc = e.pc;
+            err.addr = e.addr;
+            err.cycle = e.executeCycle;
+            err.expected = g->seq;
+            err.detail = strfmt(
+                "load executed at cycle %llu but store seq=%llu "
+                "(pc=%#llx, addr ready %llu) only reached memory at "
+                "cycle %llu and never forwarded",
+                static_cast<unsigned long long>(e.executeCycle),
+                static_cast<unsigned long long>(g->seq),
+                static_cast<unsigned long long>(g->pc),
+                static_cast<unsigned long long>(g->addrReadyCycle),
+                static_cast<unsigned long long>(g->commitCycle));
+            fail(err);
+        }
+    }
+
+    // Load-load ordering: when a policy enforces it, committed
+    // same-address loads must have non-decreasing final execute cycles
+    // (a detected violation re-executes the younger load later).
+    if (params_.loadCheck != LoadCheckPolicy::None) {
+        const MemoryOracle::LoadRecord *older = oracle_.lastLoad(e.addr);
+        if (older && older->executeCycle > e.executeCycle) {
+            CheckError err;
+            err.kind = CheckErrorKind::UndetectedLoadLoadOrder;
+            err.seq = seq;
+            err.pc = e.pc;
+            err.addr = e.addr;
+            err.cycle = e.executeCycle;
+            err.expected = older->seq;
+            err.detail = strfmt(
+                "younger load executed at cycle %llu, older load "
+                "seq=%llu (pc=%#llx) executed at cycle %llu — the "
+                "ordering check never squashed the younger load",
+                static_cast<unsigned long long>(e.executeCycle),
+                static_cast<unsigned long long>(older->seq),
+                static_cast<unsigned long long>(older->pc),
+                static_cast<unsigned long long>(older->executeCycle));
+            fail(err);
+        }
+    }
+
+    if (!oracle_.commitLoad(seq, e.pc, e.addr, e.executeCycle))
+        protocolFail(seq, kNoCycle,
+                     "memory ops retired out of program order");
+    ++opsChecked_;
+}
+
+// ------------------------------------------------------ the rest ------
+
+void
+LsqChecker::onInvalidate(Addr addr, Cycle now,
+                         const StoreSearchOutcome &out)
+{
+    if (!out.accepted)
+        return;
+    // Reference: oldest outstanding (executed) load to the address —
+    // the R10000-style squash target.
+    SeqNum expect = kNoSeq;
+    for (const auto &e : lq_) {
+        if (e.executed && e.addr == addr) {
+            expect = e.seq;
+            break;
+        }
+    }
+    if (expect != out.violationLoad) {
+        CheckError err;
+        err.kind = expect == kNoSeq
+                       ? CheckErrorKind::PhantomStoreLoadViolation
+                       : CheckErrorKind::MissedStoreLoadDetection;
+        err.seq = kNoSeq;
+        err.addr = addr;
+        err.cycle = now;
+        err.expected = expect;
+        err.actual = out.violationLoad;
+        err.detail = "invalidation search disagreed with the oldest "
+                     "outstanding-load rule";
+        fail(err);
+    }
+    ++opsChecked_;
+}
+
+void
+LsqChecker::onSquash(SeqNum from)
+{
+    while (!lq_.empty() && lq_.back().seq >= from)
+        lq_.pop_back();
+    while (!sq_.empty() && sq_.back().seq >= from)
+        sq_.pop_back();
+}
+
+} // namespace lsqscale

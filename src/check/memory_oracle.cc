@@ -1,0 +1,45 @@
+#include "check/memory_oracle.hh"
+
+namespace lsqscale {
+
+bool
+MemoryOracle::advanceCommitOrder(SeqNum seq)
+{
+    bool ok = !anyCommit_ || seq > lastCommit_;
+    lastCommit_ = seq;
+    anyCommit_ = true;
+    ++commits_;
+    return ok;
+}
+
+bool
+MemoryOracle::commitStore(SeqNum seq, Pc pc, Addr addr,
+                          Cycle addrReadyCycle, Cycle commitCycle)
+{
+    image_[addr] = StoreRecord{seq, pc, addrReadyCycle, commitCycle};
+    return advanceCommitOrder(seq);
+}
+
+bool
+MemoryOracle::commitLoad(SeqNum seq, Pc pc, Addr addr,
+                         Cycle executeCycle)
+{
+    loads_[addr] = LoadRecord{seq, pc, executeCycle};
+    return advanceCommitOrder(seq);
+}
+
+const MemoryOracle::StoreRecord *
+MemoryOracle::lastStore(Addr addr) const
+{
+    auto it = image_.find(addr);
+    return it == image_.end() ? nullptr : &it->second;
+}
+
+const MemoryOracle::LoadRecord *
+MemoryOracle::lastLoad(Addr addr) const
+{
+    auto it = loads_.find(addr);
+    return it == loads_.end() ? nullptr : &it->second;
+}
+
+} // namespace lsqscale

@@ -43,4 +43,12 @@ warnImpl(const char *file, int line, const std::string &msg)
     std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 
+void
+assertFailImpl(const char *file, int line, const char *condition,
+               const std::string &msg)
+{
+    panicImpl(file, line,
+              std::string("assertion failed: ") + condition + " — " + msg);
+}
+
 } // namespace lsqscale

@@ -24,6 +24,17 @@ namespace lsqscale {
                             const std::string &msg);
 void warnImpl(const char *file, int line, const std::string &msg);
 
+/**
+ * Cold, out-of-line assertion-failure sink. Keeping the string
+ * concatenation and the panic plumbing out of the macro expansion
+ * means an LSQ_ASSERT in a hot loop costs exactly one predicted
+ * branch; the failure path (formatting, abort) is never inlined at
+ * the call site.
+ */
+[[noreturn]] __attribute__((cold, noinline)) void
+assertFailImpl(const char *file, int line, const char *condition,
+               const std::string &msg);
+
 /** Format helper: tiny printf-style wrapper returning std::string. */
 std::string strfmt(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
@@ -39,14 +50,39 @@ std::string strfmt(const char *fmt, ...)
 #define LSQ_WARN(...) \
     ::lsqscale::warnImpl(__FILE__, __LINE__, ::lsqscale::strfmt(__VA_ARGS__))
 
-/** Invariant check that survives NDEBUG builds. */
+/**
+ * Invariant check that survives NDEBUG builds.
+ *
+ * The success path is a single `if` with the failure branch marked
+ * unlikely; message formatting and the string concatenation happen in
+ * the cold out-of-line assertFailImpl(), so the arguments are never
+ * evaluated (and no formatting code is emitted inline) unless the
+ * condition actually fails.
+ */
 #define LSQ_ASSERT(cond, ...)                                             \
     do {                                                                  \
-        if (!(cond)) {                                                    \
-            ::lsqscale::panicImpl(__FILE__, __LINE__,                     \
-                std::string("assertion failed: " #cond " — ") +           \
+        if (__builtin_expect(!(cond), 0)) [[unlikely]] {                  \
+            ::lsqscale::assertFailImpl(__FILE__, __LINE__, #cond,         \
                 ::lsqscale::strfmt(__VA_ARGS__));                         \
         }                                                                 \
     } while (0)
+
+/**
+ * Debug-only invariant check for per-operation hot paths.
+ *
+ * In release builds (NDEBUG) it compiles to nothing: the condition and
+ * the message arguments sit in an unevaluated sizeof, so they are
+ * still type-checked but generate zero code. Sanitizer/debug builds
+ * (see CMakePresets.json) define LSQSCALE_ENABLE_DCHECK and get the
+ * full LSQ_ASSERT behavior.
+ */
+#if defined(LSQSCALE_ENABLE_DCHECK) || !defined(NDEBUG)
+#define LSQ_DCHECK(cond, ...) LSQ_ASSERT(cond, __VA_ARGS__)
+#else
+#define LSQ_DCHECK(cond, ...)                                             \
+    do {                                                                  \
+        (void)sizeof(!(cond));                                            \
+    } while (0)
+#endif
 
 #endif // LSQSCALE_COMMON_LOGGING_HH

@@ -227,6 +227,11 @@ Core::commitStage()
                 stats_.counter("squash.storeload.commit").inc();
                 ssp_.trainPair(head.op.pc, out.violationLoadPc);
                 SeqNum victim = out.violationLoad;
+                LSQ_DCHECK(victim > head.op.seq,
+                           "commit-time violator %llu is not younger "
+                           "than the committing store %llu",
+                           static_cast<unsigned long long>(victim),
+                           static_cast<unsigned long long>(head.op.seq));
                 finishCommit(head);
                 ++n;
                 performSquash(victim, SquashReason::StoreLoadCommit);
@@ -675,6 +680,10 @@ Core::performSquash(SeqNum from, SquashReason reason)
     lsq_.squashFrom(from);
     fetchQ_.clear();
     stream_.squashTo(from);
+    // Every live LSQ entry belongs to a live ROB entry, so the rewound
+    // queues can never outnumber the rewound ROB.
+    LSQ_DCHECK(lsq_.lqLive() + lsq_.sqLive() <= rob_.size(),
+               "LSQ holds more ops than the ROB after a squash");
 
     if (pendingBranch_ != kNoSeq && pendingBranch_ >= from)
         pendingBranch_ = kNoSeq;

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace lsqscale {
@@ -53,6 +54,9 @@ class LoadBuffer
     void
     insert(SeqNum seq, Addr addr, Cycle executeCycle)
     {
+        LSQ_DCHECK(!full(), "insert into a full load buffer");
+        LSQ_DCHECK(executeCycle != kNoCycle,
+                   "inserted load has no execute cycle");
         live_.push_back(Entry{seq, addr, executeCycle});
     }
 

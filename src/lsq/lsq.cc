@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "check/lsq_checker.hh"
 #include "common/logging.hh"
+
+/**
+ * Notify the attached ordering oracle (if any) of an accepted state
+ * transition. Rejected operations never reach a hook: they leave the
+ * queue untouched, so there is nothing to shadow. Define
+ * LSQSCALE_NO_CHECK_HOOKS to compile the hooks out entirely.
+ */
+#if !defined(LSQSCALE_NO_CHECK_HOOKS)
+#define LSQ_CHECK_HOOK(call)                                              \
+    do {                                                                  \
+        if (checker_ != nullptr)                                          \
+            checker_->call;                                               \
+    } while (0)
+#else
+#define LSQ_CHECK_HOOK(call)                                              \
+    do {                                                                  \
+    } while (0)
+#endif
 
 namespace lsqscale {
 
@@ -34,7 +53,10 @@ Lsq::allocateLoad(SeqNum seq, Pc pc)
     e.seq = seq;
     e.pc = pc;
     e.segment = loadAlloc().allocate();
+    LSQ_DCHECK(e.segment < params_.numSegments,
+               "segment index out of range");
     lq_.push_back(e);
+    LSQ_CHECK_HOOK(onAllocateLoad(seq, pc));
 }
 
 void
@@ -47,7 +69,10 @@ Lsq::allocateStore(SeqNum seq, Pc pc)
     e.seq = seq;
     e.pc = pc;
     e.segment = storeAlloc().allocate();
+    LSQ_DCHECK(e.segment < params_.numSegments,
+               "segment index out of range");
     sq_.push_back(e);
+    LSQ_CHECK_HOOK(onAllocateStore(seq, pc));
 }
 
 // ---------------------------------------------------- lookups ---------
@@ -213,6 +238,8 @@ Lsq::advanceNilp(LoadIssueOutcome &outcome)
         if (!e.wasOoo)
             continue;
         LSQ_ASSERT(oooLive_ > 0, "oooLive underflow");
+        LSQ_DCHECK(e.executeCycle != kNoCycle,
+                   "NILP passed a load with no execute cycle");
         --oooLive_;
         if (useLb) {
             // Release the entry, then run the deferred ordering search
@@ -377,6 +404,12 @@ Lsq::issueLoad(SeqNum seq, Addr addr, Cycle now, bool wantSqSearch)
 
     advanceNilp(out);
     out.status = LoadIssueStatus::Accepted;
+
+    // NILP/LIV consistency: the load buffer only ever holds live
+    // loads that issued out of order and were not yet passed.
+    LSQ_DCHECK(!useLb || lb_.size() <= oooLive_,
+               "load buffer holds more entries than OOO loads live");
+    LSQ_CHECK_HOOK(onLoadIssue(seq, addr, now, out));
     return out;
 }
 
@@ -397,6 +430,7 @@ Lsq::storeAddrReady(SeqNum seq, Addr addr, Cycle now)
         s->addrValid = true;
         out.accepted = true;
         out.searchDoneCycle = now;
+        LSQ_CHECK_HOOK(onStoreAddrReady(seq, addr, now, out));
         return out;
     }
 
@@ -420,9 +454,12 @@ Lsq::storeAddrReady(SeqNum seq, Addr addr, Cycle now)
     out.segmentsVisited = static_cast<unsigned>(plan.visit.size());
     out.searchDoneCycle = now + plan.visit.size();
     if (plan.violator) {
+        LSQ_DCHECK(plan.violator->seq > seq,
+                   "store-load violator must be younger than the store");
         out.violationLoad = plan.violator->seq;
         out.violationLoadPc = plan.violator->pc;
     }
+    LSQ_CHECK_HOOK(onStoreAddrReady(seq, addr, now, out));
     return out;
 }
 
@@ -460,6 +497,7 @@ Lsq::invalidate(Addr addr, Cycle now)
         out.violationLoad = plan.violator->seq;
         out.violationLoadPc = plan.violator->pc;
     }
+    LSQ_CHECK_HOOK(onInvalidate(addr, now, out));
     return out;
 }
 
@@ -493,9 +531,12 @@ Lsq::commitStore(SeqNum seq, Cycle now)
         out.searchDoneCycle = now;
     }
 
+    LSQ_DCHECK(sq_.front().addrValid,
+               "committing a store that never exposed its address");
     sq_.pop_front();
     storeAlloc().freeOldest();
     out.accepted = true;
+    LSQ_CHECK_HOOK(onStoreCommit(seq, now, out));
     return out;
 }
 
@@ -514,6 +555,7 @@ Lsq::commitLoad(SeqNum seq)
     }
     lq_.pop_front();
     loadAlloc().freeOldest();
+    LSQ_CHECK_HOOK(onLoadCommit(seq));
 }
 
 // ---------------------------------------------------- recovery --------
@@ -545,6 +587,7 @@ Lsq::squashFrom(SeqNum seq)
             lqAlloc_.freeYoungest();
         }
         lb_.squashFrom(seq);
+        LSQ_CHECK_HOOK(onSquash(seq));
         return;
     }
 
@@ -562,6 +605,11 @@ Lsq::squashFrom(SeqNum seq)
         sqAlloc_.freeYoungest();
     }
     lb_.squashFrom(seq);
+    LSQ_DCHECK(lq_.empty() || lq_.back().seq < seq,
+               "squash left a too-young load behind");
+    LSQ_DCHECK(sq_.empty() || sq_.back().seq < seq,
+               "squash left a too-young store behind");
+    LSQ_CHECK_HOOK(onSquash(seq));
 }
 
 // ---------------------------------------------------- stats -----------

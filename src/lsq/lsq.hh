@@ -35,6 +35,8 @@
 
 namespace lsqscale {
 
+class LsqChecker;
+
 /** Why a load could not issue this cycle. */
 enum class LoadIssueStatus : std::uint8_t {
     Accepted,
@@ -174,6 +176,17 @@ class Lsq
     const LsqParams &params() const { return params_; }
     const LoadBuffer &loadBuffer() const { return lb_; }
 
+    // ------------------------------------------------ checking -------
+    /**
+     * Attach a memory-ordering oracle (src/check/lsq_checker.hh): a
+     * pure observer notified of every accepted state transition. The
+     * hook sites cost one null-pointer test per LSQ event; compile
+     * with -DLSQSCALE_NO_CHECK_HOOKS to strip even that. Pass nullptr
+     * to detach. The checker must outlive this Lsq (or be detached).
+     */
+    void attachChecker(LsqChecker *checker) { checker_ = checker; }
+    LsqChecker *checker() const { return checker_; }
+
   private:
     struct LoadEntry
     {
@@ -272,6 +285,9 @@ class Lsq
 
     /** Live loads issued out of order and not yet passed by the NILP. */
     unsigned oooLive_ = 0;
+
+    /** Attached ordering oracle, or nullptr (the common case). */
+    LsqChecker *checker_ = nullptr;
 };
 
 } // namespace lsqscale

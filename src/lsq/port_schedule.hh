@@ -91,15 +91,13 @@ class PortSchedule
     Slot &
     slot(unsigned segment, Cycle cycle)
     {
-        return slots_[segment * kWindow +
-                      static_cast<unsigned>(cycle % kWindow)];
+        return slots_[segment * kWindow + cycle % kWindow];
     }
 
     const Slot &
     slot(unsigned segment, Cycle cycle) const
     {
-        return slots_[segment * kWindow +
-                      static_cast<unsigned>(cycle % kWindow)];
+        return slots_[segment * kWindow + cycle % kWindow];
     }
 
     /**

@@ -59,7 +59,7 @@ class SegmentAllocator
             // Entries allocate and free in FIFO order (squash rewinds
             // the tail), so with live < total the tail slot is free.
             seg = tailSlot_ / perSegment_;
-            LSQ_ASSERT(occupancy_[seg] < perSegment_,
+            LSQ_DCHECK(occupancy_[seg] < perSegment_,
                        "no-self-circular tail segment full");
             allocSegs_.push_back(seg);
             tailSlot_ = (tailSlot_ + 1) % (segments_ * perSegment_);
@@ -71,7 +71,7 @@ class SegmentAllocator
                 seg = (seg + 1) % segments_;
                 ++tries;
             }
-            LSQ_ASSERT(occupancy_[seg] < perSegment_,
+            LSQ_DCHECK(occupancy_[seg] < perSegment_,
                        "no free segment despite canAllocate");
             current_ = seg;
             allocSegs_.push_back(seg);
@@ -88,7 +88,7 @@ class SegmentAllocator
         LSQ_ASSERT(!allocSegs_.empty(), "freeOldest on empty queue");
         unsigned seg = allocSegs_.front();
         allocSegs_.erase(allocSegs_.begin());
-        LSQ_ASSERT(occupancy_[seg] > 0, "occupancy underflow");
+        LSQ_DCHECK(occupancy_[seg] > 0, "occupancy underflow");
         --occupancy_[seg];
         --live_;
     }
@@ -100,7 +100,7 @@ class SegmentAllocator
         LSQ_ASSERT(!allocSegs_.empty(), "freeYoungest on empty queue");
         unsigned seg = allocSegs_.back();
         allocSegs_.pop_back();
-        LSQ_ASSERT(occupancy_[seg] > 0, "occupancy underflow");
+        LSQ_DCHECK(occupancy_[seg] > 0, "occupancy underflow");
         --occupancy_[seg];
         --live_;
         if (policy_ == SegAllocPolicy::NoSelfCircular) {

@@ -9,6 +9,11 @@
 #include "workload/benchmark_profile.hh"
 #include "workload/trace_file.hh"
 
+#ifdef LSQSCALE_CHECKER
+#include "check/lsq_checker.hh"
+#include "common/logging.hh"
+#endif
+
 namespace lsqscale {
 
 namespace {
@@ -78,6 +83,16 @@ Simulator::run()
     }
     Core &core = *corePtr;
 
+#ifdef LSQSCALE_CHECKER
+    // Shadow-execute every load/store against the ordering oracle.
+    // The checker is a pure observer, so checked runs produce
+    // bit-identical timing/IPC to unchecked runs; any mismatch panics
+    // at the faulting operation with full provenance.
+    LsqChecker checker(config_.lsq);
+    checker.setAbortOnError(true);
+    core.lsq().attachChecker(&checker);
+#endif
+
     std::uint64_t measured = effectiveInstructions(config_.instructions);
     std::uint64_t warmup = std::min(config_.warmup, measured / 4);
 
@@ -103,6 +118,14 @@ Simulator::run()
     result.stats.counter("l2.hits").inc(core.memory().l2().hits() - l2H);
     result.stats.counter("l2.misses").inc(core.memory().l2().misses() -
                                           l2M);
+
+#ifdef LSQSCALE_CHECKER
+    if (checker.mismatches() != 0)
+        LSQ_PANIC("ordering oracle found mismatches:\n%s",
+                  checker.report().c_str());
+    result.stats.counter("check.ops").inc(checker.opsChecked());
+    core.lsq().attachChecker(nullptr);
+#endif
     return result;
 }
 

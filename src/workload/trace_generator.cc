@@ -300,7 +300,11 @@ TraceGenerator::next()
         op.target = out.target;
         break;
       }
-      default: {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::FpAlu:
+      case OpClass::FpMult:
+      case OpClass::FpDiv: {
         bool fp = isFpOp(si.cls);
         op.src1 = pickSource(fp);
         if (rng_.chance(profile_.twoSrcProb))

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the memory-ordering oracle (src/check/).
+ *
+ * Two halves:
+ *
+ *  1. Mutant detection. The checker observes the LSQ through a narrow
+ *     event interface, so a broken LSQ is modeled precisely by the
+ *     event stream it would emit. Each mutant below replays the stream
+ *     of a deliberately broken implementation — a skipped SQ search, a
+ *     dropped violation squash, a mis-ordered load-buffer check, a
+ *     wrong forwarder pick — and the test asserts the oracle flags it
+ *     with the right CheckErrorKind. Driving events directly keeps the
+ *     mutants alive in every build flavor (no #ifdef'd sabotage code
+ *     in lsq.cc).
+ *
+ *  2. Clean runs. Whole-core simulations across the paper's design
+ *     points with a checker attached must report zero mismatches:
+ *     the oracle accepts every legal behavior of the real machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/lsq_checker.hh"
+#include "common/stats.hh"
+#include "core/core.hh"
+#include "lsq/lsq_params.hh"
+#include "sim/sim_config.hh"
+#include "workload/benchmark_profile.hh"
+
+using namespace lsqscale;
+
+namespace {
+
+// Event-building helpers: outcomes as the real Lsq would report them.
+
+LoadIssueOutcome
+issued(bool searchedSq, SeqNum forwardedFrom = kNoSeq)
+{
+    LoadIssueOutcome out;
+    out.status = LoadIssueStatus::Accepted;
+    out.searchedSq = searchedSq;
+    out.forwarded = forwardedFrom != kNoSeq;
+    out.forwardedFrom = forwardedFrom;
+    return out;
+}
+
+StoreSearchOutcome
+searched(SeqNum violationLoad = kNoSeq)
+{
+    StoreSearchOutcome out;
+    out.accepted = true;
+    out.violationLoad = violationLoad;
+    return out;
+}
+
+bool
+hasKind(const LsqChecker &c, CheckErrorKind kind)
+{
+    for (const CheckError &e : c.errors())
+        if (e.kind == kind)
+            return true;
+    return false;
+}
+
+std::string
+kinds(const LsqChecker &c)
+{
+    std::string out;
+    for (const CheckError &e : c.errors()) {
+        out += checkErrorKindName(e.kind);
+        out += ' ';
+    }
+    return out;
+}
+
+constexpr Addr kA = 0x9000;
+constexpr Addr kB = 0x9100;
+
+} // namespace
+
+// ----------------------------------------------------- clean streams --
+
+TEST(CheckerClean, ForwardedLoadCommitsClean)
+{
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateStore(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onStoreAddrReady(0, kA, 5, searched());
+    c.onLoadIssue(1, kA, 10, issued(true, 0));
+    c.onStoreCommit(0, 20, searched());
+    c.onLoadCommit(1);
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+    EXPECT_EQ(c.opsChecked(), 6u);
+}
+
+TEST(CheckerClean, RejectedEventsAreIgnored)
+{
+    // Rejected operations (no port / delayed commit) never mutate the
+    // Lsq; the hooks still fire and the checker must not advance its
+    // shadow state on them.
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateStore(0, 0x100);
+
+    StoreSearchOutcome noPort;   // accepted == false
+    c.onStoreAddrReady(0, kA, 4, noPort);
+    c.onStoreCommit(0, 5, noPort);
+
+    LoadIssueOutcome stalled;
+    stalled.status = LoadIssueStatus::NoSqPort;
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kA, 6, stalled);
+
+    c.onStoreAddrReady(0, kA, 7, searched());
+    c.onLoadIssue(1, kA, 9, issued(true, 0));
+    c.onStoreCommit(0, 12, searched());
+    c.onLoadCommit(1);
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+}
+
+TEST(CheckerClean, PairSchemeSquashReplayAccepted)
+{
+    // Pair-predictor scheme: a premature load is caught at the store's
+    // commit, squashed, and replayed. The full legal sequence must
+    // check clean end to end.
+    LsqParams p;
+    p.checkViolationsAtCommit = true;
+    LsqChecker c(p);
+
+    c.onAllocateStore(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kA, 5, issued(false));      // gated off, premature
+    c.onStoreAddrReady(0, kA, 10, searched());   // no search in pair mode
+    c.onStoreCommit(0, 20, searched(1));         // commit-time detection
+    c.onSquash(1);                               // core squashes the load
+    c.onAllocateLoad(1, 0x104);                  // replay
+    c.onLoadIssue(1, kA, 25, issued(true));      // store gone: from memory
+    c.onLoadCommit(1);
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+}
+
+// -------------------------------------------------- mutant: no search --
+
+// Mutant A1: the LSQ "searches" the SQ but its CAM match is broken —
+// an older matching addr-valid store is missed at issue time.
+TEST(CheckerMutant, BrokenSqSearchFlaggedAtIssue)
+{
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateStore(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onStoreAddrReady(0, kA, 5, searched());
+    c.onLoadIssue(1, kA, 10, issued(true));   // searched, found nothing
+    EXPECT_GE(c.mismatches(), 1u);
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::MissedForward)) << kinds(c);
+    const CheckError &e = c.errors().front();
+    EXPECT_EQ(e.seq, 1u);
+    EXPECT_EQ(e.expected, 0u);
+}
+
+// Mutant A2: the SQ search is skipped outright (broken gating) and no
+// later violation check compensates. Issue time cannot flag this —
+// skipping is legal under prediction — so the decisive check is the
+// golden-memory comparison at commit.
+TEST(CheckerMutant, SkippedSqSearchFlaggedAtCommit)
+{
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateStore(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onStoreAddrReady(0, kA, 5, searched());
+    c.onLoadIssue(1, kA, 10, issued(false));  // never searched
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+
+    c.onStoreCommit(0, 20, searched());
+    c.onLoadCommit(1);   // committed a stale value: store was visible
+    EXPECT_GE(c.mismatches(), 1u);
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::MissedForward)) << kinds(c);
+}
+
+// ---------------------------------------------- mutant: dropped squash --
+
+// Mutant B: a load executes before an older store's AGEN and the
+// violation machinery never reports it. Both defenses must fire: the
+// reference violator comparison at the store's search, and the golden
+// memory comparison at the load's commit.
+TEST(CheckerMutant, DroppedViolationFlaggedTwice)
+{
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateStore(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kA, 5, issued(true));      // premature, clean so far
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+
+    c.onStoreAddrReady(0, kA, 10, searched());  // mutant: reports nothing
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::MissedStoreLoadDetection))
+        << kinds(c);
+
+    c.onStoreCommit(0, 20, searched());
+    c.onLoadCommit(1);                          // stale value committed
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::MissedStoreLoadViolation))
+        << kinds(c);
+    EXPECT_GE(c.mismatches(), 2u);
+}
+
+// Mutant B2 (pair scheme): commit-time detection is dropped.
+TEST(CheckerMutant, DroppedCommitTimeDetectionFlagged)
+{
+    LsqParams p;
+    p.checkViolationsAtCommit = true;
+    LsqChecker c(p);
+    c.onAllocateStore(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kA, 5, issued(false));
+    c.onStoreAddrReady(0, kA, 10, searched());
+    c.onStoreCommit(0, 20, searched());   // mutant: no violator reported
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::MissedStoreLoadDetection))
+        << kinds(c);
+}
+
+// ------------------------------------------- mutant: wrong forwarder --
+
+// Mutant C: the CAM priority encoder picks the *oldest* matching store
+// instead of the youngest older one.
+TEST(CheckerMutant, WrongForwarderFlagged)
+{
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateStore(0, 0x100);
+    c.onAllocateStore(1, 0x104);
+    c.onAllocateLoad(2, 0x108);
+    c.onStoreAddrReady(0, kA, 2, searched());
+    c.onStoreAddrReady(1, kA, 4, searched());
+    c.onLoadIssue(2, kA, 10, issued(true, 0));   // should be store 1
+    EXPECT_GE(c.mismatches(), 1u);
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::WrongForwarder)) << kinds(c);
+    const CheckError &e = c.errors().front();
+    EXPECT_EQ(e.expected, 1u);
+    EXPECT_EQ(e.actual, 0u);
+}
+
+// Mutant C2: forwarding from thin air — no older matching store exists.
+TEST(CheckerMutant, PhantomForwardFlagged)
+{
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateStore(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onStoreAddrReady(0, kB, 2, searched());    // different address
+    c.onLoadIssue(1, kA, 10, issued(true, 0));
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::PhantomForward)) << kinds(c);
+}
+
+// -------------------------------------- mutant: load-load mis-order ---
+
+// Mutant D: the load buffer (or LQ load-load search) fails to flag a
+// younger same-address load that issued early. Neither load's issue
+// reports a violation, both commit — the commit-order invariant fires.
+TEST(CheckerMutant, UndetectedLoadLoadOrderFlagged)
+{
+    LsqParams p;
+    p.loadCheck = LoadCheckPolicy::LoadBuffer;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kA, 3, issued(true));   // younger issues first
+    c.onLoadIssue(0, kA, 8, issued(true));   // mutant: no violation
+    c.onLoadCommit(0);
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+    c.onLoadCommit(1);
+    EXPECT_GE(c.mismatches(), 1u);
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::UndetectedLoadLoadOrder))
+        << kinds(c);
+}
+
+// With ordering deliberately unenforced (ablation), the same stream is
+// architecturally acceptable and must check clean.
+TEST(CheckerMutant, LoadLoadOrderIgnoredWhenPolicyNone)
+{
+    LsqParams p;
+    p.loadCheck = LoadCheckPolicy::None;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kA, 3, issued(true));
+    c.onLoadIssue(0, kA, 8, issued(true));
+    c.onLoadCommit(0);
+    c.onLoadCommit(1);
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+}
+
+// Mutant D2: the ordering check cries wolf — reports a violating pair
+// that does not exist (different addresses).
+TEST(CheckerMutant, PhantomLoadLoadViolationFlagged)
+{
+    LsqParams p;
+    p.loadCheck = LoadCheckPolicy::LoadBuffer;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kB, 3, issued(true));   // younger, other address
+    LoadIssueOutcome out = issued(true);
+    out.llViolations.push_back(1);           // mutant: bogus report
+    c.onLoadIssue(0, kA, 8, out);
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::PhantomLoadLoadViolation))
+        << kinds(c);
+}
+
+// ------------------------------------------- mutant: broken protocol --
+
+TEST(CheckerMutant, OutOfOrderCommitFlagged)
+{
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(0, kA, 2, issued(true));
+    c.onLoadIssue(1, kA, 4, issued(true));
+    c.onLoadCommit(1);   // mutant: commits past the LQ head
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::BrokenProtocol)) << kinds(c);
+}
+
+TEST(CheckerMutant, DoubleIssueFlagged)
+{
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onLoadIssue(0, kA, 2, issued(true));
+    c.onLoadIssue(0, kA, 5, issued(true));   // no squash in between
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::BrokenProtocol)) << kinds(c);
+}
+
+// --------------------------------------------- whole-core clean runs --
+
+namespace {
+
+/**
+ * Run @p insts instructions of the synthetic workload on a real Core
+ * with a checker attached; the oracle must stay silent.
+ */
+void
+runChecked(const SimConfig &cfg, std::uint64_t insts)
+{
+    StatSet stats;
+    Core core(cfg.core, cfg.lsq, cfg.memory, profileFor(cfg.benchmark),
+              cfg.seed, stats);
+    LsqChecker checker(cfg.lsq);
+    core.lsq().attachChecker(&checker);
+    core.run(insts);
+    core.lsq().attachChecker(nullptr);
+    EXPECT_EQ(checker.mismatches(), 0u) << checker.report();
+    EXPECT_GT(checker.opsChecked(), insts / 4)
+        << "checker saw implausibly few memory events";
+}
+
+} // namespace
+
+TEST(CheckerCoreRuns, ConventionalBaseline)
+{
+    runChecked(configs::base("bzip"), 6000);
+}
+
+TEST(CheckerCoreRuns, SegmentedNoSelfCircular)
+{
+    runChecked(configs::withSegmentation(configs::base("bzip"), 4, 16,
+                                         SegAllocPolicy::NoSelfCircular),
+               6000);
+}
+
+TEST(CheckerCoreRuns, SegmentedSelfCircular)
+{
+    runChecked(configs::withSegmentation(configs::base("mcf"), 4, 16,
+                                         SegAllocPolicy::SelfCircular),
+               6000);
+}
+
+TEST(CheckerCoreRuns, PairPredictor)
+{
+    runChecked(configs::withPairPredictor(configs::base("bzip")), 6000);
+}
+
+TEST(CheckerCoreRuns, LoadBuffer)
+{
+    runChecked(configs::withLoadBuffer(configs::base("vortex"), 2), 6000);
+}
+
+TEST(CheckerCoreRuns, AllTechniquesSegmented)
+{
+    runChecked(configs::withSegmentation(
+                   configs::allTechniques(configs::base("bzip")), 4, 16,
+                   SegAllocPolicy::SelfCircular),
+               6000);
+}
+
+TEST(CheckerCoreRuns, CombinedQueue)
+{
+    runChecked(configs::withCombinedQueue(configs::base("bzip"), 32),
+               6000);
+}
+
+TEST(CheckerCoreRuns, InOrderLoads)
+{
+    runChecked(configs::withInOrderLoads(configs::base("bzip"), true),
+               6000);
+}

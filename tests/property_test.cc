@@ -11,6 +11,7 @@
 #include <deque>
 #include <vector>
 
+#include "check/lsq_checker.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "lsq/lsq.hh"
@@ -196,6 +197,228 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(3u, 11u, 42u, 500u, 9001u),
                        ::testing::Bool()));
 
+// ------------------------------------------------ checked LSQ fuzz ----
+
+/**
+ * Randomized traces validated by the ordering oracle. Unlike LsqFuzz
+ * above (which only checks occupancy and deliberately ignores the
+ * LSQ's violation reports), this harness plays the core's role
+ * faithfully — every load searches the SQ, every reported violation
+ * triggers a squash-and-replay, commits retire the oldest op — so the
+ * oracle's zero-mismatch guarantee applies: any forwarding or ordering
+ * bug the random trace tickles fails the test with full provenance.
+ */
+class CheckedLsqFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>>
+{
+};
+
+namespace {
+
+/** Deterministic address per op: replays after a squash re-read it. */
+Addr
+fuzzAddr(SeqNum seq)
+{
+    return 0x8000 + 8 * (seq % 16);
+}
+
+} // namespace
+
+TEST_P(CheckedLsqFuzz, OracleFindsNoMismatches)
+{
+    auto [seed, design] = GetParam();
+    LsqParams params;
+    params.lqEntries = 8;
+    params.sqEntries = 8;
+    params.numSegments = 2;
+    params.searchPorts = 2;
+    params.allocPolicy = SegAllocPolicy::SelfCircular;
+    switch (design) {
+      case 0:   // conventional
+        break;
+      case 1:   // pair-predictor scheme: detection at store commit
+        params.checkViolationsAtCommit = true;
+        break;
+      case 2:   // load buffer replaces LQ load-load searches
+        params.loadCheck = LoadCheckPolicy::LoadBuffer;
+        params.loadBufferEntries = 2;
+        break;
+      case 3:   // combined load/store queue
+        params.combinedQueue = true;
+        break;
+    }
+
+    StatSet stats;
+    Lsq lsq(params, stats);
+    LsqChecker checker(params);
+    lsq.attachChecker(&checker);
+    Rng rng(seed);
+
+    std::deque<ShadowLoad> loads;
+    std::deque<ShadowStore> stores;
+    SeqNum nextSeq = 0;
+    Cycle now = 0;
+
+    auto doSquash = [&](SeqNum target) {
+        lsq.squashFrom(target);
+        while (!loads.empty() && loads.back().seq >= target)
+            loads.pop_back();
+        while (!stores.empty() && stores.back().seq >= target)
+            stores.pop_back();
+        nextSeq = target;   // the stream replays from the squash point
+    };
+
+    for (int step = 0; step < 20000; ++step) {
+        ++now;
+        double r = rng.uniform();
+        if (r < 0.30) {
+            bool isLoad = rng.chance(0.6);
+            if (isLoad && lsq.canAllocateLoad()) {
+                lsq.allocateLoad(nextSeq, 0x1000 + 4 * nextSeq);
+                loads.push_back({nextSeq, false});
+                ++nextSeq;
+            } else if (!isLoad && lsq.canAllocateStore()) {
+                lsq.allocateStore(nextSeq, 0x1000 + 4 * nextSeq);
+                stores.push_back({nextSeq, false});
+                ++nextSeq;
+            } else {
+                ++nextSeq;   // arithmetic op, seq advances
+            }
+        } else if (r < 0.52) {
+            // Issue a random non-executed load; honor any load-load
+            // violation report with the squash the core would perform.
+            std::vector<ShadowLoad *> cands;
+            for (auto &l : loads)
+                if (!l.executed)
+                    cands.push_back(&l);
+            if (!cands.empty()) {
+                ShadowLoad *l = cands[rng.below(cands.size())];
+                LoadIssueOutcome out =
+                    lsq.issueLoad(l->seq, fuzzAddr(l->seq), now, true);
+                if (out.status == LoadIssueStatus::Accepted) {
+                    l->executed = true;
+                    if (!out.llViolations.empty()) {
+                        SeqNum oldest = out.llViolations.front();
+                        for (SeqNum v : out.llViolations)
+                            oldest = std::min(oldest, v);
+                        doSquash(oldest);
+                    }
+                }
+            }
+        } else if (r < 0.68) {
+            // AGEN a random non-executed store; a reported premature
+            // load squashes (conventional execute-time detection).
+            std::vector<ShadowStore *> cands;
+            for (auto &s : stores)
+                if (!s.executed)
+                    cands.push_back(&s);
+            if (!cands.empty()) {
+                ShadowStore *s = cands[rng.below(cands.size())];
+                StoreSearchOutcome out =
+                    lsq.storeAddrReady(s->seq, fuzzAddr(s->seq), now);
+                if (out.accepted) {
+                    s->executed = true;
+                    if (out.violationLoad != kNoSeq)
+                        doSquash(out.violationLoad);
+                }
+            }
+        } else if (r < 0.90) {
+            // Commit the oldest memory op if it has executed; honor
+            // commit-time violation reports (pair scheme).
+            SeqNum oldestLoad =
+                loads.empty() ? kNoSeq : loads.front().seq;
+            SeqNum oldestStore =
+                stores.empty() ? kNoSeq : stores.front().seq;
+            if (oldestLoad != kNoSeq &&
+                (oldestStore == kNoSeq || oldestLoad < oldestStore)) {
+                if (loads.front().executed) {
+                    lsq.commitLoad(oldestLoad);
+                    loads.pop_front();
+                }
+            } else if (oldestStore != kNoSeq &&
+                       stores.front().executed) {
+                StoreSearchOutcome out =
+                    lsq.commitStore(oldestStore, now);
+                if (out.accepted) {
+                    stores.pop_front();
+                    if (out.violationLoad != kNoSeq)
+                        doSquash(out.violationLoad);
+                }
+            }
+        } else if (loads.size() + stores.size() > 0) {
+            // Branch misprediction: squash from a random live seq.
+            SeqNum lo = kNoSeq;
+            if (!loads.empty())
+                lo = loads.front().seq;
+            if (!stores.empty())
+                lo = lo == kNoSeq ? stores.front().seq
+                                  : std::min(lo, stores.front().seq);
+            doSquash(lo + rng.below(nextSeq - lo + 1));
+        }
+
+        ASSERT_EQ(checker.mismatches(), 0u)
+            << "step " << step << "\n" << checker.report();
+    }
+
+    // Drain: retire everything outstanding so the end-to-end commit
+    // checks cover the tail of the trace too.
+    for (int guard = 0; guard < 200000 &&
+                        (loads.size() + stores.size()) > 0; ++guard) {
+        ++now;
+        SeqNum oldestLoad = loads.empty() ? kNoSeq : loads.front().seq;
+        SeqNum oldestStore =
+            stores.empty() ? kNoSeq : stores.front().seq;
+        if (oldestLoad != kNoSeq &&
+            (oldestStore == kNoSeq || oldestLoad < oldestStore)) {
+            ShadowLoad &l = loads.front();
+            if (!l.executed) {
+                LoadIssueOutcome out =
+                    lsq.issueLoad(l.seq, fuzzAddr(l.seq), now, true);
+                if (out.status != LoadIssueStatus::Accepted)
+                    continue;
+                l.executed = true;
+                if (!out.llViolations.empty()) {
+                    SeqNum oldest = out.llViolations.front();
+                    for (SeqNum v : out.llViolations)
+                        oldest = std::min(oldest, v);
+                    doSquash(oldest);
+                    continue;
+                }
+            }
+            lsq.commitLoad(l.seq);
+            loads.pop_front();
+        } else if (oldestStore != kNoSeq) {
+            ShadowStore &s = stores.front();
+            if (!s.executed) {
+                StoreSearchOutcome out =
+                    lsq.storeAddrReady(s.seq, fuzzAddr(s.seq), now);
+                if (!out.accepted)
+                    continue;
+                s.executed = true;
+                if (out.violationLoad != kNoSeq) {
+                    doSquash(out.violationLoad);
+                    continue;
+                }
+            }
+            StoreSearchOutcome out = lsq.commitStore(s.seq, now);
+            if (out.accepted) {
+                stores.pop_front();
+                if (out.violationLoad != kNoSeq)
+                    doSquash(out.violationLoad);
+            }
+        }
+    }
+    EXPECT_EQ(loads.size() + stores.size(), 0u)
+        << "drain loop failed to retire the tail";
+    EXPECT_EQ(checker.mismatches(), 0u) << checker.report();
+    lsq.attachChecker(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, CheckedLsqFuzz,
+    ::testing::Combine(::testing::Values(5u, 123u, 4242u),
+                       ::testing::Values(0, 1, 2, 3)));
+
 // ------------------------------------------- StoreSet counter fuzz ----
 
 class StoreSetFuzz : public ::testing::TestWithParam<std::uint64_t>
@@ -261,6 +484,8 @@ TEST(LsqProperty, ForwardingAlwaysReturnsYoungestOlderMatch)
         params.loadCheck = LoadCheckPolicy::None;
         StatSet stats;
         Lsq lsq(params, stats);
+        LsqChecker checker(params);
+        lsq.attachChecker(&checker);
 
         std::vector<std::pair<SeqNum, Addr>> storeAddrs;
         SeqNum seq = 0;
@@ -293,5 +518,8 @@ TEST(LsqProperty, ForwardingAlwaysReturnsYoungestOlderMatch)
             ASSERT_TRUE(out.forwarded);
             EXPECT_EQ(out.forwardedFrom, expect);
         }
+        // The ordering oracle shadows the same trial and must agree.
+        EXPECT_EQ(checker.mismatches(), 0u) << checker.report();
+        lsq.attachChecker(nullptr);
     }
 }
