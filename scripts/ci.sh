@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# CI driver: build and test the four correctness flavors
-# (docs/CHECKING.md). Fails on the first problem.
+# CI driver: build and test the correctness flavors
+# (docs/CHECKING.md, docs/HARNESS.md). Fails on the first problem.
 #
 #   1. release     — tier-1: the default RelWithDebInfo build + ctest
 #   2. asan-ubsan  — AddressSanitizer + UBSan, LSQ_DCHECK on
 #   3. checker     — LSQ_CHECKER=ON: every simulation shadow-executed
 #                    against the memory-ordering oracle; also runs the
 #                    fig7_sq_speedup bench under the oracle
-#   4. lint        — scripts/lint.py standalone (also a ctest in every
+#   4. tsan        — ThreadSanitizer on harness_test: the sweep
+#                    engine's pool, sinks, and logging under a race
+#                    detector
+#   5. bench-smoke — fig7_sq_speedup with LSQSCALE_JOBS=4 vs a serial
+#                    run; table and CSV output must be byte-identical
+#                    (the harness determinism contract)
+#   6. lint        — scripts/lint.py standalone (also a ctest in every
 #                    flavor above, so this is a fast final recheck)
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
@@ -37,6 +43,31 @@ run_flavor checker -DLSQ_CHECKER=ON
 banner "flavor: checker (fig7_sq_speedup bench under the oracle)"
 LSQSCALE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}" \
     ./build-ci-checker/bench/fig7_sq_speedup
+
+banner "flavor: tsan (harness_test under ThreadSanitizer)"
+cmake -B build-ci-tsan -S . -DLSQ_TSAN=ON >/dev/null
+cmake --build build-ci-tsan -j "$JOBS" --target harness_test
+./build-ci-tsan/tests/harness_test
+
+banner "flavor: bench-smoke (parallel sweep byte-identical to serial)"
+SMOKE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
+SMOKE_DIR="build-ci-release/bench-smoke"
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR/serial" "$SMOKE_DIR/parallel"
+LSQSCALE_INSTS="$SMOKE_INSTS" LSQSCALE_JOBS=1 \
+    LSQSCALE_CSV_DIR="$SMOKE_DIR/serial" \
+    ./build-ci-release/bench/fig7_sq_speedup \
+    >"$SMOKE_DIR/serial/table.txt" 2>/dev/null
+LSQSCALE_INSTS="$SMOKE_INSTS" LSQSCALE_JOBS=4 \
+    LSQSCALE_CSV_DIR="$SMOKE_DIR/parallel" \
+    LSQSCALE_JSON_DIR="$SMOKE_DIR/parallel" \
+    ./build-ci-release/bench/fig7_sq_speedup \
+    >"$SMOKE_DIR/parallel/table.txt" 2>/dev/null
+diff -r --exclude='BENCH_*.json' "$SMOKE_DIR/serial" "$SMOKE_DIR/parallel"
+python3 -c "import json,glob,sys; \
+    [json.load(open(p)) for p in \
+     glob.glob('$SMOKE_DIR/parallel/BENCH_*.json')] or \
+    sys.exit('bench-smoke: no BENCH_*.json emitted')"
 
 banner "flavor: lint"
 python3 scripts/lint.py

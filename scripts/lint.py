@@ -22,6 +22,11 @@ does not enforce:
   bare-assert       invariants use LSQ_ASSERT/LSQ_DCHECK (cold failure
                     path, survives NDEBUG where intended), never the
                     C assert macro.
+  raw-thread        concurrency goes through harness::JobPool; raw
+                    std::thread / std::jthread / std::async outside
+                    src/harness/ means a second queue, a second
+                    shutdown protocol, and sweeps whose results depend
+                    on scheduling.
 
 A finding can be suppressed by appending `// lint: allow-<rule>` to
 the offending line. Exit status is the number of findings (0 = clean).
@@ -271,6 +276,32 @@ def check_stats_buckets(root, findings):
                     f"silently ignored"))
 
 
+# ------------------------------------------------------- raw-thread ----
+
+# std::thread construction / std::async, but not std::thread::… static
+# member calls (hardware_concurrency) and not std::this_thread.
+RAW_THREAD = re.compile(
+    r"\bstd::(?:jthread\b|async\s*\(|thread\b(?!\s*::))")
+
+
+def in_harness(path: Path, root: Path) -> bool:
+    try:
+        return path.relative_to(root).parts[:2] == ("src", "harness")
+    except ValueError:
+        return False
+
+
+def check_raw_thread(path, raw_lines, code_lines, findings, root):
+    if in_harness(path, root):
+        return
+    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if RAW_THREAD.search(code) and not allowed(raw, "raw-thread"):
+            findings.append(Finding(
+                path, ln, "raw-thread",
+                "raw thread construction outside src/harness/: "
+                "run work through harness JobPool/Sweep"))
+
+
 # ------------------------------------------------------ bare-assert ----
 
 BARE_ASSERT = re.compile(r"(?<![A-Za-z_])assert\s*\(")
@@ -306,6 +337,7 @@ def main() -> int:
         check_narrowing_casts(path, raw_lines, code_lines, findings)
         check_partial_switches(path, raw_lines, code, enums, findings)
         check_bare_assert(path, raw_lines, code_lines, findings)
+        check_raw_thread(path, raw_lines, code_lines, findings, root)
 
     check_stats_buckets(root, findings)
 

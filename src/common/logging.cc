@@ -2,8 +2,25 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 namespace lsqscale {
+
+namespace {
+
+/**
+ * One process-wide mutex serializes every diagnostic line. A function-
+ * local static keeps initialization order safe for callers that log
+ * from static constructors.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 std::string
 strfmt(const char *fmt, ...)
@@ -24,23 +41,33 @@ strfmt(const char *fmt, ...)
 }
 
 void
+logLine(std::FILE *stream, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(msg.data(), 1, msg.size(), stream);
+    if (msg.empty() || msg.back() != '\n')
+        std::fputc('\n', stream);
+    std::fflush(stream);
+}
+
+void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    logLine(stderr, strfmt("panic: %s (%s:%d)", msg.c_str(), file, line));
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    logLine(stderr, strfmt("fatal: %s (%s:%d)", msg.c_str(), file, line));
     std::exit(1);
 }
 
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    logLine(stderr, strfmt("warn: %s (%s:%d)", msg.c_str(), file, line));
 }
 
 void

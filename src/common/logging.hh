@@ -25,6 +25,18 @@ namespace lsqscale {
 void warnImpl(const char *file, int line, const std::string &msg);
 
 /**
+ * Mutex-guarded whole-line writer.
+ *
+ * Writes @p msg (a trailing newline is appended if missing) to
+ * @p stream as one atomic unit: concurrent harness workers calling
+ * logLine() never interleave partial lines. warn()/panic()/fatal()
+ * route through the same mutex, so diagnostics stay whole under the
+ * parallel sweep engine too. All harness/experiment progress output
+ * must go through this instead of raw fprintf.
+ */
+void logLine(std::FILE *stream, const std::string &msg);
+
+/**
  * Cold, out-of-line assertion-failure sink. Keeping the string
  * concatenation and the panic plumbing out of the macro expansion
  * means an LSQ_ASSERT in a hot loop costs exactly one predicted

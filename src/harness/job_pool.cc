@@ -1,0 +1,79 @@
+#include "harness/job_pool.hh"
+
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+JobPool::JobPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+JobPool::submit(std::function<void()> job)
+{
+    LSQ_ASSERT(job != nullptr, "JobPool::submit(null job)");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        LSQ_ASSERT(!stopping_, "JobPool::submit after shutdown began");
+        queue_.push_back(std::move(job));
+    }
+    workCv_.notify_one();
+}
+
+void
+JobPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    doneCv_.wait(lock,
+                 [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+JobPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        workCv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            // stopping_ && empty: drained, shut down.
+            return;
+        }
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+        lock.unlock();
+        try {
+            job();
+        } catch (const std::exception &e) {
+            LSQ_PANIC("job leaked an exception into JobPool: %s",
+                      e.what());
+        } catch (...) {
+            LSQ_PANIC("job leaked an unknown exception into JobPool");
+        }
+        lock.lock();
+        --running_;
+        if (queue_.empty() && running_ == 0)
+            doneCv_.notify_all();
+    }
+}
+
+} // namespace lsqscale

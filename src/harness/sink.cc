@@ -1,0 +1,203 @@
+#include "harness/sink.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::TimedOut:
+        return "timeout";
+    }
+    return "unknown";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt(
+                    "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+// ----------------------------------------------------- ProgressSink --
+
+void
+ProgressSink::jobStarted(const SweepCell &cell)
+{
+    logLine(stream_, strfmt("[run] %-28s %s", cell.configLabel.c_str(),
+                            cell.benchmark.c_str()));
+}
+
+void
+ProgressSink::cellDone(const SweepCell &cell)
+{
+    if (!cell.poisoned())
+        return;
+    logLine(stream_,
+            strfmt("[poisoned] %-22s %s: %s after %u attempt(s): %s",
+                   cell.configLabel.c_str(), cell.benchmark.c_str(),
+                   jobStatusName(cell.status), cell.attempts,
+                   cell.error.c_str()));
+}
+
+// ------------------------------------------------------ CsvFileSink --
+
+std::string
+CsvFileSink::render(const SweepOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "benchmark";
+    for (const auto &row : outcome.grid)
+        if (!row.empty())
+            os << "," << row.front().configLabel;
+    os << "\n";
+    if (outcome.grid.empty())
+        return os.str();
+    char buf[32];
+    for (std::size_t c = 0; c < outcome.grid.front().size(); ++c) {
+        os << outcome.grid.front()[c].benchmark;
+        for (const auto &row : outcome.grid) {
+            std::snprintf(buf, sizeof(buf), "%.6f",
+                          row[c].result.ipc());
+            os << "," << buf;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+CsvFileSink::sweepEnd(const SweepOutcome &outcome)
+{
+    std::string data = render(outcome);
+    if (std::FILE *f = std::fopen(path_.c_str(), "w")) {
+        std::fwrite(data.data(), 1, data.size(), f);
+        std::fclose(f);
+    } else {
+        LSQ_WARN("cannot write sweep CSV %s", path_.c_str());
+    }
+}
+
+// ----------------------------------------------------- JsonFileSink --
+
+std::string
+JsonFileSink::render(const SweepOutcome &outcome,
+                     const std::map<std::string, std::string> &metadata)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"lsqscale-sweep-v1\",\n";
+    os << "  \"name\": \"" << jsonEscape(outcome.name) << "\",\n";
+    os << "  \"jobs\": " << outcome.jobs << ",\n";
+    os << "  \"poisoned_cells\": " << outcome.poisonedCells << ",\n";
+    os << "  \"wall_seconds\": "
+       << strfmt("%.3f", outcome.seconds) << ",\n";
+
+    os << "  \"meta\": {";
+    bool first = true;
+    for (const auto &kv : metadata) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    \"" << jsonEscape(kv.first) << "\": \""
+           << jsonEscape(kv.second) << "\"";
+    }
+    os << (first ? "},\n" : "\n  },\n");
+
+    os << "  \"configs\": [";
+    first = true;
+    for (const auto &row : outcome.grid) {
+        if (row.empty())
+            continue;
+        os << (first ? "" : ", ") << "\""
+           << jsonEscape(row.front().configLabel) << "\"";
+        first = false;
+    }
+    os << "],\n";
+
+    os << "  \"benchmarks\": [";
+    first = true;
+    if (!outcome.grid.empty()) {
+        for (const auto &cell : outcome.grid.front()) {
+            os << (first ? "" : ", ") << "\""
+               << jsonEscape(cell.benchmark) << "\"";
+            first = false;
+        }
+    }
+    os << "],\n";
+
+    os << "  \"cells\": [";
+    first = true;
+    for (const auto &row : outcome.grid) {
+        for (const auto &cell : row) {
+            os << (first ? "\n" : ",\n");
+            first = false;
+            os << "    {\"config\": \"" << jsonEscape(cell.configLabel)
+               << "\", \"benchmark\": \"" << jsonEscape(cell.benchmark)
+               << "\", \"row\": " << cell.row
+               << ", \"col\": " << cell.col
+               << ", \"status\": \"" << jobStatusName(cell.status)
+               << "\", \"attempts\": " << cell.attempts
+               << ", \"seed\": " << cell.seed
+               << ", \"ipc\": " << strfmt("%.6f", cell.result.ipc())
+               << ", \"cycles\": " << cell.result.cycles
+               << ", \"committed\": " << cell.result.committed
+               << ", \"sq_searches\": " << cell.result.sqSearches()
+               << ", \"lq_searches\": " << cell.result.lqSearches()
+               << ", \"seconds\": " << strfmt("%.3f", cell.seconds)
+               << ", \"error\": \"" << jsonEscape(cell.error)
+               << "\"}";
+        }
+    }
+    os << (first ? "]\n" : "\n  ]\n");
+    os << "}\n";
+    return os.str();
+}
+
+void
+JsonFileSink::sweepEnd(const SweepOutcome &outcome)
+{
+    std::string data = render(outcome, metadata_);
+    if (std::FILE *f = std::fopen(path_.c_str(), "w")) {
+        std::fwrite(data.data(), 1, data.size(), f);
+        std::fclose(f);
+    } else {
+        LSQ_WARN("cannot write sweep JSON %s", path_.c_str());
+    }
+}
+
+} // namespace lsqscale

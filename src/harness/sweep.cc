@@ -1,0 +1,289 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "harness/job_pool.hh"
+#include "harness/sink.hh"
+
+namespace lsqscale {
+
+namespace {
+
+/** Seconds between two steady_clock points. */
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+std::atomic<unsigned> g_jobsOverride{0};
+std::atomic<std::uint64_t> g_sweepFailures{0};
+std::once_flag g_exitHookOnce;
+
+/** One engine-wide mutex serializes sink callbacks. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+// ------------------------------------------------------ job count ----
+
+void
+setJobsOverride(unsigned jobs)
+{
+    g_jobsOverride.store(jobs, std::memory_order_relaxed);
+}
+
+unsigned
+jobsOverride()
+{
+    return g_jobsOverride.load(std::memory_order_relaxed);
+}
+
+unsigned
+resolveJobs(unsigned requested, std::size_t jobCount)
+{
+    unsigned jobs = requested;
+    if (jobs == 0)
+        jobs = jobsOverride();
+    if (jobs == 0) {
+        if (const char *env = std::getenv("LSQSCALE_JOBS")) {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(env, &end, 10);
+            if (end && *end == '\0' && v > 0 && v <= 0xffffffffu)
+                jobs = static_cast<unsigned>(v);
+            else if (*env)
+                LSQ_WARN("ignoring invalid LSQSCALE_JOBS='%s'", env);
+        }
+    }
+    if (jobs == 0)
+        jobs = std::thread::hardware_concurrency();
+    if (jobs == 0)
+        jobs = 1;
+    if (jobCount > 0 && jobs > jobCount)
+        jobs = static_cast<unsigned>(jobCount);
+    return jobs;
+}
+
+// -------------------------------------------------- failure report ----
+
+void
+noteSweepFailures(std::size_t n)
+{
+    if (n == 0)
+        return;
+    g_sweepFailures.fetch_add(n, std::memory_order_relaxed);
+    std::call_once(g_exitHookOnce, [] {
+        std::atexit([] {
+            std::uint64_t failures =
+                g_sweepFailures.load(std::memory_order_relaxed);
+            if (failures == 0)
+                return;
+            logLine(stderr,
+                    strfmt("sweep: %llu poisoned cell(s) across this "
+                           "process; forcing nonzero exit",
+                           static_cast<unsigned long long>(failures)));
+            std::_Exit(1);
+        });
+    });
+}
+
+std::uint64_t
+sweepFailureCount()
+{
+    return g_sweepFailures.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------ SweepOutcome --
+
+std::string
+SweepOutcome::summary() const
+{
+    std::size_t cells = 0;
+    for (const auto &row : grid)
+        cells += row.size();
+    return strfmt("sweep '%s': %zu cell(s), %u job(s), %zu poisoned, "
+                  "%.2fs",
+                  name.c_str(), cells, jobs, poisonedCells, seconds);
+}
+
+// ------------------------------------------------------------ Sweep --
+
+Sweep::Sweep(std::vector<NamedConfig> configs,
+             std::vector<std::string> benchmarks, SweepOptions opts)
+    : configs_(std::move(configs)), benchmarks_(std::move(benchmarks)),
+      opts_(std::move(opts))
+{
+    LSQ_ASSERT(opts_.maxAttempts > 0, "Sweep needs maxAttempts >= 1");
+}
+
+void
+Sweep::addSink(ResultSink *sink)
+{
+    LSQ_ASSERT(sink != nullptr, "Sweep::addSink(null)");
+    sinks_.push_back(sink);
+}
+
+void
+Sweep::setJobFn(JobFn fn)
+{
+    jobFn_ = std::move(fn);
+}
+
+std::uint64_t
+Sweep::jobSeed(std::uint64_t base, std::size_t row, std::size_t col)
+{
+    // Fold each coordinate through the splitmix64 finalizer so nearby
+    // grid cells get uncorrelated seeds. Pure in (base, row, col):
+    // never influenced by scheduling.
+    std::uint64_t s = Rng::mix(base + 0x9e3779b97f4a7c15ULL * (row + 1));
+    return Rng::mix(s + 0xbf58476d1ce4e5b9ULL * (col + 1));
+}
+
+void
+Sweep::notifyStarted(const SweepCell &cell)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    for (ResultSink *s : sinks_)
+        s->jobStarted(cell);
+}
+
+void
+Sweep::notifyDone(const SweepCell &cell)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    for (ResultSink *s : sinks_)
+        s->cellDone(cell);
+}
+
+void
+Sweep::runCell(SweepOutcome &out, std::size_t r, std::size_t c)
+{
+    SweepCell &cell = out.grid[r][c];
+    notifyStarted(cell);
+
+    for (unsigned attempt = 0; attempt < opts_.maxAttempts; ++attempt) {
+        if (attempt > 0 && opts_.backoffBase.count() > 0) {
+            // Exponential backoff before each retry (shift capped so
+            // absurd maxAttempts cannot overflow). Sleeping blocks
+            // this worker, which is fine: retries are the rare path.
+            unsigned shift = attempt - 1 < 16 ? attempt - 1 : 16;
+            std::this_thread::sleep_for(opts_.backoffBase *
+                                        (1u << shift));
+        }
+        auto start = std::chrono::steady_clock::now();
+        bool hasDeadline = opts_.timeout.count() > 0;
+        JobContext ctx(attempt, cell.seed, r, c,
+                       start + opts_.timeout, hasDeadline);
+        cell.attempts = attempt + 1;
+        try {
+            SimConfig cfg = configs_[r].make(benchmarks_[c]);
+            SimResult res = jobFn_(cfg, ctx);
+            auto end = std::chrono::steady_clock::now();
+            if (hasDeadline && end - start > opts_.timeout) {
+                // Completed, but over budget: best-effort timeout
+                // detection for jobs that cannot poll expired().
+                cell.status = JobStatus::TimedOut;
+                cell.error = strfmt(
+                    "attempt %u exceeded the %lldms budget", attempt + 1,
+                    static_cast<long long>(opts_.timeout.count()));
+                continue;
+            }
+            cell.result = std::move(res);
+            cell.status = JobStatus::Ok;
+            cell.error.clear();
+            cell.seconds = secondsBetween(start, end);
+            break;
+        } catch (const std::exception &e) {
+            cell.status =
+                ctx.expired() ? JobStatus::TimedOut : JobStatus::Failed;
+            cell.error = e.what();
+        } catch (...) {
+            cell.status = JobStatus::Failed;
+            cell.error = "unknown exception";
+        }
+    }
+
+    if (cell.poisoned()) {
+        // Graceful degradation: a zeroed result (ipc() == 0) keeps the
+        // grid rectangular so tables still render; the status/error
+        // carry the provenance.
+        cell.result = SimResult{};
+        cell.result.benchmark = cell.benchmark;
+    }
+    notifyDone(cell);
+}
+
+SweepOutcome
+Sweep::run()
+{
+    LSQ_ASSERT(!ran_, "Sweep::run() is single-shot");
+    LSQ_ASSERT(jobFn_ != nullptr,
+               "Sweep::run() without a job function; call setJobFn()");
+    ran_ = true;
+
+    const std::size_t rows = configs_.size();
+    const std::size_t cols = benchmarks_.size();
+
+    SweepOutcome out;
+    out.name = opts_.name;
+    out.grid.resize(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        out.grid[r].resize(cols);
+        for (std::size_t c = 0; c < cols; ++c) {
+            SweepCell &cell = out.grid[r][c];
+            cell.row = r;
+            cell.col = c;
+            cell.configLabel = configs_[r].label;
+            cell.benchmark = benchmarks_[c];
+            cell.seed = jobSeed(opts_.baseSeed, r, c);
+        }
+    }
+    out.jobs = resolveJobs(opts_.jobs, rows * cols);
+
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        for (ResultSink *s : sinks_)
+            s->sweepBegin(out);
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    if (out.jobs <= 1 || rows * cols <= 1) {
+        // Serial path: same grid order as the historical runner loop.
+        for (std::size_t r = 0; r < rows; ++r)
+            for (std::size_t c = 0; c < cols; ++c)
+                runCell(out, r, c);
+    } else {
+        JobPool pool(out.jobs);
+        for (std::size_t r = 0; r < rows; ++r)
+            for (std::size_t c = 0; c < cols; ++c)
+                pool.submit([this, &out, r, c] { runCell(out, r, c); });
+        pool.wait();
+    }
+    out.seconds =
+        secondsBetween(start, std::chrono::steady_clock::now());
+
+    for (const auto &row : out.grid)
+        for (const auto &cell : row)
+            if (cell.poisoned())
+                ++out.poisonedCells;
+
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        for (ResultSink *s : sinks_)
+            s->sweepEnd(out);
+    }
+    return out;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Sweep: the (design point × benchmark) experiment engine.
+ *
+ * Expands a grid of NamedConfig rows against a benchmark column list
+ * into independent jobs, executes them on a JobPool, and collects
+ * SimResults in stable paper order regardless of completion order.
+ *
+ * Determinism contract (docs/HARNESS.md):
+ *  - a job is a pure function of its grid coordinates: the config
+ *    factory, benchmark name, and per-job seed derive only from
+ *    (row, col), never from shared mutable state or scheduling order;
+ *  - therefore a parallel sweep is bit-identical to a serial sweep,
+ *    and to the pre-harness serial ExperimentRunner loop.
+ *
+ * Failure semantics: a job that throws is retried up to
+ * SweepOptions::maxAttempts times with exponential backoff; a job
+ * still failing (or exceeding its cooperative timeout) yields a
+ * POISONED cell — a zeroed SimResult plus the error string — and the
+ * sweep keeps going. SweepOutcome::exitCode() reports nonzero when any
+ * cell is poisoned.
+ */
+
+#ifndef LSQSCALE_HARNESS_SWEEP_HH
+#define LSQSCALE_HARNESS_SWEEP_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+namespace lsqscale {
+
+class ResultSink;
+
+/** A design point: label plus a per-benchmark config factory. */
+struct NamedConfig
+{
+    std::string label;
+    /**
+     * Benchmark name -> SimConfig. Factories run on worker threads:
+     * they must be pure (capture by value, touch no shared mutable
+     * state), which every existing bench's stateless lambda already is.
+     */
+    std::function<SimConfig(const std::string &)> make;
+};
+
+/** How a cell ended up. */
+enum class JobStatus
+{
+    Ok,       ///< result is valid
+    Failed,   ///< every attempt threw; cell poisoned
+    TimedOut, ///< exceeded its time budget; cell poisoned
+};
+
+/** Per-attempt context handed to the job function. */
+class JobContext
+{
+  public:
+    JobContext(unsigned attempt, std::uint64_t seed, std::size_t row,
+               std::size_t col,
+               std::chrono::steady_clock::time_point deadline,
+               bool hasDeadline)
+        : attempt_(attempt), seed_(seed), row_(row), col_(col),
+          deadline_(deadline), hasDeadline_(hasDeadline)
+    {
+    }
+
+    /** 0-based attempt number (> 0 means this is a retry). */
+    unsigned attempt() const { return attempt_; }
+
+    /**
+     * Deterministic per-job seed: a pure function of the sweep's base
+     * seed and the cell's grid coordinates (Sweep::jobSeed), identical
+     * whatever the worker count or completion order. The default
+     * simulation job does NOT override the config factory's own seed
+     * (that would break bit-identity with the serial baseline); custom
+     * jobs that want harness-provided randomness should use this.
+     */
+    std::uint64_t seed() const { return seed_; }
+
+    std::size_t row() const { return row_; }
+    std::size_t col() const { return col_; }
+
+    /**
+     * Cooperative cancellation: true once the cell's time budget is
+     * spent. Long-running custom jobs should poll this and bail out
+     * (return or throw); the engine additionally classifies a job
+     * whose wall time exceeded the budget as TimedOut after the fact.
+     */
+    bool
+    expired() const
+    {
+        return hasDeadline_ &&
+               std::chrono::steady_clock::now() >= deadline_;
+    }
+
+  private:
+    unsigned attempt_;
+    std::uint64_t seed_;
+    std::size_t row_;
+    std::size_t col_;
+    std::chrono::steady_clock::time_point deadline_;
+    bool hasDeadline_;
+};
+
+/** Knobs for one sweep. */
+struct SweepOptions
+{
+    /**
+     * Worker threads. 0 = resolve automatically: the process-wide
+     * --jobs override, else LSQSCALE_JOBS, else
+     * std::thread::hardware_concurrency(); always capped by the job
+     * count (see resolveJobs()).
+     */
+    unsigned jobs = 0;
+
+    /** Total tries per cell (1 = no retry). */
+    unsigned maxAttempts = 1;
+
+    /** Per-attempt time budget; zero means unlimited. */
+    std::chrono::milliseconds timeout{0};
+
+    /**
+     * First retry delay; doubles each further retry
+     * (backoffBase * 2^(attempt-1)).
+     */
+    std::chrono::milliseconds backoffBase{25};
+
+    /** Base of the deterministic per-job seed derivation. */
+    std::uint64_t baseSeed = 1;
+
+    /** Sweep name, used by sinks (e.g. the JSON file header). */
+    std::string name = "sweep";
+};
+
+/** One grid cell: coordinates, result, and failure provenance. */
+struct SweepCell
+{
+    std::size_t row = 0; ///< config index (paper order)
+    std::size_t col = 0; ///< benchmark index (paper order)
+    std::string configLabel;
+    std::string benchmark;
+
+    SimResult result;    ///< zeroed when poisoned
+    JobStatus status = JobStatus::Ok;
+    std::string error;   ///< what() of the last failing attempt
+    unsigned attempts = 0;
+    std::uint64_t seed = 0; ///< Sweep::jobSeed for this cell
+    double seconds = 0.0;   ///< wall time of the successful attempt
+
+    bool poisoned() const { return status != JobStatus::Ok; }
+};
+
+/** Everything a sweep produced, in stable grid order. */
+struct SweepOutcome
+{
+    std::string name;
+    /** grid[row][col]: row = config, col = benchmark (paper order). */
+    std::vector<std::vector<SweepCell>> grid;
+    unsigned jobs = 1;          ///< worker threads actually used
+    std::size_t poisonedCells = 0;
+    double seconds = 0.0;       ///< sweep wall time
+
+    /** 0 when every cell is healthy, 1 when any cell is poisoned. */
+    int exitCode() const { return poisonedCells == 0 ? 0 : 1; }
+
+    /** One-line human summary ("12 cells, 4 jobs, 1 poisoned ..."). */
+    std::string summary() const;
+};
+
+/**
+ * The sweep engine. Construct with the grid, optionally attach sinks
+ * and/or swap the job function (tests inject failing jobs), then
+ * run() once.
+ */
+class Sweep
+{
+  public:
+    /**
+     * A job: turn a materialized config into a result. Runs on a
+     * worker thread; may throw to signal failure (retried/poisoned
+     * per SweepOptions). Must not touch shared mutable state.
+     */
+    using JobFn =
+        std::function<SimResult(const SimConfig &, const JobContext &)>;
+
+    Sweep(std::vector<NamedConfig> configs,
+          std::vector<std::string> benchmarks, SweepOptions opts = {});
+
+    /**
+     * Attach a sink (not owned; must outlive run()). Sinks are
+     * notified under one engine mutex, so implementations need no
+     * locking of their own.
+     */
+    void addSink(ResultSink *sink);
+
+    /** Replace the job body. Must be set before run(). */
+    void setJobFn(JobFn fn);
+
+    /** Execute the whole grid; callable once. */
+    SweepOutcome run();
+
+    /**
+     * Deterministic per-job seed: splitmix64-folded (base, row, col).
+     * Pure — independent of worker count and completion order.
+     */
+    static std::uint64_t jobSeed(std::uint64_t base, std::size_t row,
+                                 std::size_t col);
+
+  private:
+    void runCell(SweepOutcome &out, std::size_t r, std::size_t c);
+    void notifyStarted(const SweepCell &cell);
+    void notifyDone(const SweepCell &cell);
+
+    std::vector<NamedConfig> configs_;
+    std::vector<std::string> benchmarks_;
+    SweepOptions opts_;
+    std::vector<ResultSink *> sinks_;
+    JobFn jobFn_;
+    bool ran_ = false;
+};
+
+/**
+ * Resolve the worker-thread count for @p jobCount independent jobs.
+ * Precedence: @p requested (e.g. SweepOptions::jobs or a --jobs flag)
+ * > setJobsOverride() > the LSQSCALE_JOBS environment variable >
+ * std::thread::hardware_concurrency(); the winner is capped by
+ * @p jobCount and floored at 1.
+ */
+unsigned resolveJobs(unsigned requested, std::size_t jobCount);
+
+/** Process-wide --jobs override (0 clears). Set once at startup. */
+void setJobsOverride(unsigned jobs);
+unsigned jobsOverride();
+
+/**
+ * Record @p n poisoned cells and arm an atexit hook that forces the
+ * process to exit nonzero with a one-line summary. This is how benches
+ * written as `return 0` report sweep failure without per-bench
+ * changes; code that wants explicit control uses
+ * SweepOutcome::exitCode() instead and never calls this.
+ */
+void noteSweepFailures(std::size_t n);
+
+/** Poisoned cells recorded so far via noteSweepFailures(). */
+std::uint64_t sweepFailureCount();
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_HARNESS_SWEEP_HH

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "harness/sweep.hh"
 #include "sim/simulator.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/trace_file.hh"
@@ -76,6 +77,13 @@ cliUsage()
         "  --scaled             12-wide issue, 96-entry IQ, 3-cycle L1\n"
         "  --invalidations R    external invalidations per kcycle "
         "(default 0)\n"
+        "\n"
+        "execution:\n"
+        "  --jobs N             worker threads for the sweep harness\n"
+        "                       (precedence: --jobs > LSQSCALE_JOBS >\n"
+        "                       hardware threads, capped by job count;\n"
+        "                       LSQSCALE_BENCH / LSQSCALE_INSTS narrow\n"
+        "                       the sweep as before)\n"
         "\n"
         "output:\n"
         "  --json               machine-readable result\n"
@@ -200,6 +208,10 @@ parseCli(const std::vector<std::string> &args, CliOptions &opts)
             opts.config = configs::allTechniques(opts.config);
         } else if (a == "--scaled") {
             opts.config = configs::scaledProcessor(opts.config);
+        } else if (a == "--jobs") {
+            if (!value(v) || !parseUnsigned(v, opts.jobs) ||
+                opts.jobs == 0)
+                return "--jobs needs a positive count";
         } else if (a == "--invalidations") {
             if (!value(v))
                 return "--invalidations needs a rate";
@@ -246,6 +258,8 @@ resultToJson(const SimResult &result, const SimConfig &config)
 int
 runCli(const CliOptions &opts)
 {
+    if (opts.jobs > 0)
+        setJobsOverride(opts.jobs);
     if (opts.showHelp) {
         std::fputs(cliUsage().c_str(), stdout);
         return 0;

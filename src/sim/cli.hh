@@ -28,6 +28,16 @@ struct CliOptions
     bool jsonOutput = false;
     bool dumpStats = false;
 
+    /**
+     * --jobs: process-wide worker-thread override for the sweep
+     * harness (0 = unset). Takes precedence over LSQSCALE_JOBS, which
+     * in turn beats std::thread::hardware_concurrency(); the winner is
+     * always capped by the number of jobs in a sweep. A single
+     * `lsqsim` simulation is one job, so this only matters for code
+     * paths that fan out sweeps (see docs/HARNESS.md).
+     */
+    unsigned jobs = 0;
+
     /** Record a synthetic trace to this path and exit. */
     std::string recordPath;
     std::uint64_t recordCount = 1000000;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "harness/sink.hh"
 
 namespace lsqscale {
 
@@ -34,7 +37,57 @@ isIntBench(const std::string &name)
     return std::find(v.begin(), v.end(), name) != v.end();
 }
 
+/** Short name of the running program (for BENCH_*.json files). */
+std::string
+programName()
+{
+#ifdef __GLIBC__
+    if (program_invocation_short_name && *program_invocation_short_name)
+        return program_invocation_short_name;
+#endif
+    return "sweep";
+}
+
+/**
+ * The LSQSCALE_JSON_DIR trajectory sink: first sweep of the process
+ * writes BENCH_<program>.json, later ones BENCH_<program>_2.json and
+ * so on. runAll() is only ever entered from the main thread (the
+ * harness parallelism lives *inside* a sweep), so a plain counter is
+ * safe here.
+ */
+std::unique_ptr<JsonFileSink>
+envJsonSink(const std::string &sweepName, unsigned jobs,
+            std::size_t cells)
+{
+    const char *dir = std::getenv("LSQSCALE_JSON_DIR");
+    if (!dir || !*dir)
+        return nullptr;
+    static unsigned sweepOrdinal = 0;
+    ++sweepOrdinal;
+    std::string path = std::string(dir) + "/BENCH_" + sweepName;
+    if (sweepOrdinal > 1)
+        path += strfmt("_%u", sweepOrdinal);
+    path += ".json";
+    std::map<std::string, std::string> meta = {
+        {"program", sweepName},
+        {"jobs", strfmt("%u", jobs)},
+        {"cells", strfmt("%zu", cells)},
+    };
+    if (const char *insts = std::getenv("LSQSCALE_INSTS"))
+        meta["insts_override"] = insts;
+    if (const char *bench = std::getenv("LSQSCALE_BENCH"))
+        meta["bench_override"] = bench;
+    return std::make_unique<JsonFileSink>(path, std::move(meta));
+}
+
 } // namespace
+
+SimResult
+runSimulationJob(const SimConfig &config, const JobContext &)
+{
+    Simulator sim(config);
+    return sim.run();
+}
 
 ExperimentRunner::ExperimentRunner(std::vector<std::string> benchmarks)
     : benchmarks_(benchOverrideFromEnv(std::move(benchmarks)))
@@ -44,24 +97,47 @@ ExperimentRunner::ExperimentRunner(std::vector<std::string> benchmarks)
 ResultRow
 ExperimentRunner::run(const NamedConfig &config) const
 {
-    ResultRow row;
-    row.reserve(benchmarks_.size());
-    for (const auto &bench : benchmarks_) {
-        std::fprintf(stderr, "[run] %-28s %s\n", config.label.c_str(),
-                     bench.c_str());
-        Simulator sim(config.make(bench));
-        row.push_back(sim.run());
-    }
-    return row;
+    std::vector<ResultRow> rows = runAll({config});
+    return std::move(rows.front());
 }
 
 std::vector<ResultRow>
 ExperimentRunner::runAll(const std::vector<NamedConfig> &configs) const
 {
+    SweepOptions opts;
+    opts.jobs = jobs_;
+    opts.name = programName();
+
+    Sweep sweep(configs, benchmarks_, opts);
+    sweep.setJobFn(runSimulationJob);
+
+    ProgressSink progress;
+    sweep.addSink(&progress);
+    auto json = envJsonSink(opts.name,
+                            resolveJobs(jobs_, configs.size() *
+                                                   benchmarks_.size()),
+                            configs.size() * benchmarks_.size());
+    if (json)
+        sweep.addSink(json.get());
+
+    SweepOutcome outcome = sweep.run();
+
+    if (outcome.poisonedCells > 0) {
+        // Graceful degradation: keep rendering (poisoned cells read
+        // as zero), but make sure the process cannot exit 0.
+        logLine(stderr, outcome.summary());
+        noteSweepFailures(outcome.poisonedCells);
+    }
+
     std::vector<ResultRow> rows;
-    rows.reserve(configs.size());
-    for (const auto &c : configs)
-        rows.push_back(run(c));
+    rows.reserve(outcome.grid.size());
+    for (auto &gridRow : outcome.grid) {
+        ResultRow row;
+        row.reserve(gridRow.size());
+        for (auto &cell : gridRow)
+            row.push_back(std::move(cell.result));
+        rows.push_back(std::move(row));
+    }
     return rows;
 }
 
@@ -233,8 +309,7 @@ ExperimentRunner::table(
                 std::fwrite(data.data(), 1, data.size(), f);
                 std::fclose(f);
             } else {
-                std::fprintf(stderr, "warn: cannot write %s\n",
-                             path.c_str());
+                LSQ_WARN("cannot write %s", path.c_str());
             }
         }
     }

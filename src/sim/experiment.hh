@@ -16,22 +16,28 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "harness/sweep.hh"
 #include "sim/simulator.hh"
 #include "workload/benchmark_profile.hh"
 
 namespace lsqscale {
 
-/** A design point: label plus a per-benchmark config factory. */
-struct NamedConfig
-{
-    std::string label;
-    std::function<SimConfig(const std::string &)> make;
-};
-
 /** Results of one design point across all benchmarks (paper order). */
 using ResultRow = std::vector<SimResult>;
 
-/** Experiment runner with progress reporting. */
+/**
+ * Experiment runner with progress reporting.
+ *
+ * Since the harness rebase every run()/runAll() executes as a Sweep on
+ * the src/harness job engine: cells run concurrently on
+ * resolveJobs()-many workers (--jobs / LSQSCALE_JOBS /
+ * hardware_concurrency, capped by cell count) and are collected in
+ * stable paper order, so parallel output is bit-identical to serial.
+ * A failed cell degrades to a poisoned (zeroed) result, a "[poisoned]"
+ * line, and a nonzero process exit at the end (noteSweepFailures)
+ * instead of killing the sweep. Setting LSQSCALE_JSON_DIR streams
+ * every sweep to "<dir>/BENCH_<program>[_n].json" (docs/HARNESS.md).
+ */
 class ExperimentRunner
 {
   public:
@@ -48,6 +54,12 @@ class ExperimentRunner
     /** Run several design points. Order preserved. */
     std::vector<ResultRow>
     runAll(const std::vector<NamedConfig> &configs) const;
+
+    /**
+     * Force the worker count for subsequent runs (0 = resolve from
+     * --jobs / LSQSCALE_JOBS / hardware concurrency).
+     */
+    void setJobs(unsigned jobs) { jobs_ = jobs; }
 
     const std::vector<std::string> &benchmarks() const
     {
@@ -98,7 +110,17 @@ class ExperimentRunner
 
   private:
     std::vector<std::string> benchmarks_;
+    unsigned jobs_ = 0;
 };
+
+/**
+ * The canonical simulation job: materialize a Simulator for the config
+ * and run it. The JobContext seed is deliberately unused — the config
+ * factory's own seed stays authoritative so harness runs reproduce the
+ * historical serial results bit-for-bit.
+ */
+SimResult runSimulationJob(const SimConfig &config,
+                           const JobContext &ctx);
 
 } // namespace lsqscale
 

@@ -141,13 +141,23 @@ TEST(Cli, UnknownOptionIsError)
     EXPECT_NE(parseErr({"--frobnicate"}), "");
 }
 
+TEST(Cli, JobsOption)
+{
+    EXPECT_EQ(parseOk({}).jobs, 0u);
+    EXPECT_EQ(parseOk({"--jobs", "8"}).jobs, 8u);
+    EXPECT_NE(parseErr({"--jobs"}), "");
+    EXPECT_NE(parseErr({"--jobs", "0"}), "");
+    EXPECT_NE(parseErr({"--jobs", "many"}), "");
+}
+
 TEST(Cli, UsageMentionsEveryOption)
 {
     std::string u = cliUsage();
     for (const char *flag :
          {"--benchmark", "--trace", "--insts", "--ports", "--segments",
           "--predictor", "--load-buffer", "--all-techniques",
-          "--scaled", "--json", "--record", "--invalidations"})
+          "--scaled", "--json", "--record", "--invalidations",
+          "--jobs"})
         EXPECT_NE(u.find(flag), std::string::npos) << flag;
 }
 

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Tests for the parallel sweep harness (src/harness/).
+ *
+ * The load-bearing property is the determinism contract from
+ * docs/HARNESS.md: a parallel sweep must be bit-identical to a serial
+ * sweep and to the historical serial runner loop. The rest covers the
+ * failure semantics (retry with backoff, cooperative timeout,
+ * poisoned-cell reporting) and the sink API. Under -DLSQ_CHECKER=ON
+ * every simulation below also shadow-executes against the ordering
+ * oracle on pool workers, which is exactly the "checker under the
+ * pool" configuration the TSan preset validates.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "harness/job_pool.hh"
+#include "harness/sink.hh"
+#include "harness/sweep.hh"
+#include "sim/experiment.hh"
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+namespace lsqscale {
+namespace {
+
+/** Small, fast design points used throughout. */
+SimConfig
+tinyConfig(const std::string &bench)
+{
+    SimConfig cfg = configs::base(bench);
+    cfg.instructions = 2000;
+    cfg.warmup = 200;
+    return cfg;
+}
+
+std::vector<NamedConfig>
+threeDesignPoints()
+{
+    return {
+        {"base", [](const std::string &b) { return tinyConfig(b); }},
+        {"perfect",
+         [](const std::string &b) {
+             return configs::withPerfectPredictor(tinyConfig(b));
+         }},
+        {"pair",
+         [](const std::string &b) {
+             return configs::withPairPredictor(tinyConfig(b));
+         }},
+    };
+}
+
+const std::vector<std::string> kBenches = {"bzip", "gcc", "art",
+                                           "mgrid"};
+
+/** Canonical serialization of a result for bit-identity comparison. */
+std::string
+fingerprint(const SimResult &r)
+{
+    std::ostringstream os;
+    os << r.benchmark << ":" << r.cycles << ":" << r.committed << "\n"
+       << r.stats.dump();
+    return os.str();
+}
+
+/** A dummy result for fabricated (non-simulating) jobs. */
+SimResult
+dummyResult(const std::string &bench)
+{
+    SimResult r;
+    r.benchmark = bench;
+    r.cycles = 100;
+    r.committed = 250;
+    return r;
+}
+
+// ------------------------------------------------------- JobPool -----
+
+TEST(JobPoolTest, RunsEverySubmittedJob)
+{
+    JobPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(JobPoolTest, JobsRunConcurrently)
+{
+    // Four jobs that each block until all four have started can only
+    // finish if the pool really runs them on distinct threads.
+    JobPool pool(4);
+    std::mutex mu;
+    std::condition_variable cv;
+    int started = 0;
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([&] {
+            std::unique_lock<std::mutex> lock(mu);
+            ++started;
+            cv.notify_all();
+            cv.wait(lock, [&] { return started == 4; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(started, 4);
+}
+
+TEST(JobPoolTest, WaitIsReusableAcrossBatches)
+{
+    JobPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+// ------------------------------------------------- determinism -------
+
+TEST(SweepTest, ParallelBitIdenticalToSerialAndHistoricalLoop)
+{
+    auto cfgs = threeDesignPoints();
+
+    ExperimentRunner serialRunner(kBenches);
+    serialRunner.setJobs(1);
+    auto serial = serialRunner.runAll(cfgs);
+
+    ExperimentRunner parallelRunner(kBenches);
+    parallelRunner.setJobs(4);
+    auto parallel = parallelRunner.runAll(cfgs);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+        ASSERT_EQ(serial[r].size(), parallel[r].size());
+        for (std::size_t c = 0; c < serial[r].size(); ++c)
+            EXPECT_EQ(fingerprint(serial[r][c]),
+                      fingerprint(parallel[r][c]))
+                << cfgs[r].label << "/" << kBenches[c];
+    }
+
+    // And both match the pre-harness serial loop exactly.
+    for (std::size_t r = 0; r < cfgs.size(); ++r) {
+        for (std::size_t c = 0; c < kBenches.size(); ++c) {
+            Simulator sim(cfgs[r].make(kBenches[c]));
+            EXPECT_EQ(fingerprint(sim.run()),
+                      fingerprint(parallel[r][c]))
+                << cfgs[r].label << "/" << kBenches[c];
+        }
+    }
+}
+
+TEST(SweepTest, JobSeedIsPureInCoordinates)
+{
+    std::uint64_t s00 = Sweep::jobSeed(1, 0, 0);
+    EXPECT_EQ(s00, Sweep::jobSeed(1, 0, 0));
+    EXPECT_NE(s00, Sweep::jobSeed(1, 0, 1));
+    EXPECT_NE(s00, Sweep::jobSeed(1, 1, 0));
+    EXPECT_NE(s00, Sweep::jobSeed(2, 0, 0));
+    EXPECT_NE(Sweep::jobSeed(1, 0, 1), Sweep::jobSeed(1, 1, 0));
+}
+
+TEST(SweepTest, CellSeedsIndependentOfWorkerCount)
+{
+    auto collectSeeds = [](unsigned jobs) {
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.baseSeed = 42;
+        Sweep sweep({{"a", tinyConfig}, {"b", tinyConfig}},
+                    {"bzip", "gcc", "art"}, opts);
+        sweep.setJobFn([](const SimConfig &cfg, const JobContext &ctx) {
+            SimResult r = dummyResult(cfg.benchmark);
+            r.cycles = ctx.seed(); // smuggle the seed out
+            return r;
+        });
+        std::vector<std::uint64_t> seeds;
+        for (const auto &row : sweep.run().grid)
+            for (const auto &cell : row) {
+                EXPECT_EQ(cell.seed,
+                          Sweep::jobSeed(42, cell.row, cell.col));
+                EXPECT_EQ(cell.seed, cell.result.cycles);
+                seeds.push_back(cell.seed);
+            }
+        return seeds;
+    };
+    EXPECT_EQ(collectSeeds(1), collectSeeds(4));
+}
+
+// ---------------------------------------------- failure semantics ----
+
+TEST(SweepTest, RetriesAfterInjectedFailure)
+{
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.maxAttempts = 3;
+    opts.backoffBase = std::chrono::milliseconds(1);
+    Sweep sweep({{"flaky", tinyConfig}}, {"bzip", "gcc"}, opts);
+
+    // The bzip cell fails on its first two attempts, then succeeds.
+    std::atomic<unsigned> bzipTries{0};
+    sweep.setJobFn(
+        [&bzipTries](const SimConfig &cfg, const JobContext &ctx) {
+            if (cfg.benchmark == "bzip") {
+                ++bzipTries;
+                if (ctx.attempt() < 2)
+                    throw std::runtime_error("injected flake");
+            }
+            return dummyResult(cfg.benchmark);
+        });
+
+    SweepOutcome out = sweep.run();
+    EXPECT_EQ(out.poisonedCells, 0u);
+    EXPECT_EQ(out.exitCode(), 0);
+    EXPECT_EQ(bzipTries.load(), 3u);
+    EXPECT_EQ(out.grid[0][0].attempts, 3u);
+    EXPECT_EQ(out.grid[0][0].status, JobStatus::Ok);
+    EXPECT_EQ(out.grid[0][1].attempts, 1u);
+}
+
+TEST(SweepTest, PoisonedCellDoesNotKillTheSweep)
+{
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.maxAttempts = 2;
+    opts.backoffBase = std::chrono::milliseconds(1);
+    Sweep sweep({{"cursed", tinyConfig}}, {"bzip", "gcc", "art"}, opts);
+
+    sweep.setJobFn([](const SimConfig &cfg, const JobContext &) {
+        if (cfg.benchmark == "gcc")
+            throw std::runtime_error("injected permanent failure");
+        return dummyResult(cfg.benchmark);
+    });
+
+    SweepOutcome out = sweep.run();
+    EXPECT_EQ(out.poisonedCells, 1u);
+    EXPECT_EQ(out.exitCode(), 1);
+    EXPECT_NE(out.summary().find("1 poisoned"), std::string::npos);
+
+    const SweepCell &bad = out.grid[0][1];
+    EXPECT_EQ(bad.status, JobStatus::Failed);
+    EXPECT_TRUE(bad.poisoned());
+    EXPECT_EQ(bad.attempts, 2u);
+    EXPECT_EQ(bad.error, "injected permanent failure");
+    EXPECT_EQ(bad.result.cycles, 0u);       // zeroed, ipc() == 0
+    EXPECT_EQ(bad.result.benchmark, "gcc"); // grid stays rectangular
+
+    EXPECT_EQ(out.grid[0][0].status, JobStatus::Ok);
+    EXPECT_EQ(out.grid[0][2].status, JobStatus::Ok);
+}
+
+TEST(SweepTest, CooperativeTimeoutCancelsTheCell)
+{
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.maxAttempts = 2;
+    opts.timeout = std::chrono::milliseconds(30);
+    opts.backoffBase = std::chrono::milliseconds(1);
+    Sweep sweep({{"slow", tinyConfig}}, {"bzip", "gcc"}, opts);
+
+    sweep.setJobFn([](const SimConfig &cfg, const JobContext &ctx) {
+        if (cfg.benchmark == "gcc") {
+            // A cooperative job polls expired() and bails out.
+            while (!ctx.expired())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            throw std::runtime_error("budget exhausted");
+        }
+        return dummyResult(cfg.benchmark);
+    });
+
+    SweepOutcome out = sweep.run();
+    EXPECT_EQ(out.poisonedCells, 1u);
+    EXPECT_EQ(out.exitCode(), 1);
+    EXPECT_EQ(out.grid[0][1].status, JobStatus::TimedOut);
+    EXPECT_EQ(out.grid[0][1].attempts, 2u);
+    EXPECT_EQ(out.grid[0][0].status, JobStatus::Ok);
+}
+
+TEST(SweepTest, OverBudgetCompletionClassifiedAsTimeout)
+{
+    // A job that cannot poll still gets flagged when it comes back
+    // after the deadline (best-effort detection).
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.timeout = std::chrono::milliseconds(5);
+    Sweep sweep({{"late", tinyConfig}}, {"bzip"}, opts);
+    sweep.setJobFn([](const SimConfig &cfg, const JobContext &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return dummyResult(cfg.benchmark);
+    });
+    SweepOutcome out = sweep.run();
+    EXPECT_EQ(out.grid[0][0].status, JobStatus::TimedOut);
+    EXPECT_EQ(out.exitCode(), 1);
+}
+
+// ------------------------------------------------------- sinks -------
+
+class RecordingSink : public ResultSink
+{
+  public:
+    void sweepBegin(const SweepOutcome &) override { ++begins; }
+    void jobStarted(const SweepCell &) override { ++starts; }
+    void cellDone(const SweepCell &cell) override
+    {
+        ++dones;
+        if (cell.poisoned())
+            ++poisoned;
+    }
+    void sweepEnd(const SweepOutcome &) override { ++ends; }
+
+    int begins = 0, starts = 0, dones = 0, ends = 0, poisoned = 0;
+};
+
+TEST(SinkTest, SinksSeeEveryCellExactlyOnce)
+{
+    SweepOptions opts;
+    opts.jobs = 4;
+    Sweep sweep({{"a", tinyConfig}, {"b", tinyConfig}},
+                {"bzip", "gcc", "art"}, opts);
+    sweep.setJobFn([](const SimConfig &cfg, const JobContext &) {
+        if (cfg.benchmark == "art")
+            throw std::runtime_error("boom");
+        return dummyResult(cfg.benchmark);
+    });
+    RecordingSink sink;
+    sweep.addSink(&sink);
+    SweepOutcome out = sweep.run();
+    EXPECT_EQ(sink.begins, 1);
+    EXPECT_EQ(sink.ends, 1);
+    EXPECT_EQ(sink.starts, 6);
+    EXPECT_EQ(sink.dones, 6);
+    EXPECT_EQ(sink.poisoned, 2);
+    EXPECT_EQ(out.poisonedCells, 2u);
+}
+
+TEST(SinkTest, CsvRenderIsStableOrderIpcGrid)
+{
+    SweepOptions opts;
+    opts.jobs = 3;
+    Sweep sweep({{"a", tinyConfig}, {"b", tinyConfig}},
+                {"bzip", "gcc"}, opts);
+    sweep.setJobFn([](const SimConfig &cfg, const JobContext &) {
+        return dummyResult(cfg.benchmark); // ipc = 250/100 = 2.5
+    });
+    std::string csv = CsvFileSink::render(sweep.run());
+    EXPECT_EQ(csv,
+              "benchmark,a,b\n"
+              "bzip,2.500000,2.500000\n"
+              "gcc,2.500000,2.500000\n");
+}
+
+TEST(SinkTest, JsonSinkEmitsWellFormedDocument)
+{
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.name = "unit_sweep";
+    Sweep sweep({{"a", tinyConfig}}, {"bzip", "gcc"}, opts);
+    sweep.setJobFn([](const SimConfig &cfg, const JobContext &) {
+        if (cfg.benchmark == "gcc")
+            throw std::runtime_error("json \"escape\" check\n");
+        return dummyResult(cfg.benchmark);
+    });
+    std::string path =
+        testing::TempDir() + "/BENCH_harness_unit.json";
+    JsonFileSink sink(path, {{"purpose", "unit-test"}});
+    sweep.addSink(&sink);
+    sweep.run();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "sink did not write " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string doc = ss.str();
+
+    // Structure: balanced braces/brackets outside strings, one cell
+    // record per grid cell, schema + metadata present, escapes legal.
+    EXPECT_NE(doc.find("\"schema\": \"lsqscale-sweep-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"unit_sweep\""), std::string::npos);
+    EXPECT_NE(doc.find("\"purpose\": \"unit-test\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"status\": \"failed\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ipc\": 2.500000"), std::string::npos);
+    EXPECT_NE(doc.find("json \\\"escape\\\" check\\n"),
+              std::string::npos);
+    int depth = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        char ch = doc[i];
+        if (inString) {
+            if (ch == '\\')
+                ++i;
+            else if (ch == '"')
+                inString = false;
+            continue;
+        }
+        if (ch == '"')
+            inString = true;
+        else if (ch == '{' || ch == '[')
+            ++depth;
+        else if (ch == '}' || ch == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(inString);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------- nonzero exit summary ----
+
+TEST(SweepDeathTest, NoteSweepFailuresForcesNonzeroExit)
+{
+    // The ExperimentRunner path: benches end with `return 0`, so
+    // poisoned cells arm an atexit hook that rewrites the process
+    // exit status. Death test: the child exits 1, not 0.
+    EXPECT_EXIT(
+        {
+            noteSweepFailures(2);
+            std::exit(0);
+        },
+        testing::ExitedWithCode(1), "2 poisoned cell");
+}
+
+// ------------------------------------------------- jobs resolution ---
+
+TEST(ResolveJobsTest, PrecedenceAndCapping)
+{
+    setJobsOverride(0);
+    // Explicit request wins and is capped by job count.
+    EXPECT_EQ(resolveJobs(8, 3), 3u);
+    EXPECT_EQ(resolveJobs(2, 100), 2u);
+    // Override beats the environment.
+    setenv("LSQSCALE_JOBS", "5", 1);
+    EXPECT_EQ(resolveJobs(0, 100), 5u);
+    setJobsOverride(7);
+    EXPECT_EQ(resolveJobs(0, 100), 7u);
+    EXPECT_EQ(resolveJobs(3, 100), 3u); // request beats override
+    setJobsOverride(0);
+    unsetenv("LSQSCALE_JOBS");
+    // Fallback is hardware concurrency, floored at 1.
+    EXPECT_GE(resolveJobs(0, 100), 1u);
+    EXPECT_EQ(resolveJobs(0, 1), 1u);
+}
+
+} // namespace
+} // namespace lsqscale
