@@ -13,7 +13,11 @@
 #   5. bench-smoke — fig7_sq_speedup with LSQSCALE_JOBS=4 vs a serial
 #                    run; table and CSV output must be byte-identical
 #                    (the harness determinism contract)
-#   6. lint        — scripts/lint.py standalone (also a ctest in every
+#   6. trace-smoke — LSQ_TRACE=ON build + ctest; traced runs must be
+#                    bit-identical to untraced runs across three design
+#                    points, the Konata export must round-trip, and
+#                    lsqtrace must render the stall table
+#   7. lint        — scripts/lint.py standalone (also a ctest in every
 #                    flavor above, so this is a fast final recheck)
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
@@ -44,10 +48,11 @@ banner "flavor: checker (fig7_sq_speedup bench under the oracle)"
 LSQSCALE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}" \
     ./build-ci-checker/bench/fig7_sq_speedup
 
-banner "flavor: tsan (harness_test under ThreadSanitizer)"
+banner "flavor: tsan (harness_test + obs_test under ThreadSanitizer)"
 cmake -B build-ci-tsan -S . -DLSQ_TSAN=ON >/dev/null
-cmake --build build-ci-tsan -j "$JOBS" --target harness_test
+cmake --build build-ci-tsan -j "$JOBS" --target harness_test obs_test
 ./build-ci-tsan/tests/harness_test
+./build-ci-tsan/tests/obs_test
 
 banner "flavor: bench-smoke (parallel sweep byte-identical to serial)"
 SMOKE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
@@ -68,6 +73,42 @@ python3 -c "import json,glob,sys; \
     [json.load(open(p)) for p in \
      glob.glob('$SMOKE_DIR/parallel/BENCH_*.json')] or \
     sys.exit('bench-smoke: no BENCH_*.json emitted')"
+
+banner "flavor: trace-smoke (tracing on, timing bit-identical)"
+run_flavor trace -DLSQ_TRACE=ON
+TRACE_DIR="build-ci-trace/trace-smoke"
+TRACE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
+rm -rf "$TRACE_DIR"
+mkdir -p "$TRACE_DIR"
+POINTS=(
+    ""
+    "--all-techniques"
+    "--segments 4 --lq 28 --sq 28 --ports 1"
+)
+for i in "${!POINTS[@]}"; do
+    # shellcheck disable=SC2086  # word-split the design-point flags
+    ./build-ci-trace/tools/lsqsim --insts "$TRACE_INSTS" ${POINTS[$i]} \
+        --json >"$TRACE_DIR/plain_$i.json"
+    # shellcheck disable=SC2086
+    ./build-ci-trace/tools/lsqsim --insts "$TRACE_INSTS" ${POINTS[$i]} \
+        --trace-out "$TRACE_DIR/point_$i.evtrace" \
+        --trace-konata "$TRACE_DIR/point_$i.konata" \
+        --interval-stats 1000 \
+        --interval-json "$TRACE_DIR/point_$i.intervals.json" \
+        --json >"$TRACE_DIR/traced_$i.json"
+    diff "$TRACE_DIR/plain_$i.json" "$TRACE_DIR/traced_$i.json" || {
+        echo "trace-smoke: design point $i not bit-identical" >&2
+        exit 1
+    }
+    ./build-ci-trace/tools/lsqtrace konata \
+        "$TRACE_DIR/point_$i.evtrace" --check >/dev/null
+    python3 -c "import json; json.load(open('$TRACE_DIR/point_$i.intervals.json'))"
+done
+./build-ci-trace/tools/lsqtrace stalls "$TRACE_DIR/point_2.evtrace" \
+    | grep -q "segment search pipelining" || {
+    echo "trace-smoke: stall table missing attribution rows" >&2
+    exit 1
+}
 
 banner "flavor: lint"
 python3 scripts/lint.py

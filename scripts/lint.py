@@ -27,6 +27,14 @@ does not enforce:
                     src/harness/ means a second queue, a second
                     shutdown protocol, and sweeps whose results depend
                     on scheduling.
+  stat-dump         measurement output goes through StatSet, the
+                    harness sinks, or the obs tracing layer; ad-hoc
+                    printf/fprintf/std::cout dumps sprinkled through
+                    simulator code bypass the machine-readable schemas
+                    and interleave under the parallel sweep. Allowed
+                    in src/obs/, src/harness/, common/logging, the CLI
+                    renderer (src/sim/cli.cc), and tools/ drivers
+                    (stdout is their product).
 
 A finding can be suppressed by appending `// lint: allow-<rule>` to
 the offending line. Exit status is the number of findings (0 = clean).
@@ -302,6 +310,46 @@ def check_raw_thread(path, raw_lines, code_lines, findings, root):
                 "run work through harness JobPool/Sweep"))
 
 
+# -------------------------------------------------------- stat-dump ----
+
+# printf-family calls and iostream writes; \b keeps snprintf/vsnprintf
+# (string formatting, not output) from matching.
+STAT_DUMP = re.compile(
+    r"\bstd::(?:cout|cerr)\b|"
+    r"(?:\bstd::)?\b(?:printf|fprintf|vfprintf|puts|fputs)\s*\(")
+
+STAT_DUMP_ALLOWED_DIRS = (
+    ("src", "obs"),
+    ("src", "harness"),
+    ("tools",),
+)
+STAT_DUMP_ALLOWED_FILES = ("src/sim/cli.cc",)
+STAT_DUMP_ALLOWED_PREFIXES = ("src/common/logging",)
+
+
+def stat_dump_exempt(path: Path, root: Path) -> bool:
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        return False
+    if any(rel.parts[:len(d)] == d for d in STAT_DUMP_ALLOWED_DIRS):
+        return True
+    posix = rel.as_posix()
+    return posix in STAT_DUMP_ALLOWED_FILES or posix.startswith(
+        STAT_DUMP_ALLOWED_PREFIXES)
+
+
+def check_stat_dump(path, raw_lines, code_lines, findings, root):
+    if stat_dump_exempt(path, root):
+        return
+    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if STAT_DUMP.search(code) and not allowed(raw, "stat-dump"):
+            findings.append(Finding(
+                path, ln, "stat-dump",
+                "ad-hoc stat dump: route output through StatSet, a "
+                "harness sink, or common/logging logLine()"))
+
+
 # ------------------------------------------------------ bare-assert ----
 
 BARE_ASSERT = re.compile(r"(?<![A-Za-z_])assert\s*\(")
@@ -338,6 +386,7 @@ def main() -> int:
         check_partial_switches(path, raw_lines, code, enums, findings)
         check_bare_assert(path, raw_lines, code_lines, findings)
         check_raw_thread(path, raw_lines, code_lines, findings, root)
+        check_stat_dump(path, raw_lines, code_lines, findings, root)
 
     check_stats_buckets(root, findings)
 

@@ -1,5 +1,7 @@
 #include "common/stats.hh"
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -29,11 +31,32 @@ StatSet::value(const std::string &name) const
 }
 
 double
+Histogram::percentile(double p) const
+{
+    LSQ_ASSERT(p >= 0.0 && p <= 1.0, "percentile p=%f out of [0,1]", p);
+    if (samples_ == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(samples_)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return static_cast<double>(i);
+    }
+    return static_cast<double>(buckets_.size() - 1);
+}
+
+double
 StatSet::ratio(const std::string &num, const std::string &den) const
 {
     std::uint64_t d = value(den);
+    // NaN, not 0: a zero (or never-registered) denominator is "no data",
+    // and silently reading as a zero ratio hid real bugs in bench code.
     if (d == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return static_cast<double>(value(num)) / static_cast<double>(d);
 }
 
@@ -88,6 +111,57 @@ StatSet::counterNames() const
     for (const auto &kv : counters_)
         names.push_back(kv.first);
     return names;
+}
+
+void
+IntervalSeries::append(Cycle cycle, std::vector<double> values)
+{
+    LSQ_ASSERT(values.size() == columns_.size(),
+               "interval sample has %zu values for %zu columns",
+               values.size(), columns_.size());
+    samples_.push_back(Sample{cycle, std::move(values)});
+}
+
+namespace {
+
+/** JSON number: finite doubles as %.6g, non-finite as null. */
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+IntervalSeries::toJson(const std::string &indent) const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << indent << "  \"schema\": \"lsqscale-intervals-v1\",\n";
+    os << indent << "  \"interval_cycles\": " << intervalCycles_
+       << ",\n";
+    os << indent << "  \"columns\": [";
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        os << (i ? ", " : "") << "\"" << columns_[i] << "\"";
+    os << "],\n";
+    os << indent << "  \"samples\": [";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        os << (i ? "," : "") << "\n" << indent << "    ["
+           << samples_[i].cycle;
+        for (double v : samples_[i].values)
+            os << ", " << jsonNum(v);
+        os << "]";
+    }
+    if (!samples_.empty())
+        os << "\n" << indent << "  ";
+    os << "]\n";
+    os << indent << "}";
+    return os.str();
 }
 
 } // namespace lsqscale

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
+
 namespace lsqscale {
 
 /** A named monotonically increasing event counter. */
@@ -85,6 +87,14 @@ class Histogram
                         : 0.0;
     }
 
+    /**
+     * Smallest bucket index holding at least fraction @p p of the
+     * samples (p in [0,1]); p=0.5 is the median bucket. The overflow
+     * bucket means "numBuckets()-1 or more". NaN when the histogram is
+     * empty (no samples is not the same as percentile 0).
+     */
+    double percentile(double p) const;
+
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t sum_ = 0;
@@ -111,7 +121,12 @@ class StatSet
     /** Value of a counter, 0 if it was never touched. */
     std::uint64_t value(const std::string &name) const;
 
-    /** Ratio of two counters; 0 when the denominator is 0. */
+    /**
+     * Ratio of two counters; NaN when the denominator is 0 (counted
+     * nothing or never touched), so a missing denominator cannot be
+     * mistaken for a true zero ratio. Callers that want to print the
+     * ratio must guard with std::isnan (or hasCounter) themselves.
+     */
     double ratio(const std::string &num, const std::string &den) const;
 
     bool hasCounter(const std::string &name) const;
@@ -130,6 +145,56 @@ class StatSet
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Histogram> histograms_;
+};
+
+/**
+ * A time series of periodic metric snapshots ("interval stats").
+ *
+ * The simulator samples a fixed set of columns (IPC, queue
+ * occupancies, search counts — see docs/OBSERVABILITY.md) every N
+ * cycles; the series serializes as the `lsqscale-intervals-v1` JSON
+ * schema so BENCH_*.json files carry per-interval curves next to the
+ * end-of-run scalars.
+ */
+class IntervalSeries
+{
+  public:
+    /** One snapshot: the cycle it was taken plus one value/column. */
+    struct Sample
+    {
+        Cycle cycle = 0;
+        std::vector<double> values;
+    };
+
+    IntervalSeries() = default;
+    IntervalSeries(std::vector<std::string> columns,
+                   Cycle intervalCycles)
+        : columns_(std::move(columns)), intervalCycles_(intervalCycles)
+    {
+    }
+
+    const std::vector<std::string> &columns() const { return columns_; }
+    Cycle intervalCycles() const { return intervalCycles_; }
+
+    /** Append one snapshot; values.size() must match columns(). */
+    void append(Cycle cycle, std::vector<double> values);
+
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    const Sample &sample(std::size_t i) const { return samples_.at(i); }
+
+    /**
+     * Serialize as a `lsqscale-intervals-v1` JSON object:
+     * {"schema":..., "interval_cycles":N, "columns":[...],
+     *  "samples":[[cycle,v0,v1,...],...]}. @p indent prefixes every
+     * line after the first (for embedding in a larger document).
+     */
+    std::string toJson(const std::string &indent = "") const;
+
+  private:
+    std::vector<std::string> columns_;
+    Cycle intervalCycles_ = 0;
+    std::vector<Sample> samples_;
 };
 
 } // namespace lsqscale

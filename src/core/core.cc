@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/interval.hh"
+#include "obs/trace.hh"
 
 namespace lsqscale {
 
@@ -47,6 +49,13 @@ Core::classIndex(ArchReg flat)
 // -------------------------------------------------------- driving -----
 
 void
+Core::attachTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    lsq_.attachTracer(tracer);
+}
+
+void
 Core::tick()
 {
     invalidationStage();
@@ -66,6 +75,11 @@ Core::run(std::uint64_t numInsts)
     Cycle lastProgress = 0;
     while (committed_ < numInsts) {
         tick();
+        // Interval stats piggyback on the per-tick progress check; a
+        // per-event hook cannot see quiet cycles, so the sampler is
+        // polled here (one predicted-null test/cycle when detached).
+        if (sampler_ != nullptr)
+            sampler_->poll();
         if (committed_ != lastCommitted) {
             lastCommitted = committed_;
             lastProgress = now_;
@@ -176,6 +190,9 @@ Core::finishCommit(RobEntry &head)
     if (head.op.isLoad())
         stats_.histogram("load.commitdelay", 512)
             .sample(now_ - head.completeCycle);
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::Retire, now_, head.op.seq,
+                   head.op.pc,
+                   static_cast<std::uint8_t>(head.op.isStore()));
     SeqNum seq = head.op.seq;
     rob_.popHead();
     stream_.retireUpTo(seq);
@@ -260,6 +277,8 @@ Core::writebackStage()
             re->completeCycle = now_;
             if (re->destPhys != kNoReg)
                 fileFor(re->op.dest).setReady(re->destPhys);
+            LSQ_TRACE_HOOK(tracer_, TraceEvent::Complete, now_,
+                           re->op.seq, re->op.pc);
         }
         it = completions_.erase(it);
     }
@@ -306,6 +325,9 @@ Core::tryIssueLoad(RobEntry &re, IqEntry &qe)
             rob_.find(re.loadPred.waitForStore) != nullptr &&
             lsq_.storePendingAddress(re.loadPred.waitForStore)) {
             stats_.counter("loads.storeset.wait").inc();
+            // One event per cycle spent waiting = cycles stalled.
+            LSQ_TRACE_HOOK(tracer_, TraceEvent::PredWaitCycle, now_,
+                           op.seq, re.loadPred.waitForStore);
             return false;
         }
         break;
@@ -357,8 +379,15 @@ Core::tryIssueLoad(RobEntry &re, IqEntry &qe)
 
     if (lsqp_.sqPolicy == SqSearchPolicy::Pair && want) {
         stats_.counter("pair.pred.dependent").inc();
-        if (!out.forwarded)
+        if (!out.forwarded) {
             stats_.counter("pair.pred.dependent.nomatch").inc();
+            LSQ_TRACE_HOOK(tracer_, TraceEvent::PredFalseDep, now_,
+                           op.seq, op.addr);
+        }
+    } else if (lsqp_.sqPolicy == SqSearchPolicy::Pair) {
+        // Predicted independent: the SQ forwarding search was skipped.
+        LSQ_TRACE_HOOK(tracer_, TraceEvent::SqSearchSkip, now_, op.seq,
+                       op.addr);
     }
 
     Cycle ready;
@@ -393,6 +422,7 @@ Core::tryIssueLoad(RobEntry &re, IqEntry &qe)
     re.state = RobState::Issued;
     scheduleCompletion(re, ready);
     iq_.remove(op.seq);
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::Issue, now_, op.seq, op.pc);
     stats_.counter("loads.issued").inc();
     stats_.histogram("load.issuedelay", 256)
         .sample(now_ - re.dispatchCycle);
@@ -435,6 +465,7 @@ Core::tryIssueStore(RobEntry &re, IqEntry &qe)
     re.state = RobState::Issued;
     scheduleCompletion(re, now_ + execLatency(OpClass::Store));
     iq_.remove(op.seq);
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::Issue, now_, op.seq, op.pc);
     stats_.counter("stores.issued").inc();
 
     if (out.violationLoad != kNoSeq) {
@@ -467,6 +498,7 @@ Core::tryIssueAlu(RobEntry &re, IqEntry &qe, unsigned &intUsed,
     Cycle done = now_ + execLatency(op.op);
     scheduleCompletion(re, done);
     iq_.remove(op.seq);
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::Issue, now_, op.seq, op.pc);
 
     if (op.isBranch() && re.mispredicted) {
         // Resolution: redirect fetch after the pipeline-refill delay.
@@ -546,6 +578,8 @@ Core::dispatchStage()
         RobEntry &re = rob_.push(op, now_);
         re.id = nextRobId_++;
         re.mispredicted = f.mispredicted;
+        LSQ_TRACE_HOOK(tracer_, TraceEvent::Dispatch, now_, op.seq,
+                       op.pc);
 
         IqEntry qe;
         qe.seq = op.seq;
@@ -619,6 +653,8 @@ Core::fetchStage()
         FetchedInst f;
         f.op = op;
         f.fetchCycle = available;
+        LSQ_TRACE_HOOK(tracer_, TraceEvent::Fetch, now_, op.seq, op.pc,
+                       static_cast<std::uint8_t>(op.op));
 
         if (op.isBranch()) {
             bool replayed = bpEverTrained_ && op.seq <= bpTrainedUpTo_;
@@ -659,6 +695,8 @@ void
 Core::performSquash(SeqNum from, SquashReason reason)
 {
     stats_.counter("squash.total").inc();
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::ViolationSquash, now_, from, 0,
+                   static_cast<std::uint8_t>(reason));
 
     // Walk the ROB from the tail, undoing renames newest-first and
     // rolling back the predictor's in-flight-store counters.

@@ -32,6 +32,9 @@
 
 namespace lsqscale {
 
+class IntervalSampler;
+class Tracer;
+
 /** Why a squash happened (stat attribution). */
 enum class SquashReason : std::uint8_t {
     StoreLoadExec,   ///< store found a premature load at execute
@@ -74,9 +77,33 @@ class Core
     std::string debugDump() const;
 
     Lsq &lsq() { return lsq_; }
+    const Lsq &lsq() const { return lsq_; }
     MemorySystem &memory() { return mem_; }
     const HybridBranchPredictor &branchPredictor() const { return bp_; }
     StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+    /** Live ROB entries (interval sampling). */
+    std::size_t robOccupancy() const { return rob_.size(); }
+    /** Live IQ entries (interval sampling). */
+    std::size_t iqOccupancy() const { return iq_.size(); }
+
+    /**
+     * Attach an event tracer (src/obs/trace.hh) to this core and its
+     * Lsq. Pure observer; hook sites only exist in -DLSQ_TRACE=ON
+     * builds. Pass nullptr to detach. The tracer must outlive the
+     * core (or be detached).
+     */
+    void attachTracer(Tracer *tracer);
+    Tracer *tracer() const { return tracer_; }
+
+    /**
+     * Attach an interval sampler (src/obs/interval.hh), polled once
+     * per cycle from run() — one predicted-null pointer test per
+     * cycle when detached. Pass nullptr to detach. The sampler must
+     * outlive the core (or be detached).
+     */
+    void attachSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
   private:
     struct FetchedInst
@@ -157,6 +184,11 @@ class Core
     /** Invalidation waiting for a free LQ port. */
     Addr pendingInval_ = 0;
     bool pendingInvalValid_ = false;
+
+    /** Attached event tracer, or nullptr (the common case). */
+    Tracer *tracer_ = nullptr;
+    /** Attached interval sampler, or nullptr (the common case). */
+    IntervalSampler *sampler_ = nullptr;
 };
 
 } // namespace lsqscale

@@ -1,10 +1,40 @@
 #include "harness/sink.hh"
 
+#include <filesystem>
 #include <sstream>
+#include <system_error>
 
 #include "common/logging.hh"
 
 namespace lsqscale {
+
+bool
+writeFileCreatingDirs(const std::string &path, const std::string &data)
+{
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+        if (ec) {
+            LSQ_WARN("cannot create directory %s: %s",
+                     p.parent_path().string().c_str(),
+                     ec.message().c_str());
+            return false;
+        }
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        LSQ_WARN("cannot write %s", path.c_str());
+        return false;
+    }
+    std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (written != data.size()) {
+        LSQ_WARN("short write to %s", path.c_str());
+        return false;
+    }
+    return true;
+}
 
 const char *
 jobStatusName(JobStatus status)
@@ -104,13 +134,7 @@ CsvFileSink::render(const SweepOutcome &outcome)
 void
 CsvFileSink::sweepEnd(const SweepOutcome &outcome)
 {
-    std::string data = render(outcome);
-    if (std::FILE *f = std::fopen(path_.c_str(), "w")) {
-        std::fwrite(data.data(), 1, data.size(), f);
-        std::fclose(f);
-    } else {
-        LSQ_WARN("cannot write sweep CSV %s", path_.c_str());
-    }
+    writeFileCreatingDirs(path_, render(outcome));
 }
 
 // ----------------------------------------------------- JsonFileSink --
@@ -180,7 +204,13 @@ JsonFileSink::render(const SweepOutcome &outcome,
                << ", \"lq_searches\": " << cell.result.lqSearches()
                << ", \"seconds\": " << strfmt("%.3f", cell.seconds)
                << ", \"error\": \"" << jsonEscape(cell.error)
-               << "\"}";
+               << "\"";
+            // Per-interval curves (lsqscale-intervals-v1) appear only
+            // when the run sampled them, keeping the common case small.
+            if (!cell.result.intervals.empty())
+                os << ", \"intervals\": "
+                   << cell.result.intervals.toJson("    ");
+            os << "}";
         }
     }
     os << (first ? "]\n" : "\n  ]\n");
@@ -191,13 +221,7 @@ JsonFileSink::render(const SweepOutcome &outcome,
 void
 JsonFileSink::sweepEnd(const SweepOutcome &outcome)
 {
-    std::string data = render(outcome, metadata_);
-    if (std::FILE *f = std::fopen(path_.c_str(), "w")) {
-        std::fwrite(data.data(), 1, data.size(), f);
-        std::fclose(f);
-    } else {
-        LSQ_WARN("cannot write sweep JSON %s", path_.c_str());
-    }
+    writeFileCreatingDirs(path_, render(outcome, metadata_));
 }
 
 } // namespace lsqscale

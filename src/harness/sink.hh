@@ -110,6 +110,14 @@ class JsonFileSink : public ResultSink
 /** Escape a string for embedding in a JSON double-quoted literal. */
 std::string jsonEscape(const std::string &s);
 
+/**
+ * Write @p data to @p path, creating missing parent directories first
+ * (so e.g. a fresh LSQSCALE_JSON_DIR works without a manual mkdir).
+ * @return true on success; failures warn via logLine and return false.
+ */
+bool writeFileCreatingDirs(const std::string &path,
+                           const std::string &data);
+
 /** JobStatus as a stable lowercase token ("ok"/"failed"/"timeout"). */
 const char *jobStatusName(JobStatus status);
 

@@ -4,6 +4,7 @@
 
 #include "check/lsq_checker.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 /**
  * Notify the attached ordering oracle (if any) of an accepted state
@@ -226,7 +227,7 @@ Lsq::planLoadLqSearch(SeqNum loadSeq, Addr addr,
 // ---------------------------------------------------- load issue ------
 
 void
-Lsq::advanceNilp(LoadIssueOutcome &outcome)
+Lsq::advanceNilp(LoadIssueOutcome &outcome, Cycle now)
 {
     bool useLb = params_.loadCheck == LoadCheckPolicy::LoadBuffer;
     for (auto &e : lq_) {
@@ -246,12 +247,17 @@ Lsq::advanceNilp(LoadIssueOutcome &outcome)
             // (Section 2.2.1: "at this time, the load relevant to the
             // LIV entry has to search the load buffer").
             lb_.release(e.seq);
+            LSQ_TRACE_HOOK(tracer_, TraceEvent::LbRelease, now, e.seq,
+                           e.addr);
             stats_.counter("lb.searches").inc();
             SeqNum v = lb_.findViolation(e.seq, e.addr, e.executeCycle);
             if (v != kNoSeq)
                 outcome.llViolations.push_back(v);
         }
     }
+#if !defined(LSQSCALE_TRACE)
+    (void)now;
+#endif
 }
 
 LoadIssueOutcome
@@ -275,6 +281,8 @@ Lsq::issueLoad(SeqNum seq, Addr addr, Cycle now, bool wantSqSearch)
     bool needLbEntry = useLb && !isOldest;
     if (needLbEntry && lb_.full()) {
         stats_.counter("lb.stallfull").inc();
+        LSQ_TRACE_HOOK(tracer_, TraceEvent::LbFullStall, now, seq,
+                       addr);
         out.status = LoadIssueStatus::LoadBufferFull;
         return out;
     }
@@ -340,6 +348,14 @@ Lsq::issueLoad(SeqNum seq, Addr addr, Cycle now, bool wantSqSearch)
         // First segment had a port but a downstream slot is booked by
         // an earlier-initiated search: the paper's contention case.
         stats_.counter("lsq.contention.loads").inc();
+        LSQ_TRACE_HOOK(
+            tracer_, TraceEvent::SqSearchContention, now, seq, addr,
+            static_cast<std::uint8_t>(!sqOk),
+            static_cast<std::uint16_t>(
+                params_.contentionPolicy ==
+                        ContentionPolicy::SquashReplay
+                    ? params_.contentionReplayDelay
+                    : 1));
         out.status =
             params_.contentionPolicy == ContentionPolicy::SquashReplay
                 ? LoadIssueStatus::Contention
@@ -363,10 +379,19 @@ Lsq::issueLoad(SeqNum seq, Addr addr, Cycle now, bool wantSqSearch)
             out.forwardedFrom = sqPlan.match->seq;
             out.forwardedFromPc = sqPlan.match->pc;
         }
+        LSQ_TRACE_HOOK(tracer_, TraceEvent::SqSearch, now, seq, addr,
+                       static_cast<std::uint8_t>(out.forwarded),
+                       static_cast<std::uint16_t>(sqPlan.visit.size()));
+        if (out.forwarded) {
+            LSQ_TRACE_HOOK(tracer_, TraceEvent::ForwardHit, now, seq,
+                           out.forwardedFrom);
+        }
     }
     if (doLq) {
         lqPorts().reserveWalk(lqPlan.visit, now + lqOffset);
         stats_.counter("lq.searches.byload").inc();
+        LSQ_TRACE_HOOK(tracer_, TraceEvent::LqSearch, now, seq, addr, 0,
+                       static_cast<std::uint16_t>(lqPlan.visit.size()));
         if (lqPlan.violator)
             out.llViolations.push_back(lqPlan.violator->seq);
     }
@@ -393,6 +418,8 @@ Lsq::issueLoad(SeqNum seq, Addr addr, Cycle now, bool wantSqSearch)
         if (useLb) {
             lb_.insert(seq, addr, now);
             stats_.counter("lb.inserts").inc();
+            LSQ_TRACE_HOOK(tracer_, TraceEvent::LbInsert, now, seq,
+                           addr);
         }
     } else if (useLb) {
         // In-order load: immediate load-buffer ordering search.
@@ -402,7 +429,7 @@ Lsq::issueLoad(SeqNum seq, Addr addr, Cycle now, bool wantSqSearch)
             out.llViolations.push_back(v);
     }
 
-    advanceNilp(out);
+    advanceNilp(out, now);
     out.status = LoadIssueStatus::Accepted;
 
     // NILP/LIV consistency: the load buffer only ever holds live
@@ -447,6 +474,8 @@ Lsq::storeAddrReady(SeqNum seq, Addr addr, Cycle now)
     }
     lqPorts().reserveWalk(plan.visit, now);
     stats_.counter("lq.searches.bystore").inc();
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::StoreSearch, now, seq, addr, 0,
+                   static_cast<std::uint16_t>(plan.visit.size()));
 
     s->addr = addr;
     s->addrValid = true;
@@ -490,6 +519,9 @@ Lsq::invalidate(Addr addr, Cycle now)
     }
     lqPorts().reserveWalk(plan.visit, now);
     stats_.counter("lq.searches.invalidation").inc();
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::InvalSearch, now,
+                   plan.violator ? plan.violator->seq : kNoSeq, addr, 0,
+                   static_cast<std::uint16_t>(plan.visit.size()));
     out.accepted = true;
     out.segmentsVisited = static_cast<unsigned>(plan.visit.size());
     out.searchDoneCycle = now + plan.visit.size();
@@ -516,11 +548,16 @@ Lsq::commitStore(SeqNum seq, Cycle now)
             // Section 3.2: "easily solved by delaying the commit of
             // the store".
             stats_.counter("lsq.commit.delays").inc();
+            LSQ_TRACE_HOOK(tracer_, TraceEvent::StoreCommitDelay, now,
+                           seq, sq_.front().addr);
             out.accepted = false;
             return out;
         }
         lqPorts().reserveWalk(plan.visit, now);
         stats_.counter("lq.searches.bystore").inc();
+        LSQ_TRACE_HOOK(tracer_, TraceEvent::StoreCommitSearch, now, seq,
+                       sq_.front().addr, 0,
+                       static_cast<std::uint16_t>(plan.visit.size()));
         out.segmentsVisited = static_cast<unsigned>(plan.visit.size());
         out.searchDoneCycle = now + plan.visit.size();
         if (plan.violator) {

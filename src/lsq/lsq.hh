@@ -36,6 +36,7 @@
 namespace lsqscale {
 
 class LsqChecker;
+class Tracer;
 
 /** Why a load could not issue this cycle. */
 enum class LoadIssueStatus : std::uint8_t {
@@ -173,6 +174,16 @@ class Lsq
     {
         return static_cast<unsigned>(sq_.size());
     }
+    /** Live loads currently allocated to segment @p seg. */
+    unsigned lqSegmentLive(unsigned seg) const
+    {
+        return loadAlloc().occupancy(seg);
+    }
+    /** Live stores currently allocated to segment @p seg. */
+    unsigned sqSegmentLive(unsigned seg) const
+    {
+        return storeAlloc().occupancy(seg);
+    }
     const LsqParams &params() const { return params_; }
     const LoadBuffer &loadBuffer() const { return lb_; }
 
@@ -186,6 +197,17 @@ class Lsq
      */
     void attachChecker(LsqChecker *checker) { checker_ = checker; }
     LsqChecker *checker() const { return checker_; }
+
+    /**
+     * Attach an event tracer (src/obs/trace.hh): a pure observer that
+     * records search/forwarding/load-buffer events. Hook sites exist
+     * only in -DLSQ_TRACE=ON builds (LSQ_TRACE_HOOK compiles to
+     * nothing otherwise); when compiled in, each costs one
+     * null-pointer test. Pass nullptr to detach. The tracer must
+     * outlive this Lsq (or be detached).
+     */
+    void attachTracer(Tracer *tracer) { tracer_ = tracer; }
+    Tracer *tracer() const { return tracer_; }
 
   private:
     struct LoadEntry
@@ -247,7 +269,7 @@ class Lsq
      * Advance the NILP past issued loads, releasing load-buffer
      * entries and running their deferred ordering searches.
      */
-    void advanceNilp(LoadIssueOutcome &outcome);
+    void advanceNilp(LoadIssueOutcome &outcome, Cycle now);
 
     /** Allocator backing loads (shared in combined mode). */
     SegmentAllocator &loadAlloc() { return lqAlloc_; }
@@ -288,6 +310,9 @@ class Lsq
 
     /** Attached ordering oracle, or nullptr (the common case). */
     LsqChecker *checker_ = nullptr;
+
+    /** Attached event tracer, or nullptr (the common case). */
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace lsqscale

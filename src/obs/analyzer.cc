@@ -1,0 +1,137 @@
+#include "obs/analyzer.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace lsqscale {
+
+StallAttribution
+attributeStalls(const std::vector<TraceRecord> &records)
+{
+    StallAttribution att;
+    for (const TraceRecord &rec : records) {
+        if (rec.cycle < att.firstCycle)
+            att.firstCycle = rec.cycle;
+        if (rec.cycle > att.lastCycle)
+            att.lastCycle = rec.cycle;
+
+        auto pipelinePenalty = [&rec]() -> std::uint64_t {
+            return rec.b > 1 ? rec.b - 1u : 0;
+        };
+
+        switch (rec.ev()) {
+          case TraceEvent::SqSearch:
+            ++att.sqSearches;
+            att.sqSearchPipelineCycles += pipelinePenalty();
+            break;
+          case TraceEvent::LqSearch:
+          case TraceEvent::StoreSearch:
+          case TraceEvent::StoreCommitSearch:
+          case TraceEvent::InvalSearch:
+            ++att.otherSearches;
+            att.otherSearchPipelineCycles += pipelinePenalty();
+            break;
+          case TraceEvent::SqSearchContention:
+            ++att.searchSquashes;
+            att.searchSquashCycles += rec.b;
+            break;
+          case TraceEvent::StoreCommitDelay:
+            ++att.storeCommitDelayCycles;
+            break;
+          case TraceEvent::PredWaitCycle:
+            ++att.predictorWaitCycles;
+            break;
+          case TraceEvent::PredFalseDep:
+            ++att.predictorFalseDeps;
+            break;
+          case TraceEvent::SqSearchSkip:
+            ++att.searchesSkipped;
+            break;
+          case TraceEvent::LbFullStall:
+            ++att.loadBufferStalls;
+            break;
+          case TraceEvent::ViolationSquash:
+            ++att.violationSquashes;
+            break;
+          case TraceEvent::Retire:
+            ++att.retired;
+            break;
+          case TraceEvent::ForwardHit:
+            ++att.forwardingHits;
+            break;
+          case TraceEvent::Fetch:
+          case TraceEvent::Dispatch:
+          case TraceEvent::Issue:
+          case TraceEvent::Complete:
+          case TraceEvent::LbInsert:
+          case TraceEvent::LbRelease:
+            break; // lifecycle/bookkeeping events carry no stall cost
+        }
+    }
+    return att;
+}
+
+namespace {
+
+std::string
+u64(std::uint64_t v)
+{
+    return strfmt("%llu", static_cast<unsigned long long>(v));
+}
+
+/** Penalty cycles per 1000 retired ops — the comparable unit. */
+std::string
+perKilo(std::uint64_t cycles, std::uint64_t retired)
+{
+    if (retired == 0)
+        return "-";
+    return TextTable::num(1000.0 * static_cast<double>(cycles) /
+                              static_cast<double>(retired),
+                          2);
+}
+
+} // namespace
+
+std::string
+renderStallTable(const StallAttribution &att)
+{
+    TextTable t;
+    t.header({"stall source", "events", "cycles", "cyc/kilo-op"});
+
+    auto line = [&](const char *label, std::uint64_t events,
+                    std::uint64_t cycles) {
+        t.row({label, u64(events), u64(cycles),
+               perKilo(cycles, att.retired)});
+    };
+
+    line("segment search pipelining (SQ fwd)", att.sqSearches,
+         att.sqSearchPipelineCycles);
+    line("segment search pipelining (other)", att.otherSearches,
+         att.otherSearchPipelineCycles);
+    line("search squash + replay", att.searchSquashes,
+         att.searchSquashCycles);
+    line("delayed store-commit search", att.storeCommitDelayCycles,
+         att.storeCommitDelayCycles);
+    line("predictor false dependences", att.predictorFalseDeps,
+         att.predictorWaitCycles);
+    line("load-buffer capacity", att.loadBufferStalls,
+         att.loadBufferStalls);
+    t.separator();
+    t.row({"violation squashes", u64(att.violationSquashes), "-", "-"});
+    t.row({"forwarding hits", u64(att.forwardingHits), "-", "-"});
+    t.row({"searches skipped by predictor", u64(att.searchesSkipped),
+           "-", "-"});
+
+    std::ostringstream os;
+    os << "== stall attribution ==\n";
+    os << "retired ops: " << u64(att.retired)
+       << "   trace span: " << u64(att.elapsed()) << " cycles\n";
+    os << t.render();
+    os << "(overlapping stalls are each charged in full; columns do "
+          "not sum to elapsed cycles)\n";
+    return os.str();
+}
+
+} // namespace lsqscale

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Stall attribution over event traces (tools/lsqtrace `stalls`).
+ *
+ * The paper's complexity-reduction techniques each trade IPC for a
+ * simpler LSQ in a distinct way: segmented search adds pipeline
+ * latency per extra segment, contention squashes replay in-flight
+ * searches, port shortfalls delay store-commit searches, the pair
+ * predictor stalls loads on predicted dependences, and a finite load
+ * buffer blocks load issue. This analyzer folds a TraceRecord stream
+ * into cycles lost per mechanism so those trade-offs become measured
+ * numbers instead of qualitative claims (PAPER.md §3).
+ */
+
+#ifndef LSQSCALE_OBS_ANALYZER_HH
+#define LSQSCALE_OBS_ANALYZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace lsqscale {
+
+/**
+ * Cycles lost (or events counted) per stall mechanism.
+ *
+ * "Cycles" here are per-operation penalty cycles, not a partition of
+ * total execution time: overlapping stalls are each charged in full,
+ * so the column sums can exceed elapsed cycles on a wide machine.
+ */
+struct StallAttribution
+{
+    // -------------------------------------------- search pipelining --
+    /// Extra load-hit latency from multi-segment searches:
+    /// sum of (segments - 1) over SQ forwarding searches.
+    std::uint64_t sqSearchPipelineCycles = 0;
+    /// Same, over LQ / store execute / store commit searches.
+    std::uint64_t otherSearchPipelineCycles = 0;
+    std::uint64_t sqSearches = 0;
+    std::uint64_t otherSearches = 0;
+
+    // ----------------------------------------------- search squash ---
+    /// Replay-delay cycles charged to loads whose in-flight search was
+    /// squashed by a future-segment booking conflict.
+    std::uint64_t searchSquashCycles = 0;
+    std::uint64_t searchSquashes = 0;
+
+    // ------------------------------------------- store commit delay --
+    /// Cycles stores sat at the ROB head waiting for a search port.
+    std::uint64_t storeCommitDelayCycles = 0;
+
+    // ------------------------------------------------- predictor -----
+    /// Cycles loads waited on a predicted (pair) store dependence.
+    std::uint64_t predictorWaitCycles = 0;
+    /// Predicted-dependent loads whose search found no match.
+    std::uint64_t predictorFalseDeps = 0;
+    /// Searches skipped outright thanks to the predictor (a win).
+    std::uint64_t searchesSkipped = 0;
+
+    // ------------------------------------------------ load buffer ----
+    /// Load-issue attempts rejected because the load buffer was full.
+    std::uint64_t loadBufferStalls = 0;
+
+    // ------------------------------------------------- recovery ------
+    std::uint64_t violationSquashes = 0;
+
+    // -------------------------------------------------- context ------
+    std::uint64_t retired = 0;
+    std::uint64_t forwardingHits = 0;
+    Cycle firstCycle = kNoCycle;
+    Cycle lastCycle = 0;
+
+    Cycle
+    elapsed() const
+    {
+        return firstCycle == kNoCycle ? 0 : lastCycle - firstCycle + 1;
+    }
+};
+
+/** Fold a record stream into per-mechanism stall attribution. */
+StallAttribution
+attributeStalls(const std::vector<TraceRecord> &records);
+
+/** Render the attribution as the `lsqtrace stalls` table. */
+std::string renderStallTable(const StallAttribution &att);
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_OBS_ANALYZER_HH

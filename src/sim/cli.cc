@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "harness/sweep.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/trace_file.hh"
@@ -84,6 +85,16 @@ cliUsage()
         "                       hardware threads, capped by job count;\n"
         "                       LSQSCALE_BENCH / LSQSCALE_INSTS narrow\n"
         "                       the sweep as before)\n"
+        "\n"
+        "observability (docs/OBSERVABILITY.md; --trace replays, these "
+        "record):\n"
+        "  --trace-events LIST  record events: comma list of names or\n"
+        "                       categories (pipe,lsq,pred,squash,all)\n"
+        "  --trace-out PATH     write the full binary event trace\n"
+        "  --trace-konata PATH  export Konata/O3PipeView text\n"
+        "                       (tracing needs a -DLSQ_TRACE=ON build)\n"
+        "  --interval-stats N   sample interval metrics every N cycles\n"
+        "  --interval-json PATH write the lsqscale-intervals-v1 series\n"
         "\n"
         "output:\n"
         "  --json               machine-readable result\n"
@@ -212,6 +223,34 @@ parseCli(const std::vector<std::string> &args, CliOptions &opts)
             if (!value(v) || !parseUnsigned(v, opts.jobs) ||
                 opts.jobs == 0)
                 return "--jobs needs a positive count";
+        } else if (a == "--trace-events") {
+            if (!value(v))
+                return "--trace-events needs a comma-separated list";
+            std::string err;
+            if (!parseTraceEvents(v, opts.config.trace.eventMask, err))
+                return err;
+            opts.config.trace.enabled = true;
+        } else if (a == "--trace-out") {
+            if (!value(v))
+                return "--trace-out needs a path";
+            opts.config.trace.binaryPath = v;
+            opts.config.trace.enabled = true;
+        } else if (a == "--trace-konata") {
+            if (!value(v))
+                return "--trace-konata needs a path";
+            opts.config.trace.konataPath = v;
+            opts.config.trace.enabled = true;
+        } else if (a == "--interval-stats") {
+            if (!value(v) ||
+                !parseU64(v, opts.config.intervalCycles) ||
+                opts.config.intervalCycles == 0)
+                return "--interval-stats needs a positive cycle count";
+        } else if (a == "--interval-json") {
+            if (!value(v))
+                return "--interval-json needs a path";
+            opts.config.intervalJsonPath = v;
+            if (opts.config.intervalCycles == 0)
+                opts.config.intervalCycles = 10000;
         } else if (a == "--invalidations") {
             if (!value(v))
                 return "--invalidations needs a rate";

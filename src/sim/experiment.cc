@@ -304,13 +304,7 @@ ExperimentRunner::table(
         if (*dir) {
             std::string path =
                 std::string(dir) + "/" + slugify(title) + ".csv";
-            if (std::FILE *f = std::fopen(path.c_str(), "w")) {
-                std::string data = csv(columns);
-                std::fwrite(data.data(), 1, data.size(), f);
-                std::fclose(f);
-            } else {
-                LSQ_WARN("cannot write %s", path.c_str());
-            }
+            writeFileCreatingDirs(path, csv(columns));
         }
     }
 

@@ -17,6 +17,7 @@
 #include "core/core_params.hh"
 #include "lsq/lsq_params.hh"
 #include "memory/memory_system.hh"
+#include "obs/trace.hh"
 
 namespace lsqscale {
 
@@ -38,6 +39,22 @@ struct SimConfig
     CoreParams core{};
     LsqParams lsq{};
     MemoryParams memory{};
+
+    /**
+     * Event tracing (src/obs/trace.hh; --trace-events/--trace-out).
+     * Only effective in -DLSQ_TRACE=ON builds — the default build
+     * compiles the hook sites out and warns when tracing is requested.
+     */
+    TraceConfig trace{};
+
+    /**
+     * Interval-stats sampling period in cycles; 0 disables sampling
+     * (--interval-stats N, or the LSQSCALE_INTERVAL env variable).
+     */
+    std::uint64_t intervalCycles = 0;
+
+    /** Standalone lsqscale-intervals-v1 JSON file (--interval-json). */
+    std::string intervalJsonPath;
 };
 
 namespace configs {

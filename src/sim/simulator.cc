@@ -4,14 +4,18 @@
 
 #include <memory>
 
+#include "common/logging.hh"
 #include "core/core.hh"
+#include "harness/sink.hh"
+#include "obs/interval.hh"
+#include "obs/konata.hh"
+#include "obs/trace.hh"
 #include "workload/address_stream.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/trace_file.hh"
 
 #ifdef LSQSCALE_CHECKER
 #include "check/lsq_checker.hh"
-#include "common/logging.hh"
 #endif
 
 namespace lsqscale {
@@ -55,6 +59,28 @@ effectiveInstructions(std::uint64_t configured)
     }
     return configured;
 }
+
+namespace {
+
+/**
+ * Interval-sampling period: the config wins; the LSQSCALE_INTERVAL
+ * environment variable turns sampling on for runs whose driver has no
+ * --interval-stats plumbing (benches, examples). 0 = off.
+ */
+std::uint64_t
+effectiveIntervalCycles(std::uint64_t configured)
+{
+    if (configured > 0)
+        return configured;
+    if (const char *env = std::getenv("LSQSCALE_INTERVAL")) {
+        std::uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 0;
+}
+
+} // namespace
 
 SimResult
 Simulator::run()
@@ -100,6 +126,27 @@ Simulator::run()
         core.run(warmup);
         result.stats.resetAll();
     }
+
+    // Observers cover only the measurement window: attach after warmup.
+    // Both are pure observers, so instrumented runs stay timing-bit-
+    // identical to plain ones (verified by the trace-smoke CI flavor).
+    std::unique_ptr<Tracer> tracer;
+    if (config_.trace.enabled) {
+#if !defined(LSQSCALE_TRACE)
+        LSQ_WARN("tracing requested but this build has the hook sites "
+                 "compiled out; rebuild with -DLSQ_TRACE=ON for a "
+                 "non-empty trace");
+#endif
+        tracer = std::make_unique<Tracer>(config_.trace);
+        core.attachTracer(tracer.get());
+    }
+    std::unique_ptr<IntervalSampler> sampler;
+    std::uint64_t interval = effectiveIntervalCycles(config_.intervalCycles);
+    if (interval > 0) {
+        sampler = std::make_unique<IntervalSampler>(core, interval);
+        core.attachSampler(sampler.get());
+    }
+
     Cycle startCycle = core.cycle();
     std::uint64_t startCommitted = core.committed();
     std::uint64_t l1dH = core.memory().l1d().hits();
@@ -118,6 +165,22 @@ Simulator::run()
     result.stats.counter("l2.hits").inc(core.memory().l2().hits() - l2H);
     result.stats.counter("l2.misses").inc(core.memory().l2().misses() -
                                           l2M);
+
+    if (sampler) {
+        sampler->sample(); // close the final partial interval
+        core.attachSampler(nullptr);
+        result.intervals = sampler->takeSeries();
+        if (!config_.intervalJsonPath.empty())
+            writeFileCreatingDirs(config_.intervalJsonPath,
+                                  result.intervals.toJson() + "\n");
+    }
+    if (tracer) {
+        core.attachTracer(nullptr);
+        tracer->finish();
+        if (!config_.trace.konataPath.empty())
+            writeKonataFile(config_.trace.konataPath,
+                            tracer->collect());
+    }
 
 #ifdef LSQSCALE_CHECKER
     if (checker.mismatches() != 0)

@@ -23,6 +23,8 @@ struct SimResult
     std::uint64_t cycles = 0;
     std::uint64_t committed = 0;
     StatSet stats;
+    /** Per-interval curves; empty unless interval sampling was on. */
+    IntervalSeries intervals;
 
     double
     ipc() const

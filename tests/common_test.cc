@@ -249,11 +249,15 @@ TEST(Stats, CounterIncrements)
     EXPECT_TRUE(s.hasCounter("a"));
 }
 
-TEST(Stats, RatioHandlesZeroDenominator)
+TEST(Stats, RatioIsNanOnZeroDenominator)
 {
     StatSet s;
     s.counter("num").inc(10);
-    EXPECT_EQ(s.ratio("num", "den"), 0.0);
+    // "No data" must not read as a true zero ratio: a never-registered
+    // or zero denominator yields NaN so callers are forced to guard.
+    EXPECT_TRUE(std::isnan(s.ratio("num", "den")));
+    s.counter("den");
+    EXPECT_TRUE(std::isnan(s.ratio("num", "den")));
     s.counter("den").inc(4);
     EXPECT_DOUBLE_EQ(s.ratio("num", "den"), 2.5);
 }
@@ -285,6 +289,25 @@ TEST(Stats, CounterNamesSorted)
     ASSERT_EQ(names.size(), 2u);
     EXPECT_EQ(names[0], "a");
     EXPECT_EQ(names[1], "b");
+}
+
+TEST(Stats, CounterNamesOrderStableAcrossTouches)
+{
+    // The order is the sorted name order, independent of registration
+    // or increment order — JSON/CSV column layouts depend on this.
+    StatSet s;
+    s.counter("z.last").inc(1);
+    s.counter("a.first");
+    s.counter("m.middle").inc(5);
+    auto before = s.counterNames();
+    s.counter("a.first").inc(100);
+    s.counter("z.last").inc(2);
+    auto after = s.counterNames();
+    EXPECT_EQ(before, after);
+    ASSERT_EQ(after.size(), 3u);
+    EXPECT_EQ(after[0], "a.first");
+    EXPECT_EQ(after[1], "m.middle");
+    EXPECT_EQ(after[2], "z.last");
 }
 
 TEST(Histogram, MeanOfSamples)
@@ -328,6 +351,47 @@ TEST(Histogram, EmptyMeanIsZero)
     Histogram h(8);
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
     EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, ValueAtMaxBucketBoundary)
+{
+    // value == numBuckets - 1 lands IN the last bucket; only values
+    // beyond it overflow into it. Both must count, neither must drop.
+    Histogram h(4);
+    h.sample(3);  // exactly the last bucket index
+    h.sample(4);  // first overflowing value
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.samples(), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Histogram, EmptyPercentileIsNan)
+{
+    Histogram h(8);
+    EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+    EXPECT_TRUE(std::isnan(h.percentile(0.0)));
+    EXPECT_TRUE(std::isnan(h.percentile(1.0)));
+}
+
+TEST(Histogram, PercentileWalksBuckets)
+{
+    Histogram h(8);
+    for (std::uint64_t v = 0; v < 4; ++v)
+        h.sample(v); // one sample each in buckets 0..3
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.0);
+    // p=0 means "smallest observed", not bucket 0 unconditionally.
+    Histogram top(8);
+    top.sample(5);
+    EXPECT_DOUBLE_EQ(top.percentile(0.0), 5.0);
+}
+
+TEST(Histogram, PercentileOfOverflowedSamples)
+{
+    Histogram h(4);
+    h.sample(100, 10); // all weight in the overflow bucket
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.0);
 }
 
 // --------------------------------------------------------- Table ------
