@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare a full-detail sweep JSON against a sampled one.
+
+Usage:
+  scripts/check_sampling.py FULL.json SAMPLED.json \
+      [--min-speedup X] [--max-cell-error PCT]
+
+Both inputs are lsqscale-sweep-v1 documents (LSQSCALE_JSON_DIR output
+of the same bench run with and without LSQSCALE_SAMPLE). Prints a
+per-cell IPC comparison and asserts the two acceptance criteria of
+docs/SAMPLING.md: wall-clock speedup of at least --min-speedup and
+every cell's sampled IPC within --max-cell-error percent of full
+detail. Exits non-zero when either fails.
+"""
+
+import argparse
+import json
+import sys
+
+
+def cells(doc):
+    out = {}
+    for c in doc["cells"]:
+        if c.get("status") != "ok":
+            sys.exit(f"cell {c['config']}/{c['benchmark']} "
+                     f"status {c.get('status')}")
+        out[(c["config"], c["benchmark"])] = c["ipc"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("full")
+    ap.add_argument("sampled")
+    ap.add_argument("--min-speedup", type=float, default=3.0)
+    ap.add_argument("--max-cell-error", type=float, default=2.0)
+    args = ap.parse_args()
+
+    full = json.load(open(args.full))
+    samp = json.load(open(args.sampled))
+    fc, sc = cells(full), cells(samp)
+    if set(fc) != set(sc):
+        sys.exit("check_sampling: cell sets differ between runs")
+
+    print(f"{'config':<12} {'benchmark':<10} {'full':>8} "
+          f"{'sampled':>8} {'err%':>6}")
+    worst = (0.0, None)
+    for key in sorted(fc):
+        err = abs(sc[key] - fc[key]) / fc[key] * 100.0
+        if err > worst[0]:
+            worst = (err, key)
+        print(f"{key[0]:<12} {key[1]:<10} {fc[key]:>8.4f} "
+              f"{sc[key]:>8.4f} {err:>5.2f}%")
+
+    speedup = full["wall_seconds"] / samp["wall_seconds"]
+    print(f"cells: {len(fc)}  worst error: {worst[0]:.2f}% "
+          f"{worst[1]}  speedup: {speedup:.2f}x "
+          f"({full['wall_seconds']:.1f}s -> "
+          f"{samp['wall_seconds']:.1f}s)")
+
+    failed = False
+    if worst[0] > args.max_cell_error:
+        print(f"check_sampling: FAIL worst cell error {worst[0]:.2f}% "
+              f"> {args.max_cell_error}%", file=sys.stderr)
+        failed = True
+    if speedup < args.min_speedup:
+        print(f"check_sampling: FAIL speedup {speedup:.2f}x "
+              f"< {args.min_speedup}x", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,17 +7,23 @@
 #   3. checker     — LSQ_CHECKER=ON: every simulation shadow-executed
 #                    against the memory-ordering oracle; also runs the
 #                    fig7_sq_speedup bench under the oracle
-#   4. tsan        — ThreadSanitizer on harness_test: the sweep
-#                    engine's pool, sinks, and logging under a race
-#                    detector
+#   4. tsan        — ThreadSanitizer on harness_test + obs_test +
+#                    sample_test: the sweep engine and the checkpoint
+#                    writers under a race detector
 #   5. bench-smoke — fig7_sq_speedup with LSQSCALE_JOBS=4 vs a serial
 #                    run; table and CSV output must be byte-identical
-#                    (the harness determinism contract)
+#                    (the harness determinism contract). Also the
+#                    sampling demo (docs/SAMPLING.md): a sampled fig7
+#                    subset must be >= 3x faster than full detail with
+#                    every cell's IPC within 2%
 #   6. trace-smoke — LSQ_TRACE=ON build + ctest; traced runs must be
 #                    bit-identical to untraced runs across three design
 #                    points, the Konata export must round-trip, and
 #                    lsqtrace must render the stall table
-#   7. lint        — scripts/lint.py standalone (also a ctest in every
+#   7. coverage    — LSQ_COVERAGE=ON build + ctest, then
+#                    scripts/coverage_report.py prints line coverage
+#                    per src/ subdir (soft-fails under the threshold)
+#   8. lint        — scripts/lint.py standalone (also a ctest in every
 #                    flavor above, so this is a fast final recheck)
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
@@ -48,11 +54,13 @@ banner "flavor: checker (fig7_sq_speedup bench under the oracle)"
 LSQSCALE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}" \
     ./build-ci-checker/bench/fig7_sq_speedup
 
-banner "flavor: tsan (harness_test + obs_test under ThreadSanitizer)"
+banner "flavor: tsan (harness/obs/sample tests under ThreadSanitizer)"
 cmake -B build-ci-tsan -S . -DLSQ_TSAN=ON >/dev/null
-cmake --build build-ci-tsan -j "$JOBS" --target harness_test obs_test
+cmake --build build-ci-tsan -j "$JOBS" \
+    --target harness_test obs_test sample_test
 ./build-ci-tsan/tests/harness_test
 ./build-ci-tsan/tests/obs_test
+./build-ci-tsan/tests/sample_test
 
 banner "flavor: bench-smoke (parallel sweep byte-identical to serial)"
 SMOKE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
@@ -73,6 +81,29 @@ python3 -c "import json,glob,sys; \
     [json.load(open(p)) for p in \
      glob.glob('$SMOKE_DIR/parallel/BENCH_*.json')] or \
     sys.exit('bench-smoke: no BENCH_*.json emitted')"
+
+banner "flavor: bench-smoke (sampled fig7 >=3x faster, cells within 2%)"
+# Checkpoint/fast-forward sampling demo (docs/SAMPLING.md): rerun the
+# fig7 sweep on a benchmark subset at a window long enough for the
+# estimator's variance to settle, once in full detail and once under
+# LSQSCALE_SAMPLE — no per-bench changes — then require >=3x wall-clock
+# speedup with every cell's IPC within 2% of full detail.
+SAMPLE_INSTS="${LSQSCALE_CI_SAMPLE_INSTS:-2000000}"
+SAMPLE_SPEC="${LSQSCALE_CI_SAMPLE_SPEC:-2800:400:400}"
+SAMPLE_BENCH="${LSQSCALE_CI_SAMPLE_BENCH:-gzip,mcf,twolf,equake,swim}"
+rm -rf "$SMOKE_DIR/full" "$SMOKE_DIR/sampled"
+mkdir -p "$SMOKE_DIR/full" "$SMOKE_DIR/sampled"
+LSQSCALE_BENCH="$SAMPLE_BENCH" LSQSCALE_INSTS="$SAMPLE_INSTS" \
+    LSQSCALE_JOBS=1 LSQSCALE_JSON_DIR="$SMOKE_DIR/full" \
+    ./build-ci-release/bench/fig7_sq_speedup >/dev/null 2>&1
+LSQSCALE_BENCH="$SAMPLE_BENCH" LSQSCALE_INSTS="$SAMPLE_INSTS" \
+    LSQSCALE_JOBS=1 LSQSCALE_SAMPLE="$SAMPLE_SPEC" \
+    LSQSCALE_JSON_DIR="$SMOKE_DIR/sampled" \
+    ./build-ci-release/bench/fig7_sq_speedup >/dev/null 2>&1
+python3 scripts/check_sampling.py \
+    "$SMOKE_DIR/full/BENCH_fig7_sq_speedup.json" \
+    "$SMOKE_DIR/sampled/BENCH_fig7_sq_speedup.json" \
+    --min-speedup 3.0 --max-cell-error 2.0
 
 banner "flavor: trace-smoke (tracing on, timing bit-identical)"
 run_flavor trace -DLSQ_TRACE=ON
@@ -109,6 +140,10 @@ done
     echo "trace-smoke: stall table missing attribution rows" >&2
     exit 1
 }
+
+banner "flavor: coverage (gcov line coverage per src/ subdir)"
+run_flavor coverage -DLSQ_COVERAGE=ON
+python3 scripts/coverage_report.py build-ci-coverage
 
 banner "flavor: lint"
 python3 scripts/lint.py

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Summarize gcov line coverage per src/ subdirectory.
+
+Usage: scripts/coverage_report.py BUILD_DIR [--threshold PCT]
+
+Walks BUILD_DIR for .gcda files (produced by a test run of an
+LSQ_COVERAGE=ON build), invokes `gcov --json-format` on each object's
+notes file, and aggregates executed/executable line counts for every
+file under src/. The per-subdir table is the CI artifact; subdirs
+under --threshold (default 70%) are flagged as warnings. The script is
+a soft gate: it exits non-zero only when no coverage data exists at
+all, so exotic toolchains without gcov never hard-fail CI.
+
+No gcovr/lcov dependency: plain `gcov` ships with gcc.
+"""
+
+import argparse
+import collections
+import glob
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcda(build_dir):
+    # Absolute paths: gcov runs from a scratch cwd (so its .gcov.json.gz
+    # droppings land there in the fallback path), which would break
+    # relative BUILD_DIR arguments like CI's "build-ci-coverage".
+    return [os.path.abspath(p)
+            for p in glob.glob(os.path.join(build_dir, "**", "*.gcda"),
+                               recursive=True)]
+
+
+def run_gcov(gcda_files, scratch):
+    """Run gcov in JSON mode; return parsed per-file records."""
+    records = []
+    # Batch to keep command lines bounded.
+    batch = 64
+    for i in range(0, len(gcda_files), batch):
+        chunk = gcda_files[i:i + batch]
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout"] + chunk,
+            cwd=scratch, capture_output=True)
+        if proc.returncode != 0 or not proc.stdout:
+            # Older gcov: no --stdout; fall back to .gcov.json.gz files.
+            subprocess.run(["gcov", "--json-format"] + chunk,
+                           cwd=scratch, capture_output=True)
+            for gz in glob.glob(os.path.join(scratch, "*.gcov.json.gz")):
+                with gzip.open(gz, "rt") as fh:
+                    records.append(json.load(fh))
+                os.unlink(gz)
+            continue
+        # --stdout emits one JSON document per line/input.
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                pass
+    return records
+
+
+def aggregate(records, repo_root):
+    """{subdir: [covered, executable]} for files under src/."""
+    src_root = os.path.join(repo_root, "src") + os.sep
+    per_file = {}
+    for rec in records:
+        for f in rec.get("files", []):
+            path = os.path.normpath(
+                os.path.join(repo_root, f.get("file", "")))
+            if not path.startswith(src_root):
+                continue
+            lines = f.get("lines", [])
+            if not lines:
+                continue
+            cov = per_file.setdefault(path, {})
+            for ln in lines:
+                num = ln.get("line_number")
+                hit = ln.get("count", 0) > 0
+                cov[num] = cov.get(num, False) or hit
+    subdirs = collections.defaultdict(lambda: [0, 0])
+    for path, cov in per_file.items():
+        rel = os.path.relpath(path, os.path.join(repo_root, "src"))
+        subdir = rel.split(os.sep)[0] if os.sep in rel else "."
+        subdirs[subdir][0] += sum(1 for hit in cov.values() if hit)
+        subdirs[subdir][1] += len(cov)
+    return subdirs
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument("--threshold", type=float, default=70.0,
+                    help="warn (not fail) below this line %% per subdir")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    gcda = find_gcda(args.build_dir)
+    if not gcda:
+        print(f"coverage: no .gcda files under {args.build_dir} "
+              "(build with -DLSQ_COVERAGE=ON and run the tests first)",
+              file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory() as scratch:
+        records = run_gcov(gcda, scratch)
+    if not records:
+        print("coverage: gcov produced no JSON output; skipping "
+              "(soft gate)", file=sys.stderr)
+        return 0
+
+    subdirs = aggregate(records, repo_root)
+    if not subdirs:
+        print("coverage: no src/ files in gcov output; skipping "
+              "(soft gate)", file=sys.stderr)
+        return 0
+
+    print(f"{'src subdir':<12} {'lines':>7} {'covered':>8} {'%':>7}")
+    warned = []
+    tot_cov = tot_all = 0
+    for subdir in sorted(subdirs):
+        cov, total = subdirs[subdir]
+        pct = 100.0 * cov / total if total else 0.0
+        mark = ""
+        if pct < args.threshold:
+            warned.append((subdir, pct))
+            mark = "   <-- below threshold"
+        print(f"{subdir:<12} {total:>7} {cov:>8} {pct:>6.1f}%{mark}")
+        tot_cov += cov
+        tot_all += total
+    pct = 100.0 * tot_cov / tot_all if tot_all else 0.0
+    print(f"{'TOTAL':<12} {tot_all:>7} {tot_cov:>8} {pct:>6.1f}%")
+
+    for subdir, pct in warned:
+        print(f"coverage: WARNING src/{subdir} at {pct:.1f}% "
+              f"(threshold {args.threshold:.0f}%)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Rebless the golden-run references under tests/golden/ after an
+# intended timing change. Usage:
+#
+#   scripts/refresh_golden.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build and must already be configured; the
+# script rebuilds golden_test, reruns it in refresh mode (the binary
+# rewrites the reference JSONs it otherwise diffs against), then runs
+# it once more in compare mode to prove the new baseline is stable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    echo "refresh_golden: $BUILD_DIR is not a configured build tree" >&2
+    echo "  cmake -S . -B $BUILD_DIR && $0 $BUILD_DIR" >&2
+    exit 2
+fi
+
+cmake --build "$BUILD_DIR" --target golden_test
+LSQSCALE_REFRESH_GOLDEN=1 "$BUILD_DIR/tests/golden_test"
+"$BUILD_DIR/tests/golden_test"
+
+echo "refresh_golden: references updated:"
+git -C . status --short tests/golden/

@@ -622,6 +622,8 @@ Core::dispatchStage()
 void
 Core::fetchStage()
 {
+    if (draining_)
+        return;
     if (now_ < fetchResumeCycle_ || pendingBranch_ != kNoSeq)
         return;
     if (fetchQ_.size() >= 2 * cp_.fetchWidth)
@@ -736,6 +738,118 @@ Core::performSquash(SeqNum from, SquashReason reason)
     lastFetchBlock_ = ~0ULL;
 
     (void)reason;
+}
+
+// ---------------------------------------------- checkpointing ---------
+
+bool
+Core::quiescent() const
+{
+    return rob_.empty() && iq_.size() == 0 && fetchQ_.empty() &&
+           completions_.empty() && lsq_.lqLive() == 0 &&
+           lsq_.sqLive() == 0 && pendingBranch_ == kNoSeq;
+}
+
+void
+Core::drain()
+{
+    draining_ = true;
+    Cycle start = now_;
+    while (!rob_.empty() || !fetchQ_.empty() || !completions_.empty()) {
+        tick();
+        LSQ_ASSERT(now_ - start < 1000000,
+                   "pipeline failed to drain\n%s", debugDump().c_str());
+    }
+    draining_ = false;
+    // Fetched-but-uncommitted stream state is discarded: sequence
+    // numbers are dense from 0, so the next fetch is committed_.
+    stream_.squashTo(committed_);
+    pendingBranch_ = kNoSeq;
+    LSQ_ASSERT(quiescent(), "drain left in-flight state behind\n%s",
+               debugDump().c_str());
+}
+
+void
+Core::fastForward(std::uint64_t numInsts)
+{
+    LSQ_ASSERT(quiescent(),
+               "fast-forward requires a quiesced pipeline\n%s",
+               debugDump().c_str());
+    for (std::uint64_t i = 0; i < numInsts; ++i) {
+        const MicroOp op = stream_.fetch();
+
+        // Warm the I-cache on fetch-block transitions, mirroring the
+        // detailed fetch stage's access pattern.
+        Addr block = op.pc / mem_.params().l1i.blockBytes;
+        if (block != lastFetchBlock_) {
+            lastFetchBlock_ = block;
+            mem_.accessInst(now_, op.pc);
+        }
+
+        if (op.isBranch()) {
+            bool replayed = bpEverTrained_ && op.seq <= bpTrainedUpTo_;
+            if (!replayed) {
+                bp_.predictAndUpdate(op.pc, op.taken);
+                bpTrainedUpTo_ = op.seq;
+                bpEverTrained_ = true;
+            }
+        } else if (op.isLoad()) {
+            mem_.accessData(now_, op.addr, false);
+        } else if (op.isStore()) {
+            mem_.accessData(now_, op.addr, true);
+        }
+
+        stream_.retireUpTo(op.seq);
+        ++committed_;
+        // Nominal IPC-4 clock advance keeps cycle-keyed memory state
+        // (pending fills) moving without the detailed pipeline.
+        if ((i & 3u) == 3u)
+            ++now_;
+    }
+}
+
+void
+Core::saveState(SerialWriter &w) const
+{
+    LSQ_ASSERT(quiescent(), "checkpointing a non-quiesced core\n%s",
+               debugDump().c_str());
+    w.u64(now_);
+    w.u64(committed_);
+    w.u64(nextRobId_);
+    w.u64(fetchResumeCycle_);
+    w.u64(bpTrainedUpTo_);
+    w.b(bpEverTrained_);
+    w.u64(lastFetchBlock_);
+    w.u64(invalRng_.state());
+    w.u64(recentCommittedLoads_.size());
+    for (Addr a : recentCommittedLoads_)
+        w.u64(a);
+    w.u64(recentLoadPos_);
+    w.u64(pendingInval_);
+    w.b(pendingInvalValid_);
+}
+
+void
+Core::loadState(SerialReader &r)
+{
+    LSQ_ASSERT(quiescent(), "restoring into a non-quiesced core");
+    now_ = r.u64();
+    committed_ = r.u64();
+    nextRobId_ = r.u64();
+    fetchResumeCycle_ = r.u64();
+    bpTrainedUpTo_ = r.u64();
+    bpEverTrained_ = r.b();
+    lastFetchBlock_ = r.u64();
+    invalRng_.setState(r.u64());
+    std::uint64_t n = r.u64();
+    if (n > 32)
+        throw SerialError("recent-load ring too large");
+    recentCommittedLoads_.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+        recentCommittedLoads_.push_back(r.u64());
+    recentLoadPos_ = r.u64() % 32;
+    pendingInval_ = r.u64();
+    pendingInvalValid_ = r.b();
 }
 
 } // namespace lsqscale

@@ -28,6 +28,7 @@
 #include "memory/memory_system.hh"
 #include "predictor/branch_predictor.hh"
 #include "predictor/store_set.hh"
+#include "sample/serialize.hh"
 #include "workload/inst_stream.hh"
 
 namespace lsqscale {
@@ -82,6 +83,40 @@ class Core
     const HybridBranchPredictor &branchPredictor() const { return bp_; }
     StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }
+
+    // ------------------------------------------- sampling support ----
+    /** Workload stream (checkpointing, docs/SAMPLING.md). */
+    InstStream &stream() { return stream_; }
+    /** Mutable branch predictor (checkpointing). */
+    HybridBranchPredictor &branchPredictorMut() { return bp_; }
+    /** Store-set predictor (checkpointing). */
+    StoreSetPredictor &storeSets() { return ssp_; }
+
+    /** True when no instruction is in flight anywhere in the core. */
+    bool quiescent() const;
+
+    /**
+     * Drain the pipeline: stop fetching, tick until every in-flight
+     * instruction commits, then rewind the stream to the commit point.
+     * Afterwards quiescent() holds and the core can be checkpointed or
+     * fast-forwarded. Stats counters do advance while draining.
+     */
+    void drain();
+
+    /**
+     * Functional fast-forward: advance @p numInsts instructions
+     * through the workload generator, memory image, and branch
+     * predictor without the OoO pipeline. Requires quiescent(). Emits
+     * no stats counters, so a measurement window entered through a
+     * fast-forward is bit-identical to one entered by restoring a
+     * checkpoint taken at the same boundary.
+     */
+    void fastForward(std::uint64_t numInsts);
+
+    /** Serialize scalar core state (checkpointing, docs/SAMPLING.md). */
+    void saveState(SerialWriter &w) const;
+    /** Restore state written by saveState. Requires quiescent(). */
+    void loadState(SerialReader &r);
 
     /** Live ROB entries (interval sampling). */
     std::size_t robOccupancy() const { return rob_.size(); }
@@ -172,6 +207,9 @@ class Core
     bool bpEverTrained_ = false;
 
     Addr lastFetchBlock_ = ~0ULL;
+
+    /** True while drain() runs: fetchStage stops pulling the stream. */
+    bool draining_ = false;
 
     /** Cached commit-stall counters, indexed (opClass * 2 + state). */
     Counter *commitBlockCounters_[kNumOpClasses * 2] = {};

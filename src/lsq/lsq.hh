@@ -209,6 +209,18 @@ class Lsq
     void attachTracer(Tracer *tracer) { tracer_ = tracer; }
     Tracer *tracer() const { return tracer_; }
 
+    // ------------------------------------------------ checkpointing --
+    /**
+     * Serialize the drained-queue state (checkpointing,
+     * docs/SAMPLING.md). Only legal when the queues are empty — a
+     * checkpoint is taken at a quiesced pipeline — but the segment
+     * allocators' rotation positions persist across the drain and are
+     * captured here.
+     */
+    void saveState(SerialWriter &w) const;
+    /** Restore state written by saveState (geometry must match). */
+    void loadState(SerialReader &r);
+
   private:
     struct LoadEntry
     {

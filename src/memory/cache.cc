@@ -111,4 +111,42 @@ Cache::exportStats(StatSet &stats) const
     stats.counter(params_.name + ".misses").inc(misses_);
 }
 
+// ------------------------------------------------ checkpointing -----
+
+void
+Cache::saveState(SerialWriter &w) const
+{
+    w.u64(lines_.size());
+    for (const Line &l : lines_) {
+        w.u64(l.tag);
+        w.b(l.valid);
+        w.u64(l.lru);
+    }
+    w.u64(stamp_);
+    w.u64(hits_);
+    w.u64(misses_);
+    w.u64(portCycle_);
+    w.u32(portsUsed_);
+}
+
+void
+Cache::loadState(SerialReader &r)
+{
+    std::uint64_t n = r.u64();
+    if (n != lines_.size())
+        throw SerialError(params_.name +
+                          ": cache geometry mismatch "
+                          "(checkpoint from a different config?)");
+    for (Line &l : lines_) {
+        l.tag = r.u64();
+        l.valid = r.b();
+        l.lru = r.u64();
+    }
+    stamp_ = r.u64();
+    hits_ = r.u64();
+    misses_ = r.u64();
+    portCycle_ = r.u64();
+    portsUsed_ = r.u32();
+}
+
 } // namespace lsqscale

@@ -19,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "sample/serialize.hh"
 
 namespace lsqscale {
 
@@ -65,6 +66,11 @@ class Cache
 
     /** Export hit/miss counters into @p stats under "<name>.". */
     void exportStats(StatSet &stats) const;
+
+    /** Serialize tags/LRU/counters (checkpointing, docs/SAMPLING.md). */
+    void saveState(SerialWriter &w) const;
+    /** Restore state written by saveState (geometry must match). */
+    void loadState(SerialReader &r);
 
   private:
     std::uint64_t setIndex(Addr addr) const;

@@ -112,4 +112,33 @@ MemorySystem::exportStats(StatSet &stats) const
     l2_.exportStats(stats);
 }
 
+// ------------------------------------------------ checkpointing -----
+
+void
+MemorySystem::saveState(SerialWriter &w) const
+{
+    l1i_.saveState(w);
+    l1d_.saveState(w);
+    l2_.saveState(w);
+    w.u64(pendingFills_.size());
+    for (const auto &kv : pendingFills_) {
+        w.u64(kv.first);
+        w.u64(kv.second);
+    }
+}
+
+void
+MemorySystem::loadState(SerialReader &r)
+{
+    l1i_.loadState(r);
+    l1d_.loadState(r);
+    l2_.loadState(r);
+    pendingFills_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr block = r.u64();
+        pendingFills_[block] = r.u64();
+    }
+}
+
 } // namespace lsqscale

@@ -82,6 +82,11 @@ class MemorySystem
 
     void exportStats(StatSet &stats) const;
 
+    /** Serialize all caches + MSHRs (checkpointing, docs/SAMPLING.md). */
+    void saveState(SerialWriter &w) const;
+    /** Restore state written by saveState (geometry must match). */
+    void loadState(SerialReader &r);
+
   private:
     MemAccessResult walk(Cycle now, Addr addr, Cache &l1);
     void pruneFills(Cycle now);

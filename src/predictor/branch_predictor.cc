@@ -162,4 +162,98 @@ HybridBranchPredictor::update(Pc pc, bool taken)
     bimodal_.update(pc, taken);
 }
 
+// ------------------------------------------------ checkpointing -----
+
+namespace {
+
+void
+savePht(SerialWriter &w, const std::vector<SatCounter> &pht)
+{
+    w.u64(pht.size());
+    for (const SatCounter &c : pht)
+        w.u8(c.value());
+}
+
+void
+loadPht(SerialReader &r, std::vector<SatCounter> &pht)
+{
+    std::uint64_t n = r.u64();
+    if (n != pht.size())
+        throw SerialError("predictor table size mismatch "
+                          "(checkpoint from a different config?)");
+    for (SatCounter &c : pht)
+        c.set(r.u8());
+}
+
+} // namespace
+
+void
+GAgPredictor::saveState(SerialWriter &w) const
+{
+    w.u32(history_);
+    savePht(w, pht_);
+}
+
+void
+GAgPredictor::loadState(SerialReader &r)
+{
+    history_ = r.u32() & histMask_;
+    loadPht(r, pht_);
+}
+
+void
+PAgPredictor::saveState(SerialWriter &w) const
+{
+    w.u64(bht_.size());
+    for (unsigned h : bht_)
+        w.u32(h);
+    savePht(w, pht_);
+}
+
+void
+PAgPredictor::loadState(SerialReader &r)
+{
+    std::uint64_t n = r.u64();
+    if (n != bht_.size())
+        throw SerialError("predictor table size mismatch "
+                          "(checkpoint from a different config?)");
+    for (unsigned &h : bht_)
+        h = r.u32() & histMask_;
+    loadPht(r, pht_);
+}
+
+void
+BimodalPredictor::saveState(SerialWriter &w) const
+{
+    savePht(w, pht_);
+}
+
+void
+BimodalPredictor::loadState(SerialReader &r)
+{
+    loadPht(r, pht_);
+}
+
+void
+HybridBranchPredictor::saveState(SerialWriter &w) const
+{
+    gag_.saveState(w);
+    pag_.saveState(w);
+    bimodal_.saveState(w);
+    savePht(w, chooser_);
+    w.u64(lookups_);
+    w.u64(mispredicts_);
+}
+
+void
+HybridBranchPredictor::loadState(SerialReader &r)
+{
+    gag_.loadState(r);
+    pag_.loadState(r);
+    bimodal_.loadState(r);
+    loadPht(r, chooser_);
+    lookups_ = r.u64();
+    mispredicts_ = r.u64();
+}
+
 } // namespace lsqscale

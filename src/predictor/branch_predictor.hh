@@ -16,6 +16,7 @@
 
 #include "common/sat_counter.hh"
 #include "common/types.hh"
+#include "sample/serialize.hh"
 
 namespace lsqscale {
 
@@ -45,6 +46,9 @@ class GAgPredictor
     bool predict(Pc pc) const;
     void update(Pc pc, bool taken);
 
+    void saveState(SerialWriter &w) const;
+    void loadState(SerialReader &r);
+
   private:
     unsigned index(Pc pc) const;
 
@@ -62,6 +66,9 @@ class PAgPredictor
 
     bool predict(Pc pc) const;
     void update(Pc pc, bool taken);
+
+    void saveState(SerialWriter &w) const;
+    void loadState(SerialReader &r);
 
   private:
     unsigned bhtIndex(Pc pc) const;
@@ -82,6 +89,9 @@ class BimodalPredictor
 
     bool predict(Pc pc) const;
     void update(Pc pc, bool taken);
+
+    void saveState(SerialWriter &w) const;
+    void loadState(SerialReader &r);
 
   private:
     unsigned tableMask_;
@@ -122,6 +132,11 @@ class HybridBranchPredictor
         update(pc, taken);
         return pred;
     }
+
+    /** Serialize all tables/history (checkpointing, docs/SAMPLING.md). */
+    void saveState(SerialWriter &w) const;
+    /** Restore state written by saveState (geometry must match). */
+    void loadState(SerialReader &r);
 
   private:
     unsigned chooserIndex(Pc pc) const;

@@ -38,6 +38,7 @@
 
 #include "common/sat_counter.hh"
 #include "common/types.hh"
+#include "sample/serialize.hh"
 
 namespace lsqscale {
 
@@ -155,6 +156,12 @@ class StoreSetPredictor
     // ------------------------------------------------------- stats ----
     std::uint64_t pairsTrained() const { return pairsTrained_; }
     std::uint64_t tableClears() const { return tableClears_; }
+
+    // ----------------------------------------------- checkpointing ----
+    /** Serialize all tables (checkpointing, docs/SAMPLING.md). */
+    void saveState(SerialWriter &w) const;
+    /** Restore state written by saveState (geometry must match). */
+    void loadState(SerialReader &r);
 
   private:
     struct LfstEntry

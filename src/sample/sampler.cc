@@ -1,0 +1,151 @@
+#include "sample/sampler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/core.hh"
+
+namespace lsqscale {
+
+namespace {
+
+/**
+ * Per-period fast-forward length. A fixed skip length makes the
+ * sampler *systematic*: if the workload's phase structure beats
+ * against the period, entire behaviours get over- or under-sampled
+ * and the error never converges (textbook aliasing). Jittering the
+ * skip uniformly over [F/2, 3F/2] — mean F, so the detail fraction
+ * and the speedup are unchanged — turns the design into pseudo-random
+ * sampling, which is unbiased for any periodic workload. The jitter
+ * is a pure function of the period index, so sampled runs stay
+ * bit-reproducible run-to-run and job-count-independent.
+ */
+std::uint64_t
+jitteredFf(const SampleSpec &spec, std::uint64_t period)
+{
+    if (spec.ffInsts < 2)
+        return spec.ffInsts;
+    std::uint64_t r = Rng::mix(0x53414d504c455221ULL + period);
+    return spec.ffInsts / 2 + r % (spec.ffInsts + 1);
+}
+
+} // namespace
+
+bool
+parseSampleSpec(const std::string &text, SampleSpec &out)
+{
+    std::uint64_t vals[3];
+    std::size_t pos = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+        if (pos >= text.size() || !std::isdigit(
+                static_cast<unsigned char>(text[pos])))
+            return false;
+        std::uint64_t v = 0;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            v = v * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+            ++pos;
+        }
+        vals[i] = v;
+        if (i < 2) {
+            if (pos >= text.size() || text[pos] != ':')
+                return false;
+            ++pos;
+        }
+    }
+    if (pos != text.size())
+        return false;
+    if (vals[2] == 0)
+        return false;   // a period must measure something
+    out.ffInsts = vals[0];
+    out.warmInsts = vals[1];
+    out.measureInsts = vals[2];
+    return true;
+}
+
+std::string
+formatSampleSpec(const SampleSpec &spec)
+{
+    return std::to_string(spec.ffInsts) + ":" +
+           std::to_string(spec.warmInsts) + ":" +
+           std::to_string(spec.measureInsts);
+}
+
+SampleSummary
+runSampleLoop(Core &core, const SampleSpec &spec,
+              std::uint64_t totalInsts)
+{
+    LSQ_ASSERT(spec.enabled(), "sampling with an empty measure window");
+    LSQ_ASSERT(core.quiescent(),
+               "sampling must start from a quiesced core");
+
+    SampleSummary s;
+    s.enabled = true;
+    s.spec = spec;
+
+    std::uint64_t period = 0;
+    while (core.committed() < totalInsts) {
+        std::uint64_t remaining = totalInsts - core.committed();
+
+        // Functional fast-forward (jittered; see jitteredFf above).
+        std::uint64_t ff = std::min(jitteredFf(spec, period++), remaining);
+        core.fastForward(ff);
+        s.ffInsts += ff;
+        if (core.committed() >= totalInsts)
+            break;
+
+        // Detailed warm-up: fills the ROB/LSQ/store-set state the
+        // fast-forward cannot model; cycles are excluded from the
+        // measurement.
+        remaining = totalInsts - core.committed();
+        std::uint64_t warm = std::min(spec.warmInsts, remaining);
+        if (warm > 0) {
+            std::uint64_t before = core.committed();
+            core.run(before + warm);
+            s.warmInsts += core.committed() - before;
+        }
+        if (core.committed() >= totalInsts) {
+            core.drain();
+            break;
+        }
+
+        // Measurement window.
+        remaining = totalInsts - core.committed();
+        std::uint64_t meas = std::min(spec.measureInsts, remaining);
+        Cycle c0 = core.cycle();
+        std::uint64_t i0 = core.committed();
+        core.run(i0 + meas);
+        std::uint64_t di = core.committed() - i0;
+        std::uint64_t dc = core.cycle() - c0;
+        s.measuredInsts += di;
+        s.measuredCycles += dc;
+        s.intervalIpc.push_back(static_cast<double>(di) /
+                                static_cast<double>(dc));
+
+        // Quiesce so the next period fast-forwards from a clean
+        // boundary (drain cycles are charged to neither window).
+        core.drain();
+    }
+
+    std::uint64_t n = s.intervals();
+    if (n > 0) {
+        double sum = 0.0;
+        for (double v : s.intervalIpc)
+            sum += v;
+        s.ipcMean = sum / static_cast<double>(n);
+        if (n > 1) {
+            double sq = 0.0;
+            for (double v : s.intervalIpc)
+                sq += (v - s.ipcMean) * (v - s.ipcMean);
+            s.ipcStddev = std::sqrt(sq / static_cast<double>(n - 1));
+            s.ipcErr95 = 1.96 * s.ipcStddev /
+                         std::sqrt(static_cast<double>(n));
+        }
+    }
+    return s;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,36 @@
+#include "sample/serialize.hh"
+
+#include <array>
+
+namespace lsqscale {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = makeCrcTable();
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = kCrcTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace lsqscale

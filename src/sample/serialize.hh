@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Byte-level serialization primitives for the checkpoint subsystem.
+ *
+ * Fixed-width little-endian encoders/decoders over a growable byte
+ * buffer. Components expose saveState(SerialWriter&)/loadState(
+ * SerialReader&) member pairs built on these; the lsqscale-ckpt-v1
+ * container format (header, sections, CRC) lives one layer up in
+ * sample/checkpoint.hh. See docs/SAMPLING.md.
+ *
+ * Determinism contract: a component's saveState must produce identical
+ * bytes for identical logical state — unordered containers are sorted
+ * on save, doubles are stored as raw IEEE-754 bit patterns — so that
+ * checkpoint files can be diffed byte-for-byte across runs and worker
+ * threads (the fast-forward determinism test relies on this).
+ *
+ * Errors (underflow, malformed payloads) throw SerialError rather than
+ * aborting: checkpoint files are external inputs, and callers (the
+ * CLI, the sweep harness, tests) decide how a bad file is reported.
+ */
+
+#ifndef LSQSCALE_SAMPLE_SERIALIZE_HH
+#define LSQSCALE_SAMPLE_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace lsqscale {
+
+/** Malformed or truncated serialized data. */
+class SerialError : public std::runtime_error
+{
+  public:
+    explicit SerialError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Appends fixed-width little-endian fields to a byte buffer. */
+class SerialWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v & 0xff));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v & 0xffff));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v & 0xffffffffu));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    /** Raw IEEE-754 bit pattern: bit-exact and deterministic. */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    /** Length-prefixed byte string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    void
+    raw(const void *data, std::size_t n)
+    {
+        buf_.append(static_cast<const char *>(data), n);
+    }
+
+    const std::string &buffer() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/** Consumes fields written by SerialWriter; throws SerialError. */
+class SerialReader
+{
+  public:
+    SerialReader(const char *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit SerialReader(const std::string &buf)
+        : data_(buf.data()), size_(buf.size())
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    bool b() { return u8() != 0; }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t lo = u8();
+        std::uint16_t hi = u8();
+        return static_cast<std::uint16_t>(lo | (hi << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t lo = u16();
+        std::uint32_t hi = u16();
+        return lo | (hi << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32();
+        std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = u64();
+        need(n);
+        std::string s(data_ + pos_, static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    void
+    raw(void *out, std::size_t n)
+    {
+        need(n);
+        std::memcpy(out, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool done() const { return pos_ == size_; }
+
+    /** Fail unless the stream was consumed exactly. */
+    void
+    expectEnd(const char *what)
+    {
+        if (!done())
+            throw SerialError(std::string(what) +
+                              ": trailing bytes in serialized state");
+    }
+
+  private:
+    void
+    need(std::uint64_t n)
+    {
+        if (n > size_ - pos_)
+            throw SerialError("serialized state truncated");
+    }
+
+    const char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, the zlib convention). */
+std::uint32_t crc32(const void *data, std::size_t n);
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_SAMPLE_SERIALIZE_HH

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "harness/sweep.hh"
 #include "obs/trace.hh"
+#include "sample/serialize.hh"
 #include "sim/simulator.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/trace_file.hh"
@@ -95,6 +96,17 @@ cliUsage()
         "                       (tracing needs a -DLSQ_TRACE=ON build)\n"
         "  --interval-stats N   sample interval metrics every N cycles\n"
         "  --interval-json PATH write the lsqscale-intervals-v1 series\n"
+        "\n"
+        "sampling / checkpoints (docs/SAMPLING.md):\n"
+        "  --sample F:W:D       sampled run: per period fast-forward F,\n"
+        "                       warm W, measure D instructions\n"
+        "                       (LSQSCALE_SAMPLE does the same globally)\n"
+        "  --ff N               functionally fast-forward N instructions\n"
+        "                       before measuring (skips --warmup)\n"
+        "  --save-ckpt PATH     write an lsqscale-ckpt-v1 checkpoint\n"
+        "                       (after --ff) and exit without measuring\n"
+        "  --load-ckpt PATH     resume from a checkpoint (skips "
+        "--warmup)\n"
         "\n"
         "output:\n"
         "  --json               machine-readable result\n"
@@ -251,6 +263,22 @@ parseCli(const std::vector<std::string> &args, CliOptions &opts)
             opts.config.intervalJsonPath = v;
             if (opts.config.intervalCycles == 0)
                 opts.config.intervalCycles = 10000;
+        } else if (a == "--sample") {
+            if (!value(v) || !parseSampleSpec(v, opts.config.sample))
+                return "--sample needs F:W:D (non-negative integers, "
+                       "D > 0)";
+        } else if (a == "--ff") {
+            if (!value(v) || !parseU64(v, opts.config.ffInsts) ||
+                opts.config.ffInsts == 0)
+                return "--ff needs a positive instruction count";
+        } else if (a == "--save-ckpt") {
+            if (!value(v))
+                return "--save-ckpt needs a path";
+            opts.config.saveCkptPath = v;
+        } else if (a == "--load-ckpt") {
+            if (!value(v))
+                return "--load-ckpt needs a path";
+            opts.config.loadCkptPath = v;
         } else if (a == "--invalidations") {
             if (!value(v))
                 return "--invalidations needs a rate";
@@ -281,6 +309,27 @@ resultToJson(const SimResult &result, const SimConfig &config)
     os << "  \"ipc\": " << ipc << ",\n";
     os << "  \"sq_searches\": " << result.sqSearches() << ",\n";
     os << "  \"lq_searches\": " << result.lqSearches() << ",\n";
+    if (result.sampling.enabled) {
+        // Only sampled runs carry this block, so plain-run JSON stays
+        // byte-stable for golden/trace-smoke comparisons.
+        const SampleSummary &s = result.sampling;
+        char num[32];
+        os << "  \"sampling\": {\n";
+        os << "    \"spec\": \"" << formatSampleSpec(s.spec)
+           << "\",\n";
+        os << "    \"intervals\": " << s.intervals() << ",\n";
+        os << "    \"ff_insts\": " << s.ffInsts << ",\n";
+        os << "    \"warm_insts\": " << s.warmInsts << ",\n";
+        os << "    \"measured_insts\": " << s.measuredInsts << ",\n";
+        os << "    \"measured_cycles\": " << s.measuredCycles << ",\n";
+        std::snprintf(num, sizeof(num), "%.6f", s.ipcMean);
+        os << "    \"ipc_mean\": " << num << ",\n";
+        std::snprintf(num, sizeof(num), "%.6f", s.ipcStddev);
+        os << "    \"ipc_stddev\": " << num << ",\n";
+        std::snprintf(num, sizeof(num), "%.6f", s.ipcErr95);
+        os << "    \"ipc_err95\": " << num << "\n";
+        os << "  },\n";
+    }
     os << "  \"counters\": {";
     bool first = true;
     for (const auto &name : result.stats.counterNames()) {
@@ -323,7 +372,22 @@ runCli(const CliOptions &opts)
     }
 
     Simulator sim(opts.config);
-    SimResult result = sim.run();
+    SimResult result;
+    try {
+        result = sim.run();
+    } catch (const SerialError &err) {
+        std::fprintf(stderr, "lsqsim: %s\n", err.what());
+        return 1;
+    }
+
+    if (!opts.config.saveCkptPath.empty()) {
+        std::printf("saved checkpoint %s (%s, %llu instructions)\n",
+                    opts.config.saveCkptPath.c_str(),
+                    opts.config.benchmark.c_str(),
+                    static_cast<unsigned long long>(
+                        opts.config.ffInsts));
+        return 0;
+    }
 
     if (opts.jsonOutput) {
         std::fputs(resultToJson(result, opts.config).c_str(), stdout);
@@ -337,6 +401,15 @@ runCli(const CliOptions &opts)
         std::printf("cycles      %llu\n",
                     static_cast<unsigned long long>(result.cycles));
         std::printf("IPC         %.3f\n", result.ipc());
+        if (result.sampling.enabled) {
+            const SampleSummary &s = result.sampling;
+            std::printf("sampled     %s: %llu intervals, "
+                        "IPC %.3f +/- %.3f (95%%), ff %llu insts\n",
+                        formatSampleSpec(s.spec).c_str(),
+                        static_cast<unsigned long long>(s.intervals()),
+                        s.ipcMean, s.ipcErr95,
+                        static_cast<unsigned long long>(s.ffInsts));
+        }
         std::printf("SQ searches %llu\n",
                     static_cast<unsigned long long>(
                         result.sqSearches()));

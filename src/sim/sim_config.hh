@@ -18,6 +18,7 @@
 #include "lsq/lsq_params.hh"
 #include "memory/memory_system.hh"
 #include "obs/trace.hh"
+#include "sample/sampler.hh"
 
 namespace lsqscale {
 
@@ -55,6 +56,33 @@ struct SimConfig
 
     /** Standalone lsqscale-intervals-v1 JSON file (--interval-json). */
     std::string intervalJsonPath;
+
+    /**
+     * Interval sampling (docs/SAMPLING.md): when enabled(), the run
+     * replaces warm-up + full-detail measurement with alternating
+     * fast-forward / warm / measure periods (--sample F:W:D, or the
+     * LSQSCALE_SAMPLE environment variable).
+     */
+    SampleSpec sample{};
+
+    /**
+     * Functionally fast-forward this many instructions before
+     * measuring (or before saving a checkpoint); skips the config
+     * warm-up (--ff N).
+     */
+    std::uint64_t ffInsts = 0;
+
+    /**
+     * Save an lsqscale-ckpt-v1 checkpoint after the fast-forward and
+     * exit without measuring (--save-ckpt PATH).
+     */
+    std::string saveCkptPath;
+
+    /**
+     * Restore from a checkpoint instead of starting cold; skips the
+     * config warm-up (--load-ckpt PATH).
+     */
+    std::string loadCkptPath;
 };
 
 namespace configs {

@@ -10,6 +10,8 @@
 #include "obs/interval.hh"
 #include "obs/konata.hh"
 #include "obs/trace.hh"
+#include "sample/checkpoint.hh"
+#include "sample/sampler.hh"
 #include "workload/address_stream.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/trace_file.hh"
@@ -80,6 +82,26 @@ effectiveIntervalCycles(std::uint64_t configured)
     return 0;
 }
 
+/**
+ * Sampling spec: the config wins; the LSQSCALE_SAMPLE environment
+ * variable ("F:W:D") turns sampling on for drivers with no --sample
+ * plumbing, accelerating every bench with zero per-bench changes.
+ */
+SampleSpec
+effectiveSampleSpec(const SampleSpec &configured)
+{
+    if (configured.enabled())
+        return configured;
+    if (const char *env = std::getenv("LSQSCALE_SAMPLE")) {
+        SampleSpec s;
+        if (parseSampleSpec(env, s))
+            return s;
+        LSQ_WARN("ignoring malformed LSQSCALE_SAMPLE '%s' "
+                 "(want F:W:D)", env);
+    }
+    return SampleSpec{};
+}
+
 } // namespace
 
 SimResult
@@ -122,7 +144,29 @@ Simulator::run()
     std::uint64_t measured = effectiveInstructions(config_.instructions);
     std::uint64_t warmup = std::min(config_.warmup, measured / 4);
 
-    if (warmup > 0) {
+    // Checkpoint / fast-forward entry points (docs/SAMPLING.md). Both
+    // replace the config warm-up: a restored or fast-forwarded run
+    // measures from the checkpoint boundary so that the two are
+    // bit-identical.
+    if (!config_.loadCkptPath.empty())
+        loadCheckpoint(core, config_, config_.loadCkptPath);
+    if (config_.ffInsts > 0)
+        core.fastForward(config_.ffInsts);
+    if (!config_.saveCkptPath.empty()) {
+        // Save-only run: snapshot the quiesced state and return
+        // without measuring anything.
+        saveCheckpoint(core, config_, config_.saveCkptPath);
+#ifdef LSQSCALE_CHECKER
+        core.lsq().attachChecker(nullptr);
+#endif
+        return result;
+    }
+
+    SampleSpec sample = effectiveSampleSpec(config_.sample);
+    bool skipWarmup = sample.enabled() || config_.ffInsts > 0 ||
+                      !config_.loadCkptPath.empty();
+
+    if (warmup > 0 && !skipWarmup) {
         core.run(warmup);
         result.stats.resetAll();
     }
@@ -154,10 +198,19 @@ Simulator::run()
     std::uint64_t l2H = core.memory().l2().hits();
     std::uint64_t l2M = core.memory().l2().misses();
 
-    core.run(startCommitted + measured);
-
-    result.cycles = core.cycle() - startCycle;
-    result.committed = core.committed() - startCommitted;
+    if (sample.enabled()) {
+        // Sampled mode: the measurement window is the union of the
+        // periods' measure windows; cache counters below still span
+        // the whole loop (fast-forward warming included).
+        result.sampling =
+            runSampleLoop(core, sample, startCommitted + measured);
+        result.cycles = result.sampling.measuredCycles;
+        result.committed = result.sampling.measuredInsts;
+    } else {
+        core.run(startCommitted + measured);
+        result.cycles = core.cycle() - startCycle;
+        result.committed = core.committed() - startCommitted;
+    }
     result.stats.counter("l1d.hits").inc(core.memory().l1d().hits() -
                                          l1dH);
     result.stats.counter("l1d.misses").inc(core.memory().l1d().misses() -

@@ -25,6 +25,8 @@ struct SimResult
     StatSet stats;
     /** Per-interval curves; empty unless interval sampling was on. */
     IntervalSeries intervals;
+    /** Sampled-run summary; enabled only under --sample. */
+    SampleSummary sampling;
 
     double
     ipc() const

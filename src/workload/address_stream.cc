@@ -140,4 +140,65 @@ AddressStream::noteStore(Addr a)
     }
 }
 
+// ------------------------------------------------ checkpointing -----
+
+void
+AddressStream::saveState(SerialWriter &w) const
+{
+    w.u64(rng_.state());
+    // Stream geometry is derived from the profile at construction;
+    // only the walk cursors are dynamic, but the full extent is saved
+    // so loads into a mismatched profile fail loudly.
+    w.u64(streams_.size());
+    for (const Stream &s : streams_) {
+        w.u64(s.base);
+        w.u64(s.size);
+        w.u64(s.cursor);
+        w.u64(s.stride);
+    }
+    w.u64(stackWindow_);
+    w.u64(recentStores_.size());
+    for (Addr a : recentStores_)
+        w.u64(a);
+    w.u64(recentLoads_.size());
+    for (Addr a : recentLoads_)
+        w.u64(a);
+    w.u64(storeRingPos_);
+    w.u64(loadRingPos_);
+}
+
+void
+AddressStream::loadState(SerialReader &r)
+{
+    rng_.setState(r.u64());
+    std::uint64_t n = r.u64();
+    if (n != streams_.size())
+        throw SerialError("address stream count mismatch "
+                          "(checkpoint from a different profile?)");
+    for (Stream &s : streams_) {
+        Addr base = r.u64();
+        Addr size = r.u64();
+        if (base != s.base || size != s.size)
+            throw SerialError("address stream extent mismatch "
+                              "(checkpoint from a different profile?)");
+        s.cursor = r.u64();
+        s.stride = r.u64();
+    }
+    stackWindow_ = r.u64();
+    recentStores_.clear();
+    std::uint64_t stores = r.u64();
+    if (stores > kRingSize)
+        throw SerialError("recent-store ring overflow");
+    for (std::uint64_t i = 0; i < stores; ++i)
+        recentStores_.push_back(r.u64());
+    recentLoads_.clear();
+    std::uint64_t loads = r.u64();
+    if (loads > kRingSize)
+        throw SerialError("recent-load ring overflow");
+    for (std::uint64_t i = 0; i < loads; ++i)
+        recentLoads_.push_back(r.u64());
+    storeRingPos_ = static_cast<std::size_t>(r.u64()) % kRingSize;
+    loadRingPos_ = static_cast<std::size_t>(r.u64()) % kRingSize;
+}
+
 } // namespace lsqscale

@@ -26,6 +26,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "sample/serialize.hh"
 #include "workload/benchmark_profile.hh"
 
 namespace lsqscale {
@@ -84,6 +85,11 @@ class AddressStream
 
     /** Size of the hot pointer-chase subset for @p profile. */
     static Addr chaseHotBytes(const BenchmarkProfile &profile);
+
+    /** Serialize mutable state (checkpointing, docs/SAMPLING.md). */
+    void saveState(SerialWriter &w) const;
+    /** Restore state written by saveState. */
+    void loadState(SerialReader &r);
 
   private:
     Addr stackAddr(Pc pc);

@@ -89,4 +89,51 @@ BranchModel::resolve(Pc pc)
     return out;
 }
 
+// ------------------------------------------------ checkpointing -----
+
+void
+BranchModel::saveState(SerialWriter &w) const
+{
+    w.u64(rng_.state());
+    // Static branches materialize lazily but deterministically from
+    // (pc, profile); the map is saved sorted so identical logical
+    // state always yields identical checkpoint bytes.
+    std::vector<Pc> pcs;
+    pcs.reserve(branches_.size());
+    for (const auto &kv : branches_)
+        pcs.push_back(kv.first);
+    std::sort(pcs.begin(), pcs.end());
+    w.u64(pcs.size());
+    for (Pc pc : pcs) {
+        const StaticBranch &b = branches_.at(pc);
+        w.u64(pc);
+        w.u8(static_cast<std::uint8_t>(b.kind));
+        w.f64(b.takenBias);
+        w.u32(b.period);
+        w.u32(b.count);
+        w.u64(b.target);
+    }
+}
+
+void
+BranchModel::loadState(SerialReader &r)
+{
+    rng_.setState(r.u64());
+    branches_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Pc pc = r.u64();
+        StaticBranch b{};
+        std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(Kind::Hard))
+            throw SerialError("static branch kind out of range");
+        b.kind = static_cast<Kind>(kind);
+        b.takenBias = r.f64();
+        b.period = r.u32();
+        b.count = r.u32();
+        b.target = r.u64();
+        branches_.emplace(pc, b);
+    }
+}
+
 } // namespace lsqscale

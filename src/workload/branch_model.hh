@@ -22,6 +22,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "sample/serialize.hh"
 #include "workload/benchmark_profile.hh"
 
 namespace lsqscale {
@@ -51,6 +52,11 @@ class BranchModel
     /** Code region: [codeBase, codeBase + codeBytes). */
     Pc codeBase() const { return codeBase_; }
     Addr codeBytes() const { return codeBytes_; }
+
+    /** Serialize mutable state (checkpointing, docs/SAMPLING.md). */
+    void saveState(SerialWriter &w) const;
+    /** Restore state written by saveState. */
+    void loadState(SerialReader &r);
 
   private:
     enum class Kind : std::uint8_t { Loop, Easy, Hard };

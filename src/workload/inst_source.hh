@@ -12,6 +12,7 @@
 #ifndef LSQSCALE_WORKLOAD_INST_SOURCE_HH
 #define LSQSCALE_WORKLOAD_INST_SOURCE_HH
 
+#include "sample/serialize.hh"
 #include "workload/micro_op.hh"
 
 namespace lsqscale {
@@ -28,6 +29,32 @@ class InstSource
      * after squashes is handled by the InstStream window above.
      */
     virtual MicroOp next() = 0;
+
+    // ------------------------------------------- checkpointing -------
+    /**
+     * Four-character tag identifying this source's serialized state
+     * format in a checkpoint, or 0 if the source cannot be
+     * checkpointed (docs/SAMPLING.md). A loaded checkpoint must have
+     * been saved from a source with the same tag.
+     */
+    virtual std::uint32_t checkpointKind() const { return 0; }
+
+    /**
+     * Serialize the full mutable state so a fresh instance constructed
+     * with the same parameters resumes the identical stream.
+     */
+    virtual void
+    saveState(SerialWriter & /* w */) const
+    {
+        throw SerialError("instruction source is not checkpointable");
+    }
+
+    /** Restore state written by saveState. */
+    virtual void
+    loadState(SerialReader & /* r */)
+    {
+        throw SerialError("instruction source is not checkpointable");
+    }
 };
 
 } // namespace lsqscale

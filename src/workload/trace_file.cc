@@ -178,6 +178,34 @@ TraceFileReader::next()
     return unpack(r, nextSeq_++);
 }
 
+// ------------------------------------------------ checkpointing -----
+
+void
+TraceFileReader::saveState(SerialWriter &w) const
+{
+    w.u64(count_);
+    w.u64(cursor_);
+    w.u64(nextSeq_);
+}
+
+void
+TraceFileReader::loadState(SerialReader &r)
+{
+    std::uint64_t count = r.u64();
+    if (count != count_)
+        throw SerialError("trace length mismatch "
+                          "(checkpoint from a different trace file?)");
+    std::uint64_t cursor = r.u64();
+    if (cursor > count_)
+        throw SerialError("trace cursor out of range");
+    nextSeq_ = r.u64();
+    seekToRecords();
+    std::fseek(file_,
+               static_cast<long>(cursor * sizeof(TraceRecord)),
+               SEEK_CUR);
+    cursor_ = cursor;
+}
+
 // ------------------------------------------------------ helpers -------
 
 void

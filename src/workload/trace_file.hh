@@ -72,6 +72,11 @@ class TraceFileReader : public InstSource
 
     std::uint64_t instructionCount() const { return count_; }
 
+    /** Checkpoint tag 'TRCF' (docs/SAMPLING.md). */
+    std::uint32_t checkpointKind() const override { return 0x46435254u; }
+    void saveState(SerialWriter &w) const override;
+    void loadState(SerialReader &r) override;
+
   private:
     void readHeader(const std::string &path);
     void seekToRecords();

@@ -333,4 +333,164 @@ TraceGenerator::next()
     return op;
 }
 
+// ------------------------------------------------ checkpointing -----
+
+namespace {
+
+/** Keys of an unordered Pc-keyed map in sorted (deterministic) order. */
+template <typename Map>
+std::vector<Pc>
+sortedKeys(const Map &map)
+{
+    std::vector<Pc> keys;
+    keys.reserve(map.size());
+    for (const auto &kv : map)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+void
+savePcU64Map(SerialWriter &w, const std::unordered_map<Pc, Addr> &map)
+{
+    w.u64(map.size());
+    for (Pc pc : sortedKeys(map)) {
+        w.u64(pc);
+        w.u64(map.at(pc));
+    }
+}
+
+void
+loadPcU64Map(SerialReader &r, std::unordered_map<Pc, Addr> &map)
+{
+    map.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Pc pc = r.u64();
+        map[pc] = r.u64();
+    }
+}
+
+void
+saveRing(SerialWriter &w, const std::vector<ArchReg> &ring,
+         std::size_t pos)
+{
+    w.u64(ring.size());
+    for (ArchReg reg : ring)
+        w.u8(reg);
+    w.u64(pos);
+}
+
+void
+loadRing(SerialReader &r, std::vector<ArchReg> &ring, std::size_t &pos,
+         std::size_t capacity)
+{
+    ring.clear();
+    std::uint64_t n = r.u64();
+    if (n > capacity)
+        throw SerialError("destination ring overflow");
+    for (std::uint64_t i = 0; i < n; ++i)
+        ring.push_back(r.u8());
+    pos = static_cast<std::size_t>(r.u64());
+    if (pos >= capacity)
+        throw SerialError("destination ring position out of range");
+}
+
+} // namespace
+
+void
+TraceGenerator::saveState(SerialWriter &w) const
+{
+    w.u64(rng_.state());
+    addrs_.saveState(w);
+    branches_.saveState(w);
+
+    w.u64(program_.size());
+    for (Pc pc : sortedKeys(program_)) {
+        const StaticInst &si = program_.at(pc);
+        w.u64(pc);
+        w.u8(static_cast<std::uint8_t>(si.cls));
+        w.u8(static_cast<std::uint8_t>(si.region));
+        w.u32(si.streamId);
+        w.u8(static_cast<std::uint8_t>(si.role));
+        w.b(si.fpDest);
+    }
+    for (std::uint64_t c : classAssigned_)
+        w.u64(c);
+    for (std::uint64_t c : roleAssigned_)
+        w.u64(c);
+    for (std::uint64_t c : regionAssigned_)
+        w.u64(c);
+    w.u32(streamRr_);
+
+    savePcU64Map(w, lastStoreAddrByPc_);
+    savePcU64Map(w, reloadPartner_);
+    w.u64(lastStorePc_);
+    savePcU64Map(w, lastLoadAddrByPc_);
+    savePcU64Map(w, repeatPartner_);
+    w.u64(lastLoadPc_);
+
+    w.u64(nextSeq_);
+    w.u64(pc_);
+
+    saveRing(w, recentIntDests_, intRingPos_);
+    saveRing(w, recentFpDests_, fpRingPos_);
+    saveRing(w, recentIntAluDests_, intAluRingPos_);
+    w.u32(rrInt_);
+    w.u32(rrFp_);
+}
+
+void
+TraceGenerator::loadState(SerialReader &r)
+{
+    rng_.setState(r.u64());
+    addrs_.loadState(r);
+    branches_.loadState(r);
+
+    program_.clear();
+    std::uint64_t statics = r.u64();
+    for (std::uint64_t i = 0; i < statics; ++i) {
+        Pc pc = r.u64();
+        StaticInst si{};
+        std::uint8_t cls = r.u8();
+        if (cls >= kNumOpClasses)
+            throw SerialError("static instruction class out of range");
+        si.cls = static_cast<OpClass>(cls);
+        std::uint8_t region = r.u8();
+        if (region > static_cast<std::uint8_t>(MemRegion::Chase))
+            throw SerialError("static memory region out of range");
+        si.region = static_cast<MemRegion>(region);
+        si.streamId = r.u32();
+        std::uint8_t role = r.u8();
+        if (role > static_cast<std::uint8_t>(LoadRole::RepeatLoad))
+            throw SerialError("static load role out of range");
+        si.role = static_cast<LoadRole>(role);
+        si.fpDest = r.b();
+        program_.emplace(pc, si);
+    }
+    for (std::uint64_t &c : classAssigned_)
+        c = r.u64();
+    for (std::uint64_t &c : roleAssigned_)
+        c = r.u64();
+    for (std::uint64_t &c : regionAssigned_)
+        c = r.u64();
+    streamRr_ = r.u32();
+
+    loadPcU64Map(r, lastStoreAddrByPc_);
+    loadPcU64Map(r, reloadPartner_);
+    lastStorePc_ = r.u64();
+    loadPcU64Map(r, lastLoadAddrByPc_);
+    loadPcU64Map(r, repeatPartner_);
+    lastLoadPc_ = r.u64();
+
+    nextSeq_ = r.u64();
+    pc_ = r.u64();
+
+    loadRing(r, recentIntDests_, intRingPos_, kDestRing);
+    loadRing(r, recentFpDests_, fpRingPos_, kDestRing);
+    loadRing(r, recentIntAluDests_, intAluRingPos_, 16);
+    rrInt_ = r.u32();
+    rrFp_ = r.u32();
+}
+
 } // namespace lsqscale

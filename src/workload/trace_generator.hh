@@ -47,6 +47,11 @@ class TraceGenerator : public InstSource
 
     const BenchmarkProfile &profile() const { return profile_; }
 
+    /** Checkpoint tag 'SYNT' (docs/SAMPLING.md). */
+    std::uint32_t checkpointKind() const override { return 0x544e5953u; }
+    void saveState(SerialWriter &w) const override;
+    void loadState(SerialReader &r) override;
+
   private:
     /** Memory-reuse role of a static load. */
     enum class LoadRole : std::uint8_t {

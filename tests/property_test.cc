@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
 #include <vector>
 
@@ -16,7 +17,11 @@
 #include "common/stats.hh"
 #include "lsq/lsq.hh"
 #include "lsq/segment_allocator.hh"
+#include "core/core.hh"
 #include "predictor/store_set.hh"
+#include "sample/checkpoint.hh"
+#include "sim/sim_config.hh"
+#include "workload/benchmark_profile.hh"
 
 using namespace lsqscale;
 
@@ -523,3 +528,81 @@ TEST(LsqProperty, ForwardingAlwaysReturnsYoungestOlderMatch)
         lsq.attachChecker(nullptr);
     }
 }
+
+// --------------------------------- checkpointed oracle validation -----
+
+/**
+ * Checkpoint-mid-trace fuzz: run a detailed core partway, drain it,
+ * snapshot it with the PR 4 checkpoint layer, restore into a fresh
+ * core, and validate the *remainder* of the run under the ordering
+ * oracle. Catches serialization bugs no round-trip counter diff can:
+ * state that restores plausibly but violates an LSQ invariant only
+ * several thousand operations later.
+ */
+class CheckpointedOracleFuzz
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        unsetenv("LSQSCALE_INSTS");
+        unsetenv("LSQSCALE_SAMPLE");
+    }
+};
+
+TEST_P(CheckpointedOracleFuzz, RemainderRunsCleanAfterRestore)
+{
+    auto [benchmark, design] = GetParam();
+    SimConfig cfg = configs::base(benchmark);
+    cfg.seed = 1234 + static_cast<std::uint64_t>(design);
+    switch (design) {
+      case 0:
+        break;
+      case 1:
+        cfg = configs::withSegmentation(cfg, 4, 8,
+                                        SegAllocPolicy::SelfCircular);
+        break;
+      case 2:
+        cfg = configs::withLoadBuffer(cfg, 2);
+        break;
+    }
+    // Randomize the snapshot point per parameter combo so the drain
+    // exercises many different in-flight shapes across the suite.
+    Rng rng(cfg.seed * 1000003 + static_cast<std::uint64_t>(design));
+    const std::uint64_t kDetailed = 8000 + rng.below(8000);
+    const std::uint64_t kRemainder = 12000;
+    std::string ckpt = ::testing::TempDir() + "/oracle_" + benchmark +
+                       "_" + std::to_string(design) + ".ckpt";
+
+    {
+        // Detailed run to an arbitrary mid-trace point, then quiesce
+        // and snapshot. This exercises save-after-execution, not just
+        // the save-after-fast-forward path the CLI uses.
+        StatSet stats;
+        Core core(cfg.core, cfg.lsq, cfg.memory,
+                  profileFor(cfg.benchmark), cfg.seed, stats);
+        core.run(kDetailed);
+        core.drain();
+        saveCheckpoint(core, cfg, ckpt);
+    }
+
+    StatSet stats;
+    Core core(cfg.core, cfg.lsq, cfg.memory,
+              profileFor(cfg.benchmark), cfg.seed, stats);
+    LsqChecker checker(cfg.lsq);
+    core.lsq().attachChecker(&checker);
+    loadCheckpoint(core, cfg, ckpt);
+    EXPECT_GE(core.committed(), kDetailed);
+    core.run(core.committed() + kRemainder);
+    EXPECT_GT(checker.opsChecked(), 0u);
+    EXPECT_EQ(checker.mismatches(), 0u) << checker.report();
+    core.lsq().attachChecker(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, CheckpointedOracleFuzz,
+    ::testing::Combine(::testing::Values(std::string("bzip"),
+                                         std::string("gcc"),
+                                         std::string("art")),
+                       ::testing::Values(0, 1, 2)));
