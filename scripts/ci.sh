@@ -23,7 +23,17 @@
 #   7. coverage    — LSQ_COVERAGE=ON build + ctest, then
 #                    scripts/coverage_report.py prints line coverage
 #                    per src/ subdir (soft-fails under the threshold)
-#   8. lint        — scripts/lint.py standalone (also a ctest in every
+#   8. crash-smoke — the robustness story end to end
+#                    (docs/ROBUSTNESS.md): an uninjected
+#                    process-isolated fig7 sweep must be byte-identical
+#                    to thread mode; then deterministic SIGSEGV, hang,
+#                    and (under the checker build) corrupt-lsq faults
+#                    are injected at a cycle that splits the grid —
+#                    only the long-running cells may be poisoned, each
+#                    with signal/heartbeat provenance — and a --resume
+#                    from the journal must reproduce the clean output
+#                    byte for byte
+#   9. lint        — scripts/lint.py standalone (also a ctest in every
 #                    flavor above, so this is a fast final recheck)
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
@@ -144,6 +154,113 @@ done
 banner "flavor: coverage (gcov line coverage per src/ subdir)"
 run_flavor coverage -DLSQ_COVERAGE=ON
 python3 scripts/coverage_report.py build-ci-coverage
+
+banner "flavor: crash-smoke (isolation bit-identity, fault campaign, resume)"
+CRASH_DIR="build-ci-release/crash-smoke"
+CRASH_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
+CRASH_BENCH="${LSQSCALE_CI_CRASH_BENCH:-gzip,mcf,twolf,equake,swim}"
+CRASH_JOURNAL="$CRASH_DIR/injected/JOURNAL_fig7_sq_speedup.journal"
+rm -rf "$CRASH_DIR"
+mkdir -p "$CRASH_DIR/thread" "$CRASH_DIR/process" \
+    "$CRASH_DIR/injected" "$CRASH_DIR/resume" "$CRASH_DIR/hang" \
+    "$CRASH_DIR/corrupt"
+
+# Uninjected process-isolated sweep: byte-identical to thread mode
+# across fig7's four design points (table and CSV; the JSON carries
+# wall times).
+LSQSCALE_BENCH="$CRASH_BENCH" LSQSCALE_INSTS="$CRASH_INSTS" \
+    LSQSCALE_JOBS=2 LSQSCALE_CSV_DIR="$CRASH_DIR/thread" \
+    LSQSCALE_JSON_DIR="$CRASH_DIR/thread" \
+    ./build-ci-release/bench/fig7_sq_speedup \
+    >"$CRASH_DIR/thread/table.txt" 2>/dev/null
+LSQSCALE_BENCH="$CRASH_BENCH" LSQSCALE_INSTS="$CRASH_INSTS" \
+    LSQSCALE_JOBS=2 LSQSCALE_ISOLATION=process \
+    LSQSCALE_CSV_DIR="$CRASH_DIR/process" \
+    LSQSCALE_JSON_DIR="$CRASH_DIR/process" \
+    ./build-ci-release/bench/fig7_sq_speedup \
+    >"$CRASH_DIR/process/table.txt" 2>/dev/null
+diff -r --exclude='BENCH_*.json' "$CRASH_DIR/thread" "$CRASH_DIR/process"
+
+# Pick a trigger cycle that splits the grid: short cells finish before
+# it (and must stay healthy under injection), long cells hit the fault.
+CRASH_CYC=$(python3 scripts/check_crash_smoke.py pick-cycle \
+    "$CRASH_DIR/process/BENCH_fig7_sq_speedup.json")
+
+# SIGSEGV campaign with a journal. The sweep must exit nonzero yet
+# still emit the healthy cells with crash provenance on the rest.
+rc=0
+LSQSCALE_BENCH="$CRASH_BENCH" LSQSCALE_INSTS="$CRASH_INSTS" \
+    LSQSCALE_JOBS=2 LSQSCALE_ISOLATION=process \
+    LSQSCALE_INJECT="crash:0:$CRASH_CYC" \
+    LSQSCALE_JOURNAL="$CRASH_DIR/injected" \
+    LSQSCALE_JSON_DIR="$CRASH_DIR/injected" \
+    ./build-ci-release/bench/fig7_sq_speedup \
+    >"$CRASH_DIR/injected/table.txt" 2>/dev/null || rc=$?
+if [ "$rc" -eq 0 ]; then
+    echo "crash-smoke: injected sweep exited 0" >&2
+    exit 1
+fi
+python3 scripts/check_crash_smoke.py check-campaign \
+    "$CRASH_DIR/process/BENCH_fig7_sq_speedup.json" \
+    "$CRASH_DIR/injected/BENCH_fig7_sq_speedup.json" \
+    "$CRASH_CYC" --kind crash
+./build-ci-release/tools/lsqjournal inspect "$CRASH_JOURNAL"
+if ./build-ci-release/tools/lsqjournal verify "$CRASH_JOURNAL"; then
+    echo "crash-smoke: journal of a crashed sweep verified clean" >&2
+    exit 1
+fi
+
+# Resume from the journal, fault disarmed: only the poisoned cells
+# re-run, and the final table/CSV are byte-identical to the clean run.
+LSQSCALE_BENCH="$CRASH_BENCH" LSQSCALE_INSTS="$CRASH_INSTS" \
+    LSQSCALE_JOBS=2 LSQSCALE_ISOLATION=process \
+    LSQSCALE_RESUME="$CRASH_JOURNAL" \
+    LSQSCALE_CSV_DIR="$CRASH_DIR/resume" \
+    ./build-ci-release/bench/fig7_sq_speedup \
+    >"$CRASH_DIR/resume/table.txt" 2>"$CRASH_DIR/resume/stderr.txt"
+grep -q "restored" "$CRASH_DIR/resume/stderr.txt" || {
+    echo "crash-smoke: resume restored nothing from the journal" >&2
+    exit 1
+}
+diff "$CRASH_DIR/process/table.txt" "$CRASH_DIR/resume/table.txt"
+for csv in "$CRASH_DIR"/process/*.csv; do
+    diff "$csv" "$CRASH_DIR/resume/$(basename "$csv")"
+done
+./build-ci-release/tools/lsqjournal verify "$CRASH_JOURNAL"
+
+# Hang campaign: the heartbeat watchdog must reap the long cells as
+# TimedOut while the short ones stay healthy.
+rc=0
+LSQSCALE_BENCH="$CRASH_BENCH" LSQSCALE_INSTS="$CRASH_INSTS" \
+    LSQSCALE_JOBS=2 LSQSCALE_ISOLATION=process \
+    LSQSCALE_INJECT="hang:0:$CRASH_CYC" LSQSCALE_WATCHDOG_MS=2000 \
+    LSQSCALE_JSON_DIR="$CRASH_DIR/hang" \
+    ./build-ci-release/bench/fig7_sq_speedup >/dev/null 2>&1 || rc=$?
+if [ "$rc" -eq 0 ]; then
+    echo "crash-smoke: hung sweep exited 0" >&2
+    exit 1
+fi
+python3 scripts/check_crash_smoke.py check-campaign \
+    "$CRASH_DIR/process/BENCH_fig7_sq_speedup.json" \
+    "$CRASH_DIR/hang/BENCH_fig7_sq_speedup.json" \
+    "$CRASH_CYC" --kind hang
+
+# Corruption campaign under the checker build: corrupt-lsq fires early
+# in every cell; the ordering oracle must catch the observable ones
+# (SIGABRT) and nothing else may go wrong. bzip/parser/vpr alias
+# enough for detection to be deterministic at these settings.
+rc=0
+LSQSCALE_BENCH="bzip,parser,vpr" LSQSCALE_INSTS="$CRASH_INSTS" \
+    LSQSCALE_JOBS=2 LSQSCALE_ISOLATION=process \
+    LSQSCALE_INJECT="corrupt-lsq:1:1000" \
+    LSQSCALE_JSON_DIR="$CRASH_DIR/corrupt" \
+    ./build-ci-checker/bench/fig7_sq_speedup >/dev/null 2>&1 || rc=$?
+if [ "$rc" -eq 0 ]; then
+    echo "crash-smoke: corrupted sweep exited 0" >&2
+    exit 1
+fi
+python3 scripts/check_crash_smoke.py check-corrupt \
+    "$CRASH_DIR/corrupt/BENCH_fig7_sq_speedup.json"
 
 banner "flavor: lint"
 python3 scripts/lint.py

@@ -27,6 +27,14 @@ does not enforce:
                     src/harness/ means a second queue, a second
                     shutdown protocol, and sweeps whose results depend
                     on scheduling.
+  unchecked-syscall the crash-isolation plumbing (src/harness/,
+                    src/inject/) lives or dies on fork/waitpid/write/
+                    rename return values: an unchecked fork() forks
+                    zero or two sweeps, an unchecked rename() silently
+                    drops a sink file, an unchecked write() loses a
+                    heartbeat or result payload. Calls whose result is
+                    discarded (statement position or `(void)` cast)
+                    are findings there.
   stat-dump         measurement output goes through StatSet, the
                     harness sinks, or the obs tracing layer; ad-hoc
                     printf/fprintf/std::cout dumps sprinkled through
@@ -350,6 +358,44 @@ def check_stat_dump(path, raw_lines, code_lines, findings, root):
                 "harness sink, or common/logging logLine()"))
 
 
+# ------------------------------------------------- unchecked-syscall ---
+
+# A fork/waitpid/write/rename call in statement position (or behind an
+# explicit (void) discard) — i.e. nothing consumes the return value on
+# that line. Assignments, conditions, comparisons, and returns bind the
+# call name mid-line and do not match. Name-anchored so writeAll(),
+# renameFile() etc. never trip it.
+UNCHECKED_SYSCALL = re.compile(
+    r"^\s*(?:\(\s*void\s*\)\s*)?(?:::|std::)?"
+    r"(fork|waitpid|write|rename)\s*\(")
+
+UNCHECKED_SYSCALL_DIRS = (
+    ("src", "harness"),
+    ("src", "inject"),
+)
+
+
+def unchecked_syscall_scope(path: Path, root: Path) -> bool:
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        return False
+    return any(rel.parts[:len(d)] == d for d in UNCHECKED_SYSCALL_DIRS)
+
+
+def check_unchecked_syscall(path, raw_lines, code_lines, findings, root):
+    if not unchecked_syscall_scope(path, root):
+        return
+    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        m = UNCHECKED_SYSCALL.search(code)
+        if m and not allowed(raw, "unchecked-syscall"):
+            findings.append(Finding(
+                path, ln, "unchecked-syscall",
+                f"return value of {m.group(1)}() discarded in "
+                f"crash-isolation code: check it (or annotate why "
+                f"failure is tolerable)"))
+
+
 # ------------------------------------------------------ bare-assert ----
 
 BARE_ASSERT = re.compile(r"(?<![A-Za-z_])assert\s*\(")
@@ -387,6 +433,8 @@ def main() -> int:
         check_bare_assert(path, raw_lines, code_lines, findings)
         check_raw_thread(path, raw_lines, code_lines, findings, root)
         check_stat_dump(path, raw_lines, code_lines, findings, root)
+        check_unchecked_syscall(path, raw_lines, code_lines, findings,
+                                root)
 
     check_stats_buckets(root, findings)
 

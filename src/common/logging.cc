@@ -22,6 +22,18 @@ logMutex()
 
 } // namespace
 
+void
+lockLogForFork()
+{
+    logMutex().lock();
+}
+
+void
+unlockLogForFork()
+{
+    logMutex().unlock();
+}
+
 std::string
 strfmt(const char *fmt, ...)
 {

@@ -47,6 +47,19 @@ void logLine(std::FILE *stream, const std::string &msg);
 assertFailImpl(const char *file, int line, const char *condition,
                const std::string &msg);
 
+/**
+ * Fork-safety bracket for the logging mutex (docs/ROBUSTNESS.md).
+ *
+ * The process-isolated sweep engine forks from worker threads; if
+ * another worker holds the log mutex at that instant, the child
+ * inherits it locked and deadlocks on its first diagnostic. The
+ * forking code takes the mutex before fork() and releases it on BOTH
+ * sides afterwards, so each side starts with a consistent, unlocked
+ * logger.
+ */
+void lockLogForFork();
+void unlockLogForFork();
+
 /** Format helper: tiny printf-style wrapper returning std::string. */
 std::string strfmt(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

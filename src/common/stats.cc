@@ -5,6 +5,9 @@
 #include <sstream>
 
 #include "common/logging.hh"
+// Header-only primitives (no link dependency on the sample library);
+// the ckpt container format itself stays one layer up.
+#include "sample/serialize.hh"
 
 namespace lsqscale {
 
@@ -47,6 +50,59 @@ Histogram::percentile(double p) const
             return static_cast<double>(i);
     }
     return static_cast<double>(buckets_.size() - 1);
+}
+
+void
+Histogram::saveState(SerialWriter &w) const
+{
+    w.u64(buckets_.size());
+    for (std::uint64_t b : buckets_)
+        w.u64(b);
+    w.u64(sum_);
+    w.u64(samples_);
+}
+
+void
+Histogram::loadState(SerialReader &r)
+{
+    std::uint64_t n = r.u64();
+    buckets_.assign(static_cast<std::size_t>(n), 0);
+    for (auto &b : buckets_)
+        b = r.u64();
+    sum_ = r.u64();
+    samples_ = r.u64();
+}
+
+void
+StatSet::saveState(SerialWriter &w) const
+{
+    w.u64(counters_.size());
+    for (const auto &kv : counters_) {
+        w.str(kv.first);
+        w.u64(kv.second.value());
+    }
+    w.u64(histograms_.size());
+    for (const auto &kv : histograms_) {
+        w.str(kv.first);
+        kv.second.saveState(w);
+    }
+}
+
+void
+StatSet::loadState(SerialReader &r)
+{
+    counters_.clear();
+    histograms_.clear();
+    std::uint64_t nc = r.u64();
+    for (std::uint64_t i = 0; i < nc; ++i) {
+        std::string name = r.str();
+        counters_[name].inc(r.u64());
+    }
+    std::uint64_t nh = r.u64();
+    for (std::uint64_t i = 0; i < nh; ++i) {
+        std::string name = r.str();
+        histograms_[name].loadState(r);
+    }
 }
 
 double
@@ -120,6 +176,42 @@ IntervalSeries::append(Cycle cycle, std::vector<double> values)
                "interval sample has %zu values for %zu columns",
                values.size(), columns_.size());
     samples_.push_back(Sample{cycle, std::move(values)});
+}
+
+void
+IntervalSeries::saveState(SerialWriter &w) const
+{
+    w.u64(columns_.size());
+    for (const auto &c : columns_)
+        w.str(c);
+    w.u64(intervalCycles_);
+    w.u64(samples_.size());
+    for (const auto &s : samples_) {
+        w.u64(s.cycle);
+        for (double v : s.values)
+            w.f64(v);
+    }
+}
+
+void
+IntervalSeries::loadState(SerialReader &r)
+{
+    columns_.clear();
+    samples_.clear();
+    std::uint64_t nc = r.u64();
+    for (std::uint64_t i = 0; i < nc; ++i)
+        columns_.push_back(r.str());
+    intervalCycles_ = r.u64();
+    std::uint64_t ns = r.u64();
+    samples_.reserve(static_cast<std::size_t>(ns));
+    for (std::uint64_t i = 0; i < ns; ++i) {
+        Sample s;
+        s.cycle = r.u64();
+        s.values.reserve(columns_.size());
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+            s.values.push_back(r.f64());
+        samples_.push_back(std::move(s));
+    }
 }
 
 namespace {

@@ -21,6 +21,9 @@
 
 namespace lsqscale {
 
+class SerialWriter;
+class SerialReader;
+
 /** A named monotonically increasing event counter. */
 class Counter
 {
@@ -95,6 +98,15 @@ class Histogram
      */
     double percentile(double p) const;
 
+    /**
+     * Serialize the full state (bucket shape, counts, exact sum):
+     * mean() after loadState is bit-identical to the original, which
+     * the process-isolation result transport relies on.
+     */
+    void saveState(SerialWriter &w) const;
+    /** Restore state written by saveState (replaces the shape). */
+    void loadState(SerialReader &r);
+
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t sum_ = 0;
@@ -141,6 +153,14 @@ class StatSet
 
     /** Names of all registered counters, sorted. */
     std::vector<std::string> counterNames() const;
+
+    /**
+     * Serialize every registered stat (std::map iteration is sorted,
+     * so the bytes are deterministic for identical logical state).
+     */
+    void saveState(SerialWriter &w) const;
+    /** Replace the registry with state written by saveState. */
+    void loadState(SerialReader &r);
 
   private:
     std::map<std::string, Counter> counters_;
@@ -190,6 +210,11 @@ class IntervalSeries
      * line after the first (for embedding in a larger document).
      */
     std::string toJson(const std::string &indent = "") const;
+
+    /** Serialize columns, interval, and every sample (bit-exact). */
+    void saveState(SerialWriter &w) const;
+    /** Replace this series with state written by saveState. */
+    void loadState(SerialReader &r);
 
   private:
     std::vector<std::string> columns_;

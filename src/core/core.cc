@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "inject/inject.hh"
 #include "obs/interval.hh"
 #include "obs/trace.hh"
 
@@ -80,6 +81,10 @@ Core::run(std::uint64_t numInsts)
         // polled here (one predicted-null test/cycle when detached).
         if (sampler_ != nullptr)
             sampler_->poll();
+        // Fault-injection trigger + process-isolation heartbeat share
+        // one hook (src/inject): a relaxed load per cycle when idle.
+        if (inject::active()) [[unlikely]]
+            applyInjection();
         if (committed_ != lastCommitted) {
             lastCommitted = committed_;
             lastProgress = now_;
@@ -90,6 +95,25 @@ Core::run(std::uint64_t numInsts)
                       static_cast<unsigned long long>(committed_),
                       debugDump().c_str());
         }
+    }
+}
+
+void
+Core::applyInjection()
+{
+    switch (inject::poll(now_)) {
+      case inject::Action::None:
+        break;
+      case inject::Action::CorruptLsq:
+        // Retried every cycle until a victim exists (e.g. the SQ was
+        // empty at the trigger cycle), so the fault always lands.
+        if (lsq_.injectStateCorruption(inject::faultSeed()))
+            inject::markApplied();
+        break;
+      case inject::Action::CorruptPredictor:
+        ssp_.injectStateCorruption(inject::faultSeed());
+        inject::markApplied();
+        break;
     }
 }
 

@@ -162,6 +162,13 @@ class Core
     void dispatchStage();
     void fetchStage();
 
+    /**
+     * Service the fault-injection / heartbeat hook (src/inject): emit
+     * a due heartbeat and apply a due state-corruption fault. Out of
+     * line so run()'s per-cycle cost is one predicted-false test.
+     */
+    void applyInjection();
+
     // Issue helpers. Return true if the instruction issued (or caused
     // a squash) and the caller should count an issue slot.
     bool tryIssueLoad(RobEntry &re, IqEntry &qe);

@@ -1,0 +1,299 @@
+#include "harness/journal.hh"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/logging.hh"
+#include "sample/serialize.hh"
+
+namespace lsqscale {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'S', 'Q', 'J', 'R', 'N', 'L', '1'};
+constexpr std::uint8_t kRecSweepBegin = 1;
+constexpr std::uint8_t kRecCellDone = 2;
+
+/** JobStatus <-> stable on-disk byte. */
+std::uint8_t
+statusToByte(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok:
+        return 0;
+      case JobStatus::Failed:
+        return 1;
+      case JobStatus::TimedOut:
+        return 2;
+      case JobStatus::Crashed:
+        return 3;
+    }
+    return 1;
+}
+
+bool
+statusFromByte(std::uint8_t b, JobStatus &out)
+{
+    switch (b) {
+      case 0:
+        out = JobStatus::Ok;
+        return true;
+      case 1:
+        out = JobStatus::Failed;
+        return true;
+      case 2:
+        out = JobStatus::TimedOut;
+        return true;
+      case 3:
+        out = JobStatus::Crashed;
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string g_journalDir;
+std::string g_resumePath;
+
+} // namespace
+
+// ----------------------------------------------------------- reader --
+
+bool
+readJournal(const std::string &path, JournalContents &out,
+            std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        error = strfmt("cannot open journal %s", path.c_str());
+        return false;
+    }
+    std::string bytes;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+    bool readErr = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readErr) {
+        error = strfmt("error reading journal %s", path.c_str());
+        return false;
+    }
+    if (bytes.size() < sizeof(kMagic) ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+        error = strfmt("%s is not an lsqscale-journal-v1 file",
+                       path.c_str());
+        return false;
+    }
+
+    // Walk the records; stop (not fail) at the first torn one. The map
+    // implements later-record-wins for duplicate coordinates.
+    std::map<std::pair<std::size_t, std::size_t>, JournalCell> cells;
+    std::size_t pos = sizeof(kMagic);
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < 8) {
+            out.truncatedTail = true;
+            break;
+        }
+        SerialReader head(bytes.data() + pos, 8);
+        std::uint32_t len = head.u32();
+        std::uint32_t crc = head.u32();
+        if (bytes.size() - pos - 8 < len) {
+            out.truncatedTail = true;
+            break;
+        }
+        const char *payload = bytes.data() + pos + 8;
+        if (crc32(payload, len) != crc) {
+            out.truncatedTail = true;
+            break;
+        }
+        pos += 8 + len;
+
+        try {
+            SerialReader r(payload, len);
+            std::uint8_t type = r.u8();
+            if (type == kRecSweepBegin) {
+                out.name = r.str();
+                out.rows = static_cast<std::size_t>(r.u64());
+                out.cols = static_cast<std::size_t>(r.u64());
+                out.configLabels.clear();
+                out.benchmarks.clear();
+                for (std::size_t i = 0; i < out.rows; ++i)
+                    out.configLabels.push_back(r.str());
+                for (std::size_t i = 0; i < out.cols; ++i)
+                    out.benchmarks.push_back(r.str());
+                r.expectEnd("journal sweep-begin record");
+            } else if (type == kRecCellDone) {
+                JournalCell cell;
+                cell.row = static_cast<std::size_t>(r.u64());
+                cell.col = static_cast<std::size_t>(r.u64());
+                std::uint8_t sb = r.u8();
+                if (!statusFromByte(sb, cell.status))
+                    throw SerialError(
+                        strfmt("unknown cell status %u", sb));
+                cell.attempts = r.u32();
+                cell.seed = r.u64();
+                cell.error = r.str();
+                cell.termSignal = static_cast<int>(r.u32());
+                cell.exitStatus = static_cast<int>(r.u32());
+                cell.stderrTail = r.str();
+                cell.seconds = r.f64();
+                cell.hasResult = r.b();
+                if (cell.hasResult)
+                    cell.result.loadState(r);
+                r.expectEnd("journal cell record");
+                ++out.records;
+                cells[{cell.row, cell.col}] = std::move(cell);
+            }
+            // Unknown record types: skip (CRC already vouched for the
+            // frame), so old readers tolerate newer writers.
+        } catch (const SerialError &e) {
+            // A CRC-valid but undecodable record: treat like a torn
+            // tail — keep what parsed, stop trusting the rest.
+            LSQ_WARN("journal %s: bad record (%s); ignoring the rest",
+                     path.c_str(), e.what());
+            out.truncatedTail = true;
+            break;
+        }
+    }
+
+    out.cells.clear();
+    out.cells.reserve(cells.size());
+    for (auto &kv : cells)
+        out.cells.push_back(std::move(kv.second));
+    return true;
+}
+
+// ----------------------------------------------------------- writer --
+
+JournalWriter::JournalWriter(std::string path, bool append)
+    : path_(std::move(path))
+{
+    f_ = std::fopen(path_.c_str(), append ? "ab" : "wb");
+    if (f_ == nullptr) {
+        LSQ_WARN("cannot open journal %s; journaling disabled",
+                 path_.c_str());
+        return;
+    }
+    bool needMagic = !append;
+    if (append) {
+        // An empty pre-existing file still needs the magic. ftell()
+        // right after an "ab" open is implementation-defined, so seek
+        // to the end explicitly before asking.
+        if (std::fseek(f_, 0, SEEK_END) != 0) {
+            LSQ_WARN("cannot seek journal %s; journaling disabled",
+                     path_.c_str());
+            std::fclose(f_);
+            f_ = nullptr;
+            return;
+        }
+        needMagic = std::ftell(f_) <= 0;
+    }
+    if (needMagic) {
+        if (std::fwrite(kMagic, 1, sizeof(kMagic), f_) !=
+                sizeof(kMagic) ||
+            std::fflush(f_) != 0) {
+            LSQ_WARN("cannot write journal %s; journaling disabled",
+                     path_.c_str());
+            std::fclose(f_);
+            f_ = nullptr;
+        }
+    }
+}
+
+JournalWriter::~JournalWriter()
+{
+    if (f_ != nullptr)
+        std::fclose(f_);
+}
+
+void
+JournalWriter::writeRecord(const std::string &payload)
+{
+    if (f_ == nullptr)
+        return;
+    SerialWriter head;
+    head.u32(static_cast<std::uint32_t>(payload.size()));
+    head.u32(crc32(payload.data(), payload.size()));
+    // Flush after every record: the journal's whole point is surviving
+    // the process dying at an arbitrary moment.
+    if (std::fwrite(head.buffer().data(), 1, head.size(), f_) !=
+            head.size() ||
+        std::fwrite(payload.data(), 1, payload.size(), f_) !=
+            payload.size() ||
+        std::fflush(f_) != 0) {
+        LSQ_WARN("short write to journal %s; journaling disabled",
+                 path_.c_str());
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+void
+JournalWriter::sweepBegin(const SweepOutcome &planned)
+{
+    SerialWriter w;
+    w.u8(kRecSweepBegin);
+    w.str(planned.name);
+    std::size_t rows = planned.grid.size();
+    std::size_t cols = rows > 0 ? planned.grid.front().size() : 0;
+    w.u64(rows);
+    w.u64(cols);
+    for (const auto &row : planned.grid)
+        w.str(row.empty() ? std::string() : row.front().configLabel);
+    if (rows > 0)
+        for (const auto &cell : planned.grid.front())
+            w.str(cell.benchmark);
+    writeRecord(w.buffer());
+}
+
+void
+JournalWriter::cellDone(const SweepCell &cell)
+{
+    SerialWriter w;
+    w.u8(kRecCellDone);
+    w.u64(cell.row);
+    w.u64(cell.col);
+    w.u8(statusToByte(cell.status));
+    w.u32(cell.attempts);
+    w.u64(cell.seed);
+    w.str(cell.error);
+    w.u32(static_cast<std::uint32_t>(cell.termSignal));
+    w.u32(static_cast<std::uint32_t>(cell.exitStatus));
+    w.str(cell.stderrTail);
+    w.f64(cell.seconds);
+    bool hasResult = cell.status == JobStatus::Ok;
+    w.b(hasResult);
+    if (hasResult)
+        cell.result.saveState(w);
+    writeRecord(w.buffer());
+}
+
+// -------------------------------------------------------- overrides --
+
+void
+setJournalDirOverride(const std::string &dir)
+{
+    g_journalDir = dir;
+}
+
+std::string
+journalDirOverride()
+{
+    return g_journalDir;
+}
+
+void
+setResumeJournalOverride(const std::string &path)
+{
+    g_resumePath = path;
+}
+
+std::string
+resumeJournalOverride()
+{
+    return g_resumePath;
+}
+
+} // namespace lsqscale

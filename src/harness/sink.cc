@@ -1,16 +1,39 @@
 #include "harness/sink.hh"
 
+#include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <sstream>
 #include <system_error>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
+#include "inject/inject.hh"
 
 namespace lsqscale {
+
+namespace {
+
+std::atomic<void (*)()> g_writeFileTestHook{nullptr};
+
+} // namespace
+
+void
+setWriteFileTestHook(void (*hook)())
+{
+    g_writeFileTestHook.store(hook, std::memory_order_relaxed);
+}
 
 bool
 writeFileCreatingDirs(const std::string &path, const std::string &data)
 {
+    // Deterministic I/O fault (--inject io-fail): fail exactly like a
+    // full disk would, before any byte lands.
+    if (inject::consumeIoFailure()) {
+        LSQ_WARN("inject: failing write of %s", path.c_str());
+        return false;
+    }
     std::filesystem::path p(path);
     if (p.has_parent_path()) {
         std::error_code ec;
@@ -22,15 +45,33 @@ writeFileCreatingDirs(const std::string &path, const std::string &data)
             return false;
         }
     }
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    // Write-then-rename for atomicity: readers (and crashes) see the
+    // old file or the new one, never a torn half. The temp name is
+    // per-process so concurrent sweeps aiming at the same target
+    // cannot stomp each other's staging file.
+    std::string tmp =
+        path + strfmt(".tmp.%ld", static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) {
-        LSQ_WARN("cannot write %s", path.c_str());
+        LSQ_WARN("cannot write %s", tmp.c_str());
         return false;
     }
     std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    bool flushed = std::fflush(f) == 0;
     std::fclose(f);
-    if (written != data.size()) {
-        LSQ_WARN("short write to %s", path.c_str());
+    if (written != data.size() || !flushed) {
+        LSQ_WARN("short write to %s", tmp.c_str());
+        if (std::remove(tmp.c_str()) != 0)
+            LSQ_WARN("cannot remove %s", tmp.c_str());
+        return false;
+    }
+    if (void (*hook)() =
+            g_writeFileTestHook.load(std::memory_order_relaxed))
+        hook();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        LSQ_WARN("cannot rename %s over %s", tmp.c_str(), path.c_str());
+        if (std::remove(tmp.c_str()) != 0)
+            LSQ_WARN("cannot remove %s", tmp.c_str());
         return false;
     }
     return true;
@@ -46,6 +87,8 @@ jobStatusName(JobStatus status)
         return "failed";
       case JobStatus::TimedOut:
         return "timeout";
+      case JobStatus::Crashed:
+        return "crashed";
     }
     return "unknown";
 }
@@ -205,6 +248,14 @@ JsonFileSink::render(const SweepOutcome &outcome,
                << ", \"seconds\": " << strfmt("%.3f", cell.seconds)
                << ", \"error\": \"" << jsonEscape(cell.error)
                << "\"";
+            // Crash provenance appears only on cells that have some:
+            // healthy sweeps keep the historical schema byte-for-byte.
+            if (cell.termSignal != 0 || cell.exitStatus != 0 ||
+                !cell.stderrTail.empty())
+                os << ", \"term_signal\": " << cell.termSignal
+                   << ", \"exit_status\": " << cell.exitStatus
+                   << ", \"stderr_tail\": \""
+                   << jsonEscape(cell.stderrTail) << "\"";
             // Per-interval curves (lsqscale-intervals-v1) appear only
             // when the run sampled them, keeping the common case small.
             if (!cell.result.intervals.empty())

@@ -113,12 +113,29 @@ std::string jsonEscape(const std::string &s);
 /**
  * Write @p data to @p path, creating missing parent directories first
  * (so e.g. a fresh LSQSCALE_JSON_DIR works without a manual mkdir).
+ *
+ * The write is ATOMIC: data lands in a same-directory temp file which
+ * is rename(2)d over @p path, so a crash — even a SIGKILL — mid-write
+ * leaves either the old file or the new one, never a torn half
+ * (docs/ROBUSTNESS.md). An armed io-fail injection
+ * (inject::consumeIoFailure) makes the next call fail cleanly.
+ *
  * @return true on success; failures warn via logLine and return false.
  */
 bool writeFileCreatingDirs(const std::string &path,
                            const std::string &data);
 
-/** JobStatus as a stable lowercase token ("ok"/"failed"/"timeout"). */
+/**
+ * Test hook, called between writing the temp file and renaming it
+ * over the target (nullptr clears). Crash-durability tests install a
+ * hook that kills the process here to prove the target never tears.
+ */
+void setWriteFileTestHook(void (*hook)());
+
+/**
+ * JobStatus as a stable lowercase token
+ * ("ok"/"failed"/"timeout"/"crashed").
+ */
 const char *jobStatusName(JobStatus status);
 
 } // namespace lsqscale

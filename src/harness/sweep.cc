@@ -8,6 +8,8 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "harness/job_pool.hh"
+#include "harness/journal.hh"
+#include "harness/proc_runner.hh"
 #include "harness/sink.hh"
 
 namespace lsqscale {
@@ -23,6 +25,7 @@ secondsBetween(std::chrono::steady_clock::time_point a,
 }
 
 std::atomic<unsigned> g_jobsOverride{0};
+std::atomic<IsolationMode> g_isolationOverride{IsolationMode::Auto};
 std::atomic<std::uint64_t> g_sweepFailures{0};
 std::once_flag g_exitHookOnce;
 
@@ -75,6 +78,54 @@ resolveJobs(unsigned requested, std::size_t jobCount)
     return jobs;
 }
 
+// ------------------------------------------------------- isolation ----
+
+void
+setIsolationOverride(IsolationMode mode)
+{
+    g_isolationOverride.store(mode, std::memory_order_relaxed);
+}
+
+IsolationMode
+isolationOverride()
+{
+    return g_isolationOverride.load(std::memory_order_relaxed);
+}
+
+IsolationMode
+resolveIsolation(IsolationMode requested)
+{
+    if (requested != IsolationMode::Auto)
+        return requested;
+    IsolationMode forced = isolationOverride();
+    if (forced != IsolationMode::Auto)
+        return forced;
+    if (const char *env = std::getenv("LSQSCALE_ISOLATION")) {
+        if (std::string(env) == "thread")
+            return IsolationMode::Thread;
+        if (std::string(env) == "process")
+            return IsolationMode::Process;
+        if (*env)
+            LSQ_WARN("ignoring invalid LSQSCALE_ISOLATION='%s' "
+                     "(want thread|process)", env);
+    }
+    return IsolationMode::Thread;
+}
+
+std::chrono::milliseconds
+resolveWatchdog(std::chrono::milliseconds configured)
+{
+    if (const char *env = std::getenv("LSQSCALE_WATCHDOG_MS")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end && end != env && *end == '\0')
+            return std::chrono::milliseconds(v);
+        if (*env)
+            LSQ_WARN("ignoring invalid LSQSCALE_WATCHDOG_MS='%s'", env);
+    }
+    return configured;
+}
+
 // -------------------------------------------------- failure report ----
 
 void
@@ -112,9 +163,13 @@ SweepOutcome::summary() const
     std::size_t cells = 0;
     for (const auto &row : grid)
         cells += row.size();
-    return strfmt("sweep '%s': %zu cell(s), %u job(s), %zu poisoned, "
-                  "%.2fs",
-                  name.c_str(), cells, jobs, poisonedCells, seconds);
+    std::string s =
+        strfmt("sweep '%s': %zu cell(s), %u job(s), %zu poisoned, ",
+               name.c_str(), cells, jobs, poisonedCells);
+    if (restoredCells > 0)
+        s += strfmt("%zu restored, ", restoredCells);
+    s += strfmt("%.2fs", seconds);
+    return s;
 }
 
 // ------------------------------------------------------------ Sweep --
@@ -138,6 +193,71 @@ void
 Sweep::setJobFn(JobFn fn)
 {
     jobFn_ = std::move(fn);
+}
+
+void
+Sweep::setResume(JournalContents journal)
+{
+    resume_ =
+        std::make_shared<const JournalContents>(std::move(journal));
+}
+
+void
+Sweep::restoreFromJournal(SweepOutcome &out)
+{
+    const JournalContents &j = *resume_;
+    const std::size_t rows = out.grid.size();
+    const std::size_t cols = rows > 0 ? out.grid.front().size() : 0;
+    if (j.rows != rows || j.cols != cols) {
+        LSQ_WARN("resume journal is a %zux%zu grid but this sweep is "
+                 "%zux%zu; ignoring it",
+                 j.rows, j.cols, rows, cols);
+        return;
+    }
+    for (const JournalCell &jc : j.cells) {
+        if (jc.row >= rows || jc.col >= cols)
+            continue;
+        // Only healthy, fully-recorded cells are worth restoring:
+        // poisoned ones are exactly what a resume should retry.
+        if (jc.status != JobStatus::Ok || !jc.hasResult)
+            continue;
+        SweepCell &cell = out.grid[jc.row][jc.col];
+        if (jc.row < j.configLabels.size() &&
+            j.configLabels[jc.row] != cell.configLabel) {
+            LSQ_WARN("resume journal cell (%zu,%zu) is for config "
+                     "'%s', not '%s'; re-running it",
+                     jc.row, jc.col, j.configLabels[jc.row].c_str(),
+                     cell.configLabel.c_str());
+            continue;
+        }
+        if (jc.col < j.benchmarks.size() &&
+            j.benchmarks[jc.col] != cell.benchmark) {
+            LSQ_WARN("resume journal cell (%zu,%zu) is for benchmark "
+                     "'%s', not '%s'; re-running it",
+                     jc.row, jc.col, j.benchmarks[jc.col].c_str(),
+                     cell.benchmark.c_str());
+            continue;
+        }
+        if (jc.seed != cell.seed) {
+            LSQ_WARN("resume journal cell (%zu,%zu) was run with seed "
+                     "%llu, not %llu; re-running it",
+                     jc.row, jc.col,
+                     static_cast<unsigned long long>(jc.seed),
+                     static_cast<unsigned long long>(cell.seed));
+            continue;
+        }
+        cell.result = jc.result;
+        cell.status = JobStatus::Ok;
+        cell.error.clear();
+        cell.attempts = jc.attempts;
+        cell.seconds = jc.seconds;
+        cell.restored = true;
+        ++out.restoredCells;
+    }
+    logLine(stderr,
+            strfmt("[resume] restored %zu of %zu cell(s) from the "
+                   "journal; re-running the rest",
+                   out.restoredCells, rows * cols));
 }
 
 std::uint64_t
@@ -167,6 +287,53 @@ Sweep::notifyDone(const SweepCell &cell)
 }
 
 void
+Sweep::runCellInChild(SweepCell &cell, std::size_t r, std::size_t c,
+                      const JobContext &ctx, bool &done)
+{
+    ProcOptions popts;
+    popts.watchdog = resolveWatchdog(opts_.watchdog);
+    popts.hardTimeout = opts_.timeout;
+    auto start = std::chrono::steady_clock::now();
+    ProcOutcome po = runCellInProcess(
+        [this, r, c, &ctx] {
+            SimConfig cfg = configs_[r].make(benchmarks_[c]);
+            return jobFn_(cfg, ctx);
+        },
+        popts);
+    auto end = std::chrono::steady_clock::now();
+
+    cell.termSignal = po.termSignal;
+    cell.exitStatus = po.exitStatus;
+    cell.stderrTail = po.stderrTail;
+    cell.error = po.error;
+    done = false;
+    switch (po.status) {
+      case ProcStatus::Ok:
+        cell.result = std::move(po.result);
+        cell.status = JobStatus::Ok;
+        cell.error.clear();
+        cell.seconds = secondsBetween(start, end);
+        // A healthy child's stderr (warnings and the like) belongs on
+        // the parent's stderr, not in the cell: keeping it there would
+        // make process-mode sink output diverge from thread mode.
+        if (!po.stderrTail.empty())
+            logLine(stderr, po.stderrTail);
+        cell.stderrTail.clear();
+        done = true;
+        break;
+      case ProcStatus::Failed:
+        cell.status = JobStatus::Failed;
+        break;
+      case ProcStatus::Crashed:
+        cell.status = JobStatus::Crashed;
+        break;
+      case ProcStatus::TimedOut:
+        cell.status = JobStatus::TimedOut;
+        break;
+    }
+}
+
+void
 Sweep::runCell(SweepOutcome &out, std::size_t r, std::size_t c)
 {
     SweepCell &cell = out.grid[r][c];
@@ -186,6 +353,16 @@ Sweep::runCell(SweepOutcome &out, std::size_t r, std::size_t c)
         JobContext ctx(attempt, cell.seed, r, c,
                        start + opts_.timeout, hasDeadline);
         cell.attempts = attempt + 1;
+        if (isolation_ == IsolationMode::Process) {
+            // Crash-isolated attempt: the job runs in a forked child;
+            // whatever it does — segfault, assert, hang — only this
+            // cell pays (docs/ROBUSTNESS.md).
+            bool done = false;
+            runCellInChild(cell, r, c, ctx, done);
+            if (done)
+                break;
+            continue;
+        }
         try {
             SimConfig cfg = configs_[r].make(benchmarks_[c]);
             SimResult res = jobFn_(cfg, ctx);
@@ -250,6 +427,10 @@ Sweep::run()
         }
     }
     out.jobs = resolveJobs(opts_.jobs, rows * cols);
+    isolation_ = resolveIsolation(opts_.isolation);
+    out.isolation = isolation_;
+    if (resume_ != nullptr)
+        restoreFromJournal(out);
 
     {
         std::lock_guard<std::mutex> lock(sinkMutex());
@@ -257,17 +438,23 @@ Sweep::run()
             s->sweepBegin(out);
     }
 
+    // Restored cells are already final: they get no jobStarted /
+    // cellDone callbacks, so a resumed journal appends only new work
+    // and progress lines cover only what actually runs.
     auto start = std::chrono::steady_clock::now();
     if (out.jobs <= 1 || rows * cols <= 1) {
         // Serial path: same grid order as the historical runner loop.
         for (std::size_t r = 0; r < rows; ++r)
             for (std::size_t c = 0; c < cols; ++c)
-                runCell(out, r, c);
+                if (!out.grid[r][c].restored)
+                    runCell(out, r, c);
     } else {
         JobPool pool(out.jobs);
         for (std::size_t r = 0; r < rows; ++r)
             for (std::size_t c = 0; c < cols; ++c)
-                pool.submit([this, &out, r, c] { runCell(out, r, c); });
+                if (!out.grid[r][c].restored)
+                    pool.submit(
+                        [this, &out, r, c] { runCell(out, r, c); });
         pool.wait();
     }
     out.seconds =

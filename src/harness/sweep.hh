@@ -19,6 +19,14 @@
  * POISONED cell — a zeroed SimResult plus the error string — and the
  * sweep keeps going. SweepOutcome::exitCode() reports nonzero when any
  * cell is poisoned.
+ *
+ * Crash semantics (docs/ROBUSTNESS.md): under IsolationMode::Process
+ * each attempt runs in a forked child, so a SIGSEGV, SIGABRT
+ * (LSQ_ASSERT / checker panic), or hang poisons only its own cell —
+ * JobStatus::Crashed or TimedOut with signal, exit-status, and
+ * stderr-tail provenance — while healthy cells stay bit-identical to
+ * thread mode. A JournalWriter sink plus setResume() makes the sweep
+ * itself restartable after a fatal interruption.
  */
 
 #ifndef LSQSCALE_HARNESS_SWEEP_HH
@@ -28,6 +36,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +46,7 @@
 namespace lsqscale {
 
 class ResultSink;
+struct JournalContents;
 
 /** A design point: label plus a per-benchmark config factory. */
 struct NamedConfig
@@ -56,6 +66,24 @@ enum class JobStatus
     Ok,       ///< result is valid
     Failed,   ///< every attempt threw; cell poisoned
     TimedOut, ///< exceeded its time budget; cell poisoned
+    Crashed,  ///< child process died on a signal; cell poisoned
+};
+
+/**
+ * Where a cell's job runs (docs/ROBUSTNESS.md).
+ *
+ * Thread mode is the historical in-process path: fastest, but a
+ * SIGSEGV, LSQ_ASSERT, or checker panic in any cell takes the whole
+ * sweep down. Process mode forks one child per attempt: a crash or
+ * hang poisons only that cell (JobStatus::Crashed/TimedOut with
+ * signal/exit/stderr provenance) and the pool keeps draining. Both
+ * modes produce bit-identical results for healthy cells.
+ */
+enum class IsolationMode
+{
+    Auto,    ///< resolve via override > LSQSCALE_ISOLATION > Thread
+    Thread,  ///< run the job on the worker thread (historical path)
+    Process, ///< fork per attempt; crashes poison only their cell
 };
 
 /** Per-attempt context handed to the job function. */
@@ -137,6 +165,18 @@ struct SweepOptions
 
     /** Sweep name, used by sinks (e.g. the JSON file header). */
     std::string name = "sweep";
+
+    /** Where jobs run; Auto resolves via resolveIsolation(). */
+    IsolationMode isolation = IsolationMode::Auto;
+
+    /**
+     * Process mode only: kill a child after this much heartbeat
+     * silence and classify the cell TimedOut ("hung"). The heartbeat
+     * ticks in simulated cycles, so a slow-but-alive cell survives any
+     * budget. 0 disables; LSQSCALE_WATCHDOG_MS overrides (see
+     * resolveWatchdog()).
+     */
+    std::chrono::milliseconds watchdog{30000};
 };
 
 /** One grid cell: coordinates, result, and failure provenance. */
@@ -154,6 +194,15 @@ struct SweepCell
     std::uint64_t seed = 0; ///< Sweep::jobSeed for this cell
     double seconds = 0.0;   ///< wall time of the successful attempt
 
+    // Process-isolation provenance (zero/empty in thread mode and for
+    // healthy cells; see docs/ROBUSTNESS.md).
+    int termSignal = 0;      ///< signal that killed the child, if any
+    int exitStatus = 0;      ///< nonzero child exit code, if any
+    std::string stderrTail;  ///< last ~2KB of the child's stderr
+
+    /** True when restored from a resume journal, not re-executed. */
+    bool restored = false;
+
     bool poisoned() const { return status != JobStatus::Ok; }
 };
 
@@ -165,7 +214,10 @@ struct SweepOutcome
     std::vector<std::vector<SweepCell>> grid;
     unsigned jobs = 1;          ///< worker threads actually used
     std::size_t poisonedCells = 0;
+    std::size_t restoredCells = 0; ///< cells replayed from a journal
     double seconds = 0.0;       ///< sweep wall time
+    /** Isolation mode the cells actually ran under (never Auto). */
+    IsolationMode isolation = IsolationMode::Thread;
 
     /** 0 when every cell is healthy, 1 when any cell is poisoned. */
     int exitCode() const { return poisonedCells == 0 ? 0 : 1; }
@@ -203,6 +255,17 @@ class Sweep
     /** Replace the job body. Must be set before run(). */
     void setJobFn(JobFn fn);
 
+    /**
+     * Resume from a parsed journal (readJournal): cells the journal
+     * records as Ok — with matching label, benchmark, and seed — are
+     * restored into the grid without re-running (no jobStarted /
+     * cellDone callbacks fire for them, so an appending JournalWriter
+     * records only new work); everything else re-executes. A journal
+     * whose grid shape does not match is ignored with a warning.
+     * Must be called before run().
+     */
+    void setResume(JournalContents journal);
+
     /** Execute the whole grid; callable once. */
     SweepOutcome run();
 
@@ -218,11 +281,17 @@ class Sweep
     void notifyStarted(const SweepCell &cell);
     void notifyDone(const SweepCell &cell);
 
+    void restoreFromJournal(SweepOutcome &out);
+    void runCellInChild(SweepCell &cell, std::size_t r, std::size_t c,
+                        const JobContext &ctx, bool &done);
+
     std::vector<NamedConfig> configs_;
     std::vector<std::string> benchmarks_;
     SweepOptions opts_;
     std::vector<ResultSink *> sinks_;
     JobFn jobFn_;
+    std::shared_ptr<const JournalContents> resume_;
+    IsolationMode isolation_ = IsolationMode::Thread;
     bool ran_ = false;
 };
 
@@ -238,6 +307,26 @@ unsigned resolveJobs(unsigned requested, std::size_t jobCount);
 /** Process-wide --jobs override (0 clears). Set once at startup. */
 void setJobsOverride(unsigned jobs);
 unsigned jobsOverride();
+
+/**
+ * Resolve where cells run. Precedence: @p requested (when not Auto) >
+ * setIsolationOverride() > the LSQSCALE_ISOLATION environment variable
+ * ("thread" / "process") > Thread. Never returns Auto.
+ */
+IsolationMode resolveIsolation(IsolationMode requested);
+
+/** Process-wide --isolation override (Auto clears). */
+void setIsolationOverride(IsolationMode mode);
+IsolationMode isolationOverride();
+
+/**
+ * Resolve the heartbeat-watchdog grace for process-isolated cells:
+ * LSQSCALE_WATCHDOG_MS (when set and parseable; 0 disables) wins over
+ * @p configured. The env hook exists so CI and operators can tighten
+ * or disable hang detection without touching bench code.
+ */
+std::chrono::milliseconds
+resolveWatchdog(std::chrono::milliseconds configured);
 
 /**
  * Record @p n poisoned cells and arm an atexit hook that forces the

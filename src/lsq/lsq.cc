@@ -4,6 +4,7 @@
 
 #include "check/lsq_checker.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "obs/trace.hh"
 
 /**
@@ -659,6 +660,30 @@ Lsq::sampleOccupancy()
     stats_.histogram("sq.occupancy", params_.totalSqEntries() + 2)
         .sample(sqLive());
     stats_.histogram("ooo.inflight", 64).sample(oooLive_);
+}
+
+// ------------------------------------------------ fault injection -----
+
+bool
+Lsq::injectStateCorruption(std::uint64_t seed)
+{
+    // One flipped address bit per resident addressed store. Bits 3..10
+    // stay within a block/page so the corrupt address is plausible —
+    // exactly the kind of silent datapath fault the ordering oracle
+    // exists to catch. Deterministic in (seed, queue contents).
+    Addr mask = Addr{1} << (3 + (Rng::mix(seed) & 7));
+    bool corrupted = false;
+    for (auto &e : sq_) {
+        if (!e.addrValid)
+            continue;
+        e.addr ^= mask;
+        corrupted = true;
+    }
+    if (corrupted)
+        LSQ_WARN("inject: flipped address bit 0x%llx in resident "
+                 "store-queue entries",
+                 static_cast<unsigned long long>(mask));
+    return corrupted;
 }
 
 // ---------------------------------------------- checkpointing ---------

@@ -209,6 +209,18 @@ class Lsq
     void attachTracer(Tracer *tracer) { tracer_ = tracer; }
     Tracer *tracer() const { return tracer_; }
 
+    // ------------------------------------------------ fault injection
+    /**
+     * Deterministically corrupt resident store-queue state: flip one
+     * address bit in every store whose address is valid (the bit
+     * position derives from @p seed). Models a latent datapath fault;
+     * a -DLSQ_CHECKER build detects the divergence on the next
+     * affected forwarding/ordering decision and panics with
+     * provenance. @return false when no store had a valid address yet
+     * (nothing corrupted — the injector retries next cycle).
+     */
+    bool injectStateCorruption(std::uint64_t seed);
+
     // ------------------------------------------------ checkpointing --
     /**
      * Serialize the drained-queue state (checkpointing,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace lsqscale {
 
@@ -93,6 +94,28 @@ StoreSetPredictor::clearTables()
         std::fill(lfstTable_.begin(), lfstTable_.end(),
                   LfstEntry(params_.counterBits));
     }
+}
+
+void
+StoreSetPredictor::injectStateCorruption(std::uint64_t seed)
+{
+    // Reassign a pseudo-random subset of SSIT slots to pseudo-random
+    // store sets. Wrong merges cost extra SQ searches and squashes but
+    // violate nothing — a silent, timing-only fault (see the header).
+    Rng rng(Rng::mix(seed));
+    if (params_.aliasFree) {
+        for (auto &kv : exactSsit_)
+            if (rng.chance(0.25))
+                kv.second = static_cast<std::uint16_t>(
+                    rng.below(kNoSsid));
+    } else {
+        for (auto &slot : ssit_)
+            if (rng.chance(0.25))
+                slot = static_cast<std::uint16_t>(
+                    rng.below(params_.lfstEntries));
+    }
+    LSQ_WARN("inject: scrambled store-set tables (seed %llu)",
+             static_cast<unsigned long long>(seed));
 }
 
 void

@@ -157,6 +157,18 @@ class StoreSetPredictor
     std::uint64_t pairsTrained() const { return pairsTrained_; }
     std::uint64_t tableClears() const { return tableClears_; }
 
+    // -------------------------------------------- fault injection ----
+    /**
+     * Deterministically scramble the prediction tables (SSID
+     * reassignments and counter perturbations derived from @p seed).
+     * The predictor is a pure performance structure, so this is a
+     * SILENT fault by design: timing/search counts shift, but no
+     * invariant breaks and no checker fires — the taxonomy's example
+     * of corruption that containment tooling cannot see
+     * (docs/ROBUSTNESS.md).
+     */
+    void injectStateCorruption(std::uint64_t seed);
+
     // ----------------------------------------------- checkpointing ----
     /** Serialize all tables (checkpointing, docs/SAMPLING.md). */
     void saveState(SerialWriter &w) const;

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "sample/serialize.hh"
+
 namespace lsqscale {
 
 class Core;
@@ -34,6 +36,24 @@ struct SampleSpec
     std::uint64_t measureInsts = 0; ///< detailed, measured
 
     bool enabled() const { return measureInsts > 0; }
+
+    // Inline so header-only consumers (the process-isolated result
+    // transport in src/harness) need no link against this library.
+    void
+    saveState(SerialWriter &w) const
+    {
+        w.u64(ffInsts);
+        w.u64(warmInsts);
+        w.u64(measureInsts);
+    }
+
+    void
+    loadState(SerialReader &r)
+    {
+        ffInsts = r.u64();
+        warmInsts = r.u64();
+        measureInsts = r.u64();
+    }
 };
 
 /**
@@ -74,6 +94,42 @@ struct SampleSummary
                    ? static_cast<double>(measuredInsts) /
                          static_cast<double>(measuredCycles)
                    : 0.0;
+    }
+
+    void
+    saveState(SerialWriter &w) const
+    {
+        w.b(enabled);
+        spec.saveState(w);
+        w.u64(ffInsts);
+        w.u64(warmInsts);
+        w.u64(measuredInsts);
+        w.u64(measuredCycles);
+        w.u64(intervalIpc.size());
+        for (double v : intervalIpc)
+            w.f64(v);
+        w.f64(ipcMean);
+        w.f64(ipcStddev);
+        w.f64(ipcErr95);
+    }
+
+    void
+    loadState(SerialReader &r)
+    {
+        enabled = r.b();
+        spec.loadState(r);
+        ffInsts = r.u64();
+        warmInsts = r.u64();
+        measuredInsts = r.u64();
+        measuredCycles = r.u64();
+        intervalIpc.clear();
+        std::uint64_t n = r.u64();
+        intervalIpc.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            intervalIpc.push_back(r.f64());
+        ipcMean = r.f64();
+        ipcStddev = r.f64();
+        ipcErr95 = r.f64();
     }
 };
 

@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "harness/journal.hh"
 #include "harness/sweep.hh"
+#include "inject/inject.hh"
 #include "obs/trace.hh"
 #include "sample/serialize.hh"
 #include "sim/simulator.hh"
@@ -86,6 +88,24 @@ cliUsage()
         "                       hardware threads, capped by job count;\n"
         "                       LSQSCALE_BENCH / LSQSCALE_INSTS narrow\n"
         "                       the sweep as before)\n"
+        "\n"
+        "robustness (docs/ROBUSTNESS.md):\n"
+        "  --isolation MODE     thread | process: where sweep cells "
+        "run\n"
+        "                       (process forks per cell so crashes and\n"
+        "                       hangs poison only that cell; also\n"
+        "                       LSQSCALE_ISOLATION)\n"
+        "  --journal DIR        journal each sweep's finished cells to\n"
+        "                       DIR/JOURNAL_<program>[_n].journal\n"
+        "                       (also LSQSCALE_JOURNAL)\n"
+        "  --resume PATH        restore finished cells from PATH and\n"
+        "                       re-run only the rest, appending to it\n"
+        "                       (also LSQSCALE_RESUME)\n"
+        "  --inject K:S:C       arm deterministic fault kind K with\n"
+        "                       seed S at measured cycle C; kinds:\n"
+        "                       crash, abort, hang, corrupt-lsq,\n"
+        "                       corrupt-pred, io-fail (also\n"
+        "                       LSQSCALE_INJECT)\n"
         "\n"
         "observability (docs/OBSERVABILITY.md; --trace replays, these "
         "record):\n"
@@ -235,6 +255,27 @@ parseCli(const std::vector<std::string> &args, CliOptions &opts)
             if (!value(v) || !parseUnsigned(v, opts.jobs) ||
                 opts.jobs == 0)
                 return "--jobs needs a positive count";
+        } else if (a == "--isolation") {
+            if (!value(v) || (v != "thread" && v != "process"))
+                return "--isolation needs thread or process";
+            opts.isolation = v;
+        } else if (a == "--journal") {
+            if (!value(v))
+                return "--journal needs a directory";
+            opts.journalDir = v;
+        } else if (a == "--resume") {
+            if (!value(v))
+                return "--resume needs a journal path";
+            opts.resumePath = v;
+        } else if (a == "--inject") {
+            if (!value(v))
+                return "--inject needs kind:seed:cycle";
+            inject::FaultSpec spec;
+            if (!inject::parseFaultSpec(v, spec))
+                return "malformed --inject '" + v +
+                       "' (want kind:seed:cycle; kinds: crash, abort, "
+                       "hang, corrupt-lsq, corrupt-pred, io-fail)";
+            opts.inject = v;
         } else if (a == "--trace-events") {
             if (!value(v))
                 return "--trace-events needs a comma-separated list";
@@ -348,6 +389,21 @@ runCli(const CliOptions &opts)
 {
     if (opts.jobs > 0)
         setJobsOverride(opts.jobs);
+    if (!opts.isolation.empty())
+        setIsolationOverride(opts.isolation == "process"
+                                 ? IsolationMode::Process
+                                 : IsolationMode::Thread);
+    if (!opts.journalDir.empty())
+        setJournalDirOverride(opts.journalDir);
+    if (!opts.resumePath.empty())
+        setResumeJournalOverride(opts.resumePath);
+    if (!opts.inject.empty()) {
+        // parseCli validated the spec; arm it explicitly so --inject
+        // beats LSQSCALE_INJECT (armFromEnv is a no-op once armed).
+        inject::FaultSpec spec;
+        if (inject::parseFaultSpec(opts.inject, spec))
+            inject::armFault(spec);
+    }
     if (opts.showHelp) {
         std::fputs(cliUsage().c_str(), stdout);
         return 0;

@@ -38,6 +38,26 @@ struct CliOptions
      */
     unsigned jobs = 0;
 
+    /**
+     * --isolation: process-wide override for where sweep cells run
+     * ("thread" or "process"; empty = unset). Like --jobs, a single
+     * lsqsim run is unaffected — this parameterizes embedded sweeps
+     * (docs/ROBUSTNESS.md).
+     */
+    std::string isolation;
+
+    /** --journal: directory for sweep journals (empty = unset). */
+    std::string journalDir;
+
+    /** --resume: journal file to restore finished cells from. */
+    std::string resumePath;
+
+    /**
+     * --inject: deterministic fault to arm, "kind:seed:cycle"
+     * (docs/ROBUSTNESS.md). Empty = none. Beats LSQSCALE_INJECT.
+     */
+    std::string inject;
+
     /** Record a synthetic trace to this path and exit. */
     std::string recordPath;
     std::uint64_t recordCount = 1000000;

@@ -8,7 +8,11 @@
 #include <memory>
 #include <sstream>
 
+#include <filesystem>
+#include <system_error>
+
 #include "common/logging.hh"
+#include "harness/journal.hh"
 #include "harness/sink.hh"
 
 namespace lsqscale {
@@ -80,6 +84,69 @@ envJsonSink(const std::string &sweepName, unsigned jobs,
     return std::make_unique<JsonFileSink>(path, std::move(meta));
 }
 
+/**
+ * The journal sink (--journal / LSQSCALE_JOURNAL): mirrors the JSON
+ * sink's naming scheme — first sweep JOURNAL_<program>.journal, later
+ * ones _2, _3... — so a multi-sweep bench journals each sweep
+ * separately. A --resume path targets exactly one journal file, so it
+ * applies only to the FIRST sweep of the process; a resumed journal is
+ * appended to in place, whatever directory it lives in.
+ */
+struct JournalSetup
+{
+    std::unique_ptr<JournalWriter> writer;
+    bool haveResume = false;
+    JournalContents resume;
+};
+
+JournalSetup
+envJournalSink(const std::string &sweepName)
+{
+    JournalSetup setup;
+    static unsigned journalOrdinal = 0;
+    ++journalOrdinal;
+
+    std::string resumePath = resumeJournalOverride();
+    if (resumePath.empty()) {
+        if (const char *env = std::getenv("LSQSCALE_RESUME"))
+            resumePath = env;
+    }
+    if (!resumePath.empty() && journalOrdinal == 1) {
+        std::string error;
+        if (readJournal(resumePath, setup.resume, error)) {
+            setup.haveResume = true;
+            setup.writer =
+                std::make_unique<JournalWriter>(resumePath, true);
+            return setup;
+        }
+        LSQ_WARN("cannot resume from %s: %s; running from scratch",
+                 resumePath.c_str(), error.c_str());
+    }
+
+    std::string dir = journalDirOverride();
+    if (dir.empty()) {
+        if (const char *env = std::getenv("LSQSCALE_JOURNAL"))
+            dir = env;
+    }
+    if (dir.empty())
+        return setup;
+    std::string path = dir + "/JOURNAL_" + sweepName;
+    if (journalOrdinal > 1)
+        path += strfmt("_%u", journalOrdinal);
+    path += ".journal";
+    // The journal writer appends record-by-record, outside the atomic
+    // write-then-rename path, so make sure the directory exists first.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        LSQ_WARN("cannot create journal directory %s: %s", dir.c_str(),
+                 ec.message().c_str());
+        return setup;
+    }
+    setup.writer = std::make_unique<JournalWriter>(path, false);
+    return setup;
+}
+
 } // namespace
 
 SimResult
@@ -119,6 +186,11 @@ ExperimentRunner::runAll(const std::vector<NamedConfig> &configs) const
                             configs.size() * benchmarks_.size());
     if (json)
         sweep.addSink(json.get());
+    JournalSetup journal = envJournalSink(opts.name);
+    if (journal.writer)
+        sweep.addSink(journal.writer.get());
+    if (journal.haveResume)
+        sweep.setResume(std::move(journal.resume));
 
     SweepOutcome outcome = sweep.run();
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "core/core.hh"
+#include "inject/inject.hh"
 #include "harness/sink.hh"
 #include "obs/interval.hh"
 #include "obs/konata.hh"
@@ -190,6 +191,12 @@ Simulator::run()
         sampler = std::make_unique<IntervalSampler>(core, interval);
         core.attachSampler(sampler.get());
     }
+
+    // Fault injection triggers in measurement cycles: an armed fault
+    // (--inject / LSQSCALE_INJECT) becomes pending here, whatever
+    // warm-up, fast-forward, or checkpoint restore preceded it.
+    inject::armFromEnv();
+    inject::beginMeasurement(core.cycle());
 
     Cycle startCycle = core.cycle();
     std::uint64_t startCommitted = core.committed();

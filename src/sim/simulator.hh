@@ -12,6 +12,8 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "sample/sampler.hh"
+#include "sample/serialize.hh"
 #include "sim/sim_config.hh"
 
 namespace lsqscale {
@@ -45,6 +47,35 @@ struct SimResult
     {
         return stats.value("lq.searches.byload") +
                stats.value("lq.searches.bystore");
+    }
+
+    /**
+     * Serialize the complete result, bit-exactly: the process-isolated
+     * sweep path ships every cell's result through a pipe and the
+     * journal persists it, and both must reproduce thread-mode output
+     * byte-for-byte (docs/ROBUSTNESS.md). Inline so the harness, which
+     * only links lsqscale_common, can use it header-only.
+     */
+    void
+    saveState(SerialWriter &w) const
+    {
+        w.str(benchmark);
+        w.u64(cycles);
+        w.u64(committed);
+        stats.saveState(w);
+        intervals.saveState(w);
+        sampling.saveState(w);
+    }
+
+    void
+    loadState(SerialReader &r)
+    {
+        benchmark = r.str();
+        cycles = r.u64();
+        committed = r.u64();
+        stats.loadState(r);
+        intervals.loadState(r);
+        sampling.loadState(r);
     }
 };
 

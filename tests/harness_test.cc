@@ -14,15 +14,21 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "harness/job_pool.hh"
+#include "harness/journal.hh"
 #include "harness/sink.hh"
 #include "harness/sweep.hh"
 #include "sim/experiment.hh"
@@ -451,6 +457,528 @@ TEST(SweepDeathTest, NoteSweepFailuresForcesNonzeroExit)
             std::exit(0);
         },
         testing::ExitedWithCode(1), "2 poisoned cell");
+}
+
+// -------------------------------------------- process isolation ------
+
+/**
+ * Forking from a process whose threads TSan instruments is outside
+ * TSan's supported model (the child inherits shadow state from one
+ * thread only), so the process-isolation tests run everywhere except
+ * the tsan CI flavor. Thread-mode sweeps stay fully TSan-checked.
+ */
+constexpr bool kTsanBuild =
+#if defined(__SANITIZE_THREAD__)
+    true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+    true;
+#else
+    false;
+#endif
+#else
+    false;
+#endif
+
+/**
+ * ASan installs its own SIGSEGV handler (report, then plain exit), so
+ * a child that segfaults under ASan dies by exit code, not by signal —
+ * the signal-provenance assertions only hold in uninstrumented builds.
+ * Abort/hang/throw containment is sanitizer-agnostic and stays on.
+ */
+constexpr bool kAsanBuild =
+#if defined(__SANITIZE_ADDRESS__)
+    true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    true;
+#else
+    false;
+#endif
+#else
+    false;
+#endif
+
+#define SKIP_UNDER_TSAN()                                             \
+    do {                                                              \
+        if (kTsanBuild)                                               \
+            GTEST_SKIP() << "fork-based isolation not run under TSan"; \
+    } while (0)
+
+#define SKIP_IF_SEGV_INTERCEPTED()                                    \
+    do {                                                              \
+        SKIP_UNDER_TSAN();                                            \
+        if (kAsanBuild)                                               \
+            GTEST_SKIP() << "ASan intercepts SIGSEGV provenance";     \
+    } while (0)
+
+/**
+ * Forking from several pool workers at once is safe with glibc's
+ * malloc (its atfork handlers make the child's heap consistent) but
+ * can deadlock under ASan: a child forked while another worker holds
+ * the sanitizer allocator's internal lock hangs in its first malloc
+ * and the watchdog poisons it. Multi-worker fork tests therefore run
+ * only in uninstrumented builds; the jobs=1 containment tests keep
+ * covering the fork path under ASan.
+ */
+#define SKIP_IF_PARALLEL_FORK_UNSAFE()                                \
+    do {                                                              \
+        SKIP_UNDER_TSAN();                                            \
+        if (kAsanBuild)                                               \
+            GTEST_SKIP()                                              \
+                << "multi-worker fork can deadlock under ASan";       \
+    } while (0)
+
+TEST(ProcIsolationTest, ProcessModeBitIdenticalToThreadMode)
+{
+    SKIP_IF_PARALLEL_FORK_UNSAFE();
+    // The acceptance bar for isolation: healthy cells must not care
+    // where they ran. Three design points, parallel pools, both modes.
+    auto runWith = [](IsolationMode mode) {
+        SweepOptions opts;
+        opts.jobs = 3;
+        opts.isolation = mode;
+        Sweep sweep(threeDesignPoints(), {"bzip", "art"}, opts);
+        sweep.setJobFn(runSimulationJob);
+        return sweep.run();
+    };
+    SweepOutcome thread = runWith(IsolationMode::Thread);
+    SweepOutcome process = runWith(IsolationMode::Process);
+    ASSERT_EQ(thread.poisonedCells, 0u);
+    ASSERT_EQ(process.poisonedCells, 0u);
+    for (std::size_t r = 0; r < thread.grid.size(); ++r)
+        for (std::size_t c = 0; c < thread.grid[r].size(); ++c)
+            EXPECT_EQ(fingerprint(thread.grid[r][c].result),
+                      fingerprint(process.grid[r][c].result))
+                << "cell (" << r << "," << c << ") diverged";
+    EXPECT_EQ(CsvFileSink::render(thread),
+              CsvFileSink::render(process));
+}
+
+TEST(ProcIsolationTest, SegfaultPoisonsOnlyItsCell)
+{
+    SKIP_IF_SEGV_INTERCEPTED();
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.isolation = IsolationMode::Process;
+    Sweep sweep({{"a", tinyConfig}, {"b", tinyConfig}},
+                {"bzip", "gcc"}, opts);
+    sweep.setJobFn([](const SimConfig &cfg, const JobContext &ctx) {
+        if (ctx.row() == 1 && ctx.col() == 0)
+            ::raise(SIGSEGV);
+        return dummyResult(cfg.benchmark);
+    });
+    SweepOutcome out = sweep.run();
+    EXPECT_EQ(out.poisonedCells, 1u);
+    EXPECT_NE(out.exitCode(), 0);
+    const SweepCell &dead = out.grid[1][0];
+    EXPECT_EQ(dead.status, JobStatus::Crashed);
+    EXPECT_EQ(dead.termSignal, SIGSEGV);
+    EXPECT_NE(dead.error.find("signal"), std::string::npos);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            if (!(r == 1 && c == 0)) {
+                EXPECT_EQ(out.grid[r][c].status, JobStatus::Ok);
+                EXPECT_EQ(out.grid[r][c].termSignal, 0);
+            }
+}
+
+TEST(ProcIsolationTest, AssertColdPathAbortIsContained)
+{
+    SKIP_UNDER_TSAN();
+    // The LSQ_ASSERT cold path aborts the *child*; the sweep survives
+    // and the cell carries SIGABRT plus the assertion text from the
+    // child's stderr.
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.isolation = IsolationMode::Process;
+    Sweep sweep({{"a", tinyConfig}}, {"bzip"}, opts);
+    sweep.setJobFn([](const SimConfig &, const JobContext &)
+                       -> SimResult {
+        LSQ_ASSERT(false, "injected assertion for containment test");
+        return SimResult{};
+    });
+    SweepOutcome out = sweep.run();
+    const SweepCell &dead = out.grid[0][0];
+    EXPECT_EQ(dead.status, JobStatus::Crashed);
+    EXPECT_EQ(dead.termSignal, SIGABRT);
+    EXPECT_NE(dead.stderrTail.find(
+                  "injected assertion for containment test"),
+              std::string::npos);
+    EXPECT_EQ(out.poisonedCells, 1u);
+}
+
+TEST(ProcIsolationTest, PanicPathIsContained)
+{
+    SKIP_UNDER_TSAN();
+    // LSQ_PANIC is the checker's failure path (the ordering oracle
+    // panics with provenance); containment must look identical to the
+    // assert path.
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.isolation = IsolationMode::Process;
+    Sweep sweep({{"a", tinyConfig}}, {"bzip"}, opts);
+    sweep.setJobFn([](const SimConfig &, const JobContext &)
+                       -> SimResult {
+        LSQ_PANIC("oracle mismatch: injected panic for test");
+        return SimResult{};
+    });
+    SweepOutcome out = sweep.run();
+    const SweepCell &dead = out.grid[0][0];
+    EXPECT_EQ(dead.status, JobStatus::Crashed);
+    EXPECT_EQ(dead.termSignal, SIGABRT);
+    EXPECT_NE(dead.stderrTail.find("injected panic for test"),
+              std::string::npos);
+}
+
+TEST(ProcIsolationTest, HangIsReapedByHeartbeatWatchdog)
+{
+    SKIP_UNDER_TSAN();
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.isolation = IsolationMode::Process;
+    opts.watchdog = std::chrono::milliseconds(300);
+    Sweep sweep({{"a", tinyConfig}}, {"bzip"}, opts);
+    sweep.setJobFn([](const SimConfig &, const JobContext &)
+                       -> SimResult {
+        for (;;)
+            ::pause(); // never beats, never returns
+    });
+    SweepOutcome out = sweep.run();
+    const SweepCell &dead = out.grid[0][0];
+    EXPECT_EQ(dead.status, JobStatus::TimedOut);
+    EXPECT_NE(dead.error.find("heartbeat"), std::string::npos);
+}
+
+TEST(ProcIsolationTest, ChildThrowRetriesAndReportsWhat)
+{
+    SKIP_UNDER_TSAN();
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.isolation = IsolationMode::Process;
+    opts.maxAttempts = 2;
+    opts.backoffBase = std::chrono::milliseconds(1);
+    Sweep sweep({{"a", tinyConfig}}, {"bzip"}, opts);
+    sweep.setJobFn([](const SimConfig &, const JobContext &)
+                       -> SimResult {
+        throw std::runtime_error("deliberate child failure");
+    });
+    SweepOutcome out = sweep.run();
+    const SweepCell &dead = out.grid[0][0];
+    EXPECT_EQ(dead.status, JobStatus::Failed);
+    EXPECT_EQ(dead.attempts, 2u);
+    EXPECT_EQ(dead.error, "deliberate child failure");
+    EXPECT_EQ(dead.termSignal, 0);
+}
+
+TEST(ProcIsolationTest, CrashedCellRetriesCanSucceed)
+{
+    SKIP_IF_SEGV_INTERCEPTED();
+    // First attempt segfaults, second succeeds: attempt index comes
+    // through the JobContext, so the child can behave differently.
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.isolation = IsolationMode::Process;
+    opts.maxAttempts = 2;
+    opts.backoffBase = std::chrono::milliseconds(1);
+    Sweep sweep({{"a", tinyConfig}}, {"bzip"}, opts);
+    sweep.setJobFn([](const SimConfig &cfg, const JobContext &ctx) {
+        if (ctx.attempt() == 0)
+            ::raise(SIGSEGV);
+        return dummyResult(cfg.benchmark);
+    });
+    SweepOutcome out = sweep.run();
+    const SweepCell &cell = out.grid[0][0];
+    EXPECT_EQ(cell.status, JobStatus::Ok);
+    EXPECT_EQ(cell.attempts, 2u);
+    EXPECT_EQ(cell.termSignal, 0); // provenance is per final attempt
+    EXPECT_EQ(out.poisonedCells, 0u);
+}
+
+// ------------------------------------------------------ journal ------
+
+TEST(JournalTest, RoundTripRestoresResultsBitExactly)
+{
+    std::string path = testing::TempDir() + "/roundtrip.journal";
+    std::remove(path.c_str());
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.name = "journal_unit";
+    Sweep sweep({{"a", tinyConfig}, {"b", tinyConfig}},
+                {"bzip", "gcc"}, opts);
+    sweep.setJobFn(runSimulationJob);
+    SweepOutcome out;
+    {
+        JournalWriter journal(path);
+        ASSERT_TRUE(journal.ok());
+        sweep.addSink(&journal);
+        out = sweep.run();
+    }
+    ASSERT_EQ(out.poisonedCells, 0u);
+
+    JournalContents j;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, j, error)) << error;
+    EXPECT_EQ(j.name, "journal_unit");
+    EXPECT_EQ(j.rows, 2u);
+    EXPECT_EQ(j.cols, 2u);
+    EXPECT_FALSE(j.truncatedTail);
+    ASSERT_EQ(j.cells.size(), 4u);
+    for (const JournalCell &cell : j.cells) {
+        EXPECT_EQ(cell.status, JobStatus::Ok);
+        ASSERT_TRUE(cell.hasResult);
+        EXPECT_EQ(fingerprint(cell.result),
+                  fingerprint(out.grid[cell.row][cell.col].result));
+        EXPECT_EQ(cell.seed, out.grid[cell.row][cell.col].seed);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, TornTailIsToleratedNotFatal)
+{
+    std::string path = testing::TempDir() + "/torn.journal";
+    std::remove(path.c_str());
+    {
+        SweepOptions opts;
+        opts.jobs = 1;
+        Sweep sweep({{"a", tinyConfig}}, {"bzip"}, opts);
+        sweep.setJobFn([](const SimConfig &cfg, const JobContext &) {
+            return dummyResult(cfg.benchmark);
+        });
+        JournalWriter journal(path);
+        sweep.addSink(&journal);
+        sweep.run();
+    }
+    // Simulate a crash mid-append: half a frame of garbage.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out.write("\x10\x00\x00\x00gar", 7);
+    }
+    JournalContents j;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, j, error)) << error;
+    EXPECT_TRUE(j.truncatedTail);
+    EXPECT_EQ(j.cells.size(), 1u); // the intact record survives
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, RejectsNonJournalFiles)
+{
+    std::string path = testing::TempDir() + "/notajournal";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "hello";
+    }
+    JournalContents j;
+    std::string error;
+    EXPECT_FALSE(readJournal(path, j, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(
+        readJournal(testing::TempDir() + "/missing.journal", j, error));
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, ResumeRerunsOnlyUnfinishedCells)
+{
+    std::string path = testing::TempDir() + "/resume.journal";
+    std::remove(path.c_str());
+
+    auto makeSweep = [](SweepOptions opts) {
+        opts.jobs = 1;
+        opts.name = "resume_unit";
+        return Sweep({{"a", tinyConfig}, {"b", tinyConfig}},
+                     {"bzip", "gcc"}, opts);
+    };
+
+    // First run: cell (1,1) fails, everything else lands in the
+    // journal as Ok.
+    std::atomic<int> executed{0};
+    {
+        Sweep sweep = makeSweep({});
+        sweep.setJobFn(
+            [&executed](const SimConfig &cfg, const JobContext &ctx)
+                -> SimResult {
+                ++executed;
+                if (ctx.row() == 1 && ctx.col() == 1)
+                    throw std::runtime_error("first pass failure");
+                return dummyResult(cfg.benchmark);
+            });
+        JournalWriter journal(path);
+        sweep.addSink(&journal);
+        SweepOutcome out = sweep.run();
+        EXPECT_EQ(out.poisonedCells, 1u);
+        EXPECT_EQ(executed.load(), 4);
+    }
+
+    // Resume: only the failed cell re-executes, and this time it
+    // succeeds; the journal (appended in place) then reads complete.
+    JournalContents j;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, j, error)) << error;
+    executed = 0;
+    {
+        Sweep sweep = makeSweep({});
+        sweep.setJobFn(
+            [&executed](const SimConfig &cfg, const JobContext &)
+                -> SimResult {
+                ++executed;
+                return dummyResult(cfg.benchmark);
+            });
+        sweep.setResume(std::move(j));
+        JournalWriter journal(path, /*append=*/true);
+        sweep.addSink(&journal);
+        SweepOutcome out = sweep.run();
+        EXPECT_EQ(executed.load(), 1);
+        EXPECT_EQ(out.poisonedCells, 0u);
+        EXPECT_EQ(out.restoredCells, 3u);
+        EXPECT_TRUE(out.grid[0][0].restored);
+        EXPECT_FALSE(out.grid[1][1].restored);
+    }
+    JournalContents final;
+    ASSERT_TRUE(readJournal(path, final, error)) << error;
+    ASSERT_EQ(final.cells.size(), 4u);
+    for (const JournalCell &cell : final.cells)
+        EXPECT_EQ(cell.status, JobStatus::Ok)
+            << "cell (" << cell.row << "," << cell.col << ")";
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, ShapeMismatchIsIgnoredSafely)
+{
+    std::string path = testing::TempDir() + "/shape.journal";
+    std::remove(path.c_str());
+    {
+        SweepOptions opts;
+        opts.jobs = 1;
+        Sweep sweep({{"a", tinyConfig}}, {"bzip"}, opts);
+        sweep.setJobFn([](const SimConfig &cfg, const JobContext &) {
+            return dummyResult(cfg.benchmark);
+        });
+        JournalWriter journal(path);
+        sweep.addSink(&journal);
+        sweep.run();
+    }
+    JournalContents j;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, j, error)) << error;
+
+    // A 2x2 sweep fed a 1x1 journal must run everything from scratch.
+    SweepOptions opts;
+    opts.jobs = 1;
+    std::atomic<int> executed{0};
+    Sweep sweep({{"a", tinyConfig}, {"b", tinyConfig}},
+                {"bzip", "gcc"}, opts);
+    sweep.setJobFn([&executed](const SimConfig &cfg,
+                               const JobContext &) {
+        ++executed;
+        return dummyResult(cfg.benchmark);
+    });
+    sweep.setResume(std::move(j));
+    SweepOutcome out = sweep.run();
+    EXPECT_EQ(executed.load(), 4);
+    EXPECT_EQ(out.restoredCells, 0u);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------- atomic writes -----
+
+TEST(SinkTest, CrashedCellsCarryProvenanceInJson)
+{
+    SweepOutcome out;
+    out.name = "prov";
+    out.grid.resize(1);
+    out.grid[0].resize(1);
+    SweepCell &cell = out.grid[0][0];
+    cell.configLabel = "a";
+    cell.benchmark = "bzip";
+    cell.status = JobStatus::Crashed;
+    cell.termSignal = 11;
+    cell.stderrTail = "segv provenance";
+    std::string doc = JsonFileSink::render(out, {});
+    EXPECT_NE(doc.find("\"status\": \"crashed\""), std::string::npos);
+    EXPECT_NE(doc.find("\"term_signal\": 11"), std::string::npos);
+    EXPECT_NE(doc.find("segv provenance"), std::string::npos);
+
+    // Healthy cells keep the historical schema: no provenance keys.
+    cell.status = JobStatus::Ok;
+    cell.termSignal = 0;
+    cell.stderrTail.clear();
+    std::string healthy = JsonFileSink::render(out, {});
+    EXPECT_EQ(healthy.find("term_signal"), std::string::npos);
+    EXPECT_EQ(healthy.find("stderr_tail"), std::string::npos);
+}
+
+TEST(SinkDeathTest, KillMidWriteNeverTearsTheTargetFile)
+{
+    SKIP_UNDER_TSAN();
+    std::string path = testing::TempDir() + "/atomic.json";
+    ASSERT_TRUE(writeFileCreatingDirs(path, "ORIGINAL CONTENT\n"));
+
+    // The hook fires between writing the temp file and the rename:
+    // dying there must leave the original untouched.
+    setWriteFileTestHook([] { std::_Exit(42); });
+    EXPECT_EXIT(writeFileCreatingDirs(path, "NEW CONTENT\n"),
+                testing::ExitedWithCode(42), "");
+    setWriteFileTestHook(nullptr);
+
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), "ORIGINAL CONTENT\n");
+
+    // And with the hook gone the replacement goes through.
+    ASSERT_TRUE(writeFileCreatingDirs(path, "NEW CONTENT\n"));
+    std::ifstream in2(path);
+    std::stringstream ss2;
+    ss2 << in2.rdbuf();
+    EXPECT_EQ(ss2.str(), "NEW CONTENT\n");
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------- isolation resolution --
+
+TEST(ResolveIsolationTest, PrecedenceChain)
+{
+    setIsolationOverride(IsolationMode::Auto);
+    unsetenv("LSQSCALE_ISOLATION");
+    EXPECT_EQ(resolveIsolation(IsolationMode::Auto),
+              IsolationMode::Thread);
+    EXPECT_EQ(resolveIsolation(IsolationMode::Process),
+              IsolationMode::Process);
+
+    setenv("LSQSCALE_ISOLATION", "process", 1);
+    EXPECT_EQ(resolveIsolation(IsolationMode::Auto),
+              IsolationMode::Process);
+    EXPECT_EQ(resolveIsolation(IsolationMode::Thread),
+              IsolationMode::Thread); // explicit beats env
+
+    setIsolationOverride(IsolationMode::Thread);
+    EXPECT_EQ(resolveIsolation(IsolationMode::Auto),
+              IsolationMode::Thread); // override beats env
+
+    setenv("LSQSCALE_ISOLATION", "bogus", 1);
+    setIsolationOverride(IsolationMode::Auto);
+    EXPECT_EQ(resolveIsolation(IsolationMode::Auto),
+              IsolationMode::Thread);
+    unsetenv("LSQSCALE_ISOLATION");
+}
+
+TEST(ResolveIsolationTest, WatchdogEnvOverride)
+{
+    unsetenv("LSQSCALE_WATCHDOG_MS");
+    EXPECT_EQ(resolveWatchdog(std::chrono::milliseconds(1234)).count(),
+              1234);
+    setenv("LSQSCALE_WATCHDOG_MS", "250", 1);
+    EXPECT_EQ(resolveWatchdog(std::chrono::milliseconds(1234)).count(),
+              250);
+    setenv("LSQSCALE_WATCHDOG_MS", "0", 1); // 0 = disabled
+    EXPECT_EQ(resolveWatchdog(std::chrono::milliseconds(1234)).count(),
+              0);
+    setenv("LSQSCALE_WATCHDOG_MS", "junk", 1);
+    EXPECT_EQ(resolveWatchdog(std::chrono::milliseconds(1234)).count(),
+              1234);
+    unsetenv("LSQSCALE_WATCHDOG_MS");
 }
 
 // ------------------------------------------------- jobs resolution ---

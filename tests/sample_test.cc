@@ -178,6 +178,37 @@ TEST_F(SampleTest, RejectsMissingFile)
     EXPECT_THROW(sim.run(), SerialError);
 }
 
+TEST_F(SampleTest, RejectsZeroLengthFile)
+{
+    // A crashed --save-ckpt (or a full disk) can leave a zero-length
+    // file behind; loading it must fail cleanly, not abort.
+    SimConfig cfg = configs::base("bzip");
+    cfg.loadCkptPath = tmpPath("empty.ckpt");
+    writeBytes(cfg.loadCkptPath, "");
+    cfg.instructions = 1000;
+    Simulator sim(cfg);
+    EXPECT_THROW(sim.run(), SerialError);
+    EXPECT_THROW(inspectCheckpoint(cfg.loadCkptPath), SerialError);
+}
+
+TEST_F(SampleTest, RejectsTruncatedMidHeaderFile)
+{
+    // Cut inside the fixed header (after the magic + version but
+    // before the metadata strings complete): both the loader and the
+    // inspector must throw, not read past the end or abort.
+    SimConfig cfg = configs::base("bzip");
+    std::string ckpt = saveAt(cfg, 5000, "midheader.ckpt");
+    std::string bytes = readBytes(ckpt);
+    ASSERT_GT(bytes.size(), 16u);
+    writeBytes(ckpt, bytes.substr(0, 16));
+
+    cfg.loadCkptPath = ckpt;
+    cfg.instructions = 1000;
+    Simulator sim(cfg);
+    EXPECT_THROW(sim.run(), SerialError);
+    EXPECT_THROW(inspectCheckpoint(ckpt), SerialError);
+}
+
 TEST_F(SampleTest, RejectsTruncatedFile)
 {
     SimConfig cfg = configs::base("bzip");
