@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <mutex>
 
 #include <poll.h>
 #include <sys/types.h>
@@ -164,32 +165,48 @@ runCellInProcess(const std::function<SimResult()> &body,
     ProcOutcome out;
 
     Pipe result, errp, hb;
-    if (!result.open() || !errp.open() || !hb.open()) {
-        out.status = ProcStatus::Failed;
-        out.error = strfmt("pipe() failed: %s", std::strerror(errno));
-        return out;
-    }
+    pid_t pid;
+    {
+        // pipe() through the parent-side close of the write ends must
+        // be atomic with respect to every other worker's fork: a child
+        // forked in between would inherit this attempt's write ends,
+        // keeping them open until that unrelated child exits — the
+        // parent never sees EOF, the watchdog kills a zombie, and a
+        // healthy cell is misclassified as TimedOut.
+        static std::mutex forkMutex;
+        std::lock_guard<std::mutex> forkLock(forkMutex);
 
-    // Fork under the logging lock: another worker thread may hold it
-    // mid-logLine, and the child would inherit it locked forever.
-    lockLogForFork();
-    pid_t pid = ::fork();
-    if (pid == 0) {
+        if (!result.open() || !errp.open() || !hb.open()) {
+            out.status = ProcStatus::Failed;
+            out.error = strfmt("pipe() failed: %s",
+                               std::strerror(errno));
+            return out;
+        }
+
+        // Fork under the logging lock: another worker thread may hold
+        // it mid-logLine, and the child would inherit it locked
+        // forever.
+        lockLogForFork();
+        pid = ::fork();
+        if (pid == 0) {
+            unlockLogForFork();
+            result.closeEnd(result.r);
+            errp.closeEnd(errp.r);
+            hb.closeEnd(hb.r);
+            childMain(result.w, errp.w, hb.w, body,
+                      opts.heartbeatCycles);
+        }
         unlockLogForFork();
-        result.closeEnd(result.r);
-        errp.closeEnd(errp.r);
-        hb.closeEnd(hb.r);
-        childMain(result.w, errp.w, hb.w, body, opts.heartbeatCycles);
+        if (pid < 0) {
+            out.status = ProcStatus::Failed;
+            out.error = strfmt("fork() failed: %s",
+                               std::strerror(errno));
+            return out;
+        }
+        result.closeEnd(result.w);
+        errp.closeEnd(errp.w);
+        hb.closeEnd(hb.w);
     }
-    unlockLogForFork();
-    if (pid < 0) {
-        out.status = ProcStatus::Failed;
-        out.error = strfmt("fork() failed: %s", std::strerror(errno));
-        return out;
-    }
-    result.closeEnd(result.w);
-    errp.closeEnd(errp.w);
-    hb.closeEnd(hb.w);
 
     // Drain all three pipes until the child closes them (by exiting or
     // being killed). The watchdog clock restarts on every heartbeat
@@ -217,6 +234,11 @@ runCellInProcess(const std::function<SimResult()> &body,
         int ready = ::poll(fds, nfds, 50);
         if (ready < 0 && errno != EINTR) {
             LSQ_WARN("poll() failed: %s", std::strerror(errno));
+            // No more draining or watchdog checks happen after this
+            // break; a live child blocked on a full pipe would
+            // deadlock the waitpid below, so it dies here.
+            if (::kill(pid, SIGKILL) != 0 && errno != ESRCH)
+                LSQ_WARN("kill() failed: %s", std::strerror(errno));
             break;
         }
         for (nfds_t i = 0; ready > 0 && i < nfds; ++i) {
@@ -283,7 +305,14 @@ runCellInProcess(const std::function<SimResult()> &body,
     bool parsed = !payload.empty() &&
                   parsePayload(payload, out.result, jobError, jobThrew);
 
-    if (killedByDeadline) {
+    if (parsed && !jobThrew && out.termSignal == 0 &&
+        out.exitStatus == 0) {
+        // An intact, CRC-valid Ok payload from a child that exited 0
+        // beats a late watchdog/deadline kill: the result had already
+        // shipped, so the SIGKILL hit a zombie (EOF merely arrived
+        // late), not a hung job.
+        out.status = ProcStatus::Ok;
+    } else if (killedByDeadline) {
         out.status = ProcStatus::TimedOut;
         out.error = strfmt("exceeded the %lld ms budget; killed",
                            static_cast<long long>(
@@ -299,8 +328,6 @@ runCellInProcess(const std::function<SimResult()> &body,
     } else if (parsed && jobThrew) {
         out.status = ProcStatus::Failed;
         out.error = jobError;
-    } else if (parsed && out.exitStatus == 0) {
-        out.status = ProcStatus::Ok;
     } else {
         out.status = ProcStatus::Crashed;
         out.error = strfmt("exit status %d with %s result payload",

@@ -16,7 +16,11 @@
  * period. SweepOptions::timeout additionally acts as a hard wall-clock
  * deadline.
  *
- * Fork safety: the fork brackets the logging mutex
+ * Fork safety: pipe creation, the fork, and the parent-side close of
+ * the pipe write ends happen under one global mutex, so a child
+ * forked by another worker can never inherit this attempt's write
+ * ends (which would delay EOF past the watchdog and poison a healthy
+ * cell). Inside that bracket the fork also holds the logging mutex
  * (lockLogForFork/unlockLogForFork) so a child forked while another
  * worker was mid-logLine() does not inherit a locked logger. The
  * child leaves via std::_Exit — no atexit hooks (the sweep failure

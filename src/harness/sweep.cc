@@ -11,6 +11,7 @@
 #include "harness/journal.hh"
 #include "harness/proc_runner.hh"
 #include "harness/sink.hh"
+#include "inject/inject.hh"
 
 namespace lsqscale {
 
@@ -429,6 +430,22 @@ Sweep::run()
     out.jobs = resolveJobs(opts_.jobs, rows * cols);
     isolation_ = resolveIsolation(opts_.isolation);
     out.isolation = isolation_;
+    // LSQSCALE_INJECT normally arms lazily inside Simulator::run —
+    // too late for the jobs decision below, so force the env check
+    // now (idempotent; a no-op when nothing is set).
+    inject::armFromEnv();
+    if (inject::faultArmed() && isolation_ == IsolationMode::Thread &&
+        out.jobs > 1) {
+        // The armed fault's measurement anchor and pending flag are
+        // process-global; concurrent thread-mode cells would stomp
+        // them and fire the fault in an arbitrary cell at a wrong
+        // cycle. Process mode is safe (each child re-arms its own
+        // copy), so only thread mode is forced serial.
+        LSQ_WARN("an injected fault is armed; forcing --jobs 1 for "
+                 "thread-mode isolation (use --isolation process for "
+                 "parallel fault campaigns)");
+        out.jobs = 1;
+    }
     if (resume_ != nullptr)
         restoreFromJournal(out);
 

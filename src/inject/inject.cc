@@ -102,6 +102,11 @@ parseFaultSpec(const std::string &text, FaultSpec &out)
     auto number = [](const std::string &s, std::uint64_t &v) -> bool {
         if (s.empty())
             return false;
+        // Digits only: strtoull would silently wrap "-1" to 2^64-1
+        // instead of rejecting it as malformed.
+        for (char ch : s)
+            if (ch < '0' || ch > '9')
+                return false;
         char *end = nullptr;
         errno = 0;
         v = std::strtoull(s.c_str(), &end, 10);

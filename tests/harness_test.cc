@@ -31,6 +31,7 @@
 #include "harness/journal.hh"
 #include "harness/sink.hh"
 #include "harness/sweep.hh"
+#include "inject/inject.hh"
 #include "sim/experiment.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
@@ -221,6 +222,33 @@ TEST(SweepTest, CellSeedsIndependentOfWorkerCount)
         return seeds;
     };
     EXPECT_EQ(collectSeeds(1), collectSeeds(4));
+}
+
+TEST(SweepTest, ArmedFaultForcesSerialThreadModeSweep)
+{
+    // The armed fault's measurement anchor and pending flag are
+    // process-global: thread-mode workers sharing them would fire the
+    // fault in an arbitrary cell at a wrong cycle, so the sweep must
+    // drop to one job (process isolation keeps its parallelism — each
+    // child owns a private copy).
+    inject::FaultSpec spec;
+    ASSERT_TRUE(
+        inject::parseFaultSpec("corrupt-pred:1:1000000000", spec));
+    inject::armFault(spec);
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.isolation = IsolationMode::Thread;
+    Sweep sweep({{"a", tinyConfig}, {"b", tinyConfig}},
+                {"bzip", "gcc"}, opts);
+    sweep.setJobFn([](const SimConfig &cfg, const JobContext &) {
+        return dummyResult(cfg.benchmark);
+    });
+    SweepOutcome out = sweep.run();
+    inject::disarmFault();
+
+    EXPECT_EQ(out.jobs, 1u);
+    EXPECT_EQ(out.poisonedCells, 0u);
 }
 
 // ---------------------------------------------- failure semantics ----

@@ -13,10 +13,15 @@
  * binary) survives untouched.
  */
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -115,6 +120,12 @@ TEST_F(InjectTest, ParseRejectsMalformedSpecs)
     EXPECT_FALSE(inject::parseFaultSpec("crash:x:5", spec));
     EXPECT_FALSE(inject::parseFaultSpec("crash:0:y", spec));
     EXPECT_FALSE(inject::parseFaultSpec("crash:0:5:6", spec));
+    // strtoull accepts sign prefixes ("-1" wraps to 2^64-1); the
+    // grammar is digits only.
+    EXPECT_FALSE(inject::parseFaultSpec("crash:-1:5", spec));
+    EXPECT_FALSE(inject::parseFaultSpec("crash:1:-5", spec));
+    EXPECT_FALSE(inject::parseFaultSpec("crash:+1:5", spec));
+    EXPECT_FALSE(inject::parseFaultSpec("crash: 1:5", spec));
 }
 
 // -------------------------------------------------------- arming -----
@@ -280,6 +291,57 @@ TEST_F(InjectCampaignTest, LsqCorruptionIsCaughtByTheChecker)
     EXPECT_EQ(out.termSignal, SIGABRT);
 }
 #endif
+
+TEST_F(InjectCampaignTest, ConcurrentForksDoNotCrossPoisonCells)
+{
+    SKIP_UNDER_TSAN();
+    // Regression: a child forked by another worker between this
+    // worker's pipe() and the parent-side close of the write ends used
+    // to inherit them, so the parent saw EOF only when the unrelated
+    // child exited; with a watchdog shorter than that child's
+    // lifetime, the parent killed a zombie and a healthy, completed
+    // cell came back TimedOut. Fast cells (tight watchdog) race
+    // against long-lived slow cells here; every one must be Ok.
+    constexpr int kFast = 4;
+    constexpr int kSlow = 4;
+    std::array<ProcOutcome, kFast + kSlow> outs;
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kFast + kSlow; ++i) {
+        threads.emplace_back([i, &outs, &ready, &go] {
+            const bool fast = i < kFast;
+            ProcOptions po;
+            po.watchdog = std::chrono::milliseconds(fast ? 1000 : 0);
+            po.hardTimeout = std::chrono::milliseconds(0);
+            ready.fetch_add(1);
+            while (!go.load())
+                std::this_thread::yield();
+            outs[i] = runCellInProcess(
+                [fast] {
+                    if (!fast)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(2200));
+                    SimResult r;
+                    r.benchmark = fast ? "fast" : "slow";
+                    r.cycles = 1;
+                    r.committed = 1;
+                    return r;
+                },
+                po);
+        });
+    }
+    while (ready.load() != kFast + kSlow)
+        std::this_thread::yield();
+    go.store(true);
+    for (auto &t : threads)
+        t.join();
+    for (int i = 0; i < kFast + kSlow; ++i) {
+        EXPECT_EQ(outs[i].status, ProcStatus::Ok)
+            << "cell " << i << ": " << outs[i].error;
+        EXPECT_EQ(outs[i].result.cycles, 1u) << "cell " << i;
+    }
+}
 
 TEST_F(InjectCampaignTest, UninjectedChildMatchesInProcessRun)
 {
