@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Host-throughput meter: how fast does the simulator itself run?
+ *
+ * Times three pinned design points (the paper's base machine, the
+ * Figure 12 all-techniques machine, and a 4x28 segmented single-port
+ * LSQ) on one benchmark and reports simulated cycles/sec and
+ * committed insts/sec of host wall-clock. This is the number the
+ * performance work in this repo is judged against: a regression that
+ * does not move IPC but halves cycles/sec still doubles every sweep.
+ *
+ * Writes BENCH_host_throughput.json (schema
+ * lsqscale-host-throughput-v1) into LSQSCALE_JSON_DIR, defaulting to
+ * the current directory — CI regenerates the copy committed at the
+ * repo root from here. The wall-clock fields are obviously
+ * host-dependent; the committed baseline documents magnitude, not a
+ * bound.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "harness/sink.hh"
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+using namespace lsqscale;
+
+namespace {
+
+struct Point
+{
+    std::string name;
+    SimConfig cfg;
+};
+
+struct Measured
+{
+    std::string name;
+    SimResult result;
+    double seconds = 0.0;
+
+    double cyclesPerSec() const
+    {
+        return seconds > 0
+                   ? static_cast<double>(result.cycles) / seconds
+                   : 0.0;
+    }
+    double instsPerSec() const
+    {
+        return seconds > 0
+                   ? static_cast<double>(result.committed) / seconds
+                   : 0.0;
+    }
+};
+
+Measured
+timePoint(const Point &p)
+{
+    Measured m;
+    m.name = p.name;
+    auto t0 = std::chrono::steady_clock::now();
+    m.result = Simulator(p.cfg).run();
+    auto t1 = std::chrono::steady_clock::now();
+    m.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return m;
+}
+
+std::string
+renderJson(const std::string &benchmark, std::uint64_t insts,
+           const std::vector<Measured> &points)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"lsqscale-host-throughput-v1\",\n";
+    out += "  \"benchmark\": \"" + jsonEscape(benchmark) + "\",\n";
+    out += strfmt("  \"instructions\": %llu,\n",
+                  static_cast<unsigned long long>(insts));
+    out += "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Measured &m = points[i];
+        out += "    {\n";
+        out += "      \"name\": \"" + jsonEscape(m.name) + "\",\n";
+        out += strfmt("      \"sim_cycles\": %llu,\n",
+                      static_cast<unsigned long long>(m.result.cycles));
+        out += strfmt("      \"committed\": %llu,\n",
+                      static_cast<unsigned long long>(
+                          m.result.committed));
+        out += strfmt("      \"ipc\": %.4f,\n", m.result.ipc());
+        out += strfmt("      \"wall_seconds\": %.4f,\n", m.seconds);
+        out += strfmt("      \"sim_cycles_per_sec\": %.0f,\n",
+                      m.cyclesPerSec());
+        out += strfmt("      \"sim_insts_per_sec\": %.0f\n",
+                      m.instsPerSec());
+        out += (i + 1 < points.size()) ? "    },\n" : "    }\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string benchmark = "gzip";
+    std::uint64_t insts = effectiveInstructions(1000000);
+
+    std::vector<Point> points;
+    {
+        SimConfig c = benchBase(benchmark);
+        c.instructions = insts;
+        points.push_back({"base-2port", c});
+    }
+    {
+        SimConfig c = configs::allTechniques(benchBase(benchmark));
+        c.instructions = insts;
+        points.push_back({"all-techniques-1port", c});
+    }
+    {
+        SimConfig c = configs::withPorts(
+            configs::withSegmentation(benchBase(benchmark), 4, 28,
+                                      SegAllocPolicy::SelfCircular),
+            1);
+        c.instructions = insts;
+        points.push_back({"segmented-4x28-1port", c});
+    }
+
+    std::vector<Measured> measured;
+    measured.reserve(points.size());
+    for (const Point &p : points)
+        measured.push_back(timePoint(p));
+
+    TextTable t;
+    t.header({"design point", "IPC", "wall s", "Mcycles/s",
+              "Minsts/s"});
+    for (const Measured &m : measured)
+        t.row({m.name, TextTable::num(m.result.ipc(), 2),
+               TextTable::num(m.seconds, 2),
+               TextTable::num(m.cyclesPerSec() / 1e6, 2),
+               TextTable::num(m.instsPerSec() / 1e6, 2)});
+    std::printf("== host throughput: %s, %llu insts ==\n%s",
+                benchmark.c_str(),
+                static_cast<unsigned long long>(insts),
+                t.render().c_str());
+
+    const char *dir = std::getenv("LSQSCALE_JSON_DIR");
+    std::string path = std::string(dir && *dir ? dir : ".") +
+                       "/BENCH_host_throughput.json";
+    if (!writeFileCreatingDirs(path,
+                               renderJson(benchmark, insts, measured)))
+        LSQ_FATAL("cannot write %s", path.c_str());
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

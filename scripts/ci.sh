@@ -33,8 +33,15 @@
 #                    with signal/heartbeat provenance — and a --resume
 #                    from the journal must reproduce the clean output
 #                    byte for byte
-#   9. lint        — scripts/lint.py standalone (also a ctest in every
-#                    flavor above, so this is a fast final recheck)
+#   9. lint        — the lsqlint analyzer (scripts/lint.py) standalone
+#                    (also a ctest in every flavor above, so this is a
+#                    fast final recheck)
+#  10. analyze     — deep static-analysis pass (docs/STATIC_ANALYSIS.md):
+#                    full lsqlint run with the JSON report parsed and
+#                    required clean, the tests/lintfix fixture
+#                    self-test, and clang-tidy over
+#                    compile_commands.json when the binary is
+#                    available (gcc-only containers skip that step)
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
 
@@ -49,7 +56,8 @@ run_flavor() {
     local name="$1"; shift
     local dir="build-ci-$name"
     banner "flavor: $name (configure)"
-    cmake -B "$dir" -S . "$@" >/dev/null
+    cmake -B "$dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" \
+        >/dev/null
     banner "flavor: $name (build)"
     cmake --build "$dir" -j "$JOBS"
     banner "flavor: $name (ctest)"
@@ -91,6 +99,23 @@ python3 -c "import json,glob,sys; \
     [json.load(open(p)) for p in \
      glob.glob('$SMOKE_DIR/parallel/BENCH_*.json')] or \
     sys.exit('bench-smoke: no BENCH_*.json emitted')"
+
+banner "flavor: bench-smoke (host-throughput baseline regenerated)"
+# Regenerate the committed repo-root BENCH_host_throughput.json
+# (schema lsqscale-host-throughput-v1): three pinned design points,
+# simulated cycles/sec and committed insts/sec. The wall-clock fields
+# are host-dependent, so the check is that the bench runs its full
+# window and emits a well-formed report, not a throughput bound.
+./build-ci-release/bench/host_throughput
+python3 - <<'PYEOF'
+import json
+doc = json.load(open("BENCH_host_throughput.json"))
+assert doc["schema"] == "lsqscale-host-throughput-v1", doc["schema"]
+assert len(doc["points"]) == 3, doc["points"]
+for p in doc["points"]:
+    assert p["sim_cycles_per_sec"] > 0 and p["sim_insts_per_sec"] > 0, p
+print("host-throughput: 3 design points, report well-formed")
+PYEOF
 
 banner "flavor: bench-smoke (sampled fig7 >=3x faster, cells within 2%)"
 # Checkpoint/fast-forward sampling demo (docs/SAMPLING.md): rerun the
@@ -264,5 +289,29 @@ python3 scripts/check_crash_smoke.py check-corrupt \
 
 banner "flavor: lint"
 python3 scripts/lint.py
+
+banner "flavor: analyze (full lsqlint pass, JSON report required clean)"
+python3 -m tools.lsqlint --no-cache --json-out build-ci-release/lsqlint.json
+python3 - <<'PYEOF'
+import json
+doc = json.load(open("build-ci-release/lsqlint.json"))
+assert doc["schema"] == "lsqlint-v2", doc["schema"]
+if doc["findings"]:
+    raise SystemExit(
+        "analyze: %d findings in a tree that must be clean"
+        % len(doc["findings"]))
+print("analyze: clean (%d files, %d rules)"
+      % (doc["stats"]["files"], len(doc["rules_known"])))
+PYEOF
+
+banner "flavor: analyze (tests/lintfix fixture self-test)"
+python3 tests/lintfix/run_fixtures.py
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    banner "flavor: analyze (clang-tidy over compile_commands.json)"
+    git ls-files 'src/*.cc' | xargs clang-tidy -p build-ci-release --quiet
+else
+    banner "flavor: analyze (clang-tidy not installed; step skipped)"
+fi
 
 banner "all flavors green"

@@ -1,452 +1,24 @@
 #!/usr/bin/env python3
-"""Repo-specific lint for the lsqscale simulator (docs/CHECKING.md).
+"""Repo lint entry point — thin shim over tools/lsqlint.
 
-Four checks, each encoding a correctness rule the generic toolchain
-does not enforce:
+The PR 1 regex linter grew into a token-stream static-analysis
+subsystem in tools/lsqlint/ (lexer, declaration-level parser, rule
+framework, mtime cache, parallel walk). This script keeps the
+historical entry point and exit-code contract (number of findings,
+capped at 125) for the `lint` ctest and scripts/ci.sh.
 
-  raw-new           ownership must go through containers or
-                    std::make_unique; a raw `new` leaks on the many
-                    early-return paths of the pipeline stages.
-  narrowing-cast    cycle/sequence arithmetic is 64-bit by design
-                    (common/types.hh); casting it to a 32-bit type
-                    truncates after ~4G cycles and produced wrong
-                    wrap-around comparisons in early prototypes.
-  partial-switch    every `switch` over an `enum class` must name all
-                    enumerators and carry no `default:`, so adding an
-                    enumerator makes -Wswitch flag every site that
-                    needs updating.
-  stats-buckets     StatSet::histogram(name, buckets) sizes the
-                    histogram on *first* use only; two call sites
-                    naming the same histogram with different bucket
-                    expressions silently truncate samples.
-  bare-assert       invariants use LSQ_ASSERT/LSQ_DCHECK (cold failure
-                    path, survives NDEBUG where intended), never the
-                    C assert macro.
-  raw-thread        concurrency goes through harness::JobPool; raw
-                    std::thread / std::jthread / std::async outside
-                    src/harness/ means a second queue, a second
-                    shutdown protocol, and sweeps whose results depend
-                    on scheduling.
-  unchecked-syscall the crash-isolation plumbing (src/harness/,
-                    src/inject/) lives or dies on fork/waitpid/write/
-                    rename return values: an unchecked fork() forks
-                    zero or two sweeps, an unchecked rename() silently
-                    drops a sink file, an unchecked write() loses a
-                    heartbeat or result payload. Calls whose result is
-                    discarded (statement position or `(void)` cast)
-                    are findings there.
-  stat-dump         measurement output goes through StatSet, the
-                    harness sinks, or the obs tracing layer; ad-hoc
-                    printf/fprintf/std::cout dumps sprinkled through
-                    simulator code bypass the machine-readable schemas
-                    and interleave under the parallel sweep. Allowed
-                    in src/obs/, src/harness/, common/logging, the CLI
-                    renderer (src/sim/cli.cc), and tools/ drivers
-                    (stdout is their product).
-
-A finding can be suppressed by appending `// lint: allow-<rule>` to
-the offending line. Exit status is the number of findings (0 = clean).
+Rule catalog, annotation grammar and suppression policy:
+docs/STATIC_ANALYSIS.md. Run `python3 -m tools.lsqlint --list-rules`
+for the live list.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
+import os
 import sys
-from pathlib import Path
 
-SOURCE_DIRS = ["src", "tools"]
-ENUM_DIRS = ["src"]
-SOURCE_EXTS = {".hh", ".cc", ".cpp", ".hpp"}
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _REPO_ROOT)
 
-NARROW_TYPES = (
-    r"(?:unsigned(?:\s+int)?|int|short|std::u?int(?:8|16|32)_t|"
-    r"u?int(?:8|16|32)_t)"
-)
-# Identifiers that mark 64-bit cycle/sequence arithmetic.
-WIDE_MARKERS = re.compile(
-    r"\b(?:now_?|Cycle|cycle|SeqNum|seq\b|executeCycle|commitCycle|"
-    r"searchDoneCycle|readyCycle)")
-
-
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, msg: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.msg = msg
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line
-    structure so reported line numbers stay accurate."""
-    out = []
-    i, n = 0, len(text)
-    mode = "code"  # code | line-comment | block-comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if mode == "code":
-            if c == "/" and nxt == "/":
-                mode = "line-comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                mode = "block-comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                mode = "string"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                mode = "char"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif mode == "line-comment":
-            if c == "\n":
-                mode = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        elif mode == "block-comment":
-            if c == "*" and nxt == "/":
-                mode = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append("\n" if c == "\n" else " ")
-        else:  # string or char
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if (mode == "string" and c == '"') or (
-                    mode == "char" and c == "'"):
-                mode = "code"
-            out.append("\n" if c == "\n" else " ")
-        i += 1
-    return "".join(out)
-
-
-def allowed(raw_line: str, rule: str) -> bool:
-    return f"lint: allow-{rule}" in raw_line
-
-
-def iter_sources(root: Path, dirs) -> list[Path]:
-    files = []
-    for d in dirs:
-        base = root / d
-        if base.is_dir():
-            files.extend(p for p in sorted(base.rglob("*"))
-                         if p.suffix in SOURCE_EXTS)
-    return files
-
-
-# --------------------------------------------------------- raw-new ----
-
-RAW_NEW = re.compile(r"\bnew\b(?!\s*\()\s*[A-Za-z_:<(]")
-
-
-def check_raw_new(path, raw_lines, code_lines, findings):
-    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
-        if RAW_NEW.search(code) and not allowed(raw, "raw-new"):
-            findings.append(Finding(
-                path, ln, "raw-new",
-                "raw `new`: use std::make_unique or a container"))
-
-
-# --------------------------------------------------- narrowing-cast ----
-
-CAST_RE = re.compile(
-    r"(?:static_cast\s*<\s*(" + NARROW_TYPES + r")\s*>"
-    r"|\(\s*(" + NARROW_TYPES + r")\s*\))\s*\(")
-
-
-def check_narrowing_casts(path, raw_lines, code_lines, findings):
-    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
-        for m in CAST_RE.finditer(code):
-            # Examine the cast operand (up to the matching paren).
-            depth, j = 1, m.end()
-            while j < len(code) and depth > 0:
-                if code[j] == "(":
-                    depth += 1
-                elif code[j] == ")":
-                    depth -= 1
-                j += 1
-            operand = code[m.end():j - 1]
-            if WIDE_MARKERS.search(operand) and not allowed(
-                    raw, "narrowing-cast"):
-                findings.append(Finding(
-                    path, ln, "narrowing-cast",
-                    f"cycle/seq arithmetic narrowed to "
-                    f"{m.group(1) or m.group(2)}: `{operand.strip()}`"))
-
-
-# --------------------------------------------------- partial-switch ----
-
-ENUM_RE = re.compile(
-    r"enum\s+class\s+([A-Za-z_]\w*)\s*(?::[^({]*)?\{([^}]*)\}",
-    re.DOTALL)
-SWITCH_RE = re.compile(r"\bswitch\s*\(")
-CASE_RE = re.compile(r"\bcase\s+(?:\w+::)*(\w+)\s*::\s*(\w+)\s*:")
-
-
-def collect_enums(root: Path):
-    enums = {}
-    for path in iter_sources(root, ENUM_DIRS):
-        code = strip_comments_and_strings(path.read_text())
-        for m in ENUM_RE.finditer(code):
-            name, body = m.group(1), m.group(2)
-            members = []
-            for part in body.split(","):
-                part = part.split("=")[0].strip()
-                if part:
-                    members.append(part)
-            if members:
-                enums[name] = members
-    return enums
-
-
-def switch_bodies(code: str):
-    """Yield (line, body-text) for each switch statement."""
-    for m in SWITCH_RE.finditer(code):
-        # Find the brace that opens the switch body.
-        i = code.find("{", m.end())
-        if i < 0:
-            continue
-        depth, j = 1, i + 1
-        while j < len(code) and depth > 0:
-            if code[j] == "{":
-                depth += 1
-            elif code[j] == "}":
-                depth -= 1
-            j += 1
-        yield code[:m.start()].count("\n") + 1, code[i:j]
-
-
-def check_partial_switches(path, raw_lines, code, enums, findings):
-    for line, body in switch_bodies(code):
-        cases = CASE_RE.findall(body)
-        if not cases:
-            continue
-        enum_names = {name for name, _ in cases}
-        for enum_name in enum_names:
-            if enum_name not in enums:
-                continue
-            if allowed(raw_lines[line - 1], "partial-switch"):
-                continue
-            covered = {mem for name, mem in cases if name == enum_name}
-            missing = [m for m in enums[enum_name] if m not in covered]
-            if missing:
-                findings.append(Finding(
-                    path, line, "partial-switch",
-                    f"switch over enum class {enum_name} misses: "
-                    + ", ".join(missing)))
-            elif re.search(r"\bdefault\s*:", body):
-                findings.append(Finding(
-                    path, line, "partial-switch",
-                    f"switch over enum class {enum_name} has a "
-                    f"default: label; drop it so -Wswitch flags new "
-                    f"enumerators"))
-
-
-# ---------------------------------------------------- stats-buckets ----
-
-HIST_RE = re.compile(r'\.histogram\s*\(\s*"([^"]+)"\s*(?:,([^;]*?))?\)')
-
-
-def normalize_expr(expr: str) -> str:
-    return re.sub(r"[\s_]", "", expr or "")
-
-
-def check_stats_buckets(root, findings):
-    sites = {}
-    for path in iter_sources(root, SOURCE_DIRS):
-        raw = path.read_text()
-        code = strip_comments_and_strings(raw)
-        raw_lines = raw.splitlines()
-        for m in HIST_RE.finditer(code):
-            ln = code[:m.start()].count("\n") + 1
-            if allowed(raw_lines[ln - 1], "stats-buckets"):
-                continue
-            name, buckets = m.group(1), normalize_expr(m.group(2))
-            sites.setdefault(name, []).append((path, ln, buckets))
-    for name, uses in sites.items():
-        shapes = {b for _, _, b in uses}
-        if len(shapes) > 1:
-            for path, ln, b in uses:
-                findings.append(Finding(
-                    path, ln, "stats-buckets",
-                    f'histogram "{name}" sized inconsistently across '
-                    f"call sites ({', '.join(s or '<default>' for s in sorted(shapes))}); "
-                    f"the first registration wins and later sizes are "
-                    f"silently ignored"))
-
-
-# ------------------------------------------------------- raw-thread ----
-
-# std::thread construction / std::async, but not std::thread::… static
-# member calls (hardware_concurrency) and not std::this_thread.
-RAW_THREAD = re.compile(
-    r"\bstd::(?:jthread\b|async\s*\(|thread\b(?!\s*::))")
-
-
-def in_harness(path: Path, root: Path) -> bool:
-    try:
-        return path.relative_to(root).parts[:2] == ("src", "harness")
-    except ValueError:
-        return False
-
-
-def check_raw_thread(path, raw_lines, code_lines, findings, root):
-    if in_harness(path, root):
-        return
-    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
-        if RAW_THREAD.search(code) and not allowed(raw, "raw-thread"):
-            findings.append(Finding(
-                path, ln, "raw-thread",
-                "raw thread construction outside src/harness/: "
-                "run work through harness JobPool/Sweep"))
-
-
-# -------------------------------------------------------- stat-dump ----
-
-# printf-family calls and iostream writes; \b keeps snprintf/vsnprintf
-# (string formatting, not output) from matching.
-STAT_DUMP = re.compile(
-    r"\bstd::(?:cout|cerr)\b|"
-    r"(?:\bstd::)?\b(?:printf|fprintf|vfprintf|puts|fputs)\s*\(")
-
-STAT_DUMP_ALLOWED_DIRS = (
-    ("src", "obs"),
-    ("src", "harness"),
-    ("tools",),
-)
-STAT_DUMP_ALLOWED_FILES = ("src/sim/cli.cc",)
-STAT_DUMP_ALLOWED_PREFIXES = ("src/common/logging",)
-
-
-def stat_dump_exempt(path: Path, root: Path) -> bool:
-    try:
-        rel = path.relative_to(root)
-    except ValueError:
-        return False
-    if any(rel.parts[:len(d)] == d for d in STAT_DUMP_ALLOWED_DIRS):
-        return True
-    posix = rel.as_posix()
-    return posix in STAT_DUMP_ALLOWED_FILES or posix.startswith(
-        STAT_DUMP_ALLOWED_PREFIXES)
-
-
-def check_stat_dump(path, raw_lines, code_lines, findings, root):
-    if stat_dump_exempt(path, root):
-        return
-    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
-        if STAT_DUMP.search(code) and not allowed(raw, "stat-dump"):
-            findings.append(Finding(
-                path, ln, "stat-dump",
-                "ad-hoc stat dump: route output through StatSet, a "
-                "harness sink, or common/logging logLine()"))
-
-
-# ------------------------------------------------- unchecked-syscall ---
-
-# A fork/waitpid/write/rename call in statement position (or behind an
-# explicit (void) discard) — i.e. nothing consumes the return value on
-# that line. Assignments, conditions, comparisons, and returns bind the
-# call name mid-line and do not match. Name-anchored so writeAll(),
-# renameFile() etc. never trip it.
-UNCHECKED_SYSCALL = re.compile(
-    r"^\s*(?:\(\s*void\s*\)\s*)?(?:::|std::)?"
-    r"(fork|waitpid|write|rename)\s*\(")
-
-UNCHECKED_SYSCALL_DIRS = (
-    ("src", "harness"),
-    ("src", "inject"),
-)
-
-
-def unchecked_syscall_scope(path: Path, root: Path) -> bool:
-    try:
-        rel = path.relative_to(root)
-    except ValueError:
-        return False
-    return any(rel.parts[:len(d)] == d for d in UNCHECKED_SYSCALL_DIRS)
-
-
-def check_unchecked_syscall(path, raw_lines, code_lines, findings, root):
-    if not unchecked_syscall_scope(path, root):
-        return
-    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
-        m = UNCHECKED_SYSCALL.search(code)
-        if m and not allowed(raw, "unchecked-syscall"):
-            findings.append(Finding(
-                path, ln, "unchecked-syscall",
-                f"return value of {m.group(1)}() discarded in "
-                f"crash-isolation code: check it (or annotate why "
-                f"failure is tolerable)"))
-
-
-# ------------------------------------------------------ bare-assert ----
-
-BARE_ASSERT = re.compile(r"(?<![A-Za-z_])assert\s*\(")
-
-
-def check_bare_assert(path, raw_lines, code_lines, findings):
-    for ln, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
-        if BARE_ASSERT.search(code) and not allowed(raw, "bare-assert"):
-            findings.append(Finding(
-                path, ln, "bare-assert",
-                "use LSQ_ASSERT / LSQ_DCHECK instead of assert()"))
-
-
-# ------------------------------------------------------------ main ----
-
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--root", type=Path,
-                    default=Path(__file__).resolve().parent.parent,
-                    help="repository root (default: script's parent)")
-    args = ap.parse_args()
-    root = args.root
-
-    findings: list[Finding] = []
-    enums = collect_enums(root)
-
-    for path in iter_sources(root, SOURCE_DIRS):
-        raw = path.read_text()
-        code = strip_comments_and_strings(raw)
-        raw_lines = raw.splitlines()
-        code_lines = code.splitlines()
-        check_raw_new(path, raw_lines, code_lines, findings)
-        check_narrowing_casts(path, raw_lines, code_lines, findings)
-        check_partial_switches(path, raw_lines, code, enums, findings)
-        check_bare_assert(path, raw_lines, code_lines, findings)
-        check_raw_thread(path, raw_lines, code_lines, findings, root)
-        check_stat_dump(path, raw_lines, code_lines, findings, root)
-        check_unchecked_syscall(path, raw_lines, code_lines, findings,
-                                root)
-
-    check_stats_buckets(root, findings)
-
-    for f in findings:
-        print(f)
-    if findings:
-        print(f"\nlint: {len(findings)} finding(s)")
-    else:
-        print(f"lint: clean ({len(enums)} enums checked across "
-              f"{len(iter_sources(root, SOURCE_DIRS))} files)")
-    return min(len(findings), 125)
-
+from tools.lsqlint.__main__ import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

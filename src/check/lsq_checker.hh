@@ -22,6 +22,7 @@
  * Lsq::attachChecker(); build with -DLSQ_CHECKER=ON to have the
  * Simulator attach one to every run and panic on any mismatch.
  */
+// lsqlint: layer(lsq) -- checker interface consumed by Lsq itself (lsq.cc drives the hooks); the oracle implementation stays in layer-3 lsq_checker.cc
 
 #ifndef LSQSCALE_CHECK_LSQ_CHECKER_HH
 #define LSQSCALE_CHECK_LSQ_CHECKER_HH

@@ -56,6 +56,7 @@ Core::attachTracer(Tracer *tracer)
     lsq_.attachTracer(tracer);
 }
 
+// lsqlint: hot
 void
 Core::tick()
 {
@@ -69,6 +70,7 @@ Core::tick()
     ++now_;
 }
 
+// lsqlint: hot
 void
 Core::run(std::uint64_t numInsts)
 {
@@ -237,6 +239,9 @@ Core::commitStage()
                 (head.state == RobState::Dispatched ? 0 : 1);
             if (!commitBlockCounters_[idx]) {
                 commitBlockCounters_[idx] = &stats_.counter(
+                    // First-touch only: each cached counter name is
+                    // built at most once per run.
+                    // lsqlint: allow(hot-string) -- first-touch only
                     std::string("commit.block.") + opName(head.op.op) +
                     (head.state == RobState::Dispatched ? ".disp"
                                                         : ".exec"));

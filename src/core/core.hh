@@ -186,21 +186,35 @@ class Core
     PhysRegFile &fileFor(ArchReg flat);
     static unsigned classIndex(ArchReg flat);
 
+    // lsqlint: no-serialize(construction config, fixed for the run)
     CoreParams cp_;
+    // lsqlint: no-serialize(construction config, fixed for the run)
     LsqParams lsqp_;
+    // lsqlint: no-serialize(measurement output, not architectural state)
     StatSet &stats_;
 
+    // lsqlint: no-serialize(own checkpoint section STRM)
     InstStream stream_;
+    // lsqlint: no-serialize(own checkpoint section MEM)
     MemorySystem mem_;
+    // lsqlint: no-serialize(own checkpoint section LSQ)
     Lsq lsq_;
+    // lsqlint: no-serialize(own checkpoint section BP)
     HybridBranchPredictor bp_;
+    // lsqlint: no-serialize(own checkpoint section SSP)
     StoreSetPredictor ssp_;
+    // lsqlint: no-serialize(empty at quiescence; saveState asserts quiescent())
     Rob rob_;
+    // lsqlint: no-serialize(empty at quiescence; saveState asserts quiescent())
     IssueQueue iq_;
+    // lsqlint: no-serialize(ready-bits only; quiescence leaves every register ready)
     PhysRegFile intRegs_;
+    // lsqlint: no-serialize(ready-bits only; quiescence leaves every register ready)
     PhysRegFile fpRegs_;
 
+    // lsqlint: no-serialize(empty at quiescence; saveState asserts quiescent())
     std::deque<FetchedInst> fetchQ_;
+    // lsqlint: no-serialize(empty at quiescence; saveState asserts quiescent())
     std::multimap<Cycle, CompletionEvent> completions_;
 
     Cycle now_ = 0;
@@ -208,6 +222,7 @@ class Core
     std::uint64_t nextRobId_ = 1;
 
     Cycle fetchResumeCycle_ = 0;
+    // lsqlint: no-serialize(kNoSeq at quiescence, part of the quiescent() predicate)
     SeqNum pendingBranch_ = kNoSeq;
     /** Highest branch seq already trained (replays skip training). */
     SeqNum bpTrainedUpTo_ = 0;
@@ -216,9 +231,11 @@ class Core
     Addr lastFetchBlock_ = ~0ULL;
 
     /** True while drain() runs: fetchStage stops pulling the stream. */
+    // lsqlint: no-serialize(transient drain() flag, false outside drain)
     bool draining_ = false;
 
     /** Cached commit-stall counters, indexed (opClass * 2 + state). */
+    // lsqlint: no-serialize(cached StatSet counter pointers, rebuilt in the constructor)
     Counter *commitBlockCounters_[kNumOpClasses * 2] = {};
 
     // --- multiprocessor-invalidation extension ---
@@ -231,8 +248,10 @@ class Core
     bool pendingInvalValid_ = false;
 
     /** Attached event tracer, or nullptr (the common case). */
+    // lsqlint: no-serialize(attached observer, wired by the owning Simulator)
     Tracer *tracer_ = nullptr;
     /** Attached interval sampler, or nullptr (the common case). */
+    // lsqlint: no-serialize(attached observer, wired by the owning Simulator)
     IntervalSampler *sampler_ = nullptr;
 };
 

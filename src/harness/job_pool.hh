@@ -64,7 +64,7 @@ class JobPool
     std::condition_variable workCv_;  ///< signals queued work / stop
     std::condition_variable doneCv_;  ///< signals full drain for wait()
     std::deque<std::function<void()>> queue_;
-    std::vector<std::thread> workers_; // lint: allow-raw-thread
+    std::vector<std::thread> workers_; // lsqlint: allow(raw-thread)
     std::size_t running_ = 0;          ///< jobs currently executing
     bool stopping_ = false;
 };

@@ -27,6 +27,7 @@
  * the spec's seed. Fault state is process-global — a campaign that
  * wants per-cell blast radius must run under --isolation=process.
  */
+// lsqlint: layer(common) -- fault-arming interface over common/types.hh only; hooks live in layer-1 Core::run (lsqscale_inject depends only on common)
 
 #ifndef LSQSCALE_INJECT_INJECT_HH
 #define LSQSCALE_INJECT_INJECT_HH

@@ -45,6 +45,7 @@ Lsq::Lsq(const LsqParams &params, StatSet &stats)
 
 // ---------------------------------------------------- allocation ------
 
+// lsqlint: hot
 void
 Lsq::allocateLoad(SeqNum seq, Pc pc)
 {
@@ -61,6 +62,7 @@ Lsq::allocateLoad(SeqNum seq, Pc pc)
     LSQ_CHECK_HOOK(onAllocateLoad(seq, pc));
 }
 
+// lsqlint: hot
 void
 Lsq::allocateStore(SeqNum seq, Pc pc)
 {
@@ -261,6 +263,7 @@ Lsq::advanceNilp(LoadIssueOutcome &outcome, Cycle now)
 #endif
 }
 
+// lsqlint: hot
 LoadIssueOutcome
 Lsq::issueLoad(SeqNum seq, Addr addr, Cycle now, bool wantSqSearch)
 {
@@ -443,6 +446,7 @@ Lsq::issueLoad(SeqNum seq, Addr addr, Cycle now, bool wantSqSearch)
 
 // ---------------------------------------------------- store side ------
 
+// lsqlint: hot
 StoreSearchOutcome
 Lsq::storeAddrReady(SeqNum seq, Addr addr, Cycle now)
 {
@@ -493,6 +497,7 @@ Lsq::storeAddrReady(SeqNum seq, Addr addr, Cycle now)
     return out;
 }
 
+// lsqlint: hot
 StoreSearchOutcome
 Lsq::invalidate(Addr addr, Cycle now)
 {
@@ -534,6 +539,7 @@ Lsq::invalidate(Addr addr, Cycle now)
     return out;
 }
 
+// lsqlint: hot
 StoreSearchOutcome
 Lsq::commitStore(SeqNum seq, Cycle now)
 {
@@ -578,6 +584,7 @@ Lsq::commitStore(SeqNum seq, Cycle now)
     return out;
 }
 
+// lsqlint: hot
 void
 Lsq::commitLoad(SeqNum seq)
 {
@@ -598,6 +605,7 @@ Lsq::commitLoad(SeqNum seq)
 
 // ---------------------------------------------------- recovery --------
 
+// lsqlint: hot
 void
 Lsq::squashFrom(SeqNum seq)
 {
@@ -652,6 +660,7 @@ Lsq::squashFrom(SeqNum seq)
 
 // ---------------------------------------------------- stats -----------
 
+// lsqlint: hot
 void
 Lsq::sampleOccupancy()
 {

@@ -318,14 +318,18 @@ class Lsq
     /** Port schedule for load-queue (ordering) searches. */
     PortSchedule &lqPorts() { return lqPorts_; }
 
+    // lsqlint: no-serialize(construction config, fixed for the run)
     LsqParams params_;
+    // lsqlint: no-serialize(measurement output, not architectural state)
     StatSet &stats_;
 
     std::deque<LoadEntry> lq_;
     std::deque<StoreEntry> sq_;
     SegmentAllocator lqAlloc_;
     SegmentAllocator sqAlloc_;
+    // lsqlint: no-serialize(rolling reservation table; slots self-invalidate by cycle tag)
     PortSchedule lqPorts_;
+    // lsqlint: no-serialize(rolling reservation table; slots self-invalidate by cycle tag)
     PortSchedule sqPorts_;
     LoadBuffer lb_;
 
@@ -333,9 +337,11 @@ class Lsq
     unsigned oooLive_ = 0;
 
     /** Attached ordering oracle, or nullptr (the common case). */
+    // lsqlint: no-serialize(attached oracle, wired by the owning Simulator)
     LsqChecker *checker_ = nullptr;
 
     /** Attached event tracer, or nullptr (the common case). */
+    // lsqlint: no-serialize(attached observer, wired by the owning Simulator)
     Tracer *tracer_ = nullptr;
 };
 

@@ -76,7 +76,9 @@ class Cache
     std::uint64_t setIndex(Addr addr) const;
     std::uint64_t tagOf(Addr addr) const;
 
+    // lsqlint: no-serialize(construction config; loadState validates geometry against it)
     CacheParams params_;
+    // lsqlint: no-serialize(derived from params at construction)
     std::uint64_t numSets_;
 
     struct Line

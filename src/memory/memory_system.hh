@@ -91,6 +91,7 @@ class MemorySystem
     MemAccessResult walk(Cycle now, Addr addr, Cache &l1);
     void pruneFills(Cycle now);
 
+    // lsqlint: no-serialize(construction config, fixed for the run)
     MemoryParams params_;
     Cache l1i_;
     Cache l1d_;

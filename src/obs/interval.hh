@@ -14,6 +14,7 @@
  * macros cannot drive it because occupancy must be observed on quiet
  * cycles too.
  */
+// lsqlint: layer(common) -- interval-series recording over common/stats.hh only; polled from Core::run
 
 #ifndef LSQSCALE_OBS_INTERVAL_HH
 #define LSQSCALE_OBS_INTERVAL_HH

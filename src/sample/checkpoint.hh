@@ -28,6 +28,7 @@
  *               tag u32 (fourcc) + len u64 + len bytes
  *             in fixed order CORE, STRM, MEM, BP, SSP, LSQ
  */
+// lsqlint: layer(sim) -- checkpoint container interface consumed by simulator.cc; includes only rehomed serialize.hh
 
 #ifndef LSQSCALE_SAMPLE_CHECKPOINT_HH
 #define LSQSCALE_SAMPLE_CHECKPOINT_HH

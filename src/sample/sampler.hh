@@ -14,6 +14,7 @@
  * give a 95% confidence half-width (1.96 * s / sqrt(n)) shown as
  * error bars.
  */
+// lsqlint: layer(sim) -- sampling driver interface consumed by sim_config.hh/simulator.hh; includes only rehomed serialize.hh
 
 #ifndef LSQSCALE_SAMPLE_SAMPLER_HH
 #define LSQSCALE_SAMPLE_SAMPLER_HH

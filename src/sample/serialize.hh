@@ -18,6 +18,7 @@
  * aborting: checkpoint files are external inputs, and callers (the
  * CLI, the sweep harness, tests) decide how a bad file is reported.
  */
+// lsqlint: layer(common) -- serialization primitives; lsqscale_ckpt sits directly above common in CMake and every layer-1 subsystem includes this header
 
 #ifndef LSQSCALE_SAMPLE_SERIALIZE_HH
 #define LSQSCALE_SAMPLE_SERIALIZE_HH

@@ -1,3 +1,4 @@
+// lsqlint: layer(harness) -- sweep driver implementation over harness journal/sweep
 #include "sim/cli.hh"
 
 #include <cstdio>

@@ -6,6 +6,7 @@
  * testable; tools/lsqsim.cpp is a thin wrapper around parseCli() and
  * runCli().
  */
+// lsqlint: layer(harness) -- sweep-driver CLI; consumed only by tools/ and tests/, sits on the harness job engine
 
 #ifndef LSQSCALE_SIM_CLI_HH
 #define LSQSCALE_SIM_CLI_HH

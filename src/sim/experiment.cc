@@ -1,3 +1,4 @@
+// lsqlint: layer(harness) -- experiment runner implementation over harness sweep/sink/journal
 #include "sim/experiment.hh"
 
 #include <algorithm>

@@ -7,6 +7,9 @@
 #include "common/logging.hh"
 #include "core/core.hh"
 #include "inject/inject.hh"
+// Uses writeFileCreatingDirs only (trace-path plumbing); no
+// dependency on the harness job engine.
+// lsqlint: allow(layer-upward-include) -- results plumbing only
 #include "harness/sink.hh"
 #include "obs/interval.hh"
 #include "obs/konata.hh"

@@ -81,6 +81,7 @@ class TraceFileReader : public InstSource
     void readHeader(const std::string &path);
     void seekToRecords();
 
+    // lsqlint: no-serialize(OS handle; cursor_ is serialized and loadState reseeks)
     std::FILE *file_ = nullptr;
     std::uint64_t count_ = 0;
     std::uint64_t cursor_ = 0;   ///< record index within the file

@@ -225,6 +225,23 @@ TEST(CheckerMutant, DroppedCommitTimeDetectionFlagged)
         << kinds(c);
 }
 
+// Mutant B3: the violation CAM reports a violator that never touched
+// the store's address — an aliasing/mask bug selecting the wrong LQ
+// entry. The reference rule expects no violator, so the report itself
+// is the error.
+TEST(CheckerMutant, PhantomViolationFlagged)
+{
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateStore(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kB, 5, issued(true));       // different address
+    c.onStoreAddrReady(0, kA, 10, searched(1));  // phantom violator
+    EXPECT_GE(c.mismatches(), 1u);
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::PhantomStoreLoadViolation))
+        << kinds(c);
+}
+
 // ------------------------------------------- mutant: wrong forwarder --
 
 // Mutant C: the CAM priority encoder picks the *oldest* matching store

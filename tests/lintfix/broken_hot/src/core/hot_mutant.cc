@@ -1,0 +1,37 @@
+// Hot-path purity mutants: one of everything the hot-* family bans,
+// plus an allocation one call level below the annotated seed to prove
+// the "called from hot" attribution works.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace lsqscale {
+
+struct Stepper
+{
+    virtual void step() = 0;
+};
+
+int *
+refill()
+{
+    return new int[8]; // hot-alloc attributed via the caller, raw-new
+}
+
+// lsqlint: hot
+void
+tick(Stepper *s)
+{
+    int *scratch = new int[4];
+    std::string label("tick");
+    std::mutex mu;
+    s->step();
+    std::printf("%s\n", label.c_str());
+    (void)mu;
+    delete[] scratch;
+    refill();
+}
+
+} // namespace lsqscale

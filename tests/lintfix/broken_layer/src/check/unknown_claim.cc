@@ -1,0 +1,13 @@
+// A rehome claim naming a subsystem that does not exist.
+
+// lsqlint: layer(gonzo) -- fixture: unknown subsystem name
+
+namespace lsqscale {
+
+int
+unknownClaim()
+{
+    return 0;
+}
+
+} // namespace lsqscale

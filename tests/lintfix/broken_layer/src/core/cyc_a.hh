@@ -1,0 +1,19 @@
+// Half of a deliberate include cycle (see cyc_b.hh). Header guards
+// hide this from the compiler; the layer-cycle rule must not be
+// fooled.
+
+#ifndef LINTFIX_CYC_A_HH
+#define LINTFIX_CYC_A_HH
+
+#include "core/cyc_b.hh"
+
+namespace lsqscale {
+
+struct CycA
+{
+    int a = 0;
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_CYC_A_HH

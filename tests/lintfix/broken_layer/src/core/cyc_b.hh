@@ -1,0 +1,17 @@
+// Other half of the include cycle rooted at cyc_a.hh.
+
+#ifndef LINTFIX_CYC_B_HH
+#define LINTFIX_CYC_B_HH
+
+#include "core/cyc_a.hh"
+
+namespace lsqscale {
+
+struct CycB
+{
+    int b = 0;
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_CYC_B_HH

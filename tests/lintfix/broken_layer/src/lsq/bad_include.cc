@@ -1,0 +1,13 @@
+// lsq is layer 1; obs is layer 3. This include points up the DAG.
+
+#include "obs/panel.hh"
+
+namespace lsqscale {
+
+int
+panelRows(const Panel &p)
+{
+    return p.rows;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,21 @@
+// A rehome claim that lies: the file claims to be a layer-0 common
+// header while including layer-2 sim code. The claim is validated,
+// not trusted, so this must fire layer-bad-rehome at the claim line.
+
+// lsqlint: layer(common) -- fixture: invalid claim, includes sim/
+
+#ifndef LINTFIX_CLAIMED_HH
+#define LINTFIX_CLAIMED_HH
+
+#include "sim/widget.hh"
+
+namespace lsqscale {
+
+struct Claimed
+{
+    Widget w;
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_CLAIMED_HH

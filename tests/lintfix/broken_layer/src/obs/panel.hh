@@ -1,0 +1,16 @@
+// Layer-3 observability header: including this from layer-1 code is
+// the violation broken_layer exists to demonstrate.
+
+#ifndef LINTFIX_PANEL_HH
+#define LINTFIX_PANEL_HH
+
+namespace lsqscale {
+
+struct Panel
+{
+    int rows = 0;
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_PANEL_HH

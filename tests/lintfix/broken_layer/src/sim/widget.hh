@@ -1,0 +1,15 @@
+// Layer-2 header pulled in by claimed.hh to invalidate its claim.
+
+#ifndef LINTFIX_WIDGET_HH
+#define LINTFIX_WIDGET_HH
+
+namespace lsqscale {
+
+struct Widget
+{
+    int w = 0;
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_WIDGET_HH

@@ -1,0 +1,15 @@
+// Crash-isolation code that discards a syscall result. src/harness/
+// is exactly where unchecked-syscall applies (and where raw-thread
+// and stat-dump do not).
+
+#include <unistd.h>
+
+namespace lsqscale {
+
+void
+spawnChild()
+{
+    fork();
+}
+
+} // namespace lsqscale

@@ -1,0 +1,34 @@
+// Out-of-line definitions: exercises the rule's cross-file method
+// lookup (class in the header, bodies in the matching .cc).
+
+#include "predictor/store_set_mutant.hh"
+
+namespace lsqscale {
+
+void
+StoreSetMutant::saveState(SerialWriter &w) const
+{
+    w.u64(ssit_.size());
+    for (std::uint16_t ssid : ssit_)
+        w.u16(ssid);
+    w.u64(lfst_.size());
+    for (std::uint64_t e : lfst_)
+        w.u64(e);
+    w.u64(accesses_);
+    w.u64(pairsTrained_);
+}
+
+void
+StoreSetMutant::loadState(SerialReader &r)
+{
+    std::uint64_t ssitSize = r.u64();
+    for (std::uint16_t &ssid : ssit_)
+        ssid = r.u16();
+    (void)ssitSize;
+    for (std::uint64_t &e : lfst_)
+        e = r.u64();
+    accesses_ = r.u64();
+    // MUTANT: pairsTrained_ = r.u64() was deleted here.
+}
+
+} // namespace lsqscale

@@ -1,0 +1,41 @@
+// Mutant fixture: a StoreSetPredictor-shaped class whose loadState
+// dropped one member (pairsTrained_) and whose histLen_ never made it
+// into either body. Models the exact single-member-deletion mutants
+// the ser-member-coverage rule exists to catch.
+
+#ifndef LINTFIX_STORE_SET_MUTANT_HH
+#define LINTFIX_STORE_SET_MUTANT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lsqscale {
+
+class SerialWriter;
+class SerialReader;
+
+struct StoreSetMutantParams
+{
+    unsigned ssitEntries = 1024;
+};
+
+class StoreSetMutant
+{
+  public:
+    void saveState(SerialWriter &w) const;
+    void loadState(SerialReader &r);
+
+  private:
+    // lsqlint: no-serialize(construction config; loadState validates geometry against it)
+    StoreSetMutantParams params_;
+
+    std::vector<std::uint16_t> ssit_;
+    std::vector<std::uint64_t> lfst_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t pairsTrained_ = 0; // saved but never restored
+    unsigned histLen_ = 12;          // in neither body
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_STORE_SET_MUTANT_HH

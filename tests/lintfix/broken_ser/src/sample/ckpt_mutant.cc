@@ -1,0 +1,47 @@
+// Checkpoint-section mutants: kSecLsq is appended by the save path
+// but never opened by the load path (the exact asymmetry that corrupts
+// resumed runs), and kSecDup reuses the CORE tag.
+
+#include <cstdint>
+
+namespace lsqscale {
+namespace {
+
+constexpr std::uint32_t
+fourcc(const char *s)
+{
+    return static_cast<std::uint32_t>(s[0]) << 24 |
+           static_cast<std::uint32_t>(s[1]) << 16 |
+           static_cast<std::uint32_t>(s[2]) << 8 |
+           static_cast<std::uint32_t>(s[3]);
+}
+
+constexpr std::uint32_t kSecCore = fourcc("CORE");
+constexpr std::uint32_t kSecLsq = fourcc("LSQ ");
+constexpr std::uint32_t kSecDup = fourcc("CORE");
+
+void
+appendSection(std::uint32_t tag)
+{
+    (void)tag;
+}
+
+} // namespace
+
+void
+saveCheckpointMutant()
+{
+    appendSection(kSecCore);
+    appendSection(kSecLsq);
+    appendSection(kSecDup);
+}
+
+void
+loadCheckpointMutant()
+{
+    appendSection(kSecCore);
+    appendSection(kSecDup);
+    // MUTANT: openSection(kSecLsq) was deleted here.
+}
+
+} // namespace lsqscale

@@ -1,0 +1,13 @@
+// Oracle emit site: reports MissedViolation only.
+
+#include "check/kinds_mutant.hh"
+
+namespace lsqscale {
+
+CheckErrorKind
+classify()
+{
+    return CheckErrorKind::MissedViolation;
+}
+
+} // namespace lsqscale

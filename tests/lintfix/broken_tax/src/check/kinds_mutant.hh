@@ -1,0 +1,18 @@
+// Taxonomy mutant: CheckErrorKind::GhostKind is never emitted by the
+// oracle and never mentioned by a test — a checker path nobody has
+// ever seen fire.
+
+#ifndef LINTFIX_KINDS_MUTANT_HH
+#define LINTFIX_KINDS_MUTANT_HH
+
+namespace lsqscale {
+
+enum class CheckErrorKind
+{
+    MissedViolation,
+    GhostKind,
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_KINDS_MUTANT_HH

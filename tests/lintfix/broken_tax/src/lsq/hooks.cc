@@ -1,0 +1,15 @@
+// The one hook site in this fixture: emits Fetch, never Orphan.
+
+#include "obs/trace_mutant.hh"
+
+#define LSQ_TRACE_HOOK(tracer, ev, seq) ((void)(ev), (void)(seq))
+
+namespace lsqscale {
+
+void
+emitFetch(std::uint64_t seq)
+{
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::Fetch, seq);
+}
+
+} // namespace lsqscale

@@ -1,0 +1,21 @@
+// Name table: maps Fetch only. A namespace-scope initializer table,
+// exactly like the real obs/trace.cc — must be visible to the rule
+// even though it is outside any function body.
+
+#include "obs/trace_mutant.hh"
+
+namespace lsqscale {
+namespace {
+
+struct NameRow
+{
+    TraceEvent ev;
+    const char *name;
+};
+
+const NameRow kNames[] = {
+    {TraceEvent::Fetch, "fetch"},
+};
+
+} // namespace
+} // namespace lsqscale

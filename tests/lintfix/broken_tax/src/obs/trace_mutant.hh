@@ -1,0 +1,22 @@
+// Taxonomy mutant: TraceEvent::Orphan has neither a hook site nor an
+// analyzer mapping — a value someone added (or orphaned in a
+// refactor) without wiring the observability contract.
+
+// lsqlint: layer(common) -- hook-site interface, included from layer-1 code
+
+#ifndef LINTFIX_TRACE_MUTANT_HH
+#define LINTFIX_TRACE_MUTANT_HH
+
+#include <cstdint>
+
+namespace lsqscale {
+
+enum class TraceEvent : std::uint8_t
+{
+    Fetch,
+    Orphan,
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_TRACE_MUTANT_HH

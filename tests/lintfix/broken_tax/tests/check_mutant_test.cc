@@ -1,0 +1,10 @@
+// Test mention for MissedViolation only; GhostKind is untested.
+
+#include "check/kinds_mutant.hh"
+
+int
+main()
+{
+    using lsqscale::CheckErrorKind;
+    return classify() == CheckErrorKind::MissedViolation ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+// Oracle emit site for every CheckErrorKind value.
+
+#include "check/clean_kinds.hh"
+
+namespace lsqscale {
+
+CheckErrorKind
+classifyClean()
+{
+    return CheckErrorKind::OrderMismatch;
+}
+
+} // namespace lsqscale

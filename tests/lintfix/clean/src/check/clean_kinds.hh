@@ -1,0 +1,16 @@
+// A fully-wired CheckErrorKind: emitted by the oracle and mentioned
+// by a test.
+
+#ifndef LINTFIX_CLEAN_KINDS_HH
+#define LINTFIX_CLEAN_KINDS_HH
+
+namespace lsqscale {
+
+enum class CheckErrorKind
+{
+    OrderMismatch,
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_CLEAN_KINDS_HH

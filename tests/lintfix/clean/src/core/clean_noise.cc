@@ -1,0 +1,22 @@
+// Decoys the old regex linter flagged and the token-stream analyzer
+// must not: rule trigger patterns living in comments, string
+// literals, and preprocessor bodies are not code.
+//
+//   new Foo; assert(cycle); std::thread t; std::cout << x;
+//   static_cast<int>(now_); fork();
+
+#define LINTFIX_MAKE(T) (new T())
+
+namespace lsqscale {
+
+const char *const kDoc =
+    "new Foo; assert(cycle); std::thread t; "
+    "std::cout << static_cast<int>(now_); fork();";
+
+const char *
+docString()
+{
+    return kDoc;
+}
+
+} // namespace lsqscale

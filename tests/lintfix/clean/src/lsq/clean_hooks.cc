@@ -1,0 +1,14 @@
+// Hook site for every TraceEvent value.
+
+#include "common/clean_base.hh"
+#include "obs/clean_trace.hh"
+
+namespace lsqscale {
+
+void
+emitRetire(std::uint64_t seq)
+{
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::Retire, seq);
+}
+
+} // namespace lsqscale

@@ -1,0 +1,13 @@
+// Downward include only: lsq (layer 1) reading common (layer 0).
+
+#include "common/clean_base.hh"
+
+namespace lsqscale {
+
+Cycle
+nextCycle(Cycle now)
+{
+    return now + 1;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,19 @@
+// Analyzer mapping for every TraceEvent value.
+
+#include "obs/clean_trace.hh"
+
+namespace lsqscale {
+namespace {
+
+struct NameRow
+{
+    TraceEvent ev;
+    const char *name;
+};
+
+const NameRow kNames[] = {
+    {TraceEvent::Retire, "retire"},
+};
+
+} // namespace
+} // namespace lsqscale

@@ -1,0 +1,20 @@
+// A fully-wired TraceEvent: every value has a hook site and an
+// analyzer mapping, so the taxonomy rules stay silent.
+
+// lsqlint: layer(common) -- hook-site interface, included from layer-1 code
+
+#ifndef LINTFIX_CLEAN_TRACE_HH
+#define LINTFIX_CLEAN_TRACE_HH
+
+#include <cstdint>
+
+namespace lsqscale {
+
+enum class TraceEvent : std::uint8_t
+{
+    Retire,
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_CLEAN_TRACE_HH

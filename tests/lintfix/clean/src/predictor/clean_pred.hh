@@ -1,0 +1,42 @@
+// Fully-covered serialization: every member is either in both bodies,
+// documented by a cold LSQ_ASSERT (the quiescence idiom), or carries
+// a no-serialize annotation.
+
+#ifndef LINTFIX_CLEAN_PRED_HH
+#define LINTFIX_CLEAN_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clean_base.hh"
+
+namespace lsqscale {
+
+class SerialWriter;
+class SerialReader;
+
+class CleanPredictor
+{
+  public:
+    void saveState(SerialWriter &w) const
+    {
+        w.u64(history_);
+        LSQ_ASSERT(scratch_.empty(), "quiescent at save");
+    }
+
+    void loadState(SerialReader &r)
+    {
+        history_ = r.u64();
+        LSQ_ASSERT(scratch_.empty(), "quiescent at load");
+    }
+
+  private:
+    std::uint64_t history_ = 0;
+    std::vector<int> scratch_; // covered by the cold asserts above
+    // lsqlint: no-serialize(derived from table geometry at construction)
+    std::uint64_t mask_ = 0;
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_CLEAN_PRED_HH

@@ -1,0 +1,10 @@
+// Test mention for every CheckErrorKind value.
+
+#include "check/clean_kinds.hh"
+
+int
+main()
+{
+    using lsqscale::CheckErrorKind;
+    return classifyClean() == CheckErrorKind::OrderMismatch ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Real violations, each silenced by a suppression form the analyzer
+// must honor: trailing allow, allow above the line, multi-rule allow
+// lists, and stats-buckets site removal. run_fixtures.py also mangles
+// these markers in a temp copy to prove the findings come back.
+
+#include <cstdint>
+
+namespace lsqscale {
+
+struct StatSetStub
+{
+    StatSetStub &histogram(const char *name, unsigned buckets);
+    void observe(std::uint64_t v);
+};
+
+int *
+makeArena()
+{
+    return new int[2]; // lsqlint: allow(raw-new) -- fixture: trailing form
+}
+
+enum class Mode
+{
+    Fast,
+    Slow,
+};
+
+int
+pick(Mode m)
+{
+    // lsqlint: allow(partial-switch) -- fixture: line-above form
+    switch (m) {
+    case Mode::Fast:
+        return 1;
+    }
+    return 0;
+}
+
+void
+report(StatSetStub &stats)
+{
+    stats.histogram("lintfix.occ", 4).observe(1); // lsqlint: allow(stats-buckets) -- fixture: site drops from comparison
+}
+
+void
+reportAgain(StatSetStub &stats)
+{
+    stats.histogram("lintfix.occ", 8).observe(2);
+}
+
+// lsqlint: hot
+void
+warm(int **slot)
+{
+    *slot = new int[4]; // lsqlint: allow(hot-alloc,raw-new) -- fixture: multi-rule list
+}
+
+} // namespace lsqscale

@@ -1,0 +1,14 @@
+// An upward include carrying an explicit justification.
+
+// lsqlint: allow(layer-upward-include) -- fixture: justified exception
+#include "obs/sup_panel.hh"
+
+namespace lsqscale {
+
+int
+supPanelRows(const SupPanel &p)
+{
+    return p.rows;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,15 @@
+// Layer-3 header included (with justification) from layer-1 code.
+
+#ifndef LINTFIX_SUP_PANEL_HH
+#define LINTFIX_SUP_PANEL_HH
+
+namespace lsqscale {
+
+struct SupPanel
+{
+    int rows = 0;
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_SUP_PANEL_HH

@@ -1,0 +1,91 @@
+"""Taxonomy consistency.
+
+The observability and checking enums are contracts, not suggestions:
+
+  TraceEvent     every enumerator needs >= 1 LSQ_TRACE_HOOK emit site
+                 (tax-trace-hook) and a mapping in the src/obs/
+                 analyzers — the name table and the Konata renderer —
+                 (tax-trace-analyzer). An event nobody emits, or that
+                 renders as garbage, silently rots the trace schema.
+
+  CheckErrorKind every enumerator needs an emit site in the
+                 src/check/ oracle (tax-check-emit) and a mention in a
+                 top-level tests/ file (tax-check-test): an error kind
+                 no test can provoke is a checker path nobody has ever
+                 seen fire.
+
+Findings anchor at the enumerator's declaration line, so a
+`// lsqlint: allow(...)` there can grandfather a value that is being
+staged in across PRs.
+"""
+
+from __future__ import annotations
+
+from ..engine import Finding
+
+
+def _enum_members(db, enum_name):
+    for path, facts in db.src():
+        for e in facts["enums"]:
+            if e["name"] == enum_name:
+                return path, e["members"]
+    return None, []
+
+
+def _refs(db, enum_name, path_pred):
+    out = set()
+    for path, facts in db.facts.items():
+        if not path_pred(path):
+            continue
+        out.update(facts.get("file_refs", {}).get(enum_name, {}))
+    return out
+
+
+def run(db):
+    findings = []
+
+    # ------------------------------------------------ TraceEvent ----
+    te_path, te_members = _enum_members(db, "TraceEvent")
+    if te_path is not None:
+        hooked = set()
+        for path, facts in db.src():
+            hooked.update(name for name, _ in facts["trace_hooks"])
+        analyzed = _refs(db, "TraceEvent",
+                         lambda p: p.startswith("src/obs/"))
+        for m in te_members:
+            if m["name"] not in hooked:
+                findings.append(Finding(
+                    "tax-trace-hook", te_path, m["line"],
+                    f"TraceEvent::{m['name']} has no LSQ_TRACE_HOOK "
+                    f"emit site: dead event, or a hook that was "
+                    f"refactored away"))
+            if m["name"] not in analyzed:
+                findings.append(Finding(
+                    "tax-trace-analyzer", te_path, m["line"],
+                    f"TraceEvent::{m['name']} is not mapped by the "
+                    f"src/obs/ analyzers (name table / Konata "
+                    f"renderer)"))
+
+    # --------------------------------------------- CheckErrorKind ----
+    ck_path, ck_members = _enum_members(db, "CheckErrorKind")
+    if ck_path is not None:
+        emitted = _refs(db, "CheckErrorKind",
+                        lambda p: (p.startswith("src/check/") and
+                                   not p.endswith((".hh", ".hpp"))))
+        tested = _refs(db, "CheckErrorKind",
+                       lambda p: p.startswith("tests/"))
+        for _path, facts in db.tests():
+            tested.update(facts.get("all_idents", ()))
+        for m in ck_members:
+            if m["name"] not in emitted:
+                findings.append(Finding(
+                    "tax-check-emit", ck_path, m["line"],
+                    f"CheckErrorKind::{m['name']} is never emitted by "
+                    f"src/check/: the oracle cannot report it"))
+            if m["name"] not in tested:
+                findings.append(Finding(
+                    "tax-check-test", ck_path, m["line"],
+                    f"CheckErrorKind::{m['name']} is not mentioned by "
+                    f"any tests/ file: no test can provoke or assert "
+                    f"this error kind"))
+    return findings
