@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Checks for the serve-smoke CI flavor (docs/SERVICE.md).
+
+Three subcommands, one per promise the lsqd service makes:
+
+  json-identical BATCH SERVED
+      The lsqscale-sweep-v1 document `lsqctl` renders from the daemon's
+      record stream must equal the batch bench's LSQSCALE_JSON_DIR
+      output, modulo wall-clock fields and run-metadata provenance
+      (the batch run records its env overrides; the daemon has none).
+
+  warm --lsqctl BIN --socket PATH [--min-speedup X]
+      Submit the same fast-forward-heavy request twice. The second
+      submission must be served from the warmed checkpoint cache:
+      measurably faster, warm_hits > 0 in the daemon stats, and cell
+      results byte-identical between the two streams.
+
+  check-killed SERVED [--signal N]
+      After SIGKILLing one in-flight worker child, exactly one cell
+      carries the crash provenance (term_signal) and every other cell
+      is healthy — a dead worker poisons its cell, never the service.
+"""
+
+import argparse
+import copy
+import json
+import subprocess
+import sys
+import time
+
+
+def _fail(msg):
+    sys.exit("check_serve_smoke: %s" % msg)
+
+
+def _load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _normalize(doc):
+    doc = copy.deepcopy(doc)
+    doc["wall_seconds"] = 0.0
+    # Provenance-only metadata: the batch run stamps its program name
+    # and env overrides; content equality is carried by the grid.
+    doc["meta"] = {}
+    for cell in doc.get("cells", []):
+        cell["seconds"] = 0.0
+    return doc
+
+
+def cmd_json_identical(args):
+    batch = _load(args.batch)
+    served = _load(args.served)
+    for doc, which in ((batch, "batch"), (served, "served")):
+        if doc.get("schema") != "lsqscale-sweep-v1":
+            _fail("%s document has schema %r" % (which, doc.get("schema")))
+    nb, ns = _normalize(batch), _normalize(served)
+    if nb != ns:
+        for key in nb:
+            if nb[key] != ns.get(key):
+                print("mismatch in %r:" % key, file=sys.stderr)
+                print("  batch:  %s" % json.dumps(nb[key])[:400],
+                      file=sys.stderr)
+                print("  served: %s" % json.dumps(ns.get(key))[:400],
+                      file=sys.stderr)
+        _fail("served JSON differs from batch JSON")
+    print("json-identical: %d cells match the batch document"
+          % len(batch["cells"]))
+
+
+def _run(cmdline):
+    proc = subprocess.run(cmdline, capture_output=True, text=True)
+    if proc.returncode != 0:
+        _fail("%r exited %d: %s"
+              % (" ".join(cmdline), proc.returncode, proc.stderr.strip()))
+    return proc.stdout
+
+
+def cmd_warm(args):
+    def submit(json_path):
+        return [
+            args.lsqctl, "--socket", args.socket, "submit",
+            "--name", "warm_smoke", "--config", "base,aggressive",
+            "--bench", "bzip", "--insts", str(args.insts),
+            "--warmup", "500", "--ff", str(args.ff), "--quiet",
+            "--json", json_path,
+        ]
+
+    cold_path = args.workdir + "/warm_cold.json"
+    warm_path = args.workdir + "/warm_warm.json"
+    t0 = time.monotonic()
+    _run(submit(cold_path))
+    cold = time.monotonic() - t0
+    t0 = time.monotonic()
+    _run(submit(warm_path))
+    warm = time.monotonic() - t0
+
+    cold_doc, warm_doc = _load(cold_path), _load(warm_path)
+    for a, b in zip(cold_doc["cells"], warm_doc["cells"]):
+        for key in ("ipc", "cycles", "committed", "sq_searches",
+                    "lq_searches", "status"):
+            if a[key] != b[key]:
+                _fail("warm cell %s/%s differs from cold in %r"
+                      % (a["config"], a["benchmark"], key))
+
+    stats = json.loads(_run([args.lsqctl, "--socket", args.socket,
+                             "stats"]))
+    cache = stats.get("cache", stats)
+    if cache.get("hits", 0) < 1:
+        _fail("no checkpoint-cache hits after a resubmit: %s" % stats)
+    if warm > cold * args.max_ratio:
+        _fail("warm submission not faster: cold %.3fs, warm %.3fs "
+              "(ratio budget %.2f)" % (cold, warm, args.max_ratio))
+    print("warm: cold %.3fs, warm %.3fs (%.1fx), %d cache hit(s)"
+          % (cold, warm, cold / max(warm, 1e-9), cache["hits"]))
+
+
+def cmd_check_killed(args):
+    doc = _load(args.served)
+    killed = [c for c in doc["cells"]
+              if c.get("term_signal") == args.signal]
+    healthy = [c for c in doc["cells"] if c["status"] == "ok"]
+    if len(killed) != 1:
+        _fail("expected exactly 1 cell with term_signal %d, got %d"
+              % (args.signal, len(killed)))
+    if killed[0]["status"] != "crashed":
+        _fail("killed cell has status %r" % killed[0]["status"])
+    if len(healthy) != len(doc["cells"]) - 1:
+        _fail("a worker kill poisoned more than its own cell: "
+              "%d healthy of %d" % (len(healthy), len(doc["cells"])))
+    if doc["poisoned_cells"] != 1:
+        _fail("poisoned_cells is %d, want 1" % doc["poisoned_cells"])
+    print("check-killed: 1 cell crashed (signal %d), %d healthy"
+          % (args.signal, len(healthy)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("json-identical")
+    p.add_argument("batch")
+    p.add_argument("served")
+    p.set_defaults(func=cmd_json_identical)
+
+    p = sub.add_parser("warm")
+    p.add_argument("--lsqctl", required=True)
+    p.add_argument("--socket", required=True)
+    p.add_argument("--workdir", default="/tmp")
+    p.add_argument("--insts", type=int, default=2000)
+    p.add_argument("--ff", type=int, default=200000)
+    # The warm run skips the fast-forward entirely; 0.9 is a loose
+    # bound that still fails if the cache silently stops engaging.
+    p.add_argument("--max-ratio", type=float, default=0.9)
+    p.set_defaults(func=cmd_warm)
+
+    p = sub.add_parser("check-killed")
+    p.add_argument("served")
+    p.add_argument("--signal", type=int, default=9)
+    p.set_defaults(func=cmd_check_killed)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -33,10 +33,19 @@
 #                    with signal/heartbeat provenance — and a --resume
 #                    from the journal must reproduce the clean output
 #                    byte for byte
-#   9. lint        — the lsqlint analyzer (scripts/lint.py) standalone
+#   9. serve-smoke — the lsqd service end to end (docs/SERVICE.md):
+#                    a daemon-served fig7 sweep must be byte-identical
+#                    to the batch bench (journal and JSON document), a
+#                    resubmitted fast-forward request must be served
+#                    from the warmed checkpoint cache measurably
+#                    faster, SIGKILLing an in-flight worker child must
+#                    poison exactly that cell while the service keeps
+#                    running, and a detached submit must stream its
+#                    complete journal to a later attach
+#  10. lint        — the lsqlint analyzer (scripts/lint.py) standalone
 #                    (also a ctest in every flavor above, so this is a
 #                    fast final recheck)
-#  10. analyze     — deep static-analysis pass (docs/STATIC_ANALYSIS.md):
+#  11. analyze     — deep static-analysis pass (docs/STATIC_ANALYSIS.md):
 #                    full lsqlint run with the JSON report parsed and
 #                    required clean, the tests/lintfix fixture
 #                    self-test, and clang-tidy over
@@ -286,6 +295,114 @@ if [ "$rc" -eq 0 ]; then
 fi
 python3 scripts/check_crash_smoke.py check-corrupt \
     "$CRASH_DIR/corrupt/BENCH_fig7_sq_speedup.json"
+
+banner "flavor: serve-smoke (daemon vs batch byte-identity, warm cache, kill containment)"
+SERVE_DIR="build-ci-release/serve-smoke"
+SERVE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
+SERVE_SOCK="${TMPDIR:-/tmp}/lsqd-ci-$$.sock"
+LSQD=./build-ci-release/tools/lsqd
+LSQCTL=./build-ci-release/tools/lsqctl
+rm -rf "$SERVE_DIR" "$SERVE_SOCK" "$SERVE_SOCK.cache"
+mkdir -p "$SERVE_DIR/batch" "$SERVE_DIR/served"
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null; rm -f "$SERVE_SOCK"' EXIT
+
+serve_wait_ready() {
+    for _ in $(seq 1 200); do
+        if "$LSQCTL" --socket "$SERVE_SOCK" status >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "serve-smoke: daemon never came up on $SERVE_SOCK" >&2
+    return 1
+}
+
+# --- cold byte-identity: a daemon-served fig7 grid vs the batch bench.
+# The daemon inherits the same LSQSCALE_INSTS override the batch run
+# uses, so both paths materialize identical effective configs.
+LSQSCALE_INSTS="$SERVE_INSTS" \
+    "$LSQD" --socket "$SERVE_SOCK" --cache-dir "$SERVE_SOCK.cache" &
+SERVE_PID=$!
+serve_wait_ready
+
+LSQSCALE_BENCH="bzip,gcc" LSQSCALE_INSTS="$SERVE_INSTS" \
+    LSQSCALE_JOBS=2 LSQSCALE_JOURNAL="$SERVE_DIR/batch" \
+    LSQSCALE_JSON_DIR="$SERVE_DIR/batch" \
+    ./build-ci-release/bench/fig7_sq_speedup \
+    >"$SERVE_DIR/batch/table.txt" 2>/dev/null
+"$LSQCTL" --socket "$SERVE_SOCK" submit --name fig7_sq_speedup \
+    --config base,perfect,aggressive,pair --bench bzip,gcc \
+    --insts 300000 --jobs 2 \
+    --journal "$SERVE_DIR/served/JOURNAL_fig7_sq_speedup.journal" \
+    --json "$SERVE_DIR/served/BENCH_fig7_sq_speedup.json" --quiet \
+    >/dev/null
+./build-ci-release/tools/lsqjournal merge --strip-seconds \
+    "$SERVE_DIR/batch/canonical.journal" \
+    "$SERVE_DIR/batch/JOURNAL_fig7_sq_speedup.journal"
+./build-ci-release/tools/lsqjournal merge --strip-seconds \
+    "$SERVE_DIR/served/canonical.journal" \
+    "$SERVE_DIR/served/JOURNAL_fig7_sq_speedup.journal"
+cmp "$SERVE_DIR/batch/canonical.journal" \
+    "$SERVE_DIR/served/canonical.journal"
+python3 scripts/check_serve_smoke.py json-identical \
+    "$SERVE_DIR/batch/BENCH_fig7_sq_speedup.json" \
+    "$SERVE_DIR/served/BENCH_fig7_sq_speedup.json"
+
+# --- warm cache: the second identical fast-forward submission must be
+# served from the checkpoint cache (faster, hits > 0, bit-identical).
+python3 scripts/check_serve_smoke.py warm \
+    --lsqctl "$LSQCTL" --socket "$SERVE_SOCK" --workdir "$SERVE_DIR"
+
+"$LSQCTL" --socket "$SERVE_SOCK" shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+rm -f "$SERVE_SOCK"
+
+# --- kill containment: restart without the insts override (long
+# cells give the kill a wide window), SIGKILL one in-flight worker
+# child, and exactly that cell must come back poisoned with signal
+# provenance while the other cells and the daemon itself are fine.
+"$LSQD" --socket "$SERVE_SOCK" --cache-dir "$SERVE_SOCK.cache" &
+SERVE_PID=$!
+serve_wait_ready
+
+KILL_ID=$("$LSQCTL" --socket "$SERVE_SOCK" submit --name kill_smoke \
+    --config base,perfect --bench bzip,gcc --insts 400000 \
+    --jobs 1 --detach)
+WORKER=""
+for _ in $(seq 1 400); do
+    WORKER=$(pgrep -P "$SERVE_PID" | head -n1 || true)
+    [ -n "$WORKER" ] && break
+    sleep 0.01
+done
+if [ -z "$WORKER" ]; then
+    echo "serve-smoke: no worker child appeared to kill" >&2
+    exit 1
+fi
+kill -9 "$WORKER"
+rc=0
+"$LSQCTL" --socket "$SERVE_SOCK" results "$KILL_ID" \
+    >"$SERVE_DIR/killed.json" || rc=$?
+if [ "$rc" -eq 0 ]; then
+    echo "serve-smoke: results of a poisoned request exited 0" >&2
+    exit 1
+fi
+python3 scripts/check_serve_smoke.py check-killed "$SERVE_DIR/killed.json"
+
+# --- detach/attach: a detached submit's journal must stream complete
+# to a later attach and verify as a clean journal.
+DETACH_ID=$("$LSQCTL" --socket "$SERVE_SOCK" submit --name detach_smoke \
+    --config base --bench bzip,gcc --insts 5000 --detach)
+"$LSQCTL" --socket "$SERVE_SOCK" attach "$DETACH_ID" \
+    --journal "$SERVE_DIR/detach.journal" --quiet >/dev/null
+./build-ci-release/tools/lsqjournal verify "$SERVE_DIR/detach.journal"
+
+"$LSQCTL" --socket "$SERVE_SOCK" shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+trap - EXIT
+rm -f "$SERVE_SOCK"
 
 banner "flavor: lint"
 python3 scripts/lint.py

@@ -1,0 +1,41 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+bool
+parseDigitsU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return false; // would overflow 64 bits
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    std::uint64_t v = 0;
+    if (parseDigitsU64(env, v))
+        return v;
+    LSQ_WARN("ignoring invalid %s='%s' (want a plain decimal count)",
+             name, env);
+    return fallback;
+}
+
+} // namespace lsqscale

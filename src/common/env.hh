@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Strict numeric environment-knob parsing.
+ *
+ * Every LSQSCALE_* count/size knob goes through parseDigitsU64():
+ * digits only, no sign, no whitespace, no hex, overflow rejected.
+ * strtoul-family parsers silently accept " 5", "+5", and wrap "-1" to
+ * 18446744073709551615 — the exact bug class PR 5 fixed in
+ * parseFaultSpec, now fixed once for every knob. Garbage never
+ * half-applies: the caller warns and falls back to its default.
+ */
+
+#ifndef LSQSCALE_COMMON_ENV_HH
+#define LSQSCALE_COMMON_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lsqscale {
+
+/**
+ * Parse @p s as an unsigned decimal integer. Accepts ONLY a non-empty
+ * run of ASCII digits that fits in 64 bits; leading '+'/'-', spaces,
+ * hex prefixes, and overflowing values all return false (and leave
+ * @p out untouched).
+ */
+bool parseDigitsU64(const std::string &s, std::uint64_t &out);
+
+/**
+ * Read environment variable @p name through parseDigitsU64(). Unset or
+ * empty returns @p fallback silently; set-but-garbage warns once per
+ * call and returns @p fallback.
+ */
+std::uint64_t envU64(const char *name, std::uint64_t fallback);
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_COMMON_ENV_HH

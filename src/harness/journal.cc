@@ -11,7 +11,6 @@ namespace lsqscale {
 
 namespace {
 
-constexpr char kMagic[8] = {'L', 'S', 'Q', 'J', 'R', 'N', 'L', '1'};
 constexpr std::uint8_t kRecSweepBegin = 1;
 constexpr std::uint8_t kRecCellDone = 2;
 
@@ -58,6 +57,141 @@ std::string g_resumePath;
 
 } // namespace
 
+// ----------------------------------------------------------- codecs --
+
+std::string
+encodeSweepBeginRecord(const std::string &name,
+                       const std::vector<std::string> &configLabels,
+                       const std::vector<std::string> &benchmarks)
+{
+    SerialWriter w;
+    w.u8(kRecSweepBegin);
+    w.str(name);
+    w.u64(configLabels.size());
+    w.u64(benchmarks.size());
+    for (const auto &label : configLabels)
+        w.str(label);
+    for (const auto &bench : benchmarks)
+        w.str(bench);
+    return w.buffer();
+}
+
+std::string
+encodeCellRecord(const JournalCell &cell)
+{
+    SerialWriter w;
+    w.u8(kRecCellDone);
+    w.u64(cell.row);
+    w.u64(cell.col);
+    w.u8(statusToByte(cell.status));
+    w.u32(cell.attempts);
+    w.u64(cell.seed);
+    w.str(cell.error);
+    w.u32(static_cast<std::uint32_t>(cell.termSignal));
+    w.u32(static_cast<std::uint32_t>(cell.exitStatus));
+    w.str(cell.stderrTail);
+    w.f64(cell.seconds);
+    bool hasResult = cell.hasResult && cell.status == JobStatus::Ok;
+    w.b(hasResult);
+    if (hasResult)
+        cell.result.saveState(w);
+    return w.buffer();
+}
+
+JournalCell
+journalCellFrom(const SweepCell &cell)
+{
+    JournalCell jc;
+    jc.row = cell.row;
+    jc.col = cell.col;
+    jc.status = cell.status;
+    jc.attempts = cell.attempts;
+    jc.seed = cell.seed;
+    jc.error = cell.error;
+    jc.termSignal = cell.termSignal;
+    jc.exitStatus = cell.exitStatus;
+    jc.stderrTail = cell.stderrTail;
+    jc.seconds = cell.seconds;
+    jc.hasResult = cell.status == JobStatus::Ok;
+    if (jc.hasResult)
+        jc.result = cell.result;
+    return jc;
+}
+
+std::string
+frameJournalRecord(const std::string &payload)
+{
+    SerialWriter head;
+    head.u32(static_cast<std::uint32_t>(payload.size()));
+    head.u32(crc32(payload.data(), payload.size()));
+    return head.buffer() + payload;
+}
+
+bool
+JournalAccumulator::add(const char *payload, std::size_t len,
+                        std::string &error)
+{
+    try {
+        SerialReader r(payload, len);
+        std::uint8_t type = r.u8();
+        if (type == kRecSweepBegin) {
+            meta_.name = r.str();
+            meta_.rows = static_cast<std::size_t>(r.u64());
+            meta_.cols = static_cast<std::size_t>(r.u64());
+            meta_.configLabels.clear();
+            meta_.benchmarks.clear();
+            for (std::size_t i = 0; i < meta_.rows; ++i)
+                meta_.configLabels.push_back(r.str());
+            for (std::size_t i = 0; i < meta_.cols; ++i)
+                meta_.benchmarks.push_back(r.str());
+            r.expectEnd("journal sweep-begin record");
+        } else if (type == kRecCellDone) {
+            JournalCell cell;
+            cell.row = static_cast<std::size_t>(r.u64());
+            cell.col = static_cast<std::size_t>(r.u64());
+            std::uint8_t sb = r.u8();
+            if (!statusFromByte(sb, cell.status))
+                throw SerialError(strfmt("unknown cell status %u", sb));
+            cell.attempts = r.u32();
+            cell.seed = r.u64();
+            cell.error = r.str();
+            cell.termSignal = static_cast<int>(r.u32());
+            cell.exitStatus = static_cast<int>(r.u32());
+            cell.stderrTail = r.str();
+            cell.seconds = r.f64();
+            cell.hasResult = r.b();
+            if (cell.hasResult)
+                cell.result.loadState(r);
+            r.expectEnd("journal cell record");
+            ++meta_.records;
+            cells_[{cell.row, cell.col}] = std::move(cell);
+        }
+        // Unknown record types: skip (the frame CRC already vouched
+        // for the bytes), so old readers tolerate newer writers.
+    } catch (const SerialError &e) {
+        error = e.what();
+        return false;
+    }
+    return true;
+}
+
+bool
+JournalAccumulator::add(const std::string &payload, std::string &error)
+{
+    return add(payload.data(), payload.size(), error);
+}
+
+JournalContents
+JournalAccumulator::contents() const
+{
+    JournalContents out = meta_;
+    out.cells.clear();
+    out.cells.reserve(cells_.size());
+    for (const auto &kv : cells_)
+        out.cells.push_back(kv.second);
+    return out;
+}
+
 // ----------------------------------------------------------- reader --
 
 bool
@@ -80,89 +214,76 @@ readJournal(const std::string &path, JournalContents &out,
         error = strfmt("error reading journal %s", path.c_str());
         return false;
     }
-    if (bytes.size() < sizeof(kMagic) ||
-        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    if (bytes.size() < sizeof(kJournalMagic) ||
+        std::memcmp(bytes.data(), kJournalMagic,
+                    sizeof(kJournalMagic)) != 0) {
         error = strfmt("%s is not an lsqscale-journal-v1 file",
                        path.c_str());
         return false;
     }
 
-    // Walk the records; stop (not fail) at the first torn one. The map
-    // implements later-record-wins for duplicate coordinates.
-    std::map<std::pair<std::size_t, std::size_t>, JournalCell> cells;
-    std::size_t pos = sizeof(kMagic);
+    // Walk the records; stop (not fail) at the first torn one. The
+    // accumulator implements later-record-wins for duplicates.
+    bool truncated = false;
+    JournalAccumulator acc;
+    std::size_t pos = sizeof(kJournalMagic);
     while (pos < bytes.size()) {
         if (bytes.size() - pos < 8) {
-            out.truncatedTail = true;
+            truncated = true;
             break;
         }
         SerialReader head(bytes.data() + pos, 8);
         std::uint32_t len = head.u32();
         std::uint32_t crc = head.u32();
         if (bytes.size() - pos - 8 < len) {
-            out.truncatedTail = true;
+            truncated = true;
             break;
         }
         const char *payload = bytes.data() + pos + 8;
         if (crc32(payload, len) != crc) {
-            out.truncatedTail = true;
+            truncated = true;
             break;
         }
         pos += 8 + len;
 
-        try {
-            SerialReader r(payload, len);
-            std::uint8_t type = r.u8();
-            if (type == kRecSweepBegin) {
-                out.name = r.str();
-                out.rows = static_cast<std::size_t>(r.u64());
-                out.cols = static_cast<std::size_t>(r.u64());
-                out.configLabels.clear();
-                out.benchmarks.clear();
-                for (std::size_t i = 0; i < out.rows; ++i)
-                    out.configLabels.push_back(r.str());
-                for (std::size_t i = 0; i < out.cols; ++i)
-                    out.benchmarks.push_back(r.str());
-                r.expectEnd("journal sweep-begin record");
-            } else if (type == kRecCellDone) {
-                JournalCell cell;
-                cell.row = static_cast<std::size_t>(r.u64());
-                cell.col = static_cast<std::size_t>(r.u64());
-                std::uint8_t sb = r.u8();
-                if (!statusFromByte(sb, cell.status))
-                    throw SerialError(
-                        strfmt("unknown cell status %u", sb));
-                cell.attempts = r.u32();
-                cell.seed = r.u64();
-                cell.error = r.str();
-                cell.termSignal = static_cast<int>(r.u32());
-                cell.exitStatus = static_cast<int>(r.u32());
-                cell.stderrTail = r.str();
-                cell.seconds = r.f64();
-                cell.hasResult = r.b();
-                if (cell.hasResult)
-                    cell.result.loadState(r);
-                r.expectEnd("journal cell record");
-                ++out.records;
-                cells[{cell.row, cell.col}] = std::move(cell);
-            }
-            // Unknown record types: skip (CRC already vouched for the
-            // frame), so old readers tolerate newer writers.
-        } catch (const SerialError &e) {
+        std::string recErr;
+        if (!acc.add(payload, len, recErr)) {
             // A CRC-valid but undecodable record: treat like a torn
             // tail — keep what parsed, stop trusting the rest.
             LSQ_WARN("journal %s: bad record (%s); ignoring the rest",
-                     path.c_str(), e.what());
-            out.truncatedTail = true;
+                     path.c_str(), recErr.c_str());
+            truncated = true;
             break;
         }
     }
 
-    out.cells.clear();
-    out.cells.reserve(cells.size());
-    for (auto &kv : cells)
-        out.cells.push_back(std::move(kv.second));
+    out = acc.contents();
+    out.truncatedTail = truncated;
     return true;
+}
+
+// ------------------------------------------------- canonical write --
+
+bool
+writeJournalFile(const std::string &path,
+                 const JournalContents &contents, std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        error = strfmt("cannot create journal %s", path.c_str());
+        return false;
+    }
+    std::string bytes(kJournalMagic, sizeof(kJournalMagic));
+    bytes += frameJournalRecord(encodeSweepBeginRecord(
+        contents.name, contents.configLabels, contents.benchmarks));
+    for (const JournalCell &cell : contents.cells)
+        bytes += frameJournalRecord(encodeCellRecord(cell));
+    bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+              bytes.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok)
+        error = strfmt("short write to journal %s", path.c_str());
+    return ok;
 }
 
 // ----------------------------------------------------------- writer --
@@ -191,8 +312,8 @@ JournalWriter::JournalWriter(std::string path, bool append)
         needMagic = std::ftell(f_) <= 0;
     }
     if (needMagic) {
-        if (std::fwrite(kMagic, 1, sizeof(kMagic), f_) !=
-                sizeof(kMagic) ||
+        if (std::fwrite(kJournalMagic, 1, sizeof(kJournalMagic), f_) !=
+                sizeof(kJournalMagic) ||
             std::fflush(f_) != 0) {
             LSQ_WARN("cannot write journal %s; journaling disabled",
                      path_.c_str());
@@ -213,15 +334,11 @@ JournalWriter::writeRecord(const std::string &payload)
 {
     if (f_ == nullptr)
         return;
-    SerialWriter head;
-    head.u32(static_cast<std::uint32_t>(payload.size()));
-    head.u32(crc32(payload.data(), payload.size()));
+    std::string frame = frameJournalRecord(payload);
     // Flush after every record: the journal's whole point is surviving
     // the process dying at an arbitrary moment.
-    if (std::fwrite(head.buffer().data(), 1, head.size(), f_) !=
-            head.size() ||
-        std::fwrite(payload.data(), 1, payload.size(), f_) !=
-            payload.size() ||
+    if (std::fwrite(frame.data(), 1, frame.size(), f_) !=
+            frame.size() ||
         std::fflush(f_) != 0) {
         LSQ_WARN("short write to journal %s; journaling disabled",
                  path_.c_str());
@@ -233,41 +350,22 @@ JournalWriter::writeRecord(const std::string &payload)
 void
 JournalWriter::sweepBegin(const SweepOutcome &planned)
 {
-    SerialWriter w;
-    w.u8(kRecSweepBegin);
-    w.str(planned.name);
-    std::size_t rows = planned.grid.size();
-    std::size_t cols = rows > 0 ? planned.grid.front().size() : 0;
-    w.u64(rows);
-    w.u64(cols);
+    std::vector<std::string> labels;
+    std::vector<std::string> benchmarks;
     for (const auto &row : planned.grid)
-        w.str(row.empty() ? std::string() : row.front().configLabel);
-    if (rows > 0)
+        labels.push_back(row.empty() ? std::string()
+                                     : row.front().configLabel);
+    if (!planned.grid.empty())
         for (const auto &cell : planned.grid.front())
-            w.str(cell.benchmark);
-    writeRecord(w.buffer());
+            benchmarks.push_back(cell.benchmark);
+    writeRecord(
+        encodeSweepBeginRecord(planned.name, labels, benchmarks));
 }
 
 void
 JournalWriter::cellDone(const SweepCell &cell)
 {
-    SerialWriter w;
-    w.u8(kRecCellDone);
-    w.u64(cell.row);
-    w.u64(cell.col);
-    w.u8(statusToByte(cell.status));
-    w.u32(cell.attempts);
-    w.u64(cell.seed);
-    w.str(cell.error);
-    w.u32(static_cast<std::uint32_t>(cell.termSignal));
-    w.u32(static_cast<std::uint32_t>(cell.exitStatus));
-    w.str(cell.stderrTail);
-    w.f64(cell.seconds);
-    bool hasResult = cell.status == JobStatus::Ok;
-    w.b(hasResult);
-    if (hasResult)
-        cell.result.saveState(w);
-    writeRecord(w.buffer());
+    writeRecord(encodeCellRecord(journalCellFrom(cell)));
 }
 
 // -------------------------------------------------------- overrides --

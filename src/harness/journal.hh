@@ -33,13 +33,20 @@
 #ifndef LSQSCALE_HARNESS_JOURNAL_HH
 #define LSQSCALE_HARNESS_JOURNAL_HH
 
+#include <cstddef>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/sink.hh"
 
 namespace lsqscale {
+
+/** File magic, first 8 bytes of every journal. */
+inline constexpr char kJournalMagic[8] = {'L', 'S', 'Q', 'J',
+                                          'R', 'N', 'L', '1'};
 
 /** One CellDone record, decoded. */
 struct JournalCell
@@ -78,6 +85,61 @@ struct JournalContents
  */
 bool readJournal(const std::string &path, JournalContents &out,
                  std::string &error);
+
+// ------------------------------------------------- record codecs ----
+//
+// The journal's record payloads double as the lsqd streaming format
+// (docs/SERVICE.md): the daemon ships each finished cell to clients as
+// the exact bytes a JournalWriter would append, so a client can tee
+// the stream straight into a journal file and replay it with the same
+// reader.
+
+/** Encode a SweepBegin payload (record type 1). */
+std::string encodeSweepBeginRecord(
+    const std::string &name,
+    const std::vector<std::string> &configLabels,
+    const std::vector<std::string> &benchmarks);
+
+/** Encode a CellDone payload (record type 2). */
+std::string encodeCellRecord(const JournalCell &cell);
+
+/** A SweepCell reduced to its journal form (result kept when Ok). */
+JournalCell journalCellFrom(const SweepCell &cell);
+
+/** Wrap a record payload in the on-disk u32 len + u32 crc32 frame. */
+std::string frameJournalRecord(const std::string &payload);
+
+/**
+ * Incremental record-payload decoder: feed CRC-verified payloads (in
+ * stream order) and read back the deduplicated JournalContents.
+ * Duplicate (row, col) records resolve later-record-wins, exactly like
+ * readJournal(); unknown record types are skipped so old readers
+ * tolerate newer writers.
+ */
+class JournalAccumulator
+{
+  public:
+    /** Decode one payload. False (with @p error) on a malformed one. */
+    bool add(const char *payload, std::size_t len, std::string &error);
+    bool add(const std::string &payload, std::string &error);
+
+    /** Everything fed so far, cells flattened in (row, col) order. */
+    JournalContents contents() const;
+
+  private:
+    JournalContents meta_;
+    std::map<std::pair<std::size_t, std::size_t>, JournalCell> cells_;
+};
+
+/**
+ * Write @p contents to @p path as a canonical journal: magic, one
+ * SweepBegin record, then every cell in (row, col) order. The output
+ * of merging/canonicalizing journals; round-trips through
+ * readJournal() and `lsqjournal verify`.
+ */
+bool writeJournalFile(const std::string &path,
+                      const JournalContents &contents,
+                      std::string &error);
 
 /**
  * ResultSink that appends one record per finished cell, flushed

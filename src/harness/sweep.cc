@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "harness/job_pool.hh"
@@ -62,9 +63,10 @@ resolveJobs(unsigned requested, std::size_t jobCount)
         jobs = jobsOverride();
     if (jobs == 0) {
         if (const char *env = std::getenv("LSQSCALE_JOBS")) {
-            char *end = nullptr;
-            unsigned long v = std::strtoul(env, &end, 10);
-            if (end && *end == '\0' && v > 0 && v <= 0xffffffffu)
+            // Digits-only (common/env.hh): strtoul silently accepted
+            // " 5" and "+5" and wrapped negatives into huge counts.
+            std::uint64_t v = 0;
+            if (parseDigitsU64(env, v) && v > 0 && v <= 0xffffffffu)
                 jobs = static_cast<unsigned>(v);
             else if (*env)
                 LSQ_WARN("ignoring invalid LSQSCALE_JOBS='%s'", env);
@@ -117,9 +119,10 @@ std::chrono::milliseconds
 resolveWatchdog(std::chrono::milliseconds configured)
 {
     if (const char *env = std::getenv("LSQSCALE_WATCHDOG_MS")) {
-        char *end = nullptr;
-        unsigned long long v = std::strtoull(env, &end, 10);
-        if (end && end != env && *end == '\0')
+        // Digits-only (common/env.hh): strtoull wrapped "-1" into an
+        // effectively-infinite grace instead of rejecting it.
+        std::uint64_t v = 0;
+        if (parseDigitsU64(env, v))
             return std::chrono::milliseconds(v);
         if (*env)
             LSQ_WARN("ignoring invalid LSQSCALE_WATCHDOG_MS='%s'", env);

@@ -206,9 +206,8 @@ functionalFingerprint(const SimConfig &config)
     return fp.value();
 }
 
-void
-saveCheckpoint(Core &core, const SimConfig &config,
-               const std::string &path)
+std::string
+saveCheckpointToBytes(Core &core, const SimConfig &config)
 {
     SerialWriter payload;
     {
@@ -254,22 +253,27 @@ saveCheckpoint(Core &core, const SimConfig &config,
     file.u64(payload.size());
     file.u32(crc32(payload.buffer().data(), payload.size()));
     file.raw(payload.buffer().data(), payload.size());
+    return file.buffer();
+}
 
+void
+saveCheckpoint(Core &core, const SimConfig &config,
+               const std::string &path)
+{
+    std::string bytes = saveCheckpointToBytes(core, config);
     std::FILE *f = std::fopen(path.c_str(), "wb");
     LSQ_ASSERT(f != nullptr, "cannot create checkpoint file %s",
                path.c_str());
-    std::size_t wrote =
-        std::fwrite(file.buffer().data(), 1, file.size(), f);
+    std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
     bool flushed = std::fclose(f) == 0;
-    LSQ_ASSERT(wrote == file.size() && flushed,
+    LSQ_ASSERT(wrote == bytes.size() && flushed,
                "short write to checkpoint file %s", path.c_str());
 }
 
 CheckpointMeta
-loadCheckpoint(Core &core, const SimConfig &config,
-               const std::string &path)
+loadCheckpointFromBytes(Core &core, const SimConfig &config,
+                        const std::string &data)
 {
-    std::string data = readFile(path);
     SerialReader r(data);
     CheckpointMeta meta = readHeader(r);
 
@@ -326,6 +330,13 @@ loadCheckpoint(Core &core, const SimConfig &config,
     }
     r.expectEnd("checkpoint payload");
     return meta;
+}
+
+CheckpointMeta
+loadCheckpoint(Core &core, const SimConfig &config,
+               const std::string &path)
+{
+    return loadCheckpointFromBytes(core, config, readFile(path));
 }
 
 CheckpointInfo

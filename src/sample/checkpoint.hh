@@ -91,12 +91,30 @@ struct CheckpointInfo
 std::uint64_t functionalFingerprint(const SimConfig &config);
 
 /**
+ * Serialize @p core (which must be quiescent) to a complete
+ * lsqscale-ckpt-v1 image — header, CRC, payload — in memory. The
+ * byte-buffer form exists for consumers that move checkpoints through
+ * something other than a file (the lsqd warmed-checkpoint cache, a
+ * future network shard); saveCheckpoint() is this plus one write.
+ * Throws SerialError on unserializable state.
+ */
+std::string saveCheckpointToBytes(Core &core, const SimConfig &config);
+
+/**
  * Serialize @p core (which must be quiescent) to @p path.
  * Throws SerialError on unserializable state, LSQ_PANICs on I/O
  * failure.
  */
 void saveCheckpoint(Core &core, const SimConfig &config,
                     const std::string &path);
+
+/**
+ * Restore @p core from an in-memory checkpoint image. Same validation
+ * as loadCheckpoint().
+ */
+CheckpointMeta loadCheckpointFromBytes(Core &core,
+                                       const SimConfig &config,
+                                       const std::string &data);
 
 /**
  * Restore @p core from @p path. The core must be freshly constructed

@@ -1,0 +1,244 @@
+#include "serve/ckpt_cache.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sample/checkpoint.hh"
+
+namespace fs = std::filesystem;
+
+namespace lsqscale {
+
+namespace {
+
+/** Canonical in-cache file name for a key. */
+std::string
+cacheFileName(std::uint64_t fingerprint, std::uint64_t ffInsts)
+{
+    return strfmt("fp%016llx_ff%llu.ckpt",
+                  static_cast<unsigned long long>(fingerprint),
+                  static_cast<unsigned long long>(ffInsts));
+}
+
+void
+removeQuiet(const std::string &path)
+{
+    std::error_code ec;
+    fs::remove(path, ec);
+}
+
+} // namespace
+
+CkptCache::CkptCache(std::string dir, std::uint64_t byteBudget)
+    : dir_(std::move(dir)), budget_(byteBudget)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        LSQ_WARN("checkpoint cache: cannot create %s: %s; cache "
+                 "starts empty and inserts will fail",
+                 dir_.c_str(), ec.message().c_str());
+        return;
+    }
+
+    // Re-adopt surviving files so a restarted daemon stays warm.
+    // Sort by name for a deterministic adoption (and thus eviction)
+    // order — directory iteration order is filesystem-defined.
+    std::vector<std::string> found;
+    for (const auto &ent : fs::directory_iterator(dir_, ec)) {
+        if (!ent.is_regular_file(ec))
+            continue;
+        std::string p = ent.path().string();
+        if (p.size() > 5 && p.compare(p.size() - 5, 5, ".ckpt") == 0)
+            found.push_back(p);
+    }
+    std::sort(found.begin(), found.end());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string &path : found) {
+        CheckpointInfo info;
+        try {
+            info = inspectCheckpoint(path);
+        } catch (const SerialError &e) {
+            LSQ_WARN("checkpoint cache: dropping malformed %s (%s)",
+                     path.c_str(), e.what());
+            removeQuiet(path);
+            continue;
+        }
+        if (!info.crcOk) {
+            LSQ_WARN("checkpoint cache: dropping corrupt %s",
+                     path.c_str());
+            removeQuiet(path);
+            continue;
+        }
+        std::uint64_t size = fs::file_size(path, ec);
+        if (ec || size > budget_) {
+            removeQuiet(path);
+            continue;
+        }
+        evictToFit(size);
+        adopt({info.meta.fingerprint, info.meta.instCount}, path,
+              size);
+    }
+}
+
+std::string
+CkptCache::lookup(std::uint64_t fingerprint, std::uint64_t ffInsts)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find({fingerprint, ffInsts});
+    if (it == entries_.end()) {
+        ++misses_;
+        return "";
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+    return it->second.path;
+}
+
+bool
+CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
+                  const std::string &srcPath, std::string &finalPath,
+                  std::string &error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key{fingerprint, ffInsts};
+
+    auto existing = entries_.find(key);
+    if (existing != entries_.end()) {
+        // A concurrent warm already cached this key; keep the resident
+        // copy (its readers may hold the path) and drop the newcomer.
+        removeQuiet(srcPath);
+        finalPath = existing->second.path;
+        return true;
+    }
+
+    CheckpointInfo info;
+    try {
+        info = inspectCheckpoint(srcPath);
+    } catch (const SerialError &e) {
+        ++rejected_;
+        removeQuiet(srcPath);
+        error = strfmt("not a valid checkpoint: %s", e.what());
+        return false;
+    }
+    if (!info.crcOk) {
+        ++rejected_;
+        removeQuiet(srcPath);
+        error = "checkpoint payload CRC mismatch";
+        return false;
+    }
+    if (info.meta.fingerprint != fingerprint ||
+        info.meta.instCount != ffInsts) {
+        ++rejected_;
+        removeQuiet(srcPath);
+        error = strfmt(
+            "checkpoint identity mismatch: file says fp=%016llx "
+            "insts=%llu, cache key wants fp=%016llx insts=%llu",
+            static_cast<unsigned long long>(info.meta.fingerprint),
+            static_cast<unsigned long long>(info.meta.instCount),
+            static_cast<unsigned long long>(fingerprint),
+            static_cast<unsigned long long>(ffInsts));
+        return false;
+    }
+
+    std::error_code ec;
+    std::uint64_t size = fs::file_size(srcPath, ec);
+    if (ec) {
+        ++rejected_;
+        removeQuiet(srcPath);
+        error = strfmt("cannot stat %s: %s", srcPath.c_str(),
+                       ec.message().c_str());
+        return false;
+    }
+    if (size > budget_) {
+        ++rejected_;
+        removeQuiet(srcPath);
+        error = strfmt("checkpoint (%llu bytes) exceeds the whole "
+                       "cache budget (%llu bytes)",
+                       static_cast<unsigned long long>(size),
+                       static_cast<unsigned long long>(budget_));
+        return false;
+    }
+
+    evictToFit(size);
+    std::string dest = dir_ + "/" + cacheFileName(fingerprint, ffInsts);
+    fs::rename(srcPath, dest, ec);
+    if (ec) {
+        ++rejected_;
+        removeQuiet(srcPath);
+        error = strfmt("cannot move checkpoint into cache: %s",
+                       ec.message().c_str());
+        return false;
+    }
+    adopt(key, dest, size);
+    ++insertions_;
+    finalPath = dest;
+    return true;
+}
+
+void
+CkptCache::evictToFit(std::uint64_t incoming)
+{
+    while (!lru_.empty() && bytes_ + incoming > budget_) {
+        Key victim = lru_.back();
+        auto it = entries_.find(victim);
+        LSQ_ASSERT(it != entries_.end(),
+                   "checkpoint cache LRU/index desync");
+        bytes_ -= it->second.bytes;
+        removeQuiet(it->second.path);
+        entries_.erase(it);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+void
+CkptCache::adopt(Key key, std::string path, std::uint64_t bytes)
+{
+    lru_.push_front(key);
+    Entry e;
+    e.path = std::move(path);
+    e.bytes = bytes;
+    e.lruPos = lru_.begin();
+    entries_[key] = std::move(e);
+    bytes_ += bytes;
+}
+
+CkptCacheStats
+CkptCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    CkptCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    s.rejected = rejected_;
+    s.bytes = bytes_;
+    s.entries = entries_.size();
+    s.byteBudget = budget_;
+    return s;
+}
+
+std::string
+CkptCache::statsJson() const
+{
+    CkptCacheStats s = stats();
+    return strfmt(
+        "{\"hits\": %llu, \"misses\": %llu, \"insertions\": %llu, "
+        "\"evictions\": %llu, \"rejected\": %llu, \"bytes\": %llu, "
+        "\"entries\": %llu, \"byte_budget\": %llu}",
+        static_cast<unsigned long long>(s.hits),
+        static_cast<unsigned long long>(s.misses),
+        static_cast<unsigned long long>(s.insertions),
+        static_cast<unsigned long long>(s.evictions),
+        static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.bytes),
+        static_cast<unsigned long long>(s.entries),
+        static_cast<unsigned long long>(s.byteBudget));
+}
+
+} // namespace lsqscale

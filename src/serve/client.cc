@@ -1,0 +1,306 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+bool
+ServeClient::connect(std::string &error)
+{
+    close();
+    if (socketPath_.empty()) {
+        error = "no daemon socket (use --socket or "
+                "LSQSCALE_SERVE_SOCKET)";
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath_.size() >= sizeof(addr.sun_path)) {
+        error = strfmt("socket path %s exceeds the sun_path limit",
+                       socketPath_.c_str());
+        return false;
+    }
+    std::memcpy(addr.sun_path, socketPath_.c_str(),
+                socketPath_.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error = strfmt("socket(): %s", std::strerror(errno));
+        return false;
+    }
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc != 0) {
+        error = strfmt("cannot reach lsqd at %s: %s",
+                       socketPath_.c_str(), std::strerror(errno));
+        close();
+        return false;
+    }
+    return true;
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServeClient::roundTrip(const std::string &payload, std::string &reply,
+                       std::string &error)
+{
+    if (!connect(error))
+        return false;
+    if (!sendFrame(fd_, payload, error)) {
+        close();
+        return false;
+    }
+    int got = recvFrame(fd_, reply, error);
+    if (got <= 0) {
+        if (got == 0)
+            error = "daemon closed the connection without replying";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::expectAck(const std::string &reply, std::uint64_t &id,
+                       std::string &error)
+{
+    try {
+        SerialReader r(reply);
+        auto type = static_cast<ServeMsg>(r.u8());
+        if (type == ServeMsg::Error) {
+            error = r.str();
+            return false;
+        }
+        if (type != ServeMsg::Ack) {
+            error = strfmt("unexpected reply type %u",
+                           static_cast<unsigned>(type));
+            return false;
+        }
+        id = r.u64();
+        return true;
+    } catch (const SerialError &e) {
+        error = strfmt("malformed reply: %s", e.what());
+        return false;
+    }
+}
+
+bool
+ServeClient::submit(const SweepRequestSpec &spec, std::uint64_t &id,
+                    std::string &error)
+{
+    std::string reply;
+    if (!roundTrip(msgSubmit(spec), reply, error))
+        return false;
+    if (!expectAck(reply, id, error)) {
+        close();
+        return false;
+    }
+    return true; // connection stays open; stream() next
+}
+
+bool
+ServeClient::attach(std::uint64_t id, std::uint64_t fromIndex,
+                    std::string &error)
+{
+    std::string reply;
+    if (!roundTrip(msgAttach(id, fromIndex), reply, error))
+        return false;
+    std::uint64_t acked = 0;
+    if (!expectAck(reply, acked, error)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::stream(
+    const std::function<void(std::uint64_t, const std::string &)>
+        &onRecord,
+    DoneSummary &done, std::string &error)
+{
+    if (fd_ < 0) {
+        error = "no open stream (submit or attach first)";
+        return false;
+    }
+    for (;;) {
+        std::string reply;
+        int got = recvFrame(fd_, reply, error);
+        if (got <= 0) {
+            if (got == 0)
+                error = "stream ended before the Done frame";
+            close();
+            return false;
+        }
+        try {
+            SerialReader r(reply);
+            auto type = static_cast<ServeMsg>(r.u8());
+            if (type == ServeMsg::Record) {
+                std::uint64_t index = r.u64();
+                std::string payload = r.str();
+                r.expectEnd("record frame");
+                if (onRecord)
+                    onRecord(index, payload);
+            } else if (type == ServeMsg::Done) {
+                done = DoneSummary::decode(r);
+                r.expectEnd("done frame");
+                close();
+                return true;
+            } else if (type == ServeMsg::Error) {
+                error = r.str();
+                close();
+                return false;
+            } else {
+                error = strfmt("unexpected frame type %u mid-stream",
+                               static_cast<unsigned>(type));
+                close();
+                return false;
+            }
+        } catch (const SerialError &e) {
+            error = strfmt("malformed frame: %s", e.what());
+            close();
+            return false;
+        }
+    }
+}
+
+bool
+ServeClient::status(std::uint64_t id, std::string &json,
+                    std::string &error)
+{
+    std::string reply;
+    if (!roundTrip(msgStatus(id), reply, error))
+        return false;
+    close();
+    try {
+        SerialReader r(reply);
+        auto type = static_cast<ServeMsg>(r.u8());
+        if (type == ServeMsg::Error) {
+            error = r.str();
+            return false;
+        }
+        if (type != ServeMsg::Info) {
+            error = strfmt("unexpected reply type %u",
+                           static_cast<unsigned>(type));
+            return false;
+        }
+        json = r.str();
+        return true;
+    } catch (const SerialError &e) {
+        error = strfmt("malformed reply: %s", e.what());
+        return false;
+    }
+}
+
+bool
+ServeClient::stats(std::string &json, std::string &error)
+{
+    std::string reply;
+    if (!roundTrip(msgStats(), reply, error))
+        return false;
+    close();
+    try {
+        SerialReader r(reply);
+        auto type = static_cast<ServeMsg>(r.u8());
+        if (type == ServeMsg::Error) {
+            error = r.str();
+            return false;
+        }
+        if (type != ServeMsg::Info) {
+            error = strfmt("unexpected reply type %u",
+                           static_cast<unsigned>(type));
+            return false;
+        }
+        json = r.str();
+        return true;
+    } catch (const SerialError &e) {
+        error = strfmt("malformed reply: %s", e.what());
+        return false;
+    }
+}
+
+bool
+ServeClient::cancel(std::uint64_t id, std::string &error)
+{
+    std::string reply;
+    if (!roundTrip(msgCancel(id), reply, error))
+        return false;
+    close();
+    std::uint64_t acked = 0;
+    return expectAck(reply, acked, error);
+}
+
+bool
+ServeClient::shutdown(std::string &error)
+{
+    std::string reply;
+    if (!roundTrip(msgShutdown(), reply, error))
+        return false;
+    close();
+    std::uint64_t acked = 0;
+    return expectAck(reply, acked, error);
+}
+
+SweepOutcome
+outcomeFromJournal(const JournalContents &journal, unsigned jobs,
+                   double seconds)
+{
+    SweepOutcome out;
+    out.name = journal.name;
+    out.jobs = jobs;
+    out.seconds = seconds;
+    out.grid.resize(journal.rows);
+    for (std::size_t r = 0; r < journal.rows; ++r) {
+        out.grid[r].resize(journal.cols);
+        for (std::size_t c = 0; c < journal.cols; ++c) {
+            SweepCell &cell = out.grid[r][c];
+            cell.row = r;
+            cell.col = c;
+            cell.configLabel = r < journal.configLabels.size()
+                                   ? journal.configLabels[r]
+                                   : std::string();
+            cell.benchmark = c < journal.benchmarks.size()
+                                 ? journal.benchmarks[c]
+                                 : std::string();
+            cell.status = JobStatus::Failed;
+            cell.error = "missing from stream";
+        }
+    }
+    for (const JournalCell &jc : journal.cells) {
+        if (jc.row >= journal.rows || jc.col >= journal.cols)
+            continue;
+        SweepCell &cell = out.grid[jc.row][jc.col];
+        cell.status = jc.status;
+        cell.attempts = jc.attempts;
+        cell.seed = jc.seed;
+        cell.error = jc.error;
+        cell.termSignal = jc.termSignal;
+        cell.exitStatus = jc.exitStatus;
+        cell.stderrTail = jc.stderrTail;
+        cell.seconds = jc.seconds;
+        if (jc.hasResult)
+            cell.result = jc.result;
+    }
+    out.poisonedCells = 0;
+    for (const auto &row : out.grid)
+        for (const auto &cell : row)
+            if (cell.poisoned())
+                ++out.poisonedCells;
+    return out;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Client side of the lsqscale-serve-v1 protocol (docs/SERVICE.md).
+ *
+ * ServeClient wraps the one-command-per-connection discipline: each
+ * operation dials the daemon's socket, sends its command frame, and
+ * consumes the reply. submit() and attach() leave the connection open
+ * and hand the record stream to stream(), which invokes a callback per
+ * journal-record payload until the Done frame (or a transport error —
+ * the caller then reconnects with attach() at the index it reached;
+ * the daemon replays from there).
+ *
+ * outcomeFromJournal() rebuilds a SweepOutcome from accumulated
+ * records so `lsqctl results` can render the exact lsqscale-sweep-v1
+ * JSON document a batch-mode JsonFileSink would have written.
+ */
+
+#ifndef LSQSCALE_SERVE_CLIENT_HH
+#define LSQSCALE_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "harness/journal.hh"
+#include "harness/sweep.hh"
+#include "serve/proto.hh"
+
+namespace lsqscale {
+
+class ServeClient
+{
+  public:
+    explicit ServeClient(std::string socketPath)
+        : socketPath_(std::move(socketPath))
+    {
+    }
+
+    ~ServeClient() { close(); }
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Submit @p spec. On success @p id holds the daemon-assigned
+     * request id and the connection is streaming — follow with
+     * stream().
+     */
+    bool submit(const SweepRequestSpec &spec, std::uint64_t &id,
+                std::string &error);
+
+    /**
+     * (Re)attach to request @p id, resuming the record stream at
+     * @p fromIndex. Follow with stream().
+     */
+    bool attach(std::uint64_t id, std::uint64_t fromIndex,
+                std::string &error);
+
+    /**
+     * Consume Record frames after submit()/attach(), invoking
+     * @p onRecord(index, payload) for each, until the Done frame
+     * (true, @p done filled) or a transport error (false; the stream
+     * can be resumed via attach()).
+     */
+    bool stream(
+        const std::function<void(std::uint64_t, const std::string &)>
+            &onRecord,
+        DoneSummary &done, std::string &error);
+
+    /** Status of request @p id (0 = all) as a JSON document. */
+    bool status(std::uint64_t id, std::string &json,
+                std::string &error);
+
+    /** Daemon + checkpoint-cache counters as a JSON document. */
+    bool stats(std::string &json, std::string &error);
+
+    bool cancel(std::uint64_t id, std::string &error);
+
+    /** Ask the daemon to drain and exit. */
+    bool shutdown(std::string &error);
+
+    /** Drop the current connection (stream() ends with an error). */
+    void close();
+
+  private:
+    bool connect(std::string &error);
+    /** Send @p payload and read one reply frame into @p reply. */
+    bool roundTrip(const std::string &payload, std::string &reply,
+                   std::string &error);
+    /** Expect an Ack reply in @p reply; @p id gets its request id. */
+    bool expectAck(const std::string &reply, std::uint64_t &id,
+                   std::string &error);
+
+    std::string socketPath_;
+    int fd_ = -1;
+};
+
+/**
+ * Rebuild a stable-order SweepOutcome from journal contents (streamed
+ * or read from disk). Cells the journal lacks become Failed/"missing
+ * from stream" poisoned cells, so a partial stream renders honestly.
+ * @p jobs and @p seconds fill the outcome's run metadata (the daemon
+ * reports both in the Done frame).
+ */
+SweepOutcome outcomeFromJournal(const JournalContents &journal,
+                                unsigned jobs, double seconds);
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_SERVE_CLIENT_HH

@@ -1,0 +1,754 @@
+#include "serve/daemon.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "harness/job_pool.hh"
+#include "harness/journal.hh"
+#include "harness/proc_runner.hh"
+#include "harness/sink.hh"
+#include "sample/checkpoint.hh"
+#include "serve/registry.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "workload/benchmark_profile.hh"
+
+namespace fs = std::filesystem;
+
+namespace lsqscale {
+
+/** One submitted sweep: its spec, lifecycle, and record stream. */
+struct ServeRequest
+{
+    std::uint64_t id = 0;
+    SweepRequestSpec spec;
+    std::atomic<bool> cancel{false};
+
+    std::mutex mu;
+    std::condition_variable cv;
+    RequestState state = RequestState::Queued;
+    /** Journal record payloads, in emission order; only appended to. */
+    std::vector<std::string> records;
+    /** Valid once state is terminal. */
+    DoneSummary summary;
+};
+
+namespace {
+
+bool
+terminal(RequestState s)
+{
+    return s == RequestState::Done || s == RequestState::Cancelled ||
+           s == RequestState::Failed;
+}
+
+/**
+ * Sink that appends each journal record to the request's in-memory
+ * stream and wakes every attached client. Callbacks arrive under the
+ * sweep engine's sink mutex, so ordering is already serialized.
+ */
+class StreamSink : public ResultSink
+{
+  public:
+    explicit StreamSink(std::shared_ptr<ServeRequest> req)
+        : req_(std::move(req))
+    {
+    }
+
+    void
+    sweepBegin(const SweepOutcome &planned) override
+    {
+        std::vector<std::string> labels;
+        std::vector<std::string> benchmarks;
+        for (const auto &row : planned.grid)
+            labels.push_back(row.empty() ? std::string()
+                                         : row.front().configLabel);
+        if (!planned.grid.empty())
+            for (const auto &cell : planned.grid.front())
+                benchmarks.push_back(cell.benchmark);
+        push(encodeSweepBeginRecord(planned.name, labels, benchmarks));
+    }
+
+    void
+    cellDone(const SweepCell &cell) override
+    {
+        push(encodeCellRecord(journalCellFrom(cell)));
+    }
+
+  private:
+    void
+    push(std::string payload)
+    {
+        std::lock_guard<std::mutex> lock(req_->mu);
+        req_->records.push_back(std::move(payload));
+        req_->cv.notify_all();
+    }
+
+    std::shared_ptr<ServeRequest> req_;
+};
+
+} // namespace
+
+// ----------------------------------------------------------- options --
+
+ServeOptions
+resolveServeOptions(ServeOptions opts)
+{
+    if (opts.socketPath.empty()) {
+        const char *env = std::getenv("LSQSCALE_SERVE_SOCKET");
+        if (env != nullptr)
+            opts.socketPath = env;
+    }
+    opts.cacheBudgetBytes =
+        envU64("LSQSCALE_SERVE_CACHE_MB",
+               opts.cacheBudgetBytes >> 20) << 20;
+    std::uint64_t clients =
+        envU64("LSQSCALE_SERVE_CLIENTS", opts.clientWorkers);
+    if (clients < 1)
+        clients = 1;
+    if (clients > 256)
+        clients = 256;
+    opts.clientWorkers = static_cast<unsigned>(clients);
+    return opts;
+}
+
+bool
+parseServeArgs(const std::vector<std::string> &args, ServeOptions &opts,
+               std::string &error)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        std::string v;
+        auto value = [&]() {
+            if (i + 1 >= args.size())
+                return false;
+            v = args[++i];
+            return true;
+        };
+        if (a == "--socket") {
+            if (!value()) {
+                error = "--socket needs a path";
+                return false;
+            }
+            opts.socketPath = v;
+        } else if (a == "--cache-dir") {
+            if (!value()) {
+                error = "--cache-dir needs a path";
+                return false;
+            }
+            opts.cacheDir = v;
+        } else if (a == "--cache-mb") {
+            std::uint64_t mb = 0;
+            if (!value() || !parseDigitsU64(v, mb) ||
+                mb > (UINT64_MAX >> 20)) {
+                error = "--cache-mb needs a plain decimal megabyte "
+                        "count";
+                return false;
+            }
+            opts.cacheBudgetBytes = mb << 20;
+        } else if (a == "--clients") {
+            std::uint64_t n = 0;
+            if (!value() || !parseDigitsU64(v, n) || n == 0 ||
+                n > 256) {
+                error = "--clients needs a count in 1..256";
+                return false;
+            }
+            opts.clientWorkers = static_cast<unsigned>(n);
+        } else if (a == "--isolation") {
+            if (!value() || (v != "thread" && v != "process")) {
+                error = "--isolation needs 'thread' or 'process'";
+                return false;
+            }
+            opts.isolation = v == "thread" ? IsolationMode::Thread
+                                           : IsolationMode::Process;
+        } else {
+            error = "unknown flag '" + a + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+const char *
+requestStateName(RequestState s)
+{
+    switch (s) {
+      case RequestState::Queued:
+        return "queued";
+      case RequestState::Running:
+        return "running";
+      case RequestState::Done:
+        return "done";
+      case RequestState::Cancelled:
+        return "cancelled";
+      case RequestState::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+// ------------------------------------------------------------ daemon --
+
+Daemon::Daemon(ServeOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.isolation == IsolationMode::Auto)
+        opts_.isolation = IsolationMode::Process;
+    if (opts_.cacheDir.empty())
+        opts_.cacheDir = opts_.socketPath + ".cache";
+    cache_ = std::make_unique<CkptCache>(opts_.cacheDir,
+                                         opts_.cacheBudgetBytes);
+}
+
+Daemon::~Daemon()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+int
+Daemon::run()
+{
+    LSQ_ASSERT(!ran_, "Daemon::run() is single-shot");
+    ran_ = true;
+    if (opts_.socketPath.empty()) {
+        LSQ_WARN("lsqd: no socket path (use --socket or "
+                 "LSQSCALE_SERVE_SOCKET)");
+        return 2;
+    }
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+        LSQ_WARN("lsqd: socket path %s exceeds the %zu-byte sun_path "
+                 "limit",
+                 opts_.socketPath.c_str(), sizeof(addr.sun_path) - 1);
+        return 2;
+    }
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+
+    // A stale socket file from a dead daemon would make bind() fail.
+    std::error_code ec;
+    fs::remove(opts_.socketPath, ec);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        LSQ_WARN("lsqd: socket(): %s", std::strerror(errno));
+        return 1;
+    }
+    int rc = ::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr));
+    if (rc != 0) {
+        LSQ_WARN("lsqd: bind(%s): %s", opts_.socketPath.c_str(),
+                 std::strerror(errno));
+        return 1;
+    }
+    rc = ::listen(listenFd_, 16);
+    if (rc != 0) {
+        LSQ_WARN("lsqd: listen(): %s", std::strerror(errno));
+        return 1;
+    }
+
+    executor_ = std::make_unique<JobPool>(1);
+    clients_ = std::make_unique<JobPool>(opts_.clientWorkers);
+    logLine(stderr,
+            strfmt("lsqd: listening on %s (cache %s, budget %llu MiB, "
+                   "%s isolation)",
+                   opts_.socketPath.c_str(), opts_.cacheDir.c_str(),
+                   static_cast<unsigned long long>(
+                       opts_.cacheBudgetBytes >> 20),
+                   opts_.isolation == IsolationMode::Thread
+                       ? "thread"
+                       : "process"));
+
+    while (!shutdown_.load()) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        int pr = ::poll(&pfd, 1, 200);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            LSQ_WARN("lsqd: poll(): %s", std::strerror(errno));
+            break;
+        }
+        if (pr == 0)
+            continue;
+        int cfd = ::accept(listenFd_, nullptr, nullptr);
+        if (cfd < 0) {
+            if (errno != EINTR)
+                LSQ_WARN("lsqd: accept(): %s", std::strerror(errno));
+            continue;
+        }
+        clients_->submit([this, cfd] { handleConnection(cfd); });
+    }
+
+    ::close(listenFd_);
+    listenFd_ = -1;
+    // Graceful drain: in-flight and queued requests complete (their
+    // attached clients get full streams), then the pools join.
+    clients_->wait();
+    executor_->wait();
+    clients_.reset();
+    executor_.reset();
+    fs::remove(opts_.socketPath, ec);
+    logLine(stderr, "lsqd: shut down");
+    return 0;
+}
+
+void
+Daemon::handleConnection(int fd)
+{
+    // A silent peer must not pin a client worker forever.
+    timeval tv{};
+    tv.tv_sec = 60;
+    int rc = ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                          sizeof(tv));
+    if (rc != 0)
+        LSQ_WARN("lsqd: setsockopt(SO_RCVTIMEO): %s",
+                 std::strerror(errno));
+
+    std::string payload;
+    std::string error;
+    int got = recvFrame(fd, payload, error);
+    if (got <= 0) {
+        if (got < 0)
+            LSQ_WARN("lsqd: dropping connection: %s", error.c_str());
+        ::close(fd);
+        return;
+    }
+
+    try {
+        SerialReader r(payload);
+        auto type = static_cast<ServeMsg>(r.u8());
+        if (type == ServeMsg::Submit) {
+            handleSubmit(fd, r);
+        } else if (type == ServeMsg::Attach) {
+            handleAttach(fd, r);
+        } else if (type == ServeMsg::Status) {
+            handleStatus(fd, r);
+        } else if (type == ServeMsg::Cancel) {
+            handleCancel(fd, r);
+        } else if (type == ServeMsg::Stats) {
+            handleStats(fd);
+        } else if (type == ServeMsg::Shutdown) {
+            sendFrame(fd, msgAck(0, "draining"), error);
+            requestShutdown();
+        } else {
+            sendFrame(fd,
+                      msgError(strfmt("unexpected message type %u",
+                                      static_cast<unsigned>(type))),
+                      error);
+        }
+    } catch (const SerialError &e) {
+        sendFrame(fd, msgError(strfmt("malformed message: %s",
+                                      e.what())),
+                  error);
+    }
+    ::close(fd);
+}
+
+void
+Daemon::handleSubmit(int fd, SerialReader &r)
+{
+    std::string error;
+    SweepRequestSpec spec = SweepRequestSpec::decode(r);
+    r.expectEnd("submit message");
+
+    std::string why;
+    if (spec.name.empty())
+        spec.name = "sweep";
+    if (spec.configs.empty())
+        why = "request names no design points";
+    else if (spec.benchmarks.empty())
+        why = "request names no benchmarks";
+    else if (spec.instructions == 0)
+        why = "request asks for a 0-instruction window";
+    if (why.empty()) {
+        for (const std::string &label : spec.configs)
+            if (!validDesignLabel(label, why))
+                break;
+        for (const std::string &bench : spec.benchmarks) {
+            if (!why.empty())
+                break;
+            if (!profileExists(bench))
+                why = "unknown benchmark '" + bench + "'";
+        }
+    }
+    if (!why.empty()) {
+        sendFrame(fd, msgError(why), error);
+        return;
+    }
+
+    auto req = std::make_shared<ServeRequest>();
+    req->spec = std::move(spec);
+    {
+        std::lock_guard<std::mutex> lock(requestsMu_);
+        req->id = nextId_++;
+        requests_[req->id] = req;
+    }
+    logLine(stderr,
+            strfmt("lsqd: request %llu '%s' accepted (%zu x %zu)",
+                   static_cast<unsigned long long>(req->id),
+                   req->spec.name.c_str(), req->spec.configs.size(),
+                   req->spec.benchmarks.size()));
+    executor_->submit([this, req] { executeRequest(req); });
+
+    if (!sendFrame(fd, msgAck(req->id, "accepted"), error))
+        return;
+    streamRecords(fd, req, 0);
+}
+
+void
+Daemon::handleAttach(int fd, SerialReader &r)
+{
+    std::uint64_t id = r.u64();
+    std::uint64_t from = r.u64();
+    r.expectEnd("attach message");
+    std::string error;
+    std::shared_ptr<ServeRequest> req = findRequest(id);
+    if (req == nullptr) {
+        sendFrame(fd,
+                  msgError(strfmt("unknown request id %llu",
+                                  static_cast<unsigned long long>(id))),
+                  error);
+        return;
+    }
+    if (!sendFrame(fd, msgAck(id, "attached"), error))
+        return;
+    streamRecords(fd, req, from);
+}
+
+void
+Daemon::handleStatus(int fd, SerialReader &r)
+{
+    std::uint64_t id = r.u64();
+    r.expectEnd("status message");
+    std::string error;
+    sendFrame(fd, msgInfo(statusJson(id)), error);
+}
+
+void
+Daemon::handleCancel(int fd, SerialReader &r)
+{
+    std::uint64_t id = r.u64();
+    r.expectEnd("cancel message");
+    std::string error;
+    std::shared_ptr<ServeRequest> req = findRequest(id);
+    if (req == nullptr) {
+        sendFrame(fd,
+                  msgError(strfmt("unknown request id %llu",
+                                  static_cast<unsigned long long>(id))),
+                  error);
+        return;
+    }
+    req->cancel.store(true);
+    {
+        // A still-queued request dies immediately; a running one
+        // finishes in-flight cells and fails the rest fast.
+        std::lock_guard<std::mutex> lock(req->mu);
+        if (req->state == RequestState::Queued) {
+            req->state = RequestState::Cancelled;
+            req->summary.state = 1;
+            req->summary.message = "cancelled before execution";
+            req->cv.notify_all();
+        }
+    }
+    sendFrame(fd, msgAck(id, "cancelling"), error);
+}
+
+void
+Daemon::handleStats(int fd)
+{
+    std::size_t total = 0;
+    std::size_t queued = 0;
+    std::size_t running = 0;
+    {
+        std::lock_guard<std::mutex> lock(requestsMu_);
+        total = requests_.size();
+        for (const auto &kv : requests_) {
+            std::lock_guard<std::mutex> rlock(kv.second->mu);
+            if (kv.second->state == RequestState::Queued)
+                ++queued;
+            else if (kv.second->state == RequestState::Running)
+                ++running;
+        }
+    }
+    std::string json = strfmt(
+        "{\"requests_total\": %zu, \"queued\": %zu, \"running\": %zu, "
+        "\"cache\": %s}",
+        total, queued, running, cache_->statsJson().c_str());
+    std::string error;
+    sendFrame(fd, msgInfo(json), error);
+}
+
+std::shared_ptr<ServeRequest>
+Daemon::findRequest(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(requestsMu_);
+    auto it = requests_.find(id);
+    return it == requests_.end() ? nullptr : it->second;
+}
+
+std::string
+Daemon::statusJson(std::uint64_t id)
+{
+    std::vector<std::shared_ptr<ServeRequest>> reqs;
+    {
+        std::lock_guard<std::mutex> lock(requestsMu_);
+        for (const auto &kv : requests_)
+            if (id == 0 || kv.first == id)
+                reqs.push_back(kv.second);
+    }
+    std::string out = "{\"requests\": [";
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const auto &req = reqs[i];
+        std::lock_guard<std::mutex> lock(req->mu);
+        out += strfmt(
+            "%s{\"id\": %llu, \"name\": \"%s\", \"state\": \"%s\", "
+            "\"cells\": %zu, \"records\": %zu, \"poisoned\": %llu}",
+            i == 0 ? "" : ", ",
+            static_cast<unsigned long long>(req->id),
+            jsonEscape(req->spec.name).c_str(),
+            requestStateName(req->state),
+            req->spec.configs.size() * req->spec.benchmarks.size(),
+            req->records.size(),
+            static_cast<unsigned long long>(req->summary.poisoned));
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+Daemon::streamRecords(int fd, const std::shared_ptr<ServeRequest> &req,
+                      std::uint64_t fromIndex)
+{
+    std::string error;
+    std::size_t next = static_cast<std::size_t>(fromIndex);
+    for (;;) {
+        std::vector<std::string> batch;
+        bool isTerminal = false;
+        DoneSummary done;
+        {
+            std::unique_lock<std::mutex> lock(req->mu);
+            req->cv.wait(lock, [&] {
+                return req->records.size() > next ||
+                       terminal(req->state);
+            });
+            while (next < req->records.size())
+                batch.push_back(req->records[next++]);
+            isTerminal = terminal(req->state);
+            if (isTerminal)
+                done = req->summary;
+        }
+        std::uint64_t index = next - batch.size();
+        for (const std::string &payload : batch) {
+            if (!sendFrame(fd, msgRecord(index, payload), error))
+                return false; // client went away; request carries on
+            ++index;
+        }
+        if (isTerminal)
+            return sendFrame(fd, msgDone(done), error);
+    }
+}
+
+void
+Daemon::executeRequest(const std::shared_ptr<ServeRequest> &req)
+{
+    {
+        std::lock_guard<std::mutex> lock(req->mu);
+        if (req->state != RequestState::Queued)
+            return; // cancelled while queued
+        req->state = RequestState::Running;
+    }
+    try {
+        runSweepForRequest(req);
+    } catch (const std::exception &e) {
+        LSQ_WARN("lsqd: request %llu failed: %s",
+                 static_cast<unsigned long long>(req->id), e.what());
+        std::lock_guard<std::mutex> lock(req->mu);
+        req->state = RequestState::Failed;
+        req->summary.state = 2;
+        req->summary.message = e.what();
+        req->cv.notify_all();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(req->mu);
+        req->state = RequestState::Failed;
+        req->summary.state = 2;
+        req->summary.message = "unknown error";
+        req->cv.notify_all();
+    }
+}
+
+void
+Daemon::runSweepForRequest(const std::shared_ptr<ServeRequest> &req)
+{
+    const SweepRequestSpec &spec = req->spec;
+    auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<NamedConfig> rows;
+    for (const std::string &label : spec.configs)
+        rows.push_back(registryNamedConfig(spec, label));
+
+    // Warm phase: one functional fast-forward per distinct functional
+    // fingerprint in the grid (most design points share one; atoms
+    // that perturb functional state — e.g. the alias-free store set —
+    // warm separately), each served from or inserted into the cache.
+    std::uint64_t warmHits = 0;
+    std::uint64_t warmMisses = 0;
+    auto ckptByFp =
+        std::make_shared<std::map<std::uint64_t, std::string>>();
+    if (spec.ffInsts > 0) {
+        std::set<std::uint64_t> seen;
+        for (const NamedConfig &row : rows) {
+            for (const std::string &bench : spec.benchmarks) {
+                if (req->cancel.load())
+                    break;
+                SimConfig cfg = row.make(bench);
+                std::uint64_t fp = functionalFingerprint(cfg);
+                if (!seen.insert(fp).second)
+                    continue;
+                std::string cached = cache_->lookup(fp, spec.ffInsts);
+                if (!cached.empty()) {
+                    ++warmHits;
+                    (*ckptByFp)[fp] = cached;
+                    continue;
+                }
+                ++warmMisses;
+                std::string tmp = strfmt(
+                    "%s/warm_%llu_%016llx.tmp",
+                    cache_->dir().c_str(),
+                    static_cast<unsigned long long>(req->id),
+                    static_cast<unsigned long long>(fp));
+                SimConfig wcfg = cfg;
+                wcfg.ffInsts = spec.ffInsts;
+                wcfg.saveCkptPath = tmp;
+                bool ok = false;
+                std::string werr;
+                if (opts_.isolation == IsolationMode::Process) {
+                    ProcOptions po;
+                    // The functional fast-forward does not tick the
+                    // heartbeat hook (it never enters Core::run), so a
+                    // watchdog here would kill every healthy warm.
+                    po.watchdog = std::chrono::milliseconds(0);
+                    ProcOutcome out = runCellInProcess(
+                        [wcfg] {
+                            Simulator sim(wcfg);
+                            return sim.run();
+                        },
+                        po);
+                    ok = out.status == ProcStatus::Ok;
+                    if (!ok)
+                        werr = out.error;
+                } else {
+                    try {
+                        Simulator sim(wcfg);
+                        sim.run();
+                        ok = true;
+                    } catch (const std::exception &e) {
+                        werr = e.what();
+                    }
+                }
+                if (!ok) {
+                    LSQ_WARN("lsqd: warm fast-forward failed for %s "
+                             "(%s); cells fall back to cold "
+                             "fast-forward",
+                             bench.c_str(), werr.c_str());
+                    continue;
+                }
+                std::string finalPath;
+                std::string cerr;
+                if (cache_->insert(fp, spec.ffInsts, tmp, finalPath,
+                                   cerr))
+                    (*ckptByFp)[fp] = finalPath;
+                else
+                    LSQ_WARN("lsqd: checkpoint rejected for %s: %s",
+                             bench.c_str(), cerr.c_str());
+            }
+        }
+    }
+
+    // Wrap each row factory so cells restore from the warmed
+    // checkpoint when one exists, else pay the fast-forward
+    // themselves. ckptByFp is immutable from here on — safe to share
+    // across worker threads and forked children.
+    std::vector<NamedConfig> wrapped;
+    for (const NamedConfig &row : rows) {
+        NamedConfig w;
+        w.label = row.label;
+        auto inner = row.make;
+        std::uint64_t ff = spec.ffInsts;
+        w.make = [inner, ff, ckptByFp](const std::string &bench) {
+            SimConfig cfg = inner(bench);
+            auto it = ckptByFp->find(functionalFingerprint(cfg));
+            if (it != ckptByFp->end()) {
+                cfg.loadCkptPath = it->second;
+                cfg.ffInsts = 0;
+            } else {
+                cfg.ffInsts = ff;
+            }
+            return cfg;
+        };
+        wrapped.push_back(std::move(w));
+    }
+
+    SweepOptions sopts;
+    sopts.name = spec.name;
+    sopts.baseSeed = spec.baseSeed;
+    sopts.jobs = spec.jobs;
+    sopts.isolation = opts_.isolation;
+
+    Sweep sweep(std::move(wrapped), spec.benchmarks, sopts);
+    StreamSink stream(req);
+    ProgressSink progress;
+    sweep.addSink(&stream);
+    sweep.addSink(&progress);
+    std::shared_ptr<ServeRequest> rq = req;
+    sweep.setJobFn(
+        [rq](const SimConfig &cfg, const JobContext &ctx) {
+            if (rq->cancel.load())
+                throw std::runtime_error("request cancelled");
+            return runSimulationJob(cfg, ctx);
+        });
+
+    SweepOutcome outcome = sweep.run();
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::lock_guard<std::mutex> lock(req->mu);
+    bool cancelled = req->cancel.load();
+    req->state =
+        cancelled ? RequestState::Cancelled : RequestState::Done;
+    req->summary.state = cancelled ? 1 : 0;
+    req->summary.cells =
+        spec.configs.size() * spec.benchmarks.size();
+    req->summary.poisoned = outcome.poisonedCells;
+    req->summary.jobs = outcome.jobs;
+    req->summary.seconds = seconds;
+    req->summary.warmHits = warmHits;
+    req->summary.warmMisses = warmMisses;
+    req->summary.message = outcome.summary();
+    req->cv.notify_all();
+    logLine(stderr,
+            strfmt("lsqd: request %llu %s: %s",
+                   static_cast<unsigned long long>(req->id),
+                   requestStateName(req->state),
+                   req->summary.message.c_str()));
+}
+
+} // namespace lsqscale

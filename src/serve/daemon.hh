@@ -1,0 +1,150 @@
+/**
+ * @file
+ * lsqd: the design-space-exploration daemon (docs/SERVICE.md).
+ *
+ * A long-lived process that owns a warmed-checkpoint cache
+ * (serve/ckpt_cache.hh) and executes lsqscale-sweep-v1 grid requests
+ * arriving over a Unix-domain socket (serve/proto.hh). Requests queue
+ * FIFO onto a single executor; each request's cells shard across the
+ * crash-isolated sweep engine exactly as a batch run would, and every
+ * journal record is retained in memory so any number of clients can
+ * stream it — live, or after reconnecting with Attach and the index
+ * where their stream broke.
+ *
+ * Threading map (every thread below is a JobPool worker; the accept
+ * loop runs on the caller of run()):
+ *
+ *   accept loop ── clients pool (N) ── one connection handler each
+ *                  executor pool (1) ── runs requests FIFO; inside a
+ *                                       request, the Sweep engine's
+ *                                       own pool fans cells out
+ *
+ * The single executor serializes sweeps (checkpoint-cache eviction can
+ * therefore never race a running sweep's restores) while connection
+ * handling stays concurrent: Status/Stats/Cancel answer instantly even
+ * mid-sweep.
+ */
+
+#ifndef LSQSCALE_SERVE_DAEMON_HH
+#define LSQSCALE_SERVE_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "serve/ckpt_cache.hh"
+#include "serve/proto.hh"
+
+namespace lsqscale {
+
+class JobPool;
+
+/** Daemon configuration. */
+struct ServeOptions
+{
+    /** Unix-domain socket path. Required (sun_path-length limited). */
+    std::string socketPath;
+
+    /** Checkpoint-cache directory; "" = socketPath + ".cache". */
+    std::string cacheDir;
+
+    /** Checkpoint-cache byte budget. */
+    std::uint64_t cacheBudgetBytes = 256ull << 20;
+
+    /** Concurrent client connections served. */
+    unsigned clientWorkers = 4;
+
+    /**
+     * Isolation for sweep cells AND warm fast-forwards. The daemon
+     * default is Process (a crashing cell must never take the service
+     * down); tests run Thread to stay sanitizer-friendly.
+     */
+    IsolationMode isolation = IsolationMode::Process;
+};
+
+/**
+ * Fill unset fields from the LSQSCALE_SERVE_SOCKET /
+ * LSQSCALE_SERVE_CACHE_MB / LSQSCALE_SERVE_CLIENTS environment knobs
+ * (digits-only parsing per common/env.hh).
+ */
+ServeOptions resolveServeOptions(ServeOptions opts);
+
+/**
+ * Parse lsqd command-line flags (--socket PATH, --cache-dir PATH,
+ * --cache-mb N, --clients N, --jobs N is per-request and rejected
+ * here, --isolation thread|process) over @p opts. False with @p error
+ * on an unknown flag or bad value; no output is printed (callers own
+ * usage text).
+ */
+bool parseServeArgs(const std::vector<std::string> &args,
+                    ServeOptions &opts, std::string &error);
+
+/** Lifecycle of one submitted request. */
+enum class RequestState : std::uint8_t
+{
+    Queued,    ///< accepted, waiting for the executor
+    Running,   ///< sweep in flight
+    Done,      ///< completed (cells may still be poisoned)
+    Cancelled, ///< cancelled before or during execution
+    Failed,    ///< the request itself errored (not a poisoned cell)
+};
+
+const char *requestStateName(RequestState s);
+
+struct ServeRequest;
+
+class Daemon
+{
+  public:
+    explicit Daemon(ServeOptions opts);
+    ~Daemon();
+
+    /**
+     * Bind the socket and serve until a Shutdown command arrives.
+     * Returns a process exit code. Callable once.
+     */
+    int run();
+
+    /** Ask the accept loop to wind down (what Shutdown calls). */
+    void requestShutdown() { shutdown_.store(true); }
+
+    const CkptCache &cache() const { return *cache_; }
+
+  private:
+    void handleConnection(int fd);
+    void handleSubmit(int fd, SerialReader &r);
+    void handleAttach(int fd, SerialReader &r);
+    void handleStatus(int fd, SerialReader &r);
+    void handleCancel(int fd, SerialReader &r);
+    void handleStats(int fd);
+
+    void executeRequest(const std::shared_ptr<ServeRequest> &req);
+    void runSweepForRequest(const std::shared_ptr<ServeRequest> &req);
+    /** Returns false when the client went away mid-stream. */
+    bool streamRecords(int fd,
+                       const std::shared_ptr<ServeRequest> &req,
+                       std::uint64_t fromIndex);
+    std::shared_ptr<ServeRequest> findRequest(std::uint64_t id);
+    std::string statusJson(std::uint64_t id);
+
+    ServeOptions opts_;
+    std::unique_ptr<CkptCache> cache_;
+    std::unique_ptr<JobPool> clients_;
+    std::unique_ptr<JobPool> executor_;
+    std::atomic<bool> shutdown_{false};
+    int listenFd_ = -1;
+    bool ran_ = false;
+
+    std::mutex requestsMu_;
+    std::uint64_t nextId_ = 1;
+    std::map<std::uint64_t, std::shared_ptr<ServeRequest>> requests_;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_SERVE_DAEMON_HH

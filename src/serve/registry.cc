@@ -1,0 +1,242 @@
+#include "serve/registry.hh"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+namespace {
+
+/** Split @p label on '+' into atoms; empty atoms are kept (invalid). */
+std::vector<std::string>
+splitAtoms(const std::string &label)
+{
+    std::vector<std::string> atoms;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t plus = label.find('+', start);
+        if (plus == std::string::npos) {
+            atoms.push_back(label.substr(start));
+            return atoms;
+        }
+        atoms.push_back(label.substr(start, plus - start));
+        start = plus + 1;
+    }
+}
+
+/** "key=" prefix match; on match @p value holds the remainder. */
+bool
+keyed(const std::string &atom, const char *key, std::string &value)
+{
+    std::string prefix = std::string(key) + "=";
+    if (atom.size() <= prefix.size() ||
+        atom.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    value = atom.substr(prefix.size());
+    return true;
+}
+
+/** Parse a strictly positive decimal that fits in unsigned. */
+bool
+parsePositive(const std::string &s, unsigned &out)
+{
+    std::uint64_t v = 0;
+    if (!parseDigitsU64(s, v) || v == 0 || v > 0xffffffffu)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+/** Parse "SxP" or "SxP:nsc" segmentation geometry. */
+bool
+parseSegGeometry(const std::string &s, unsigned &segments,
+                 unsigned &perSegment, SegAllocPolicy &policy)
+{
+    std::string body = s;
+    policy = SegAllocPolicy::SelfCircular;
+    std::size_t colon = body.find(':');
+    if (colon != std::string::npos) {
+        if (body.substr(colon + 1) != "nsc")
+            return false;
+        policy = SegAllocPolicy::NoSelfCircular;
+        body = body.substr(0, colon);
+    }
+    std::size_t x = body.find('x');
+    if (x == std::string::npos)
+        return false;
+    return parsePositive(body.substr(0, x), segments) &&
+           parsePositive(body.substr(x + 1), perSegment);
+}
+
+/**
+ * Validate one atom, or apply it to @p cfg when @p cfg is non-null.
+ * Single source of truth so validDesignLabel() and applyDesignLabel()
+ * can never drift apart.
+ */
+bool
+visitAtom(const std::string &atom, SimConfig *cfg, std::string &error)
+{
+    if (atom == "base")
+        return true;
+    if (atom == "perfect") {
+        if (cfg != nullptr)
+            *cfg = configs::withPerfectPredictor(std::move(*cfg));
+        return true;
+    }
+    if (atom == "aggressive") {
+        if (cfg != nullptr)
+            *cfg = configs::withAggressivePredictor(std::move(*cfg));
+        return true;
+    }
+    if (atom == "pair") {
+        if (cfg != nullptr)
+            *cfg = configs::withPairPredictor(std::move(*cfg));
+        return true;
+    }
+    if (atom == "scaled") {
+        if (cfg != nullptr)
+            *cfg = configs::scaledProcessor(std::move(*cfg));
+        return true;
+    }
+    if (atom == "all") {
+        if (cfg != nullptr)
+            *cfg = configs::allTechniques(std::move(*cfg));
+        return true;
+    }
+    if (atom == "in-order-search") {
+        if (cfg != nullptr)
+            *cfg = configs::withInOrderLoads(std::move(*cfg), true);
+        return true;
+    }
+
+    std::string value;
+    unsigned n = 0;
+    if (keyed(atom, "ports", value)) {
+        if (!parsePositive(value, n)) {
+            error = "ports= wants a positive count in '" + atom + "'";
+            return false;
+        }
+        if (cfg != nullptr)
+            *cfg = configs::withPorts(std::move(*cfg), n);
+        return true;
+    }
+    if (keyed(atom, "size", value)) {
+        if (!parsePositive(value, n)) {
+            error = "size= wants a positive entry count in '" + atom +
+                    "'";
+            return false;
+        }
+        if (cfg != nullptr)
+            *cfg = configs::withQueueSize(std::move(*cfg), n);
+        return true;
+    }
+    if (keyed(atom, "combined", value)) {
+        if (!parsePositive(value, n)) {
+            error = "combined= wants a positive entry count in '" +
+                    atom + "'";
+            return false;
+        }
+        if (cfg != nullptr)
+            *cfg = configs::withCombinedQueue(std::move(*cfg), n);
+        return true;
+    }
+    if (keyed(atom, "lb", value)) {
+        std::uint64_t entries = 0;
+        if (!parseDigitsU64(value, entries) ||
+            entries > 0xffffffffu) {
+            error = "lb= wants a non-negative entry count in '" +
+                    atom + "'";
+            return false;
+        }
+        if (cfg != nullptr) {
+            // lb=0 is the paper's "0-entry load buffer": loads issue
+            // in order and never search, which withInOrderLoads(false)
+            // expresses directly.
+            if (entries == 0)
+                *cfg = configs::withInOrderLoads(std::move(*cfg),
+                                                 false);
+            else
+                *cfg = configs::withLoadBuffer(
+                    std::move(*cfg), static_cast<unsigned>(entries));
+        }
+        return true;
+    }
+    if (keyed(atom, "seg", value)) {
+        unsigned segments = 0;
+        unsigned perSegment = 0;
+        SegAllocPolicy policy = SegAllocPolicy::SelfCircular;
+        if (!parseSegGeometry(value, segments, perSegment, policy)) {
+            error = "seg= wants SxP or SxP:nsc geometry in '" + atom +
+                    "'";
+            return false;
+        }
+        if (cfg != nullptr)
+            *cfg = configs::withSegmentation(std::move(*cfg), segments,
+                                             perSegment, policy);
+        return true;
+    }
+
+    error = "unknown design-point atom '" + atom + "' (" +
+            registryHelp() + ")";
+    return false;
+}
+
+} // namespace
+
+bool
+validDesignLabel(const std::string &label, std::string &error)
+{
+    if (label.empty()) {
+        error = "empty design-point label";
+        return false;
+    }
+    for (const std::string &atom : splitAtoms(label))
+        if (!visitAtom(atom, nullptr, error))
+            return false;
+    return true;
+}
+
+SimConfig
+applyDesignLabel(SimConfig cfg, const std::string &label)
+{
+    for (const std::string &atom : splitAtoms(label)) {
+        std::string error;
+        bool ok = visitAtom(atom, &cfg, error);
+        LSQ_ASSERT(ok, "unvalidated design label '%s': %s",
+                   label.c_str(), error.c_str());
+    }
+    return cfg;
+}
+
+NamedConfig
+registryNamedConfig(const SweepRequestSpec &spec,
+                    const std::string &label)
+{
+    NamedConfig nc;
+    nc.label = label;
+    std::uint64_t instructions = spec.instructions;
+    std::uint64_t warmup = spec.warmup;
+    std::uint64_t seed = spec.seed;
+    nc.make = [instructions, warmup, seed,
+               label](const std::string &bench) {
+        SimConfig cfg = configs::base(bench);
+        cfg.instructions = instructions;
+        cfg.warmup = warmup;
+        cfg.seed = seed;
+        return applyDesignLabel(std::move(cfg), label);
+    };
+    return nc;
+}
+
+std::string
+registryHelp()
+{
+    return "atoms joined by '+': base, perfect, aggressive, pair, "
+           "scaled, all, in-order-search, ports=N, size=N, "
+           "combined=N, lb=N, seg=SxP[:nsc]";
+}
+
+} // namespace lsqscale

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Design-point label registry for lsqd (docs/SERVICE.md).
+ *
+ * A sweep request names its rows with textual labels; this registry
+ * turns a label into the corresponding configs:: modifier chain so a
+ * remote client can reach the whole design space without shipping
+ * code. A label is one or more atoms joined by '+', applied left to
+ * right over the paper's base machine:
+ *
+ *   base              the two-ported conventional machine (no-op atom)
+ *   perfect           oracle SQ-search gating      (Figure 6)
+ *   aggressive        alias-free pair predictor
+ *   pair              store-load pair predictor
+ *   scaled            the paper's scaled processor
+ *   all               all three techniques, one port (Figure 12)
+ *   ports=N           N LSQ search ports per queue
+ *   size=N            N-entry flat queues
+ *   seg=SxP           S segments x P entries, self-circular
+ *   seg=SxP:nsc       same, no-self-circular allocation
+ *   combined=N        combined LQ/SQ, N entries per segment
+ *   lb=N              N-entry load buffer (lb=0 = in-order, no search)
+ *   in-order-search   loads issue in order AND search the LQ
+ *
+ * The four fig7 labels (base/perfect/aggressive/pair) are guaranteed
+ * to materialize the exact configs bench/fig7_sq_speedup.cpp builds,
+ * which is what makes `lsqctl results` byte-comparable against the
+ * batch bench output (the serve-smoke CI flavor holds this line).
+ */
+
+#ifndef LSQSCALE_SERVE_REGISTRY_HH
+#define LSQSCALE_SERVE_REGISTRY_HH
+
+#include <string>
+
+#include "harness/sweep.hh"
+#include "serve/proto.hh"
+#include "sim/sim_config.hh"
+
+namespace lsqscale {
+
+/**
+ * True iff @p label parses; otherwise false with @p error naming the
+ * offending atom and the accepted vocabulary.
+ */
+bool validDesignLabel(const std::string &label, std::string &error);
+
+/**
+ * Apply @p label's atoms to @p cfg. The label must have passed
+ * validDesignLabel(); unknown atoms LSQ_PANIC here.
+ */
+SimConfig applyDesignLabel(SimConfig cfg, const std::string &label);
+
+/**
+ * A sweep row for @p label: the factory materializes the base machine
+ * for each benchmark, stamps the spec's instruction/warm-up/seed
+ * window, then applies the label. Pure (captures by value) — safe on
+ * worker threads per the NamedConfig contract.
+ */
+NamedConfig registryNamedConfig(const SweepRequestSpec &spec,
+                                const std::string &label);
+
+/** One-line vocabulary summary for error messages and --help. */
+std::string registryHelp();
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_SERVE_REGISTRY_HH

@@ -469,3 +469,91 @@ TEST(Logging, PanicDeath)
     EXPECT_DEATH({ LSQ_PANIC("fatal condition %s", "x"); },
                  "fatal condition x");
 }
+
+// ----------------------------------------------------------- env ------
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "harness/sweep.hh"
+
+TEST(EnvParse, DigitsOnlyTable)
+{
+    struct Case
+    {
+        const char *input;
+        bool ok;
+        std::uint64_t expect;
+    };
+    // The strtoull-wrap bug class: every historically-misparsed form
+    // is here, pinned to rejection.
+    const Case cases[] = {
+        {"0", true, 0},
+        {"1", true, 1},
+        {"42", true, 42},
+        {"007", true, 7},
+        {"18446744073709551615", true, UINT64_MAX},
+        {"", false, 0},
+        {"-1", false, 0},                    // strtoull wraps this
+        {"+5", false, 0},                    // strtoul accepts this
+        {" 5", false, 0},                    // strtoul skips the space
+        {"5 ", false, 0},
+        {"0x10", false, 0},
+        {"12a", false, 0},
+        {"a12", false, 0},
+        {"1.5", false, 0},
+        {"18446744073709551616", false, 0},  // 2^64: overflows
+        {"99999999999999999999", false, 0},  // strtoull -> ERANGE+MAX
+    };
+    for (const Case &c : cases) {
+        std::uint64_t out = 123456789;
+        EXPECT_EQ(parseDigitsU64(c.input, out), c.ok)
+            << "input '" << c.input << "'";
+        if (c.ok)
+            EXPECT_EQ(out, c.expect) << "input '" << c.input << "'";
+        else
+            EXPECT_EQ(out, 123456789u)
+                << "rejected input '" << c.input
+                << "' must leave out untouched";
+    }
+}
+
+TEST(EnvParse, EnvU64FallbackSemantics)
+{
+    ::setenv("LSQSCALE_TEST_KNOB", "250", 1);
+    EXPECT_EQ(envU64("LSQSCALE_TEST_KNOB", 7), 250u);
+    ::setenv("LSQSCALE_TEST_KNOB", "-3", 1);
+    EXPECT_EQ(envU64("LSQSCALE_TEST_KNOB", 7), 7u);
+    ::setenv("LSQSCALE_TEST_KNOB", "", 1);
+    EXPECT_EQ(envU64("LSQSCALE_TEST_KNOB", 7), 7u);
+    ::unsetenv("LSQSCALE_TEST_KNOB");
+    EXPECT_EQ(envU64("LSQSCALE_TEST_KNOB", 7), 7u);
+}
+
+TEST(EnvParse, SweepKnobsRejectGarbage)
+{
+    // LSQSCALE_JOBS / LSQSCALE_WATCHDOG_MS flow through the same
+    // digits-only parser; garbage falls back instead of wrapping.
+    ::setenv("LSQSCALE_JOBS", "-1", 1);
+    unsigned jobs = resolveJobs(0, 64);
+    EXPECT_GE(jobs, 1u);
+    EXPECT_LE(jobs, 64u);
+    ::setenv("LSQSCALE_JOBS", "3", 1);
+    EXPECT_EQ(resolveJobs(0, 64), 3u);
+    ::unsetenv("LSQSCALE_JOBS");
+
+    ::setenv("LSQSCALE_WATCHDOG_MS", "-1", 1);
+    EXPECT_EQ(resolveWatchdog(std::chrono::milliseconds(1234)).count(),
+              1234);
+    ::setenv("LSQSCALE_WATCHDOG_MS", "+250", 1);
+    EXPECT_EQ(resolveWatchdog(std::chrono::milliseconds(1234)).count(),
+              1234);
+    ::setenv("LSQSCALE_WATCHDOG_MS", "250", 1);
+    EXPECT_EQ(resolveWatchdog(std::chrono::milliseconds(1234)).count(),
+              250);
+    ::setenv("LSQSCALE_WATCHDOG_MS", "0", 1);
+    EXPECT_EQ(resolveWatchdog(std::chrono::milliseconds(1234)).count(),
+              0);
+    ::unsetenv("LSQSCALE_WATCHDOG_MS");
+}

@@ -807,6 +807,73 @@ TEST(JournalTest, RejectsNonJournalFiles)
     std::remove(path.c_str());
 }
 
+TEST(JournalTest, MergeUnionsJournalsLaterRecordWins)
+{
+    // The `lsqjournal merge` semantics: feed every record of N
+    // journals of one sweep through a JournalAccumulator (stream
+    // order), canonicalize with writeJournalFile, and the result
+    // round-trips through readJournal. Duplicate (row, col) records
+    // resolve later-record-wins — a machine that retried a cell
+    // overrides an earlier failure.
+    const std::string begin =
+        encodeSweepBeginRecord("merge_unit", {"base"}, {"bzip", "gcc"});
+
+    JournalCell failed;
+    failed.row = 0;
+    failed.col = 0;
+    failed.status = JobStatus::Failed;
+    failed.attempts = 1;
+    failed.error = "first machine died";
+
+    JournalCell other;
+    other.row = 0;
+    other.col = 1;
+    other.status = JobStatus::TimedOut;
+    other.attempts = 2;
+    other.error = "hung";
+
+    JournalCell retried = failed;
+    retried.status = JobStatus::Ok;
+    retried.attempts = 2;
+    retried.error.clear();
+
+    // Journal A holds the failure and cell (0,1); journal B, appended
+    // later in stream order, holds the successful retry of (0,0).
+    JournalAccumulator acc;
+    std::string error;
+    ASSERT_TRUE(acc.add(begin, error)) << error;
+    ASSERT_TRUE(acc.add(encodeCellRecord(failed), error)) << error;
+    ASSERT_TRUE(acc.add(encodeCellRecord(other), error)) << error;
+    ASSERT_TRUE(acc.add(begin, error)) << error;
+    ASSERT_TRUE(acc.add(encodeCellRecord(retried), error)) << error;
+
+    JournalContents merged = acc.contents();
+    EXPECT_EQ(merged.name, "merge_unit");
+    ASSERT_EQ(merged.cells.size(), 2u);
+    EXPECT_EQ(merged.cells[0].status, JobStatus::Ok);
+    EXPECT_EQ(merged.cells[0].attempts, 2u);
+    EXPECT_EQ(merged.cells[1].status, JobStatus::TimedOut);
+
+    const std::string path = testing::TempDir() + "/merged.journal";
+    std::remove(path.c_str());
+    ASSERT_TRUE(writeJournalFile(path, merged, error)) << error;
+
+    JournalContents back;
+    ASSERT_TRUE(readJournal(path, back, error)) << error;
+    EXPECT_EQ(back.name, "merge_unit");
+    EXPECT_EQ(back.rows, 1u);
+    EXPECT_EQ(back.cols, 2u);
+    EXPECT_FALSE(back.truncatedTail);
+    ASSERT_EQ(back.cells.size(), 2u);
+    EXPECT_EQ(back.cells[0].row, 0u);
+    EXPECT_EQ(back.cells[0].col, 0u);
+    EXPECT_EQ(back.cells[0].status, JobStatus::Ok);
+    EXPECT_EQ(back.cells[1].col, 1u);
+    EXPECT_EQ(back.cells[1].status, JobStatus::TimedOut);
+    EXPECT_EQ(back.cells[1].error, "hung");
+    std::remove(path.c_str());
+}
+
 TEST(JournalTest, ResumeRerunsOnlyUnfinishedCells)
 {
     std::string path = testing::TempDir() + "/resume.journal";

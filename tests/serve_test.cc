@@ -1,0 +1,874 @@
+/**
+ * @file
+ * Tests for the lsqd service layer (src/serve/).
+ *
+ * Covers the four pillars docs/SERVICE.md promises: the CRC-framed
+ * wire protocol (corrupt/truncated/oversized frames must be rejected,
+ * never trusted), the design-point label registry (the fig7 labels
+ * must materialize the exact batch-bench configs, or `lsqctl results`
+ * loses byte-comparability), the warmed-checkpoint cache (hit/miss/
+ * insertion/eviction/rejection accounting under an LRU byte budget,
+ * plus restart re-adoption), and the daemon end to end (streamed
+ * records bit-identical to a direct Sweep, warm resubmits served from
+ * the cache, deterministic queued-cancel, attach replay from any
+ * index).
+ *
+ * Daemon tests run IsolationMode::Thread so they stay valid under
+ * TSan/ASan; the fork path is exercised by the serve-smoke CI flavor
+ * and the inject/harness suites. The daemon runs on a JobPool worker
+ * (the one sanctioned thread-construction site).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "harness/job_pool.hh"
+#include "harness/journal.hh"
+#include "harness/sweep.hh"
+#include "sample/checkpoint.hh"
+#include "sample/serialize.hh"
+#include "serve/ckpt_cache.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "serve/proto.hh"
+#include "serve/registry.hh"
+#include "sim/experiment.hh"
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+namespace lsqscale {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Canonical serialization of a result for bit-identity comparison. */
+std::string
+fingerprint(const SimResult &r)
+{
+    std::ostringstream os;
+    os << r.benchmark << ":" << r.cycles << ":" << r.committed << "\n"
+       << r.stats.dump();
+    return os.str();
+}
+
+/**
+ * Fresh per-test scratch path under gtest's temp dir. Removes
+ * whatever a previous run left there, so re-adoptable state (the
+ * checkpoint cache survives daemon restarts by design) cannot leak
+ * between invocations.
+ */
+std::string
+scratch(const std::string &leaf)
+{
+    const testing::TestInfo *info =
+        testing::UnitTest::GetInstance()->current_test_info();
+    std::string path =
+        testing::TempDir() + std::string(info->name()) + "_" + leaf;
+    std::filesystem::remove_all(path);
+    return path;
+}
+
+// ============================================================ proto ==
+
+/** Read exactly @p n raw bytes off @p fd (test-side peeking). */
+std::string
+rawRead(int fd, std::size_t n)
+{
+    std::string buf(n, '\0');
+    std::size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::recv(fd, buf.data() + got, n - got, 0);
+        if (r <= 0)
+            break;
+        got += static_cast<std::size_t>(r);
+    }
+    buf.resize(got);
+    return buf;
+}
+
+/** Write raw bytes (possibly a deliberately corrupt frame). */
+void
+rawWrite(int fd, const std::string &data)
+{
+    std::size_t put = 0;
+    while (put < data.size()) {
+        ssize_t r = ::send(fd, data.data() + put, data.size() - put,
+                           MSG_NOSIGNAL);
+        ASSERT_GT(r, 0);
+        put += static_cast<std::size_t>(r);
+    }
+}
+
+TEST(ServeProtoTest, FrameRoundTripAndCleanEof)
+{
+    int sp[2];
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sp));
+
+    const std::string payload = "the quick brown frame";
+    std::string error;
+    ASSERT_TRUE(sendFrame(sp[0], payload, error)) << error;
+
+    std::string back;
+    EXPECT_EQ(1, recvFrame(sp[1], back, error)) << error;
+    EXPECT_EQ(payload, back);
+
+    // Closing the writer mid-stream is a *clean* EOF before any byte
+    // of the next frame — recvFrame reports 0, not an error.
+    ::close(sp[0]);
+    EXPECT_EQ(0, recvFrame(sp[1], back, error));
+    ::close(sp[1]);
+}
+
+TEST(ServeProtoTest, CorruptPayloadRejectedByCrc)
+{
+    int sp[2];
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sp));
+
+    const std::string payload = "bits on the wire";
+    std::string error;
+    ASSERT_TRUE(sendFrame(sp[0], payload, error)) << error;
+    std::string frame = rawRead(sp[1], 8 + payload.size());
+    ASSERT_EQ(8 + payload.size(), frame.size());
+    ::close(sp[0]);
+    ::close(sp[1]);
+
+    // Flip one payload bit and replay the frame: CRC must catch it.
+    frame[8] = static_cast<char>(frame[8] ^ 0x40);
+    int sp2[2];
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sp2));
+    rawWrite(sp2[0], frame);
+    ::close(sp2[0]);
+    std::string back;
+    EXPECT_EQ(-1, recvFrame(sp2[1], back, error));
+    EXPECT_FALSE(error.empty());
+    ::close(sp2[1]);
+}
+
+TEST(ServeProtoTest, OversizedAndTruncatedFramesRejected)
+{
+    // A length header past kMaxServeFrameBytes means a corrupt peer.
+    int sp[2];
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sp));
+    std::string head(8, '\0');
+    const std::uint32_t huge = kMaxServeFrameBytes + 1;
+    std::memcpy(head.data(), &huge, sizeof huge);
+    rawWrite(sp[0], head);
+    ::close(sp[0]);
+    std::string back, error;
+    EXPECT_EQ(-1, recvFrame(sp[1], back, error));
+    EXPECT_FALSE(error.empty());
+    ::close(sp[1]);
+
+    // EOF *inside* a frame is a truncation error, not a clean close.
+    int sp2[2];
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sp2));
+    ASSERT_TRUE(sendFrame(sp2[0], "whole frame", error)) << error;
+    std::string frame = rawRead(sp2[1], 8 + 11);
+    ::close(sp2[0]);
+    ::close(sp2[1]);
+
+    int sp3[2];
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sp3));
+    rawWrite(sp3[0], frame.substr(0, 6));
+    ::close(sp3[0]);
+    error.clear();
+    EXPECT_EQ(-1, recvFrame(sp3[1], back, error));
+    EXPECT_FALSE(error.empty());
+    ::close(sp3[1]);
+}
+
+TEST(ServeProtoTest, SpecCodecRoundTripsEveryField)
+{
+    SweepRequestSpec spec;
+    spec.name = "fig7_sq_speedup";
+    spec.configs = {"base", "perfect", "seg=4x16:nsc+ports=2"};
+    spec.benchmarks = {"bzip", "gcc", "art"};
+    spec.instructions = 123456;
+    spec.warmup = 777;
+    spec.seed = 42;
+    spec.baseSeed = 9;
+    spec.ffInsts = 250000;
+    spec.jobs = 5;
+
+    SerialWriter w;
+    spec.encode(w);
+    SerialReader r(w.buffer());
+    SweepRequestSpec back = SweepRequestSpec::decode(r);
+    EXPECT_TRUE(r.done());
+
+    EXPECT_EQ(spec.name, back.name);
+    EXPECT_EQ(spec.configs, back.configs);
+    EXPECT_EQ(spec.benchmarks, back.benchmarks);
+    EXPECT_EQ(spec.instructions, back.instructions);
+    EXPECT_EQ(spec.warmup, back.warmup);
+    EXPECT_EQ(spec.seed, back.seed);
+    EXPECT_EQ(spec.baseSeed, back.baseSeed);
+    EXPECT_EQ(spec.ffInsts, back.ffInsts);
+    EXPECT_EQ(spec.jobs, back.jobs);
+}
+
+TEST(ServeProtoTest, VersionSkewThrows)
+{
+    SerialWriter w;
+    w.u32(kServeProtoVersion + 1);
+    w.str("sweep");
+    SerialReader r(w.buffer());
+    EXPECT_THROW(SweepRequestSpec::decode(r), SerialError);
+}
+
+TEST(ServeProtoTest, DoneSummaryCodecRoundTrips)
+{
+    DoneSummary d;
+    d.state = 1;
+    d.cells = 12;
+    d.poisoned = 2;
+    d.jobs = 4;
+    d.seconds = 1.5;
+    d.warmHits = 3;
+    d.warmMisses = 1;
+    d.message = "12 cells, 2 poisoned";
+
+    SerialWriter w;
+    d.encode(w);
+    SerialReader r(w.buffer());
+    DoneSummary back = DoneSummary::decode(r);
+    EXPECT_TRUE(r.done());
+
+    EXPECT_EQ(d.state, back.state);
+    EXPECT_EQ(d.cells, back.cells);
+    EXPECT_EQ(d.poisoned, back.poisoned);
+    EXPECT_EQ(d.jobs, back.jobs);
+    EXPECT_EQ(d.seconds, back.seconds);
+    EXPECT_EQ(d.warmHits, back.warmHits);
+    EXPECT_EQ(d.warmMisses, back.warmMisses);
+    EXPECT_EQ(d.message, back.message);
+}
+
+// ========================================================= registry ==
+
+TEST(ServeRegistryTest, AcceptsTheDocumentedVocabulary)
+{
+    const char *good[] = {
+        "base",          "perfect",   "aggressive",
+        "pair",          "scaled",    "all",
+        "ports=4",       "size=64",   "seg=4x16",
+        "seg=4x16:nsc",  "combined=48", "lb=8",
+        "lb=0",          "in-order-search", "all+ports=2",
+        "seg=8x8+pair",
+    };
+    for (const char *label : good) {
+        std::string error;
+        EXPECT_TRUE(validDesignLabel(label, error))
+            << label << ": " << error;
+    }
+}
+
+TEST(ServeRegistryTest, RejectsMalformedLabelsWithAnError)
+{
+    const char *bad[] = {
+        "",       "bogus",   "ports=0", "ports=x", "ports=",
+        "seg=4",  "seg=0x4", "seg=4x0", "lb=",     "size=-1",
+        "base+",  "+base",   "base++perfect",
+    };
+    for (const char *label : bad) {
+        std::string error;
+        EXPECT_FALSE(validDesignLabel(label, error)) << label;
+        EXPECT_FALSE(error.empty()) << label;
+    }
+}
+
+TEST(ServeRegistryTest, Fig7LabelsMatchTheBatchConfigsBitExactly)
+{
+    // The guarantee the serve-smoke CI flavor leans on: submitting
+    // base/perfect/aggressive/pair must reproduce the batch fig7
+    // configs exactly, so daemon results are byte-comparable with the
+    // bench binary's JSON.
+    SweepRequestSpec spec;
+    spec.instructions = 2000;
+    spec.warmup = 200;
+    spec.seed = 1;
+
+    using Modifier = SimConfig (*)(SimConfig);
+    const std::pair<const char *, Modifier> rows[] = {
+        {"base", nullptr},
+        {"perfect", &configs::withPerfectPredictor},
+        {"aggressive", &configs::withAggressivePredictor},
+        {"pair", &configs::withPairPredictor},
+    };
+    for (const auto &[label, modify] : rows) {
+        SimConfig expected = configs::base("bzip");
+        expected.instructions = spec.instructions;
+        expected.warmup = spec.warmup;
+        expected.seed = spec.seed;
+        if (modify)
+            expected = modify(expected);
+
+        NamedConfig row = registryNamedConfig(spec, label);
+        EXPECT_EQ(label, row.label);
+        SimConfig got = row.make("bzip");
+
+        SimResult a = Simulator(expected).run();
+        SimResult b = Simulator(got).run();
+        EXPECT_EQ(fingerprint(a), fingerprint(b)) << label;
+    }
+}
+
+// ======================================================= ckpt cache ==
+
+/**
+ * Run a short simulation that fast-forwards @p ffInsts and saves a
+ * checkpoint at @p path; returns the saving config (whose
+ * functionalFingerprint keys the cache).
+ */
+SimConfig
+produceCheckpoint(const std::string &bench, std::uint64_t ffInsts,
+                  std::uint64_t seed, const std::string &path)
+{
+    SimConfig cfg = configs::base(bench);
+    cfg.instructions = 500;
+    cfg.warmup = 100;
+    cfg.seed = seed;
+    cfg.ffInsts = ffInsts;
+    cfg.saveCkptPath = path;
+    Simulator(cfg).run();
+    return cfg;
+}
+
+TEST(CkptCacheTest, MissThenInsertThenHitAccounting)
+{
+    const std::string dir = scratch("cache");
+    const std::string src = scratch("warm.ckpt.tmp");
+    SimConfig cfg = produceCheckpoint("bzip", 3000, 1, src);
+    const std::uint64_t fp = functionalFingerprint(cfg);
+
+    CkptCache cache(dir, 64ull << 20);
+    EXPECT_EQ("", cache.lookup(fp, 3000));
+
+    std::string finalPath, error;
+    ASSERT_TRUE(cache.insert(fp, 3000, src, finalPath, error))
+        << error;
+    EXPECT_TRUE(fs::exists(finalPath));
+    EXPECT_FALSE(fs::exists(src)) << "source must be consumed";
+
+    EXPECT_EQ(finalPath, cache.lookup(fp, 3000));
+    // Same functional config, different fast-forward length: a
+    // different warm boundary, so a distinct key.
+    EXPECT_EQ("", cache.lookup(fp, 4000));
+
+    CkptCacheStats s = cache.stats();
+    EXPECT_EQ(2u, s.misses);
+    EXPECT_EQ(1u, s.hits);
+    EXPECT_EQ(1u, s.insertions);
+    EXPECT_EQ(0u, s.evictions);
+    EXPECT_EQ(0u, s.rejected);
+    EXPECT_EQ(1u, s.entries);
+    EXPECT_EQ(fs::file_size(finalPath), s.bytes);
+
+    // The cached file is a loadable checkpoint, not just bytes.
+    CheckpointInfo info = inspectCheckpoint(finalPath);
+    EXPECT_TRUE(info.crcOk);
+    EXPECT_EQ(fp, info.meta.fingerprint);
+}
+
+TEST(CkptCacheTest, RejectsMismatchedAndCorruptInserts)
+{
+    const std::string dir = scratch("cache");
+    CkptCache cache(dir, 64ull << 20);
+    std::string finalPath, error;
+
+    // Fingerprint mismatch: the file's recorded fingerprint disagrees
+    // with the key — adopting it would serve wrong restores.
+    const std::string src1 = scratch("a.ckpt.tmp");
+    SimConfig cfg = produceCheckpoint("bzip", 2000, 1, src1);
+    const std::uint64_t fp = functionalFingerprint(cfg);
+    EXPECT_FALSE(cache.insert(fp + 1, 2000, src1, finalPath, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(fs::exists(src1)) << "rejected source must be removed";
+
+    // ffInsts mismatch against the recorded instCount.
+    const std::string src2 = scratch("b.ckpt.tmp");
+    produceCheckpoint("bzip", 2000, 1, src2);
+    EXPECT_FALSE(cache.insert(fp, 9999, src2, finalPath, error));
+
+    // Garbage bytes.
+    const std::string src3 = scratch("c.ckpt.tmp");
+    {
+        std::ofstream out(src3, std::ios::binary);
+        out << "not a checkpoint at all";
+    }
+    EXPECT_FALSE(cache.insert(fp, 2000, src3, finalPath, error));
+
+    CkptCacheStats s = cache.stats();
+    EXPECT_EQ(3u, s.rejected);
+    EXPECT_EQ(0u, s.insertions);
+    EXPECT_EQ(0u, s.entries);
+    EXPECT_EQ(0u, s.bytes);
+}
+
+TEST(CkptCacheTest, EvictsLeastRecentlyUsedToFitTheByteBudget)
+{
+    const std::string srcA = scratch("a.ckpt.tmp");
+    const std::string srcB = scratch("b.ckpt.tmp");
+    SimConfig cfgA = produceCheckpoint("bzip", 2000, 1, srcA);
+    SimConfig cfgB = produceCheckpoint("gcc", 2000, 1, srcB);
+    const std::uint64_t fpA = functionalFingerprint(cfgA);
+    const std::uint64_t fpB = functionalFingerprint(cfgB);
+    ASSERT_NE(fpA, fpB);
+    const std::uint64_t bytesA = fs::file_size(srcA);
+    const std::uint64_t bytesB = fs::file_size(srcB);
+
+    // Budget holds either alone but not both: inserting B must evict
+    // A (the least recently used entry) and leave B resident.
+    CkptCache cache(scratch("cache"), bytesA + bytesB - 1);
+    std::string pathA, pathB, error;
+    ASSERT_TRUE(cache.insert(fpA, 2000, srcA, pathA, error)) << error;
+    ASSERT_TRUE(cache.insert(fpB, 2000, srcB, pathB, error)) << error;
+
+    EXPECT_FALSE(fs::exists(pathA));
+    EXPECT_TRUE(fs::exists(pathB));
+    EXPECT_EQ("", cache.lookup(fpA, 2000));
+    EXPECT_EQ(pathB, cache.lookup(fpB, 2000));
+
+    CkptCacheStats s = cache.stats();
+    EXPECT_EQ(2u, s.insertions);
+    EXPECT_EQ(1u, s.evictions);
+    EXPECT_EQ(1u, s.entries);
+    EXPECT_EQ(bytesB, s.bytes);
+    EXPECT_LE(s.bytes, s.byteBudget);
+
+    // A file larger than the whole budget can never fit: rejected,
+    // residents untouched.
+    const std::string srcC = scratch("c.ckpt.tmp");
+    produceCheckpoint("art", 2000, 1, srcC);
+    CkptCache tiny(scratch("tiny"), 16);
+    std::string pathC;
+    EXPECT_FALSE(tiny.insert(functionalFingerprint(
+                                 configs::base("art")),
+                             2000, srcC, pathC, error));
+    EXPECT_EQ(1u, tiny.stats().rejected);
+}
+
+TEST(CkptCacheTest, RestartReadoptsSurvivingEntries)
+{
+    const std::string dir = scratch("cache");
+    const std::string src = scratch("warm.ckpt.tmp");
+    SimConfig cfg = produceCheckpoint("mgrid", 2500, 1, src);
+    const std::uint64_t fp = functionalFingerprint(cfg);
+
+    std::string finalPath, error;
+    {
+        CkptCache cache(dir, 64ull << 20);
+        ASSERT_TRUE(cache.insert(fp, 2500, src, finalPath, error))
+            << error;
+    }
+
+    // Drop a junk file next to it; re-adoption must skip it.
+    {
+        std::ofstream out(dir + "/junk.ckpt", std::ios::binary);
+        out << "torn";
+    }
+
+    CkptCache reborn(dir, 64ull << 20);
+    EXPECT_EQ(1u, reborn.stats().entries);
+    EXPECT_EQ(finalPath, reborn.lookup(fp, 2500));
+    EXPECT_FALSE(fs::exists(dir + "/junk.ckpt"));
+}
+
+// =========================================================== daemon ==
+
+/**
+ * A running daemon on a JobPool worker, shut down (via the protocol,
+ * like `lsqctl shutdown`) when the harness leaves scope — even when
+ * an ASSERT bails out of the test body early.
+ */
+struct DaemonHarness
+{
+    ServeOptions opts;
+    Daemon daemon;
+    JobPool pool{1};
+
+    explicit DaemonHarness(ServeOptions o)
+        : opts(o), daemon(std::move(o))
+    {
+        pool.submit([this] { (void)daemon.run(); });
+        waitReady();
+    }
+
+    ~DaemonHarness()
+    {
+        ServeClient client(opts.socketPath);
+        std::string error;
+        (void)client.shutdown(error);
+        pool.wait();
+    }
+
+    void waitReady()
+    {
+        for (int i = 0; i < 1000; ++i) {
+            ServeClient client(opts.socketPath);
+            std::string json, error;
+            if (client.status(0, json, error))
+                return;
+            ::usleep(10 * 1000);
+        }
+        FAIL() << "daemon never came up on " << opts.socketPath;
+    }
+};
+
+ServeOptions
+testOptions(const std::string &tag)
+{
+    ServeOptions opts;
+    opts.socketPath = scratch(tag + ".sock");
+    opts.cacheDir = scratch(tag + ".cache");
+    opts.clientWorkers = 4;
+    opts.isolation = IsolationMode::Thread;
+    fs::remove(opts.socketPath);
+    return opts;
+}
+
+/** Collect a full record stream after submit()/attach(). */
+struct Stream
+{
+    std::vector<std::pair<std::uint64_t, std::string>> records;
+    DoneSummary done;
+
+    bool drain(ServeClient &client, std::string &error)
+    {
+        return client.stream(
+            [this](std::uint64_t index, const std::string &payload) {
+                records.emplace_back(index, payload);
+            },
+            done, error);
+    }
+};
+
+TEST(ServeDaemonTest, StreamedResultsAreBitIdenticalToADirectSweep)
+{
+    DaemonHarness harness(testOptions("cold"));
+
+    SweepRequestSpec spec;
+    spec.name = "cold_grid";
+    spec.configs = {"base", "perfect"};
+    spec.benchmarks = {"bzip", "gcc"};
+    spec.instructions = 2000;
+    spec.warmup = 200;
+    spec.baseSeed = 7;
+    spec.jobs = 2;
+
+    ServeClient client(harness.opts.socketPath);
+    std::uint64_t id = 0;
+    std::string error;
+    ASSERT_TRUE(client.submit(spec, id, error)) << error;
+    EXPECT_GE(id, 1u);
+
+    Stream stream;
+    ASSERT_TRUE(stream.drain(client, error)) << error;
+    EXPECT_EQ(0, stream.done.state);
+    EXPECT_EQ(4u, stream.done.cells);
+    EXPECT_EQ(0u, stream.done.poisoned);
+
+    // Indices are dense from zero — that's what makes Attach's
+    // fromIndex a resume cursor.
+    for (std::size_t i = 0; i < stream.records.size(); ++i)
+        EXPECT_EQ(i, stream.records[i].first);
+
+    // The stream replays through the journal machinery…
+    JournalAccumulator acc;
+    for (const auto &[index, payload] : stream.records)
+        ASSERT_TRUE(acc.add(payload, error)) << error;
+    JournalContents contents = acc.contents();
+    EXPECT_EQ(spec.name, contents.name);
+    EXPECT_EQ(2u, contents.rows);
+    EXPECT_EQ(2u, contents.cols);
+    ASSERT_EQ(4u, contents.cells.size());
+
+    // …and a raw tee of the frames is a valid journal file, exactly
+    // what `lsqctl --journal` writes.
+    const std::string teePath = scratch("tee.journal");
+    {
+        std::ofstream out(teePath, std::ios::binary);
+        out.write(kJournalMagic, sizeof kJournalMagic);
+        for (const auto &[index, payload] : stream.records) {
+            std::string frame = frameJournalRecord(payload);
+            out.write(frame.data(),
+                      static_cast<std::streamsize>(frame.size()));
+        }
+    }
+    JournalContents teed;
+    ASSERT_TRUE(readJournal(teePath, teed, error)) << error;
+    EXPECT_EQ(4u, teed.cells.size());
+    EXPECT_FALSE(teed.truncatedTail);
+
+    // Bit-identity against the same grid run directly in-process.
+    std::vector<NamedConfig> rows;
+    for (const std::string &label : spec.configs)
+        rows.push_back(registryNamedConfig(spec, label));
+    SweepOptions so;
+    so.name = spec.name;
+    so.baseSeed = spec.baseSeed;
+    so.jobs = 2;
+    so.isolation = IsolationMode::Thread;
+    Sweep sweep(rows, spec.benchmarks, so);
+    sweep.setJobFn(runSimulationJob);
+    SweepOutcome direct = sweep.run();
+
+    SweepOutcome served = outcomeFromJournal(
+        contents, stream.done.jobs, stream.done.seconds);
+    ASSERT_EQ(direct.grid.size(), served.grid.size());
+    for (std::size_t r = 0; r < direct.grid.size(); ++r) {
+        ASSERT_EQ(direct.grid[r].size(), served.grid[r].size());
+        for (std::size_t c = 0; c < direct.grid[r].size(); ++c) {
+            const SweepCell &want = direct.grid[r][c];
+            const SweepCell &got = served.grid[r][c];
+            EXPECT_EQ(JobStatus::Ok, got.status);
+            EXPECT_EQ(want.configLabel, got.configLabel);
+            EXPECT_EQ(want.benchmark, got.benchmark);
+            EXPECT_EQ(fingerprint(want.result),
+                      fingerprint(got.result));
+        }
+    }
+    EXPECT_EQ(0u, served.poisonedCells);
+
+    // Attach replays the whole stream, or any suffix of it.
+    ServeClient replay(harness.opts.socketPath);
+    ASSERT_TRUE(replay.attach(id, 0, error)) << error;
+    Stream full;
+    ASSERT_TRUE(full.drain(replay, error)) << error;
+    EXPECT_EQ(stream.records, full.records);
+    EXPECT_EQ(0, full.done.state);
+
+    const std::uint64_t last = stream.records.size() - 1;
+    ServeClient tail(harness.opts.socketPath);
+    ASSERT_TRUE(tail.attach(id, last, error)) << error;
+    Stream suffix;
+    ASSERT_TRUE(suffix.drain(tail, error)) << error;
+    ASSERT_EQ(1u, suffix.records.size());
+    EXPECT_EQ(stream.records.back(), suffix.records.front());
+
+    // Unknown ids are a protocol error, not a hang.
+    ServeClient bogus(harness.opts.socketPath);
+    EXPECT_FALSE(bogus.attach(9999, 0, error));
+    EXPECT_NE(std::string::npos, error.find("unknown request"));
+}
+
+TEST(ServeDaemonTest, WarmResubmitHitsTheCheckpointCache)
+{
+    DaemonHarness harness(testOptions("warm"));
+
+    SweepRequestSpec spec;
+    spec.name = "warm_grid";
+    spec.configs = {"base"};
+    spec.benchmarks = {"bzip"};
+    spec.instructions = 1000;
+    spec.warmup = 200;
+    spec.ffInsts = 2000;
+
+    auto runOnce = [&](Stream &stream) {
+        ServeClient client(harness.opts.socketPath);
+        std::uint64_t id = 0;
+        std::string error;
+        ASSERT_TRUE(client.submit(spec, id, error)) << error;
+        ASSERT_TRUE(stream.drain(client, error)) << error;
+        ASSERT_EQ(0, stream.done.state);
+        ASSERT_EQ(0u, stream.done.poisoned);
+    };
+
+    Stream first;
+    runOnce(first);
+    EXPECT_EQ(0u, first.done.warmHits);
+    EXPECT_EQ(1u, first.done.warmMisses);
+
+    Stream second;
+    runOnce(second);
+    EXPECT_EQ(1u, second.done.warmHits);
+    EXPECT_EQ(0u, second.done.warmMisses);
+
+    // Restoring from the cached checkpoint is bit-identical to the
+    // fast-forward it replaced.
+    ASSERT_EQ(first.records.size(), second.records.size());
+    JournalAccumulator a, b;
+    std::string error;
+    for (const auto &[i, p] : first.records)
+        ASSERT_TRUE(a.add(p, error)) << error;
+    for (const auto &[i, p] : second.records)
+        ASSERT_TRUE(b.add(p, error)) << error;
+    JournalContents ca = a.contents(), cb = b.contents();
+    ASSERT_EQ(ca.cells.size(), cb.cells.size());
+    for (std::size_t i = 0; i < ca.cells.size(); ++i) {
+        ASSERT_TRUE(ca.cells[i].hasResult);
+        ASSERT_TRUE(cb.cells[i].hasResult);
+        EXPECT_EQ(fingerprint(ca.cells[i].result),
+                  fingerprint(cb.cells[i].result));
+    }
+
+    CkptCacheStats s = harness.daemon.cache().stats();
+    EXPECT_EQ(1u, s.hits);
+    EXPECT_EQ(1u, s.misses);
+    EXPECT_EQ(1u, s.insertions);
+    EXPECT_EQ(1u, s.entries);
+
+    // The stats JSON the daemon serves carries the same counters.
+    ServeClient client(harness.opts.socketPath);
+    std::string json;
+    ASSERT_TRUE(client.stats(json, error)) << error;
+    EXPECT_NE(std::string::npos, json.find("\"hits\": 1"));
+    EXPECT_NE(std::string::npos, json.find("\"insertions\": 1"));
+}
+
+TEST(ServeDaemonTest, CancellingAQueuedRequestIsDeterministic)
+{
+    DaemonHarness harness(testOptions("cancel"));
+    std::string error;
+
+    // Request A occupies the single executor long enough for the
+    // cancel round-trip (microseconds on a local socket) to land
+    // while B is still queued behind it.
+    SweepRequestSpec slow;
+    slow.name = "slow";
+    slow.configs = {"base", "perfect"};
+    slow.benchmarks = {"bzip"};
+    slow.instructions = 150000;
+    slow.warmup = 1000;
+
+    ServeClient clientA(harness.opts.socketPath);
+    std::uint64_t idA = 0;
+    ASSERT_TRUE(clientA.submit(slow, idA, error)) << error;
+    clientA.close(); // abandon the stream; the daemon carries on
+
+    SweepRequestSpec queued;
+    queued.name = "queued";
+    queued.configs = {"base"};
+    queued.benchmarks = {"bzip", "gcc"};
+    queued.instructions = 50000;
+    queued.warmup = 1000;
+
+    ServeClient clientB(harness.opts.socketPath);
+    std::uint64_t idB = 0;
+    ASSERT_TRUE(clientB.submit(queued, idB, error)) << error;
+    clientB.close();
+
+    ServeClient killer(harness.opts.socketPath);
+    ASSERT_TRUE(killer.cancel(idB, error)) << error;
+    EXPECT_FALSE(killer.cancel(4242, error));
+    EXPECT_NE(std::string::npos, error.find("unknown request"));
+
+    // B terminates Cancelled; its stream still ends in a Done frame
+    // so a watching client is never left hanging.
+    ServeClient watchB(harness.opts.socketPath);
+    ASSERT_TRUE(watchB.attach(idB, 0, error)) << error;
+    Stream streamB;
+    ASSERT_TRUE(streamB.drain(watchB, error)) << error;
+    EXPECT_EQ(1, streamB.done.state);
+
+    // A is unaffected: drain it to completion.
+    ServeClient watchA(harness.opts.socketPath);
+    ASSERT_TRUE(watchA.attach(idA, 0, error)) << error;
+    Stream streamA;
+    ASSERT_TRUE(streamA.drain(watchA, error)) << error;
+    EXPECT_EQ(0, streamA.done.state);
+    EXPECT_EQ(2u, streamA.done.cells);
+
+    // Status reflects both verdicts.
+    ServeClient status(harness.opts.socketPath);
+    std::string json;
+    ASSERT_TRUE(status.status(0, json, error)) << error;
+    EXPECT_NE(std::string::npos, json.find("\"cancelled\""));
+    EXPECT_NE(std::string::npos, json.find("\"done\""));
+}
+
+TEST(ServeDaemonTest, RejectsInvalidSubmissions)
+{
+    DaemonHarness harness(testOptions("reject"));
+    std::string error;
+    std::uint64_t id = 0;
+
+    SweepRequestSpec spec;
+    spec.configs = {"bogus-label"};
+    spec.benchmarks = {"bzip"};
+    spec.instructions = 1000;
+    ServeClient c1(harness.opts.socketPath);
+    EXPECT_FALSE(c1.submit(spec, id, error));
+    EXPECT_FALSE(error.empty());
+
+    spec.configs = {"base"};
+    spec.benchmarks = {"no-such-workload"};
+    ServeClient c2(harness.opts.socketPath);
+    EXPECT_FALSE(c2.submit(spec, id, error));
+
+    spec.benchmarks = {};
+    ServeClient c3(harness.opts.socketPath);
+    EXPECT_FALSE(c3.submit(spec, id, error));
+}
+
+// ================================================= outcome rebuild ==
+
+TEST(ServeClientTest, OutcomeFromJournalFlagsMissingCells)
+{
+    JournalAccumulator acc;
+    std::string error;
+    ASSERT_TRUE(acc.add(
+        encodeSweepBeginRecord("partial", {"base"}, {"bzip", "gcc"}),
+        error))
+        << error;
+
+    JournalCell cell;
+    cell.row = 0;
+    cell.col = 0;
+    cell.status = JobStatus::Failed;
+    cell.attempts = 2;
+    cell.error = "boom";
+    ASSERT_TRUE(acc.add(encodeCellRecord(cell), error)) << error;
+
+    SweepOutcome out = outcomeFromJournal(acc.contents(), 3, 1.25);
+    ASSERT_EQ(1u, out.grid.size());
+    ASSERT_EQ(2u, out.grid[0].size());
+    EXPECT_EQ(JobStatus::Failed, out.grid[0][0].status);
+    EXPECT_EQ("boom", out.grid[0][0].error);
+    EXPECT_EQ(JobStatus::Failed, out.grid[0][1].status);
+    EXPECT_NE(std::string::npos,
+              out.grid[0][1].error.find("missing from stream"));
+    EXPECT_EQ(2u, out.poisonedCells);
+    EXPECT_EQ(3u, out.jobs);
+    EXPECT_EQ(1.25, out.seconds);
+}
+
+// =========================================================== config ==
+
+TEST(ServeOptionsTest, ParseServeArgsCoversEveryFlag)
+{
+    ServeOptions opts;
+    std::string error;
+    ASSERT_TRUE(parseServeArgs(
+        {"--socket", "/tmp/x.sock", "--cache-dir", "/tmp/x.cache",
+         "--cache-mb", "8", "--clients", "2", "--isolation",
+         "thread"},
+        opts, error))
+        << error;
+    EXPECT_EQ("/tmp/x.sock", opts.socketPath);
+    EXPECT_EQ("/tmp/x.cache", opts.cacheDir);
+    EXPECT_EQ(8ull << 20, opts.cacheBudgetBytes);
+    EXPECT_EQ(2u, opts.clientWorkers);
+    EXPECT_EQ(IsolationMode::Thread, opts.isolation);
+
+    ServeOptions bad;
+    EXPECT_FALSE(parseServeArgs({"--cache-mb", "lots"}, bad, error));
+    EXPECT_FALSE(parseServeArgs({"--isolation", "yolo"}, bad, error));
+    EXPECT_FALSE(parseServeArgs({"--frobnicate"}, bad, error));
+    EXPECT_FALSE(parseServeArgs({"--socket"}, bad, error));
+}
+
+} // namespace
+} // namespace lsqscale

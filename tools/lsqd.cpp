@@ -1,0 +1,65 @@
+/**
+ * @file
+ * lsqd — the design-space-exploration daemon (docs/SERVICE.md).
+ *
+ * Binds a Unix-domain socket, executes lsqscale-sweep-v1 grid requests
+ * submitted by lsqctl, and keeps a warmed-checkpoint cache so repeated
+ * sweeps over one functional configuration skip the fast-forward cost.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/daemon.hh"
+
+namespace {
+
+int
+usage(std::FILE *out)
+{
+    std::fputs(
+        "usage: lsqd --socket PATH [options]\n"
+        "\n"
+        "  --socket PATH      Unix-domain socket to listen on\n"
+        "                     (or LSQSCALE_SERVE_SOCKET)\n"
+        "  --cache-dir PATH   checkpoint-cache directory\n"
+        "                     (default: <socket>.cache)\n"
+        "  --cache-mb N       cache byte budget in MiB (default 256;\n"
+        "                     or LSQSCALE_SERVE_CACHE_MB)\n"
+        "  --clients N        concurrent client connections "
+        "(default 4;\n"
+        "                     or LSQSCALE_SERVE_CLIENTS)\n"
+        "  --isolation MODE   'process' (default) or 'thread' cell\n"
+        "                     isolation\n"
+        "\n"
+        "Submit work with lsqctl; stop with `lsqctl shutdown`.\n",
+        out);
+    return out == stdout ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (const std::string &a : args)
+        if (a == "--help" || a == "-h")
+            return usage(stdout);
+
+    lsqscale::ServeOptions opts =
+        lsqscale::resolveServeOptions(lsqscale::ServeOptions{});
+    std::string error;
+    if (!lsqscale::parseServeArgs(args, opts, error)) {
+        std::fprintf(stderr, "lsqd: %s\n", error.c_str());
+        return usage(stderr);
+    }
+    if (opts.socketPath.empty()) {
+        std::fprintf(stderr, "lsqd: --socket (or "
+                             "LSQSCALE_SERVE_SOCKET) is required\n");
+        return usage(stderr);
+    }
+    lsqscale::Daemon daemon(opts);
+    return daemon.run();
+}

@@ -97,7 +97,10 @@ _STATDUMP_CALL_IDENTS = frozenset((
     "printf", "fprintf", "vfprintf", "puts", "fputs",
 ))
 
-_SYSCALL_IDENTS = frozenset(("fork", "waitpid", "write", "rename"))
+_SYSCALL_IDENTS = frozenset((
+    "fork", "waitpid", "write", "rename",
+    "socket", "bind", "listen", "accept", "connect", "send", "recv",
+))
 
 _THREAD_IDENTS = frozenset(("thread", "jthread"))
 

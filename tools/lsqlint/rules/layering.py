@@ -7,6 +7,7 @@ The subsystem DAG (DESIGN.md):
     sim                                     layer 2
     check obs sample                        layer 3
     harness inject                          layer 4
+    serve                                   layer 5
 
 A file may include same-or-lower layers only (same-layer
 cross-subsystem includes are allowed; that is what lets lsq read
@@ -32,6 +33,7 @@ LAYERS = {
     "sim": 2,
     "check": 3, "obs": 3, "sample": 3,
     "harness": 4, "inject": 4,
+    "serve": 5,
 }
 
 

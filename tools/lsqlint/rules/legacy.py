@@ -15,7 +15,7 @@ _STAT_DUMP_ALLOWED_DIRS = ("src/obs/", "src/harness/", "tools/")
 _STAT_DUMP_ALLOWED_FILES = ("src/sim/cli.cc",)
 _STAT_DUMP_ALLOWED_PREFIXES = ("src/common/logging",)
 
-_SYSCALL_DIRS = ("src/harness/", "src/inject/")
+_SYSCALL_DIRS = ("src/harness/", "src/inject/", "src/serve/")
 
 
 def _stat_dump_exempt(path):
