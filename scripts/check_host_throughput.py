@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate and guard the host-throughput trajectory.
+
+Reads BENCH_host_throughput.json (schema
+lsqscale-host-throughput-trajectory-v1, written by
+bench/host_throughput) and:
+
+  1. validates the document shape: schema tag, >= --min-records
+     timestamped records, three named design points per record,
+     positive throughput rates, and a per-phase breakdown whose
+     run-stage children sum to the run phase (the host profiler
+     scales sampled laps to the measured run window, so the tree must
+     account for the whole phase);
+
+  2. guards against catastrophic throughput regressions: for every
+     design point, the newest record's sim_insts_per_sec must be at
+     least (100 - --max-regress-pct)% of the best value any prior
+     record posted *at the same instruction count*. Wall clock is
+     host-dependent, so the default tolerance is deliberately loose —
+     this catches "the simulator got 5x slower", not a noisy 10%.
+
+With --dry-run the guard reports what it would compare and always
+exits 0 (used by the metrics-smoke CI flavor, whose freshly started
+trajectory has no history yet).
+
+Exit codes: 0 ok, 1 validation/regression failure, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "lsqscale-host-throughput-trajectory-v1"
+EXPECTED_POINTS = [
+    "base-2port",
+    "all-techniques-1port",
+    "segmented-4x28-1port",
+]
+RUN_CHILDREN = [
+    "fetch_rename",
+    "issue_wakeup",
+    "lsq_search_forward",
+    "commit",
+    "run_other",
+]
+
+
+def fail(msg):
+    sys.exit("check_host_throughput: %s" % msg)
+
+
+def validate(doc, min_records):
+    if doc.get("schema") != SCHEMA:
+        fail("schema is %r, want %r" % (doc.get("schema"), SCHEMA))
+    records = doc.get("records", [])
+    if len(records) < min_records:
+        fail("only %d record(s), want >= %d"
+             % (len(records), min_records))
+    for i, rec in enumerate(records):
+        for key in ("timestamp", "utc", "instructions", "points"):
+            if key not in rec:
+                fail("record %d lacks %r" % (i, key))
+        names = [p.get("name") for p in rec["points"]]
+        if names != EXPECTED_POINTS:
+            fail("record %d points are %s, want %s"
+                 % (i, names, EXPECTED_POINTS))
+        for p in rec["points"]:
+            if p["sim_cycles_per_sec"] <= 0 or \
+               p["sim_insts_per_sec"] <= 0:
+                fail("record %d point %s has nonpositive throughput"
+                     % (i, p["name"]))
+            phases = p.get("phases")
+            if phases is None:
+                fail("record %d point %s lacks phases"
+                     % (i, p["name"]))
+            run = phases.get("run", 0.0)
+            children = sum(phases.get(c, 0.0) for c in RUN_CHILDREN)
+            # %.4f rounding on 5 children: allow 2% + 1ms slack.
+            if run > 0 and abs(children - run) > 0.02 * run + 1e-3:
+                fail("record %d point %s: run children sum %.4fs "
+                     "but run is %.4fs" % (i, p["name"], children,
+                                           run))
+    return records
+
+
+def guard(records, max_regress_pct, dry_run):
+    newest = records[-1]
+    floor_frac = (100.0 - max_regress_pct) / 100.0
+    prior = [r for r in records[:-1]
+             if r["instructions"] == newest["instructions"]]
+    if not prior:
+        print("check_host_throughput: no prior record at %d insts; "
+              "nothing to guard against"
+              % newest["instructions"])
+        return True
+    ok = True
+    best = {}
+    for rec in prior:
+        for p in rec["points"]:
+            rate = p["sim_insts_per_sec"]
+            if rate > best.get(p["name"], 0.0):
+                best[p["name"]] = rate
+    for p in newest["points"]:
+        ref = best.get(p["name"])
+        if ref is None:
+            continue
+        now = p["sim_insts_per_sec"]
+        floor = ref * floor_frac
+        verdict = "ok" if now >= floor else "REGRESSED"
+        print("check_host_throughput: %-22s %10.0f insts/s "
+              "(best %10.0f, floor %10.0f) %s"
+              % (p["name"], now, ref, floor, verdict))
+        if now < floor:
+            ok = False
+    if not ok and dry_run:
+        print("check_host_throughput: regression detected but "
+              "--dry-run, exiting 0")
+        return True
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path", help="BENCH_host_throughput.json")
+    ap.add_argument("--min-records", type=int, default=1)
+    ap.add_argument("--max-regress-pct", type=float, default=80.0,
+                    help="tolerated drop vs the best prior record at "
+                         "the same instruction count (default 80)")
+    ap.add_argument("--dry-run", action="store_true",
+                    help="report the comparison but always exit 0")
+    args = ap.parse_args()
+
+    try:
+        with open(args.path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot read %s: %s" % (args.path, e))
+
+    records = validate(doc, args.min_records)
+    print("check_host_throughput: %d record(s), newest %s"
+          % (len(records), records[-1]["utc"]))
+    if not guard(records, args.max_regress_pct, args.dry_run):
+        fail("throughput regressed past the floor")
+    print("check_host_throughput: trajectory ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,16 @@
 #                    bit-identical to untraced runs across three design
 #                    points, the Konata export must round-trip, and
 #                    lsqtrace must render the stall table
+#   6b. metrics-smoke — host telemetry (docs/OBSERVABILITY.md):
+#                    instrumented runs (--host-profile --metrics-json
+#                    --metrics-prom) must be bit-identical to plain
+#                    runs across the same three design points, the
+#                    hostprof/metrics/Prometheus artifacts must pass
+#                    scripts/check_metrics_smoke.py validate, the
+#                    ABBA-median instrumentation overhead must stay
+#                    under 2%, and a fresh host-throughput trajectory
+#                    must append records that pass
+#                    scripts/check_host_throughput.py
 #   7. coverage    — LSQ_COVERAGE=ON build + ctest, then
 #                    scripts/coverage_report.py prints line coverage
 #                    per src/ subdir (soft-fails under the threshold)
@@ -81,13 +91,14 @@ banner "flavor: checker (fig7_sq_speedup bench under the oracle)"
 LSQSCALE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}" \
     ./build-ci-checker/bench/fig7_sq_speedup
 
-banner "flavor: tsan (harness/obs/sample tests under ThreadSanitizer)"
+banner "flavor: tsan (harness/obs/sample/metrics tests under ThreadSanitizer)"
 cmake -B build-ci-tsan -S . -DLSQ_TSAN=ON >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" \
-    --target harness_test obs_test sample_test
+    --target harness_test obs_test sample_test metrics_test
 ./build-ci-tsan/tests/harness_test
 ./build-ci-tsan/tests/obs_test
 ./build-ci-tsan/tests/sample_test
+./build-ci-tsan/tests/metrics_test
 
 banner "flavor: bench-smoke (parallel sweep byte-identical to serial)"
 SMOKE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
@@ -109,22 +120,15 @@ python3 -c "import json,glob,sys; \
      glob.glob('$SMOKE_DIR/parallel/BENCH_*.json')] or \
     sys.exit('bench-smoke: no BENCH_*.json emitted')"
 
-banner "flavor: bench-smoke (host-throughput baseline regenerated)"
-# Regenerate the committed repo-root BENCH_host_throughput.json
-# (schema lsqscale-host-throughput-v1): three pinned design points,
-# simulated cycles/sec and committed insts/sec. The wall-clock fields
-# are host-dependent, so the check is that the bench runs its full
-# window and emits a well-formed report, not a throughput bound.
+banner "flavor: bench-smoke (host-throughput trajectory appended)"
+# Append a record to the committed repo-root trajectory
+# (schema lsqscale-host-throughput-trajectory-v1): three pinned design
+# points, simulated cycles/sec and committed insts/sec plus the
+# host-profiler per-phase breakdown. The wall-clock fields are
+# host-dependent, so the guard only rejects catastrophic regressions
+# relative to the recorded history at the same instruction count.
 ./build-ci-release/bench/host_throughput
-python3 - <<'PYEOF'
-import json
-doc = json.load(open("BENCH_host_throughput.json"))
-assert doc["schema"] == "lsqscale-host-throughput-v1", doc["schema"]
-assert len(doc["points"]) == 3, doc["points"]
-for p in doc["points"]:
-    assert p["sim_cycles_per_sec"] > 0 and p["sim_insts_per_sec"] > 0, p
-print("host-throughput: 3 design points, report well-formed")
-PYEOF
+python3 scripts/check_host_throughput.py BENCH_host_throughput.json
 
 banner "flavor: bench-smoke (sampled fig7 >=3x faster, cells within 2%)"
 # Checkpoint/fast-forward sampling demo (docs/SAMPLING.md): rerun the
@@ -184,6 +188,59 @@ done
     echo "trace-smoke: stall table missing attribution rows" >&2
     exit 1
 }
+
+banner "flavor: metrics-smoke (telemetry bit-identity, artifact validation, overhead)"
+METRICS_DIR="build-ci-release/metrics-smoke"
+METRICS_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
+rm -rf "$METRICS_DIR"
+mkdir -p "$METRICS_DIR"
+MPOINTS=(
+    ""
+    "--all-techniques"
+    "--segments 4 --lq 28 --sq 28 --ports 1"
+)
+for i in "${!MPOINTS[@]}"; do
+    # shellcheck disable=SC2086  # word-split the design-point flags
+    ./build-ci-release/tools/lsqsim --insts "$METRICS_INSTS" \
+        ${MPOINTS[$i]} --json >"$METRICS_DIR/plain_$i.json" 2>/dev/null
+    # shellcheck disable=SC2086
+    ./build-ci-release/tools/lsqsim --insts "$METRICS_INSTS" \
+        ${MPOINTS[$i]} --host-profile \
+        --host-profile-json "$METRICS_DIR/hostprof_$i.json" \
+        --metrics-json "$METRICS_DIR/metrics_$i.json" \
+        --metrics-prom "$METRICS_DIR/metrics_$i.prom" \
+        --json >"$METRICS_DIR/profiled_$i.json" 2>/dev/null
+    diff "$METRICS_DIR/plain_$i.json" "$METRICS_DIR/profiled_$i.json" || {
+        echo "metrics-smoke: design point $i not bit-identical" >&2
+        exit 1
+    }
+    ./build-ci-release/tools/lsqtrace hostprof \
+        "$METRICS_DIR/hostprof_$i.json" \
+        | grep -q "host profile" || {
+        echo "metrics-smoke: lsqtrace hostprof render failed ($i)" >&2
+        exit 1
+    }
+    python3 scripts/check_metrics_smoke.py validate \
+        "$METRICS_DIR/hostprof_$i.json" \
+        "$METRICS_DIR/metrics_$i.json" \
+        "$METRICS_DIR/metrics_$i.prom"
+done
+# The overhead gate needs runs long enough that process startup and
+# timer quantization do not drown a ~1% effect, so it keeps its own
+# instruction count rather than the shrinkable bench one.
+python3 scripts/check_metrics_smoke.py overhead \
+    --lsqsim ./build-ci-release/tools/lsqsim \
+    --insts "${LSQSCALE_METRICS_OVERHEAD_INSTS:-200000}"
+
+# A fresh trajectory in the smoke dir: two appends, then the validator
+# and a dry-run of the regression guard (a fresh file has exactly one
+# prior record at the same instruction count).
+LSQSCALE_INSTS="$METRICS_INSTS" LSQSCALE_JSON_DIR="$METRICS_DIR" \
+    ./build-ci-release/bench/host_throughput >/dev/null
+LSQSCALE_INSTS="$METRICS_INSTS" LSQSCALE_JSON_DIR="$METRICS_DIR" \
+    ./build-ci-release/bench/host_throughput >/dev/null
+python3 scripts/check_host_throughput.py \
+    "$METRICS_DIR/BENCH_host_throughput.json" --min-records 2 --dry-run
 
 banner "flavor: coverage (gcov line coverage per src/ subdir)"
 run_flavor coverage -DLSQ_COVERAGE=ON

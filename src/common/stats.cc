@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 
@@ -10,6 +11,16 @@
 #include "sample/serialize.hh"
 
 namespace lsqscale {
+
+std::string
+jsonNumber(double v, const char *fmt)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+}
 
 Counter &
 StatSet::counter(const std::string &name)
@@ -214,21 +225,6 @@ IntervalSeries::loadState(SerialReader &r)
     }
 }
 
-namespace {
-
-/** JSON number: finite doubles as %.6g, non-finite as null. */
-std::string
-jsonNum(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    return buf;
-}
-
-} // namespace
-
 std::string
 IntervalSeries::toJson(const std::string &indent) const
 {
@@ -246,7 +242,7 @@ IntervalSeries::toJson(const std::string &indent) const
         os << (i ? "," : "") << "\n" << indent << "    ["
            << samples_[i].cycle;
         for (double v : samples_[i].values)
-            os << ", " << jsonNum(v);
+            os << ", " << jsonNumber(v);
         os << "]";
     }
     if (!samples_.empty())

@@ -24,6 +24,15 @@ namespace lsqscale {
 class SerialWriter;
 class SerialReader;
 
+/**
+ * Render a double as a JSON number: @p fmt for finite values, the
+ * literal `null` for NaN/Inf (neither is a valid JSON token). Every
+ * JSON sink in the repo funnels doubles through this, so a NaN ratio
+ * (StatSet::ratio on a zero denominator) or an empty-histogram
+ * percentile can never poison an emitted document.
+ */
+std::string jsonNumber(double v, const char *fmt = "%.6g");
+
 /** A named monotonically increasing event counter. */
 class Counter
 {

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "inject/inject.hh"
+#include "metrics/hostprof.hh"
 #include "obs/interval.hh"
 #include "obs/trace.hh"
 
@@ -56,10 +57,30 @@ Core::attachTracer(Tracer *tracer)
     lsq_.attachTracer(tracer);
 }
 
+void
+Core::attachSampler(IntervalSampler *sampler)
+{
+    sampler_ = sampler;
+    nextSampleAt_ =
+        sampler != nullptr ? sampler->nextSampleAt() : ~Cycle(0);
+}
+
+void
+Core::enableHostProfile(unsigned shift)
+{
+    profMask_ = (std::uint64_t(1) << shift) - 1;
+}
+
 // lsqlint: hot
 void
 Core::tick()
 {
+    if ((now_ & profMask_) == 0) [[unlikely]] {
+        // Host-profile sample cycle (src/metrics/hostprof.hh); the
+        // twin runs the same stages and only adds clock reads.
+        tickProfiled(); // lsqlint: phase(run)
+        return;
+    }
     invalidationStage();
     commitStage();
     writebackStage();
@@ -68,6 +89,53 @@ Core::tick()
     fetchStage();
     lsq_.sampleOccupancy();
     ++now_;
+}
+
+void
+Core::tickProfiled()
+{
+    if (!HostProfiler::enabled()) {
+        // Disarmed (mask all-ones): only cycle 0 lands here; run the
+        // plain stage sequence.
+        invalidationStage();
+        commitStage();
+        writebackStage();
+        issueStage();
+        dispatchStage();
+        fetchStage();
+        lsq_.sampleOccupancy();
+        ++now_;
+        return;
+    }
+    // Lap-style: one clock read per stage boundary. The LSQ
+    // search+forward share is lapped inside the issue helpers
+    // (profLap_) and subtracted from the issue/wakeup window.
+    HostProfiler &hp = HostProfiler::instance();   // lsqlint: phase(run)
+    std::uint64_t t0 = hostNowNs();                // lsqlint: phase(run)
+    invalidationStage();
+    commitStage();
+    std::uint64_t t1 = hostNowNs();                // lsqlint: phase(run)
+    profLap_ = true;
+    profLsqNs_ = 0;
+    writebackStage();
+    issueStage();
+    profLap_ = false;
+    std::uint64_t t2 = hostNowNs();                // lsqlint: phase(run)
+    dispatchStage();
+    fetchStage();
+    std::uint64_t t3 = hostNowNs();                // lsqlint: phase(run)
+    lsq_.sampleOccupancy();
+    ++now_;
+    std::uint64_t t4 = hostNowNs();                // lsqlint: phase(run)
+    hp.addSample(HostPhase::Commit, t1 - t0);      // lsqlint: phase(run)
+    std::uint64_t issueNs = t2 - t1;               // lsqlint: phase(run)
+    std::uint64_t lsqNs =                          // lsqlint: phase(run)
+        profLsqNs_ < issueNs ? profLsqNs_ : issueNs;
+    hp.addSample(HostPhase::IssueWakeup, issueNs - lsqNs); // lsqlint: phase(run)
+    hp.addSample(HostPhase::LsqSearch, lsqNs);     // lsqlint: phase(run)
+    hp.addSample(HostPhase::FetchRename, t3 - t2); // lsqlint: phase(run)
+    hp.addSample(HostPhase::RunOther, t4 - t3);    // lsqlint: phase(run)
+    hp.noteSampledCycle();                         // lsqlint: phase(run)
 }
 
 // lsqlint: hot
@@ -79,10 +147,13 @@ Core::run(std::uint64_t numInsts)
     while (committed_ < numInsts) {
         tick();
         // Interval stats piggyback on the per-tick progress check; a
-        // per-event hook cannot see quiet cycles, so the sampler is
-        // polled here (one predicted-null test/cycle when detached).
-        if (sampler_ != nullptr)
+        // per-event hook cannot see quiet cycles. The next-due cycle
+        // is cached (UINT64_MAX when detached) so both the detached
+        // and the not-yet-due case cost one predictable compare.
+        if (now_ >= nextSampleAt_) [[unlikely]] {
             sampler_->poll();
+            nextSampleAt_ = sampler_->nextSampleAt();
+        }
         // Fault-injection trigger + process-isolation heartbeat share
         // one hook (src/inject): a relaxed load per cycle when idle.
         if (inject::active()) [[unlikely]]
@@ -384,7 +455,12 @@ Core::tryIssueLoad(RobEntry &re, IqEntry &qe)
         return false;
     }
 
+    std::uint64_t lapT0 = 0;
+    if (profLap_) [[unlikely]]
+        lapT0 = hostNowNs();                   // lsqlint: phase(lsq_search)
     LoadIssueOutcome out = lsq_.issueLoad(op.seq, op.addr, now_, want);
+    if (profLap_) [[unlikely]]
+        profLsqNs_ += hostNowNs() - lapT0;     // lsqlint: phase(lsq_search)
     switch (out.status) {
       case LoadIssueStatus::Accepted:
         break;
@@ -484,7 +560,12 @@ Core::tryIssueStore(RobEntry &re, IqEntry &qe)
         return false;
     }
 
+    std::uint64_t lapT0 = 0;
+    if (profLap_) [[unlikely]]
+        lapT0 = hostNowNs();                   // lsqlint: phase(lsq_search)
     StoreSearchOutcome out = lsq_.storeAddrReady(op.seq, op.addr, now_);
+    if (profLap_) [[unlikely]]
+        profLsqNs_ += hostNowNs() - lapT0;     // lsqlint: phase(lsq_search)
     if (!out.accepted) {
         stats_.counter("stores.lsq.portstall").inc();
         return false;

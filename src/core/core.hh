@@ -133,12 +133,22 @@ class Core
     Tracer *tracer() const { return tracer_; }
 
     /**
-     * Attach an interval sampler (src/obs/interval.hh), polled once
-     * per cycle from run() — one predicted-null pointer test per
-     * cycle when detached. Pass nullptr to detach. The sampler must
-     * outlive the core (or be detached).
+     * Attach an interval sampler (src/obs/interval.hh). run() polls
+     * it only when the cached next-sample cycle is due, so both the
+     * detached case and the common not-yet-due case cost one
+     * predictable compare per cycle. Pass nullptr to detach. The
+     * sampler must outlive the core (or be detached).
      */
-    void attachSampler(IntervalSampler *sampler) { sampler_ = sampler; }
+    void attachSampler(IntervalSampler *sampler);
+
+    /**
+     * Arm the host-profiler's burst sampling of tick() stages
+     * (src/metrics/hostprof.hh): every 2^shift-th cycle runs the
+     * instrumented twin tickProfiled(). Simulation behavior is
+     * bit-identical — the twin only adds clock reads. Disarmed, the
+     * per-cycle cost is one always-false mask compare.
+     */
+    void enableHostProfile(unsigned shift);
 
   private:
     struct FetchedInst
@@ -161,6 +171,13 @@ class Core
     void issueStage();
     void dispatchStage();
     void fetchStage();
+
+    /**
+     * The stage sequence of tick() with lap-style clock reads at the
+     * stage boundaries (src/metrics/hostprof.hh). Taken only on
+     * host-profile sample cycles; identical simulated behavior.
+     */
+    void tickProfiled();
 
     /**
      * Service the fault-injection / heartbeat hook (src/inject): emit
@@ -253,6 +270,21 @@ class Core
     /** Attached interval sampler, or nullptr (the common case). */
     // lsqlint: no-serialize(attached observer, wired by the owning Simulator)
     IntervalSampler *sampler_ = nullptr;
+    /** Cycle at which the attached sampler is next due (UINT64_MAX
+     *  when detached), so run() pays one compare, not a poll. */
+    // lsqlint: no-serialize(observer schedule cache, rebuilt by attachSampler)
+    Cycle nextSampleAt_ = ~Cycle(0);
+
+    /** Host-profile stage-sampling mask: tick() takes the profiled
+     *  twin when (now_ & mask) == 0. All-ones = disarmed. */
+    // lsqlint: no-serialize(host-profiler sampling mask, observer-only)
+    std::uint64_t profMask_ = ~std::uint64_t(0);
+    /** True inside tickProfiled(): issue helpers lap the LSQ search. */
+    // lsqlint: no-serialize(transient host-profiler flag, false between ticks)
+    bool profLap_ = false;
+    /** LSQ search+forward nanoseconds lapped this profiled tick. */
+    // lsqlint: no-serialize(host-profiler scratch, observer-only)
+    std::uint64_t profLsqNs_ = 0;
 };
 
 } // namespace lsqscale

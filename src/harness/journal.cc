@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "metrics/hostprof.hh"
 #include "sample/serialize.hh"
 
 namespace lsqscale {
@@ -198,6 +199,7 @@ bool
 readJournal(const std::string &path, JournalContents &out,
             std::string &error)
 {
+    ScopedHostPhase prof(HostPhase::JournalIo);
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) {
         error = strfmt("cannot open journal %s", path.c_str());
@@ -334,6 +336,7 @@ JournalWriter::writeRecord(const std::string &payload)
 {
     if (f_ == nullptr)
         return;
+    ScopedHostPhase prof(HostPhase::JournalIo);
     std::string frame = frameJournalRecord(payload);
     // Flush after every record: the journal's whole point is surviving
     // the process dying at an arbitrary moment.

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "inject/inject.hh"
 
 namespace lsqscale {
@@ -240,7 +241,7 @@ JsonFileSink::render(const SweepOutcome &outcome,
                << ", \"status\": \"" << jobStatusName(cell.status)
                << "\", \"attempts\": " << cell.attempts
                << ", \"seed\": " << cell.seed
-               << ", \"ipc\": " << strfmt("%.6f", cell.result.ipc())
+               << ", \"ipc\": " << jsonNumber(cell.result.ipc(), "%.6f")
                << ", \"cycles\": " << cell.result.cycles
                << ", \"committed\": " << cell.result.committed
                << ", \"sq_searches\": " << cell.result.sqSearches()

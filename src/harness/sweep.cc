@@ -8,6 +8,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "metrics/hostprof.hh"
 #include "harness/job_pool.hh"
 #include "harness/journal.hh"
 #include "harness/proc_runner.hh"
@@ -300,7 +301,10 @@ Sweep::runCellInChild(SweepCell &cell, std::size_t r, std::size_t c,
     auto start = std::chrono::steady_clock::now();
     ProcOutcome po = runCellInProcess(
         [this, r, c, &ctx] {
-            SimConfig cfg = configs_[r].make(benchmarks_[c]);
+            SimConfig cfg = [&] {
+                ScopedHostPhase prof(HostPhase::SweepCellSetup);
+                return configs_[r].make(benchmarks_[c]);
+            }();
             return jobFn_(cfg, ctx);
         },
         popts);
@@ -368,7 +372,10 @@ Sweep::runCell(SweepOutcome &out, std::size_t r, std::size_t c)
             continue;
         }
         try {
-            SimConfig cfg = configs_[r].make(benchmarks_[c]);
+            SimConfig cfg = [&] {
+                ScopedHostPhase prof(HostPhase::SweepCellSetup);
+                return configs_[r].make(benchmarks_[c]);
+            }();
             SimResult res = jobFn_(cfg, ctx);
             auto end = std::chrono::steady_clock::now();
             if (hasDeadline && end - start > opts_.timeout) {

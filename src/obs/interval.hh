@@ -53,6 +53,12 @@ class IntervalSampler
     /** Snapshot now, regardless of the period (used at run end). */
     void sample();
 
+    /**
+     * First cycle at which poll() would snapshot — Core::run caches
+     * this so the per-cycle cost is one compare, not a call.
+     */
+    Cycle nextSampleAt() const { return lastCycle_ + interval_; }
+
     /** The accumulated series (move out when the run finishes). */
     const IntervalSeries &series() const { return series_; }
     IntervalSeries takeSeries() { return std::move(series_); }

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "core/core.hh"
+#include "metrics/hostprof.hh"
 #include "sim/sim_config.hh"
 
 namespace lsqscale {
@@ -178,6 +179,7 @@ readHeader(SerialReader &r)
 std::uint64_t
 functionalFingerprint(const SimConfig &config)
 {
+    ScopedHostPhase prof(HostPhase::Fingerprint);
     Fingerprint fp;
     fp.mix(config.benchmark);
     fp.mix(config.tracePath);

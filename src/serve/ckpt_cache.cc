@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "metrics/metrics.hh"
 #include "sample/checkpoint.hh"
 
 namespace fs = std::filesystem;
@@ -12,6 +13,37 @@ namespace fs = std::filesystem;
 namespace lsqscale {
 
 namespace {
+
+/**
+ * Registry mirrors of the cache counters (docs/OBSERVABILITY.md).
+ * The authoritative numbers stay in the mutex-guarded members that
+ * stats()/statsJson() report; these feed the live `lsqctl stats` /
+ * --metrics-out series. A daemon owns one cache, so the level gauges
+ * (bytes/entries) use last-writer-wins set().
+ */
+struct CacheMetrics
+{
+    metrics::Counter &hits =
+        metrics::counter("lsq_serve_cache_hits_total");
+    metrics::Counter &misses =
+        metrics::counter("lsq_serve_cache_misses_total");
+    metrics::Counter &insertions =
+        metrics::counter("lsq_serve_cache_insertions_total");
+    metrics::Counter &evictions =
+        metrics::counter("lsq_serve_cache_evictions_total");
+    metrics::Counter &rejected =
+        metrics::counter("lsq_serve_cache_rejected_total");
+    metrics::Gauge &bytes = metrics::gauge("lsq_serve_cache_bytes");
+    metrics::Gauge &entries =
+        metrics::gauge("lsq_serve_cache_entries");
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics m;
+    return m;
+}
 
 /** Canonical in-cache file name for a key. */
 std::string
@@ -91,9 +123,11 @@ CkptCache::lookup(std::uint64_t fingerprint, std::uint64_t ffInsts)
     auto it = entries_.find({fingerprint, ffInsts});
     if (it == entries_.end()) {
         ++misses_;
+        cacheMetrics().misses.add();
         return "";
     }
     ++hits_;
+    cacheMetrics().hits.add();
     lru_.splice(lru_.begin(), lru_, it->second.lruPos);
     return it->second.path;
 }
@@ -120,12 +154,14 @@ CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
         info = inspectCheckpoint(srcPath);
     } catch (const SerialError &e) {
         ++rejected_;
+        cacheMetrics().rejected.add();
         removeQuiet(srcPath);
         error = strfmt("not a valid checkpoint: %s", e.what());
         return false;
     }
     if (!info.crcOk) {
         ++rejected_;
+        cacheMetrics().rejected.add();
         removeQuiet(srcPath);
         error = "checkpoint payload CRC mismatch";
         return false;
@@ -133,6 +169,7 @@ CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
     if (info.meta.fingerprint != fingerprint ||
         info.meta.instCount != ffInsts) {
         ++rejected_;
+        cacheMetrics().rejected.add();
         removeQuiet(srcPath);
         error = strfmt(
             "checkpoint identity mismatch: file says fp=%016llx "
@@ -148,6 +185,7 @@ CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
     std::uint64_t size = fs::file_size(srcPath, ec);
     if (ec) {
         ++rejected_;
+        cacheMetrics().rejected.add();
         removeQuiet(srcPath);
         error = strfmt("cannot stat %s: %s", srcPath.c_str(),
                        ec.message().c_str());
@@ -155,6 +193,7 @@ CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
     }
     if (size > budget_) {
         ++rejected_;
+        cacheMetrics().rejected.add();
         removeQuiet(srcPath);
         error = strfmt("checkpoint (%llu bytes) exceeds the whole "
                        "cache budget (%llu bytes)",
@@ -168,6 +207,7 @@ CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
     fs::rename(srcPath, dest, ec);
     if (ec) {
         ++rejected_;
+        cacheMetrics().rejected.add();
         removeQuiet(srcPath);
         error = strfmt("cannot move checkpoint into cache: %s",
                        ec.message().c_str());
@@ -175,6 +215,7 @@ CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
     }
     adopt(key, dest, size);
     ++insertions_;
+    cacheMetrics().insertions.add();
     finalPath = dest;
     return true;
 }
@@ -192,7 +233,11 @@ CkptCache::evictToFit(std::uint64_t incoming)
         entries_.erase(it);
         lru_.pop_back();
         ++evictions_;
+        cacheMetrics().evictions.add();
     }
+    cacheMetrics().bytes.set(static_cast<std::int64_t>(bytes_));
+    cacheMetrics().entries.set(
+        static_cast<std::int64_t>(entries_.size()));
 }
 
 void
@@ -205,6 +250,9 @@ CkptCache::adopt(Key key, std::string path, std::uint64_t bytes)
     e.lruPos = lru_.begin();
     entries_[key] = std::move(e);
     bytes_ += bytes;
+    cacheMetrics().bytes.set(static_cast<std::int64_t>(bytes_));
+    cacheMetrics().entries.set(
+        static_cast<std::int64_t>(entries_.size()));
 }
 
 CkptCacheStats

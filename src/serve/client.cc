@@ -234,6 +234,33 @@ ServeClient::stats(std::string &json, std::string &error)
 }
 
 bool
+ServeClient::metrics(std::string &json, std::string &error)
+{
+    std::string reply;
+    if (!roundTrip(msgMetrics(), reply, error))
+        return false;
+    close();
+    try {
+        SerialReader r(reply);
+        auto type = static_cast<ServeMsg>(r.u8());
+        if (type == ServeMsg::Error) {
+            error = r.str();
+            return false;
+        }
+        if (type != ServeMsg::Info) {
+            error = strfmt("unexpected reply type %u",
+                           static_cast<unsigned>(type));
+            return false;
+        }
+        json = r.str();
+        return true;
+    } catch (const SerialError &e) {
+        error = strfmt("malformed reply: %s", e.what());
+        return false;
+    }
+}
+
+bool
 ServeClient::cancel(std::uint64_t id, std::string &error)
 {
     std::string reply;

@@ -74,6 +74,12 @@ class ServeClient
     /** Daemon + checkpoint-cache counters as a JSON document. */
     bool stats(std::string &json, std::string &error);
 
+    /**
+     * The daemon's live telemetry registry as a lsqscale-metrics-v1
+     * JSON document (docs/OBSERVABILITY.md).
+     */
+    bool metrics(std::string &json, std::string &error);
+
     bool cancel(std::uint64_t id, std::string &error);
 
     /** Ask the daemon to drain and exit. */

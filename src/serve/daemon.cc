@@ -20,6 +20,8 @@
 #include "harness/journal.hh"
 #include "harness/proc_runner.hh"
 #include "harness/sink.hh"
+#include "metrics/hostprof.hh"
+#include "metrics/metrics.hh"
 #include "sample/checkpoint.hh"
 #include "serve/registry.hh"
 #include "sim/experiment.hh"
@@ -36,6 +38,8 @@ struct ServeRequest
     std::uint64_t id = 0;
     SweepRequestSpec spec;
     std::atomic<bool> cancel{false};
+    /** Accept time, for the lsq_serve_queue_wait_us span. */
+    std::uint64_t submitNs = 0;
 
     std::mutex mu;
     std::condition_variable cv;
@@ -92,6 +96,11 @@ class StreamSink : public ResultSink
     void
     push(std::string payload)
     {
+        // Parent-side progress series: unlike lsq_serve_active_cells
+        // (updated inside the cell job, which process isolation runs
+        // in a forked child), this counter always moves in the daemon
+        // process itself.
+        metrics::counter("lsq_serve_records_streamed_total").add();
         std::lock_guard<std::mutex> lock(req_->mu);
         req_->records.push_back(std::move(payload));
         req_->cv.notify_all();
@@ -167,6 +176,12 @@ parseServeArgs(const std::vector<std::string> &args, ServeOptions &opts,
                 return false;
             }
             opts.clientWorkers = static_cast<unsigned>(n);
+        } else if (a == "--metrics-out") {
+            if (!value()) {
+                error = "--metrics-out needs a path";
+                return false;
+            }
+            opts.metricsOutPath = v;
         } else if (a == "--isolation") {
             if (!value() || (v != "thread" && v != "process")) {
                 error = "--isolation needs 'thread' or 'process'";
@@ -275,6 +290,9 @@ Daemon::run()
                        : "process"));
 
     while (!shutdown_.load()) {
+        // The 200 ms poll timeout doubles as the telemetry heartbeat:
+        // the loop passes here at least ~5x/s even when idle.
+        maybeDumpMetrics(false);
         pollfd pfd{};
         pfd.fd = listenFd_;
         pfd.events = POLLIN;
@@ -304,9 +322,24 @@ Daemon::run()
     executor_->wait();
     clients_.reset();
     executor_.reset();
+    maybeDumpMetrics(true); // final totals survive the shutdown
     fs::remove(opts_.socketPath, ec);
     logLine(stderr, "lsqd: shut down");
     return 0;
+}
+
+void
+Daemon::maybeDumpMetrics(bool force)
+{
+    if (opts_.metricsOutPath.empty())
+        return;
+    std::uint64_t now = hostNowNs();
+    if (!force && lastMetricsDumpNs_ != 0 &&
+        now - lastMetricsDumpNs_ < 2000000000ull)
+        return;
+    lastMetricsDumpNs_ = now;
+    writeFileCreatingDirs(opts_.metricsOutPath,
+                          metrics::toJson(metrics::snapshot()));
 }
 
 void
@@ -344,6 +377,8 @@ Daemon::handleConnection(int fd)
             handleCancel(fd, r);
         } else if (type == ServeMsg::Stats) {
             handleStats(fd);
+        } else if (type == ServeMsg::Metrics) {
+            handleMetrics(fd);
         } else if (type == ServeMsg::Shutdown) {
             sendFrame(fd, msgAck(0, "draining"), error);
             requestShutdown();
@@ -395,11 +430,14 @@ Daemon::handleSubmit(int fd, SerialReader &r)
 
     auto req = std::make_shared<ServeRequest>();
     req->spec = std::move(spec);
+    req->submitNs = hostNowNs();
     {
         std::lock_guard<std::mutex> lock(requestsMu_);
         req->id = nextId_++;
         requests_[req->id] = req;
     }
+    metrics::counter("lsq_serve_requests_total").add();
+    metrics::gauge("lsq_serve_queue_depth").add();
     logLine(stderr,
             strfmt("lsqd: request %llu '%s' accepted (%zu x %zu)",
                    static_cast<unsigned long long>(req->id),
@@ -487,12 +525,24 @@ Daemon::handleStats(int fd)
                 ++running;
         }
     }
+    // The embedded "metrics" document is the live lsq_* registry;
+    // the legacy top-level keys keep their exact shape for existing
+    // consumers (check_serve_smoke.py greps "cache").
     std::string json = strfmt(
         "{\"requests_total\": %zu, \"queued\": %zu, \"running\": %zu, "
-        "\"cache\": %s}",
-        total, queued, running, cache_->statsJson().c_str());
+        "\"cache\": %s, \"metrics\": %s}",
+        total, queued, running, cache_->statsJson().c_str(),
+        metrics::toJson(metrics::snapshot()).c_str());
     std::string error;
     sendFrame(fd, msgInfo(json), error);
+}
+
+void
+Daemon::handleMetrics(int fd)
+{
+    std::string error;
+    sendFrame(fd, msgInfo(metrics::toJson(metrics::snapshot())),
+              error);
 }
 
 std::shared_ptr<ServeRequest>
@@ -555,10 +605,18 @@ Daemon::streamRecords(int fd, const std::shared_ptr<ServeRequest> &req,
                 done = req->summary;
         }
         std::uint64_t index = next - batch.size();
-        for (const std::string &payload : batch) {
-            if (!sendFrame(fd, msgRecord(index, payload), error))
-                return false; // client went away; request carries on
-            ++index;
+        if (!batch.empty()) {
+            // One span per drained batch: a slow or stalled client
+            // shows up as fat lsq_serve_stream_send_us tails.
+            std::uint64_t sendT0 = hostNowNs();
+            for (const std::string &payload : batch) {
+                if (!sendFrame(fd, msgRecord(index, payload), error))
+                    return false; // client went away; request carries on
+                ++index;
+            }
+            metrics::histogram("lsq_serve_stream_send_us",
+                               metrics::latencyBucketsUs())
+                .observe((hostNowNs() - sendT0) / 1000);
         }
         if (isTerminal)
             return sendFrame(fd, msgDone(done), error);
@@ -568,12 +626,19 @@ Daemon::streamRecords(int fd, const std::shared_ptr<ServeRequest> &req,
 void
 Daemon::executeRequest(const std::shared_ptr<ServeRequest> &req)
 {
+    // Every accepted request passes through here exactly once (even
+    // if cancelled while queued), so the queue-depth gauge balances.
+    metrics::gauge("lsq_serve_queue_depth").sub();
+    metrics::histogram("lsq_serve_queue_wait_us",
+                       metrics::latencyBucketsUs())
+        .observe((hostNowNs() - req->submitNs) / 1000);
     {
         std::lock_guard<std::mutex> lock(req->mu);
         if (req->state != RequestState::Queued)
             return; // cancelled while queued
         req->state = RequestState::Running;
     }
+    metrics::gauge("lsq_serve_active_requests").add();
     try {
         runSweepForRequest(req);
     } catch (const std::exception &e) {
@@ -591,6 +656,7 @@ Daemon::executeRequest(const std::shared_ptr<ServeRequest> &req)
         req->summary.message = "unknown error";
         req->cv.notify_all();
     }
+    metrics::gauge("lsq_serve_active_requests").sub();
 }
 
 void
@@ -612,6 +678,7 @@ Daemon::runSweepForRequest(const std::shared_ptr<ServeRequest> &req)
     auto ckptByFp =
         std::make_shared<std::map<std::uint64_t, std::string>>();
     if (spec.ffInsts > 0) {
+        std::uint64_t warmT0 = hostNowNs();
         std::set<std::uint64_t> seen;
         for (const NamedConfig &row : rows) {
             for (const std::string &bench : spec.benchmarks) {
@@ -679,6 +746,9 @@ Daemon::runSweepForRequest(const std::shared_ptr<ServeRequest> &req)
                              bench.c_str(), cerr.c_str());
             }
         }
+        metrics::histogram("lsq_serve_warm_us",
+                           metrics::latencyBucketsUs())
+            .observe((hostNowNs() - warmT0) / 1000);
     }
 
     // Wrap each row factory so cells restore from the warmed
@@ -721,10 +791,28 @@ Daemon::runSweepForRequest(const std::shared_ptr<ServeRequest> &req)
         [rq](const SimConfig &cfg, const JobContext &ctx) {
             if (rq->cancel.load())
                 throw std::runtime_error("request cancelled");
-            return runSimulationJob(cfg, ctx);
+            // Live only under thread isolation: the process mode runs
+            // this in a forked child, whose copy-on-write gauge the
+            // daemon never sees (lsq_serve_records_streamed_total is
+            // the always-parent-side progress series).
+            metrics::Gauge &cells =
+                metrics::gauge("lsq_serve_active_cells");
+            cells.add();
+            try {
+                SimResult r = runSimulationJob(cfg, ctx);
+                cells.sub();
+                return r;
+            } catch (...) {
+                cells.sub();
+                throw;
+            }
         });
 
+    std::uint64_t execT0 = hostNowNs();
     SweepOutcome outcome = sweep.run();
+    metrics::histogram("lsq_serve_exec_us",
+                       metrics::latencyBucketsUs())
+        .observe((hostNowNs() - execT0) / 1000);
     double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)

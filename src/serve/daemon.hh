@@ -60,6 +60,14 @@ struct ServeOptions
     unsigned clientWorkers = 4;
 
     /**
+     * --metrics-out: file the accept loop refreshes (~2 s cadence,
+     * plus once at shutdown) with the lsqscale-metrics-v1 registry
+     * dump, for scraping without holding a socket connection. "" =
+     * off. Written atomically via writeFileCreatingDirs().
+     */
+    std::string metricsOutPath;
+
+    /**
      * Isolation for sweep cells AND warm fast-forwards. The daemon
      * default is Process (a crashing cell must never take the service
      * down); tests run Thread to stay sanitizer-friendly.
@@ -122,6 +130,9 @@ class Daemon
     void handleStatus(int fd, SerialReader &r);
     void handleCancel(int fd, SerialReader &r);
     void handleStats(int fd);
+    void handleMetrics(int fd);
+    /** Refresh --metrics-out if due (accept-loop cadence). */
+    void maybeDumpMetrics(bool force);
 
     void executeRequest(const std::shared_ptr<ServeRequest> &req);
     void runSweepForRequest(const std::shared_ptr<ServeRequest> &req);
@@ -139,6 +150,7 @@ class Daemon
     std::atomic<bool> shutdown_{false};
     int listenFd_ = -1;
     bool ran_ = false;
+    std::uint64_t lastMetricsDumpNs_ = 0;
 
     std::mutex requestsMu_;
     std::uint64_t nextId_ = 1;

@@ -235,6 +235,14 @@ msgStats()
 }
 
 std::string
+msgMetrics()
+{
+    SerialWriter w;
+    w.u8(static_cast<std::uint8_t>(ServeMsg::Metrics));
+    return w.buffer();
+}
+
+std::string
 msgShutdown()
 {
     SerialWriter w;

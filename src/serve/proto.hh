@@ -46,6 +46,7 @@ enum class ServeMsg : std::uint8_t
     Cancel = 4,   ///< u64 id -> Ack
     Stats = 5,    ///< -> Info
     Shutdown = 6, ///< -> Ack; daemon drains and exits
+    Metrics = 7,  ///< -> Info (lsqscale-metrics-v1 registry dump)
 
     Ack = 64,    ///< u64 id, str text
     Error = 65,  ///< str text
@@ -116,6 +117,7 @@ std::string msgAttach(std::uint64_t id, std::uint64_t fromIndex);
 std::string msgStatus(std::uint64_t id);
 std::string msgCancel(std::uint64_t id);
 std::string msgStats();
+std::string msgMetrics();
 std::string msgShutdown();
 
 std::string msgAck(std::uint64_t id, const std::string &text);

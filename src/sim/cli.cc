@@ -4,10 +4,15 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "harness/journal.hh"
+#include "harness/sink.hh"
 #include "harness/sweep.hh"
 #include "inject/inject.hh"
+#include "metrics/hostprof.hh"
+#include "metrics/metrics.hh"
 #include "obs/trace.hh"
 #include "sample/serialize.hh"
 #include "sim/simulator.hh"
@@ -117,6 +122,15 @@ cliUsage()
         "                       (tracing needs a -DLSQ_TRACE=ON build)\n"
         "  --interval-stats N   sample interval metrics every N cycles\n"
         "  --interval-json PATH write the lsqscale-intervals-v1 series\n"
+        "  --host-profile       report host wall-clock phases (where\n"
+        "                       the host milliseconds went) to stderr\n"
+        "                       (also LSQSCALE_HOST_PROFILE=1)\n"
+        "  --host-profile-json PATH\n"
+        "                       write the lsqscale-hostprof-v1 tree\n"
+        "                       (render it with `lsqtrace hostprof`)\n"
+        "  --metrics-json PATH  dump the host metrics registry as\n"
+        "                       lsqscale-metrics-v1 JSON\n"
+        "  --metrics-prom PATH  dump the registry as Prometheus text\n"
         "\n"
         "sampling / checkpoints (docs/SAMPLING.md):\n"
         "  --sample F:W:D       sampled run: per period fast-forward F,\n"
@@ -305,6 +319,20 @@ parseCli(const std::vector<std::string> &args, CliOptions &opts)
             opts.config.intervalJsonPath = v;
             if (opts.config.intervalCycles == 0)
                 opts.config.intervalCycles = 10000;
+        } else if (a == "--host-profile") {
+            opts.hostProfile = true;
+        } else if (a == "--host-profile-json") {
+            if (!value(v))
+                return "--host-profile-json needs a path";
+            opts.hostProfileJsonPath = v;
+        } else if (a == "--metrics-json") {
+            if (!value(v))
+                return "--metrics-json needs a path";
+            opts.metricsJsonPath = v;
+        } else if (a == "--metrics-prom") {
+            if (!value(v))
+                return "--metrics-prom needs a path";
+            opts.metricsPromPath = v;
         } else if (a == "--sample") {
             if (!value(v) || !parseSampleSpec(v, opts.config.sample))
                 return "--sample needs F:W:D (non-negative integers, "
@@ -346,16 +374,15 @@ resultToJson(const SimResult &result, const SimConfig &config)
     os << "  \"trace\": \"" << config.tracePath << "\",\n";
     os << "  \"cycles\": " << result.cycles << ",\n";
     os << "  \"committed\": " << result.committed << ",\n";
-    char ipc[32];
-    std::snprintf(ipc, sizeof(ipc), "%.6f", result.ipc());
-    os << "  \"ipc\": " << ipc << ",\n";
+    // jsonNumber keeps finite values byte-identical to the historical
+    // %.6f rendering and maps NaN/Inf to null (valid JSON always).
+    os << "  \"ipc\": " << jsonNumber(result.ipc(), "%.6f") << ",\n";
     os << "  \"sq_searches\": " << result.sqSearches() << ",\n";
     os << "  \"lq_searches\": " << result.lqSearches() << ",\n";
     if (result.sampling.enabled) {
         // Only sampled runs carry this block, so plain-run JSON stays
         // byte-stable for golden/trace-smoke comparisons.
         const SampleSummary &s = result.sampling;
-        char num[32];
         os << "  \"sampling\": {\n";
         os << "    \"spec\": \"" << formatSampleSpec(s.spec)
            << "\",\n";
@@ -364,12 +391,14 @@ resultToJson(const SimResult &result, const SimConfig &config)
         os << "    \"warm_insts\": " << s.warmInsts << ",\n";
         os << "    \"measured_insts\": " << s.measuredInsts << ",\n";
         os << "    \"measured_cycles\": " << s.measuredCycles << ",\n";
-        std::snprintf(num, sizeof(num), "%.6f", s.ipcMean);
-        os << "    \"ipc_mean\": " << num << ",\n";
-        std::snprintf(num, sizeof(num), "%.6f", s.ipcStddev);
-        os << "    \"ipc_stddev\": " << num << ",\n";
-        std::snprintf(num, sizeof(num), "%.6f", s.ipcErr95);
-        os << "    \"ipc_err95\": " << num << "\n";
+        os << "    \"ipc_mean\": " << jsonNumber(s.ipcMean, "%.6f")
+           << ",\n";
+        // A single-interval sample has no variance: stddev/err95 are
+        // NaN and must serialize as null, never as a bare NaN token.
+        os << "    \"ipc_stddev\": " << jsonNumber(s.ipcStddev, "%.6f")
+           << ",\n";
+        os << "    \"ipc_err95\": " << jsonNumber(s.ipcErr95, "%.6f")
+           << "\n";
         os << "  },\n";
     }
     os << "  \"counters\": {";
@@ -428,6 +457,12 @@ runCli(const CliOptions &opts)
         return 0;
     }
 
+    bool hostProfile = opts.hostProfile ||
+                       !opts.hostProfileJsonPath.empty() ||
+                       envU64("LSQSCALE_HOST_PROFILE", 0) != 0;
+    if (hostProfile)
+        HostProfiler::setEnabled(true);
+
     Simulator sim(opts.config);
     SimResult result;
     try {
@@ -446,6 +481,8 @@ runCli(const CliOptions &opts)
         return 0;
     }
 
+    {
+    ScopedHostPhase profReport(HostPhase::Report);
     if (opts.jsonOutput) {
         std::fputs(resultToJson(result, opts.config).c_str(), stdout);
     } else {
@@ -479,6 +516,28 @@ runCli(const CliOptions &opts)
     }
     if (opts.dumpStats)
         std::fputs(result.stats.dump().c_str(), stdout);
+    } // profReport
+
+    // Telemetry exposition: stderr and side files only, never the
+    // --json stdout document (metrics-on runs must stay bit-identical
+    // to metrics-off — the metrics-smoke CI flavor diffs them).
+    if (hostProfile) {
+        HostProfileSnapshot prof = HostProfiler::instance().snapshot();
+        if (opts.hostProfile ||
+            envU64("LSQSCALE_HOST_PROFILE", 0) != 0)
+            std::fputs(renderHostProfile(prof).c_str(), stderr);
+        if (!opts.hostProfileJsonPath.empty())
+            writeFileCreatingDirs(opts.hostProfileJsonPath,
+                                  hostProfileToJson(prof) + "\n");
+    }
+    if (!opts.metricsJsonPath.empty())
+        writeFileCreatingDirs(opts.metricsJsonPath,
+                              metrics::toJson(metrics::snapshot()) +
+                                  "\n");
+    if (!opts.metricsPromPath.empty())
+        writeFileCreatingDirs(opts.metricsPromPath,
+                              metrics::toPrometheus(
+                                  metrics::snapshot()));
     return 0;
 }
 

@@ -62,6 +62,20 @@ struct CliOptions
     /** Record a synthetic trace to this path and exit. */
     std::string recordPath;
     std::uint64_t recordCount = 1000000;
+
+    /**
+     * --host-profile: render the host wall-clock phase tree
+     * (docs/OBSERVABILITY.md) to stderr after the run. Also enabled
+     * by LSQSCALE_HOST_PROFILE=1. Never touches --json stdout.
+     */
+    bool hostProfile = false;
+    /** --host-profile-json: write the lsqscale-hostprof-v1 tree. */
+    std::string hostProfileJsonPath;
+    /** --metrics-json: dump the metrics registry as
+     *  lsqscale-metrics-v1 JSON to this path after the run. */
+    std::string metricsJsonPath;
+    /** --metrics-prom: dump the registry in Prometheus text format. */
+    std::string metricsPromPath;
 };
 
 /**

@@ -7,6 +7,8 @@
 #include "common/logging.hh"
 #include "core/core.hh"
 #include "inject/inject.hh"
+#include "metrics/hostprof.hh"
+#include "metrics/metrics.hh"
 // Uses writeFileCreatingDirs only (trace-path plumbing); no
 // dependency on the harness job engine.
 // lsqlint: allow(layer-upward-include) -- results plumbing only
@@ -111,29 +113,41 @@ effectiveSampleSpec(const SampleSpec &configured)
 SimResult
 Simulator::run()
 {
+    // Host-side phase accounting (src/metrics/hostprof.hh). Every
+    // scope below is one predictable branch when profiling is off;
+    // profiled runs stay bit-identical because the profiler only
+    // reads the clock and reports to stderr / side files.
+    ScopedHostPhase profTotal(HostPhase::Total);
+
     SimResult result;
     result.benchmark = config_.benchmark;
 
     std::unique_ptr<Core> corePtr;
-    if (!config_.tracePath.empty()) {
-        corePtr = std::make_unique<Core>(
-            config_.core, config_.lsq, config_.memory,
-            std::make_unique<TraceFileReader>(config_.tracePath),
-            result.stats);
-        // If the label names a built-in profile, its region layout
-        // still describes the trace's addresses: pre-warm as usual.
-        if (profileExists(config_.benchmark))
-            prewarmCaches(corePtr->memory(),
-                          profileFor(config_.benchmark));
-    } else {
-        const BenchmarkProfile &profile =
-            profileFor(config_.benchmark);
-        corePtr = std::make_unique<Core>(config_.core, config_.lsq,
-                                         config_.memory, profile,
-                                         config_.seed, result.stats);
-        prewarmCaches(corePtr->memory(), profile);
+    {
+        ScopedHostPhase profSetup(HostPhase::Setup);
+        if (!config_.tracePath.empty()) {
+            corePtr = std::make_unique<Core>(
+                config_.core, config_.lsq, config_.memory,
+                std::make_unique<TraceFileReader>(config_.tracePath),
+                result.stats);
+            // If the label names a built-in profile, its region
+            // layout still describes the trace's addresses: pre-warm
+            // as usual.
+            if (profileExists(config_.benchmark))
+                prewarmCaches(corePtr->memory(),
+                              profileFor(config_.benchmark));
+        } else {
+            const BenchmarkProfile &profile =
+                profileFor(config_.benchmark);
+            corePtr = std::make_unique<Core>(
+                config_.core, config_.lsq, config_.memory, profile,
+                config_.seed, result.stats);
+            prewarmCaches(corePtr->memory(), profile);
+        }
     }
     Core &core = *corePtr;
+    if (HostProfiler::enabled())
+        core.enableHostProfile(HostProfiler::sampleShift());
 
 #ifdef LSQSCALE_CHECKER
     // Shadow-execute every load/store against the ordering oracle.
@@ -152,13 +166,18 @@ Simulator::run()
     // replace the config warm-up: a restored or fast-forwarded run
     // measures from the checkpoint boundary so that the two are
     // bit-identical.
-    if (!config_.loadCkptPath.empty())
+    if (!config_.loadCkptPath.empty()) {
+        ScopedHostPhase profRestore(HostPhase::CkptRestore);
         loadCheckpoint(core, config_, config_.loadCkptPath);
-    if (config_.ffInsts > 0)
+    }
+    if (config_.ffInsts > 0) {
+        ScopedHostPhase profFf(HostPhase::FastForward);
         core.fastForward(config_.ffInsts);
+    }
     if (!config_.saveCkptPath.empty()) {
         // Save-only run: snapshot the quiesced state and return
         // without measuring anything.
+        ScopedHostPhase profSave(HostPhase::CkptSave);
         saveCheckpoint(core, config_, config_.saveCkptPath);
 #ifdef LSQSCALE_CHECKER
         core.lsq().attachChecker(nullptr);
@@ -171,6 +190,7 @@ Simulator::run()
                       !config_.loadCkptPath.empty();
 
     if (warmup > 0 && !skipWarmup) {
+        ScopedHostPhase profWarmup(HostPhase::Warmup);
         core.run(warmup);
         result.stats.resetAll();
     }
@@ -208,19 +228,31 @@ Simulator::run()
     std::uint64_t l2H = core.memory().l2().hits();
     std::uint64_t l2M = core.memory().l2().misses();
 
+    std::uint64_t runT0 = hostNowNs();
     if (sample.enabled()) {
         // Sampled mode: the measurement window is the union of the
         // periods' measure windows; cache counters below still span
         // the whole loop (fast-forward warming included).
+        ScopedHostPhase profRun(HostPhase::Run);
         result.sampling =
             runSampleLoop(core, sample, startCommitted + measured);
         result.cycles = result.sampling.measuredCycles;
         result.committed = result.sampling.measuredInsts;
     } else {
+        ScopedHostPhase profRun(HostPhase::Run);
         core.run(startCommitted + measured);
         result.cycles = core.cycle() - startCycle;
         result.committed = core.committed() - startCommitted;
     }
+    // Registry telemetry (docs/OBSERVABILITY.md): one counter bump and
+    // one histogram observation per run, host-side only, so simulated
+    // output stays bit-identical. In a sweep these accumulate across
+    // cells; snapshot()/merge() aggregates across JobPool workers.
+    metrics::counter("lsq_sim_runs_total").add();
+    metrics::counter("lsq_sim_committed_insts_total")
+        .add(result.committed);
+    metrics::histogram("lsq_sim_run_us", metrics::latencyBucketsUs())
+        .observe((hostNowNs() - runT0) / 1000);
     result.stats.counter("l1d.hits").inc(core.memory().l1d().hits() -
                                          l1dH);
     result.stats.counter("l1d.misses").inc(core.memory().l1d().misses() -

@@ -1,0 +1,50 @@
+// Registry-metric and phase-timer mutants: one of every metric-name
+// violation (bad taxonomy, counter without _total, gauge wearing
+// _total, kind conflict across sites), plus an unannotated profiler
+// clock read on the hot path. The second hostNowNs() carries a
+// `lsqlint: phase(run)` annotation and must NOT fire — that is the
+// fixture's negative control for the boundary exemption.
+
+#include <cstdint>
+
+namespace lsqscale {
+
+std::uint64_t hostNowNs();
+
+namespace metrics {
+struct Counter { void add(std::uint64_t n = 1); };
+struct Gauge { void set(std::int64_t v); };
+struct Histogram { void observe(std::uint64_t v); };
+Counter &counter(const char *name);
+Gauge &gauge(const char *name);
+Histogram &histogram(const char *name);
+} // namespace metrics
+
+void
+record()
+{
+    // Missing lsq_ prefix.
+    metrics::counter("serve_requests_total").add();
+    // Counter must end _total.
+    metrics::counter("lsq_serve_requests").add();
+    // Gauge must not wear the counter suffix.
+    metrics::gauge("lsq_serve_depth_total").set(3);
+    // Same name, different kind: register-on-first-use loses one.
+    metrics::histogram("lsq_serve_requests").observe(1);
+}
+
+void
+work();
+
+// lsqlint: hot
+void
+tick()
+{
+    std::uint64_t t0 = hostNowNs();
+    work();
+    std::uint64_t t1 = hostNowNs(); // lsqlint: phase(run)
+    (void)t0;
+    (void)t1;
+}
+
+} // namespace lsqscale

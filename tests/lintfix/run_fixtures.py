@@ -66,6 +66,12 @@ EXPECT = {
         "stats-buckets": 2,   # one finding per inconsistent site
         "unchecked-syscall": 1,
     },
+    "broken_metric": {
+        "metric-name": 4,       # bad taxonomy, counter w/o _total,
+                                # gauge w/ _total, kind conflict
+        "hot-phase-timer": 1,   # the phase(run)-annotated read is the
+                                # in-fixture negative control
+    },
     "clean": {},
     "suppress": {},
 }

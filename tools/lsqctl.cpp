@@ -9,6 +9,8 @@
  *   lsqctl results ID             lsqscale-sweep-v1 JSON to stdout
  *   lsqctl status [ID]            request table as JSON
  *   lsqctl stats                  daemon + checkpoint-cache counters
+ *                                 (incl. the live lsq_* metrics)
+ *   lsqctl metrics                lsqscale-metrics-v1 registry dump
  *   lsqctl cancel ID              cancel a queued/running request
  *   lsqctl shutdown               drain and stop the daemon
  *
@@ -52,6 +54,7 @@ usage(std::FILE *out)
         "  results ID\n"
         "  status [ID]\n"
         "  stats\n"
+        "  metrics\n"
         "  cancel ID\n"
         "  shutdown\n"
         "\n"
@@ -441,6 +444,17 @@ main(int argc, char **argv)
         if (!rest.empty())
             return usage(stderr);
         return cmdJson(client, true, 0);
+    }
+    if (cmd == "metrics") {
+        if (!rest.empty())
+            return usage(stderr);
+        std::string json;
+        if (!client.metrics(json, error)) {
+            std::fprintf(stderr, "lsqctl: %s\n", error.c_str());
+            return 3;
+        }
+        std::printf("%s\n", json.c_str());
+        return 0;
     }
     if (cmd == "cancel") {
         std::uint64_t id = 0;

@@ -32,6 +32,8 @@ usage(std::FILE *out)
         "                     or LSQSCALE_SERVE_CLIENTS)\n"
         "  --isolation MODE   'process' (default) or 'thread' cell\n"
         "                     isolation\n"
+        "  --metrics-out PATH refresh PATH (~2 s cadence) with the\n"
+        "                     lsqscale-metrics-v1 telemetry dump\n"
         "\n"
         "Submit work with lsqctl; stop with `lsqctl shutdown`.\n",
         out);

@@ -25,15 +25,17 @@ import re
 
 from . import lexer
 
-FACTS_VERSION = 7  # bump to invalidate caches when extraction changes
+FACTS_VERSION = 8  # bump to invalidate caches when extraction changes
 
 # Annotation grammar (docs/STATIC_ANALYSIS.md):
 #   // lsqlint: allow(rule[, rule...]) [-- reason]
 #   // lsqlint: hot [-- reason]
 #   // lsqlint: no-serialize(reason)
 #   // lsqlint: layer(subsystem) [-- reason]
+#   // lsqlint: phase(name) [-- reason]
 _ANNOT_RE = re.compile(
-    r"lsqlint\s*:\s*(allow|no-serialize|layer|hot)\b\s*(?:\(([^)]*)\))?")
+    r"lsqlint\s*:\s*(allow|no-serialize|layer|hot|phase)\b"
+    r"\s*(?:\(([^)]*)\))?")
 
 # Statement keywords that look like calls but are not.
 _NOT_CALLS = frozenset((
@@ -104,12 +106,21 @@ _SYSCALL_IDENTS = frozenset((
 
 _THREAD_IDENTS = frozenset(("thread", "jthread"))
 
+# Host-profiler timing primitives (src/metrics/hostprof.hh). Legal on
+# the hot path only at `// lsqlint: phase(<name>)` annotated lines —
+# the per-cycle clock reads of Core::tickProfiled and the LSQ lap
+# timers, which the sampling mask keeps off the common case.
+_TIMER_IDENTS = frozenset((
+    "hostNowNs", "ScopedHostPhase", "addSample", "noteSampledCycle",
+))
+
 
 def _parse_annotations(comments):
     allows = {}       # line -> [rules]
     noser = {}        # line -> reason
     hot_lines = []    # comment end lines carrying `hot`
     layer_claim = None  # (subsystem, line)
+    phase_lines = {}  # line -> phase name (host-profiler boundaries)
     for c in comments:
         for m in _ANNOT_RE.finditer(c.text):
             kind, arg = m.group(1), (m.group(2) or "").strip()
@@ -126,7 +137,11 @@ def _parse_annotations(comments):
                 hot_lines.append(c.end_line)
             elif kind == "layer" and layer_claim is None and arg:
                 layer_claim = [arg, c.line]
-    return allows, noser, hot_lines, layer_claim
+            elif kind == "phase" and arg:
+                # Same trailing-or-above coverage as allow().
+                for ln in range(c.line, c.end_line + 2):
+                    phase_lines[ln] = arg
+    return allows, noser, hot_lines, layer_claim, phase_lines
 
 
 class _Cursor:
@@ -376,7 +391,8 @@ class _Extractor:
             for inc in lexed.includes
         ]
         (self.allows, self.noser, self.hot_lines,
-         self.layer_claim) = _parse_annotations(lexed.comments)
+         self.layer_claim,
+         self.phase_lines) = _parse_annotations(lexed.comments)
         self.comment_lines = set()
         for c in lexed.comments:
             for ln in range(c.line, c.end_line + 1):
@@ -390,6 +406,7 @@ class _Extractor:
         }
         self.switches = []
         self.hist_sites = []
+        self.metric_sites = []
         self.fourcc_defs = []
         self.constants = {}
         # File-wide Enum::Member references and LSQ_TRACE_HOOK event
@@ -918,6 +935,10 @@ class _Extractor:
                 prev.text not in (".", "->")):
             purity.append({"kind": "hot-io", "line": t.line,
                            "what": t.text + "()"})
+        elif t.text in _TIMER_IDENTS and (called() or
+                                          t.text == "ScopedHostPhase"):
+            purity.append({"kind": "hot-phase-timer", "line": t.line,
+                           "what": t.text})
 
     # ------------------------------------------- linear event scan ----
     def _scan_linear_events(self):
@@ -1062,6 +1083,22 @@ class _Extractor:
                 shape = shape.replace("_", "")
                 self.hist_sites.append({"line": t.line, "name": name,
                                         "shape": shape})
+
+            # registry metric sites ---------------------------------
+            # metrics::counter("name") / gauge / histogram — the
+            # registration calls of src/metrics/metrics.hh, as opposed
+            # to the StatSet `.histogram(` member sites above.
+            elif (t.text in ("counter", "gauge", "histogram") and
+                  prev is not None and prev.kind == "p" and
+                  prev.text == "::" and i >= 2 and
+                  toks[i - 2].kind == "id" and
+                  toks[i - 2].text == "metrics" and
+                  nxt is not None and nxt.kind == "p" and
+                  nxt.text == "(" and i + 2 < n and
+                  toks[i + 2].kind == "str"):
+                self.metric_sites.append(
+                    {"line": t.line, "kind": t.text,
+                     "name": toks[i + 2].text[1:-1]})
             i += 1
 
         # C-style casts need a separate pass: '(' T ')' '('
@@ -1155,6 +1192,9 @@ class _Extractor:
             "events": self.events,
             "switches": self.switches,
             "hist_sites": self.hist_sites,
+            "metric_sites": self.metric_sites,
+            "phase_lines": {str(k): v
+                            for k, v in self.phase_lines.items()},
             "fourcc_defs": self.fourcc_defs,
             "constants": self.constants,
             "file_refs": {k: dict(v)

@@ -12,11 +12,21 @@ function). Within the checked set:
   hot-virtual  calls through a pointer (or reference) whose static
                type resolves to a class with matching virtual methods
   hot-io       stdio / iostream calls
+  hot-phase-timer  host-profiler timing primitives (hostNowNs,
+               ScopedHostPhase, addSample, noteSampledCycle)
 
 Arguments of LSQ_PANIC / LSQ_FATAL / LSQ_WARN / LSQ_ASSERT /
 LSQ_DCHECK / LSQ_TRACE_HOOK are exempt at extraction time: those are
 cold failure paths (or compiled out), and that is exactly where
 allocation and I/O are allowed to live.
+
+Lines carrying `// lsqlint: phase(<name>)` are declared host-profiler
+phase boundaries (Core::tickProfiled's lap reads, the LSQ lap timers
+behind the profLap_ mask): every purity event on such a line is
+exempt. Timer primitives anywhere *else* in the checked set are
+hot-phase-timer findings — clock reads must stay behind the sampling
+mask, at annotated boundaries, or the "provably free" overhead gate
+(scripts/check_metrics_smoke.py overhead) stops holding.
 """
 
 from __future__ import annotations
@@ -106,10 +116,28 @@ def run(db):
             if thit and target not in checked:
                 checked[target] = (thit[0], thit[1], qname)
 
+    def phase_at(path, line):
+        facts = db.facts.get(path)
+        if not facts:
+            return None
+        return facts.get("phase_lines", {}).get(str(line))
+
     for qname, (path, fn, origin) in sorted(checked.items()):
         where = (f"in hot function `{qname}`" if origin is None else
                  f"in `{qname}` (called from hot `{origin}`)")
         for ev in fn["purity"]:
+            if phase_at(path, ev["line"]) is not None:
+                # Declared phase boundary: scoped timer reads (and
+                # whatever bookkeeping shares the line) are legal.
+                continue
+            if ev["kind"] == "hot-phase-timer":
+                findings.append(Finding(
+                    "hot-phase-timer", path, ev["line"],
+                    f"profiler timer `{ev['what']}` {where}: clock "
+                    f"reads on the per-cycle path are legal only at "
+                    f"`// lsqlint: phase(<name>)` annotated "
+                    f"boundaries"))
+                continue
             findings.append(Finding(
                 ev["kind"], path, ev["line"],
                 f"{ev['what']} {where}: the per-cycle path must stay "

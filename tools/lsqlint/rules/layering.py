@@ -4,10 +4,16 @@ The subsystem DAG (DESIGN.md):
 
     common                                  layer 0
     lsq core memory predictor workload      layer 1
+    metrics                                 layer 1
     sim                                     layer 2
     check obs sample                        layer 3
     harness inject                          layer 4
     serve                                   layer 5
+
+metrics sits at layer 1 (it includes only common): the host-telemetry
+registry and profiler are read from core's sampled tick, so they must
+live at-or-below core, and everything above (sim, harness, serve)
+reaches them transitively.
 
 A file may include same-or-lower layers only (same-layer
 cross-subsystem includes are allowed; that is what lets lsq read
@@ -30,6 +36,7 @@ from ..engine import Finding
 LAYERS = {
     "common": 0,
     "lsq": 1, "core": 1, "memory": 1, "predictor": 1, "workload": 1,
+    "metrics": 1,
     "sim": 2,
     "check": 3, "obs": 3, "sample": 3,
     "harness": 4, "inject": 4,

@@ -1,0 +1,66 @@
+"""Registry metric naming.
+
+metric-name — every `metrics::counter("...")` / `gauge` / `histogram`
+registration (src/metrics/metrics.hh) names its series
+`lsq_<subsystem>_<name>[_unit]`: lowercase snake_case with at least
+three segments, an `lsq_` prefix so dashboards can select the whole
+process with one matcher, and the subsystem second so per-subsystem
+aggregation is a prefix match. Counters additionally end `_total`
+(the Prometheus convention the text exposition relies on: `_total`
+marks monotone series, and the `_bucket`/`_sum`/`_count` suffixes
+stay reserved for histogram expansion). Gauges and histograms must
+*not* end `_total` — a non-monotone series wearing the counter suffix
+mis-renders in every downstream rate() query.
+
+The same name registered under two different kinds anywhere in the
+tree is also a finding: the registry is process-global, and
+register-on-first-use means the second kind silently loses
+(docs/OBSERVABILITY.md).
+
+The catalog in docs/OBSERVABILITY.md is the human-facing list; the
+runtime validator scripts/check_metrics_smoke.py applies the same
+grammar to exported artifacts.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import Finding
+
+_NAME_RE = re.compile(r"^lsq_[a-z0-9]+(_[a-z0-9]+)+$")
+
+
+def run(db):
+    findings = []
+    first_kind = {}  # name -> (kind, path, line)
+    for path, facts in db.src_and_tools():
+        for site in facts.get("metric_sites", ()):
+            name, kind, line = site["name"], site["kind"], site["line"]
+            if not _NAME_RE.match(name):
+                findings.append(Finding(
+                    "metric-name", path, line,
+                    f"metric `{name}` violates the "
+                    f"lsq_<subsystem>_<name>[_unit] taxonomy "
+                    f"(lowercase snake_case, lsq_ prefix, >= 3 "
+                    f"segments)"))
+                continue
+            if kind == "counter" and not name.endswith("_total"):
+                findings.append(Finding(
+                    "metric-name", path, line,
+                    f"counter `{name}` must end `_total` (monotone "
+                    f"series marker; see docs/OBSERVABILITY.md)"))
+            elif kind != "counter" and name.endswith("_total"):
+                findings.append(Finding(
+                    "metric-name", path, line,
+                    f"{kind} `{name}` must not end `_total`: that "
+                    f"suffix is reserved for monotone counters"))
+            prev = first_kind.setdefault(name, (kind, path, line))
+            if prev[0] != kind:
+                findings.append(Finding(
+                    "metric-name", path, line,
+                    f"metric `{name}` registered as {kind} here but "
+                    f"as {prev[0]} at {prev[1]}:{prev[2]}: the "
+                    f"process-global registry is "
+                    f"register-on-first-use, one kind per name"))
+    return findings

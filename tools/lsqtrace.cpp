@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "harness/sink.hh"
+#include "metrics/hostprof.hh"
 #include "obs/analyzer.hh"
 #include "obs/konata.hh"
 #include "obs/trace.hh"
@@ -33,6 +34,9 @@ const char *kUsage =
     "                        output and verifies the round trip\n"
     "  dump TRACE            print every record as text\n"
     "                        (--limit N caps the output)\n"
+    "  hostprof FILE         render a host wall-clock phase tree from\n"
+    "                        a lsqscale-hostprof-v1 JSON file\n"
+    "                        (lsqsim --host-profile-json)\n"
     "  --help                this text\n";
 
 int
@@ -97,6 +101,34 @@ cmdDump(const std::string &path, std::uint64_t limit)
     return 0;
 }
 
+int
+cmdHostProf(const std::string &path)
+{
+    using namespace lsqscale;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "lsqtrace: cannot open %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::string json;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        json.append(buf, got);
+    std::fclose(f);
+
+    HostProfileSnapshot snap;
+    std::string error;
+    if (!parseHostProfileJson(json, snap, error)) {
+        std::fprintf(stderr, "lsqtrace: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    std::fputs(renderHostProfile(snap).c_str(), stdout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -147,6 +179,8 @@ main(int argc, char **argv)
         return cmdKonata(trace, out, check);
     if (cmd == "dump")
         return cmdDump(trace, limit);
+    if (cmd == "hostprof")
+        return cmdHostProf(trace);
 
     std::fprintf(stderr, "lsqtrace: unknown command '%s' (see --help)\n",
                  cmd.c_str());
