@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Assertions for the mcm-smoke CI flavor (docs/CONSISTENCY.md).
+
+The flavor runs the litmus engine (tools/lsqmcm) over the full design
+grid with the ordering oracle attached, then checks the probe model's
+non-perturbation contract at the lsqsim CLI. This script holds the
+JSON-level checks:
+
+  grid GRID.json [--designs N] [--tests N]
+      GRID.json is the line-delimited output of `lsqmcm --json`. The
+      full (design x test) grid must be present, every cell must
+      report zero forbidden outcomes and zero oracle mismatches with
+      a nonzero iteration count, probes must have been delivered
+      overall, at least one load-buffer design must report probe
+      squashes (the snoop path demonstrably fired), and every
+      scenario's aggregate outcome histogram must hold at least two
+      labels (remote writes really interleaved with the local agent —
+      a single-label histogram would make the forbidden checks
+      vacuous at run level).
+
+  probed RUN.json
+      RUN.json is `lsqsim --json` output from a --probe-rate run: the
+      probe.delivered counter must be present and nonzero, proving
+      the CLI plumbing reaches the coherence stage.
+
+Exit status 0 iff every assertion holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_grid(path: str):
+    cells = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                cells.append(json.loads(line))
+    if not cells:
+        sys.exit(f"mcm-smoke: {path} holds no grid cells")
+    return cells
+
+
+def check_grid(args) -> int:
+    cells = load_grid(args.grid)
+    designs = {c["design"] for c in cells}
+    tests = {c["test"] for c in cells}
+    if len(designs) != args.designs:
+        sys.exit(f"mcm-smoke: expected {args.designs} designs, "
+                 f"got {sorted(designs)}")
+    if len(tests) != args.tests:
+        sys.exit(f"mcm-smoke: expected {args.tests} scenarios, "
+                 f"got {sorted(tests)}")
+    seen = {(c["design"], c["test"]) for c in cells}
+    if len(seen) != args.designs * args.tests:
+        sys.exit(f"mcm-smoke: grid incomplete: {len(seen)} cells, "
+                 f"expected {args.designs * args.tests}")
+
+    for c in cells:
+        where = f"{c['design']}/{c['test']}"
+        if c["forbidden"] != 0:
+            sys.exit(f"mcm-smoke: {where}: {c['forbidden']} forbidden "
+                     f"outcome(s): {c['histogram']}")
+        if c["mismatches"] != 0:
+            sys.exit(f"mcm-smoke: {where}: {c['mismatches']} ordering-"
+                     f"oracle mismatch(es)")
+        if c["iterations"] == 0:
+            sys.exit(f"mcm-smoke: {where}: no iterations resolved")
+        if not c["histogram"]:
+            sys.exit(f"mcm-smoke: {where}: empty outcome histogram")
+
+    if sum(c["probes"] for c in cells) == 0:
+        sys.exit("mcm-smoke: no probes were delivered anywhere")
+    lb_squashes = sum(c["squashes"] for c in cells
+                      if c["design"].startswith(("lb", "inorder")))
+    if lb_squashes == 0:
+        sys.exit("mcm-smoke: no load-buffer design reported a probe "
+                 "squash: the snoop path never fired")
+
+    for test in sorted(tests):
+        labels = set()
+        for c in cells:
+            if c["test"] == test:
+                labels.update(c["histogram"])
+        if len(labels) < 2:
+            sys.exit(f"mcm-smoke: scenario {test} collapsed into "
+                     f"{sorted(labels)}: remote writes never "
+                     f"interleaved")
+
+    print(f"mcm-smoke: grid ok ({len(cells)} cells, "
+          f"{sum(c['probes'] for c in cells)} probes, "
+          f"{sum(c['squashes'] for c in cells)} squashes, "
+          f"0 forbidden, 0 mismatches)")
+    return 0
+
+
+def check_probed(args) -> int:
+    with open(args.run) as f:
+        doc = json.load(f)
+    delivered = doc.get("counters", {}).get("probe.delivered", 0)
+    if delivered == 0:
+        sys.exit(f"mcm-smoke: {args.run}: probe.delivered is 0 — the "
+                 f"--probe-rate plumbing never reached the LSQ")
+    print(f"mcm-smoke: probed run ok ({delivered} probes delivered)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    g = sub.add_parser("grid")
+    g.add_argument("grid")
+    g.add_argument("--designs", type=int, default=7)
+    g.add_argument("--tests", type=int, default=5)
+    g.set_defaults(func=check_grid)
+
+    p = sub.add_parser("probed")
+    p.add_argument("run")
+    p.set_defaults(func=check_probed)
+
+    args = ap.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

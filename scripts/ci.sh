@@ -10,6 +10,16 @@
 #   4. tsan        — ThreadSanitizer on harness_test + obs_test +
 #                    sample_test: the sweep engine and the checkpoint
 #                    writers under a race detector
+#   4b. mcm-smoke  — memory-consistency litmus grid
+#                    (docs/CONSISTENCY.md): tools/lsqmcm runs every
+#                    scenario across the full design grid under the
+#                    ordering oracle (zero forbidden outcomes, zero
+#                    mismatches, probe squashes demonstrably firing,
+#                    gated by scripts/check_mcm_smoke.py), the litmus
+#                    JobPool fan-out runs under ThreadSanitizer, and
+#                    an idle probe agent (--probe-rate 0) must leave
+#                    lsqsim output byte-identical while an active one
+#                    must deliver probes
 #   5. bench-smoke — fig7_sq_speedup with LSQSCALE_JOBS=4 vs a serial
 #                    run; table and CSV output must be byte-identical
 #                    (the harness determinism contract). Also the
@@ -99,6 +109,39 @@ cmake --build build-ci-tsan -j "$JOBS" \
 ./build-ci-tsan/tests/obs_test
 ./build-ci-tsan/tests/sample_test
 ./build-ci-tsan/tests/metrics_test
+
+banner "flavor: mcm-smoke (litmus grid under the oracle, TSan, probe bit-identity)"
+MCM_DIR="build-ci-release/mcm-smoke"
+MCM_SEEDS="${LSQSCALE_CI_MCM_SEEDS:-16}"
+MCM_ITERS="${LSQSCALE_CI_MCM_ITERS:-64}"
+MCM_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
+rm -rf "$MCM_DIR"
+mkdir -p "$MCM_DIR"
+
+# Full design grid, every scenario, ordering oracle attached (the
+# checker build compiles the same hooks, so run it there for depth).
+./build-ci-checker/tools/lsqmcm --seeds "$MCM_SEEDS" \
+    --iters "$MCM_ITERS" --json >"$MCM_DIR/grid.json"
+python3 scripts/check_mcm_smoke.py grid "$MCM_DIR/grid.json"
+
+# The litmus engine's per-seed JobPool fan-out under ThreadSanitizer.
+cmake --build build-ci-tsan -j "$JOBS" --target lsqmcm
+./build-ci-tsan/tools/lsqmcm --seeds 4 --iters 16 --threads 4 >/dev/null
+
+# Probe non-perturbation: attaching an idle agent (--probe-rate 0)
+# must not change a single output byte; an active schedule must
+# actually reach the LSQ.
+./build-ci-release/tools/lsqsim --insts "$MCM_INSTS" --json \
+    >"$MCM_DIR/plain.json" 2>/dev/null
+./build-ci-release/tools/lsqsim --insts "$MCM_INSTS" --probe-rate 0 \
+    --json >"$MCM_DIR/idle.json" 2>/dev/null
+diff "$MCM_DIR/plain.json" "$MCM_DIR/idle.json" || {
+    echo "mcm-smoke: idle probe agent perturbed the run" >&2
+    exit 1
+}
+./build-ci-release/tools/lsqsim --insts "$MCM_INSTS" --probe-rate 5 \
+    --json >"$MCM_DIR/probed.json" 2>/dev/null
+python3 scripts/check_mcm_smoke.py probed "$MCM_DIR/probed.json"
 
 banner "flavor: bench-smoke (parallel sweep byte-identical to serial)"
 SMOKE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"

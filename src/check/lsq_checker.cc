@@ -28,6 +28,10 @@ checkErrorKindName(CheckErrorKind kind)
         return "undetected-load-load-order";
       case CheckErrorKind::BrokenProtocol:
         return "broken-protocol";
+      case CheckErrorKind::MissedProbeSquash:
+        return "missed-probe-squash";
+      case CheckErrorKind::SpuriousProbeSquash:
+        return "spurious-probe-squash";
     }
     return "unknown";
 }
@@ -385,6 +389,22 @@ LsqChecker::onLoadCommit(SeqNum seq)
         return;
     }
 
+    if (pendingProbeVictim_ != kNoSeq && seq >= pendingProbeVictim_) {
+        CheckError err;
+        err.kind = CheckErrorKind::MissedProbeSquash;
+        err.seq = seq;
+        err.pc = e.pc;
+        err.addr = e.addr;
+        err.cycle = e.executeCycle;
+        err.expected = pendingProbeVictim_;
+        err.detail = strfmt(
+            "probe victim seq=%llu committed without an intervening "
+            "squash",
+            static_cast<unsigned long long>(pendingProbeVictim_));
+        fail(err);
+        pendingProbeVictim_ = kNoSeq;
+    }
+
     // The decisive end-to-end check: resolve the load's committed
     // (final) execution against the golden memory image. Commits are
     // in program order, so the image's last writer of this address is
@@ -448,6 +468,34 @@ LsqChecker::onLoadCommit(SeqNum seq)
         }
     }
 
+    // End-to-end coherence-ordering check: a committed, non-forwarded
+    // load must not have read a value an already-visible remote write
+    // superseded *before* some older load executed. Commits are in
+    // program order, so the oracle's max committed-load execute cycle
+    // is exactly the latest execution among the older loads; a remote
+    // write to this line visible strictly between this load's execute
+    // and that horizon means an older load observed newer memory than
+    // this (younger) load — the probe machinery owed us a squash.
+    if (params_.loadCheck != LoadCheckPolicy::None &&
+        e.forwardedFrom == kNoSeq &&
+        oracle_.remoteWriteBetween(e.addr, e.executeCycle,
+                                   oracle_.maxCommittedLoadExec())) {
+        CheckError err;
+        err.kind = CheckErrorKind::MissedProbeSquash;
+        err.seq = seq;
+        err.pc = e.pc;
+        err.addr = e.addr;
+        err.cycle = e.executeCycle;
+        err.detail = strfmt(
+            "committed load executed at cycle %llu, but a remote write "
+            "to its line became visible before an older load's final "
+            "execution (cycle %llu) and no squash re-executed it",
+            static_cast<unsigned long long>(e.executeCycle),
+            static_cast<unsigned long long>(
+                oracle_.maxCommittedLoadExec()));
+        fail(err);
+    }
+
     // Load-load ordering: when a policy enforces it, committed
     // same-address loads must have non-decreasing final execute cycles
     // (a detected violation re-executes the younger load later).
@@ -481,34 +529,71 @@ LsqChecker::onLoadCommit(SeqNum seq)
 
 // ------------------------------------------------------ the rest ------
 
+SeqNum
+LsqChecker::probeVictimReference(Addr addr) const
+{
+    if (params_.loadCheck == LoadCheckPolicy::LoadBuffer ||
+        params_.loadCheck == LoadCheckPolicy::InOrder) {
+        // Load-buffer snoop policies squash only *vulnerable* loads:
+        // executed while an older load is still non-executed (exactly
+        // the load buffer's residents — an entry is inserted when a
+        // load issues past a non-issued older load and released once
+        // the NILP passes it, i.e. once every older load has issued).
+        // Reference: the oldest such load matching the address.
+        bool sawNonExecuted = false;
+        for (const auto &e : lq_) {
+            if (!e.executed) {
+                sawNonExecuted = true;
+                continue;
+            }
+            if (sawNonExecuted && e.addr == addr)
+                return e.seq;
+        }
+        return kNoSeq;
+    }
+    // Conventional policies walk the LQ: oldest outstanding
+    // (executed) load to the address — the R10000-style target.
+    for (const auto &e : lq_) {
+        if (e.executed && e.addr == addr)
+            return e.seq;
+    }
+    return kNoSeq;
+}
+
 void
 LsqChecker::onInvalidate(Addr addr, Cycle now,
                          const StoreSearchOutcome &out)
 {
     if (!out.accepted)
         return;
-    // Reference: oldest outstanding (executed) load to the address —
-    // the R10000-style squash target.
-    SeqNum expect = kNoSeq;
-    for (const auto &e : lq_) {
-        if (e.executed && e.addr == addr) {
-            expect = e.seq;
-            break;
-        }
-    }
+    // An accepted delivery is the write's global visibility point:
+    // remember it so onLoadCommit can re-derive every squash this
+    // probe should have caused from first principles.
+    oracle_.noteRemoteWrite(addr, now);
+
+    SeqNum expect = probeVictimReference(addr);
     if (expect != out.violationLoad) {
         CheckError err;
-        err.kind = expect == kNoSeq
-                       ? CheckErrorKind::PhantomStoreLoadViolation
-                       : CheckErrorKind::MissedStoreLoadDetection;
-        err.seq = kNoSeq;
+        err.kind = expect == kNoSeq ||
+                           (out.violationLoad != kNoSeq &&
+                            out.violationLoad < expect)
+                       ? CheckErrorKind::SpuriousProbeSquash
+                       : CheckErrorKind::MissedProbeSquash;
+        err.seq = out.violationLoad;
         err.addr = addr;
         err.cycle = now;
         err.expected = expect;
         err.actual = out.violationLoad;
-        err.detail = "invalidation search disagreed with the oldest "
-                     "outstanding-load rule";
+        err.detail = "probe squash target disagreed with the "
+                     "vulnerable-load rule for the active load-check "
+                     "policy";
         fail(err);
+    } else if (expect != kNoSeq) {
+        // The core must now squash from the victim; remember the
+        // obligation so a commit slipping past it is caught.
+        if (pendingProbeVictim_ == kNoSeq ||
+            expect < pendingProbeVictim_)
+            pendingProbeVictim_ = expect;
     }
     ++opsChecked_;
 }
@@ -520,6 +605,8 @@ LsqChecker::onSquash(SeqNum from)
         lq_.pop_back();
     while (!sq_.empty() && sq_.back().seq >= from)
         sq_.pop_back();
+    if (pendingProbeVictim_ != kNoSeq && from <= pendingProbeVictim_)
+        pendingProbeVictim_ = kNoSeq;   // obligation discharged
 }
 
 } // namespace lsqscale

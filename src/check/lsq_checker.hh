@@ -66,6 +66,16 @@ enum class CheckErrorKind : std::uint8_t {
     UndetectedLoadLoadOrder,
     /** Event-protocol breakage: bad commit order, unknown seq, ... */
     BrokenProtocol,
+    /**
+     * A coherence probe failed to squash the load the vulnerability
+     * rule demands (or a probe-marked victim later committed without
+     * an intervening squash, or a committed load turned out to have
+     * read a value a remote write had already made stale relative to
+     * an older load's execution).
+     */
+    MissedProbeSquash,
+    /** A probe squashed a load the vulnerability rule exempts. */
+    SpuriousProbeSquash,
 };
 
 const char *checkErrorKindName(CheckErrorKind kind);
@@ -157,10 +167,22 @@ class LsqChecker
     void fail(CheckError err);
     void protocolFail(SeqNum seq, Cycle cycle, const std::string &what);
 
+    /**
+     * Reference squash target for an accepted probe under the active
+     * load-check policy (see onInvalidate), or kNoSeq.
+     */
+    SeqNum probeVictimReference(Addr addr) const;
+
     LsqParams params_;
     MemoryOracle oracle_;
     std::deque<ShadowLoad> lq_;
     std::deque<ShadowStore> sq_;
+
+    /**
+     * Oldest probe-reported victim whose squash has not yet been
+     * observed: any load >= this committing first is a missed squash.
+     */
+    SeqNum pendingProbeVictim_ = kNoSeq;
 
     std::uint64_t mismatches_ = 0;
     std::uint64_t opsChecked_ = 0;

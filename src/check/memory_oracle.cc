@@ -1,5 +1,7 @@
 #include "check/memory_oracle.hh"
 
+#include <algorithm>
+
 namespace lsqscale {
 
 bool
@@ -25,7 +27,30 @@ MemoryOracle::commitLoad(SeqNum seq, Pc pc, Addr addr,
                          Cycle executeCycle)
 {
     loads_[addr] = LoadRecord{seq, pc, executeCycle};
+    if (maxLoadExec_ == kNoCycle || executeCycle > maxLoadExec_)
+        maxLoadExec_ = executeCycle;
     return advanceCommitOrder(seq);
+}
+
+void
+MemoryOracle::noteRemoteWrite(Addr addr, Cycle visibleAt)
+{
+    remoteWrites_[addr].push_back(visibleAt);
+}
+
+bool
+MemoryOracle::remoteWriteBetween(Addr addr, Cycle after,
+                                 Cycle before) const
+{
+    if (before == kNoCycle || after + 1 >= before)
+        return false;
+    auto it = remoteWrites_.find(addr);
+    if (it == remoteWrites_.end())
+        return false;
+    // Deliveries to one line are in order, so the vector is sorted.
+    auto lo = std::upper_bound(it->second.begin(), it->second.end(),
+                               after);
+    return lo != it->second.end() && *lo < before;
 }
 
 const MemoryOracle::StoreRecord *

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -75,14 +76,41 @@ class MemoryOracle
 
     std::uint64_t commits() const { return commits_; }
 
+    // ------------------------------------- remote (coherence) writes --
+    /**
+     * Record a remote agent's write to @p addr that became globally
+     * visible at @p visibleAt (the cycle its invalidation probe was
+     * delivered). Per-address visibility times must be non-decreasing
+     * — probes to one line are delivered in order.
+     */
+    void noteRemoteWrite(Addr addr, Cycle visibleAt);
+
+    /**
+     * True if a remote write to @p addr became visible strictly inside
+     * the open interval (@p after, @p before). The probe-squash
+     * invariant: a committed, non-forwarded load that executed at
+     * `after` while an older load only executed at `before` must have
+     * been squashed by any such write.
+     */
+    bool remoteWriteBetween(Addr addr, Cycle after, Cycle before) const;
+
+    /**
+     * Largest final execute cycle over all committed loads, or kNoCycle
+     * before the first load commits.
+     */
+    Cycle maxCommittedLoadExec() const { return maxLoadExec_; }
+
   private:
     bool advanceCommitOrder(SeqNum seq);
 
     std::unordered_map<Addr, StoreRecord> image_;
     std::unordered_map<Addr, LoadRecord> loads_;
+    /** Per-address visibility cycles of remote writes (sorted). */
+    std::unordered_map<Addr, std::vector<Cycle>> remoteWrites_;
     SeqNum lastCommit_ = 0;
     bool anyCommit_ = false;
     std::uint64_t commits_ = 0;
+    Cycle maxLoadExec_ = kNoCycle;
 };
 
 } // namespace lsqscale

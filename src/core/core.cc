@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "inject/inject.hh"
+#include "memory/probe_agent.hh"
 #include "metrics/hostprof.hh"
 #include "obs/interval.hh"
 #include "obs/trace.hh"
@@ -235,6 +236,13 @@ Core::debugDump() const
 void
 Core::invalidationStage()
 {
+    if (coherence_ != nullptr) [[unlikely]] {
+        // An attached coherence agent replaces the synthetic noise
+        // source below: its probes are deterministic and logged, so
+        // the litmus engine and the checker can reason about them.
+        coherenceStage();
+        return;
+    }
     if (cp_.invalidationsPerKCycle <= 0.0)
         return;
     if (!pendingInvalValid_) {
@@ -256,6 +264,29 @@ Core::invalidationStage()
         return;   // no LQ port: retry next cycle
     pendingInvalValid_ = false;
     if (out.violationLoad != kNoSeq) {
+        stats_.counter("squash.invalidation").inc();
+        performSquash(out.violationLoad, SquashReason::Invalidation);
+    }
+}
+
+void
+Core::coherenceStage()
+{
+    Addr addr = 0;
+    if (!coherence_->due(now_, addr))
+        return;
+    StoreSearchOutcome out = lsq_.invalidate(addr, now_);
+    if (!out.accepted) {
+        coherence_->rejected();   // no LQ port: retry next cycle
+        return;
+    }
+    bool squashed = out.violationLoad != kNoSeq;
+    coherence_->delivered(addr, now_, out.violationLoad);
+    stats_.counter("probe.delivered").inc();
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::ProbeDeliver, now_,
+                   out.violationLoad, addr,
+                   static_cast<std::uint8_t>(squashed));
+    if (squashed) {
         stats_.counter("squash.invalidation").inc();
         performSquash(out.violationLoad, SquashReason::Invalidation);
     }
@@ -337,6 +368,10 @@ Core::commitStage()
             LSQ_ASSERT(ok, "D-cache port vanished");
             mem_.accessData(now_, head.op.addr, true);
             ssp_.storeCommitted(head.storePred);
+            if (coherence_ != nullptr) [[unlikely]] {
+                coherence_->observeStoreCommit(head.op.seq, head.op.pc,
+                                               head.op.addr, now_);
+            }
 
             if (out.violationLoad != kNoSeq) {
                 // Pair-scheme violation detected at commit: the store
@@ -355,6 +390,14 @@ Core::commitStage()
                 break;
             }
         } else if (head.op.isLoad()) {
+            if (coherence_ != nullptr) [[unlikely]] {
+                // Capture the entry before commit releases it.
+                Lsq::CommittedLoadInfo info = lsq_.headLoadInfo();
+                coherence_->observeLoadCommit(head.op.seq, head.op.pc,
+                                              info.addr,
+                                              info.executeCycle,
+                                              info.forwardedFrom, now_);
+            }
             lsq_.commitLoad(head.op.seq);
         }
 

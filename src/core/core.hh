@@ -34,6 +34,7 @@
 namespace lsqscale {
 
 class IntervalSampler;
+class ProbeAgent;
 class Tracer;
 
 /** Why a squash happened (stat attribution). */
@@ -133,6 +134,18 @@ class Core
     Tracer *tracer() const { return tracer_; }
 
     /**
+     * Attach an external coherence agent (src/memory/probe_agent.hh):
+     * its due probes replace the synthetic invalidationsPerKCycle
+     * noise source and are delivered through Lsq::invalidate with the
+     * same squash semantics. Attached after warmup like a tracer —
+     * outside the checkpoint format — and a detached core pays one
+     * pointer test per cycle. Pass nullptr to detach. The agent must
+     * outlive the core (or be detached).
+     */
+    void attachCoherenceAgent(ProbeAgent *agent) { coherence_ = agent; }
+    ProbeAgent *coherenceAgent() const { return coherence_; }
+
+    /**
      * Attach an interval sampler (src/obs/interval.hh). run() polls
      * it only when the cached next-sample cycle is due, so both the
      * detached case and the common not-yet-due case cost one
@@ -166,6 +179,9 @@ class Core
 
     // Pipeline stages (called newest-to-oldest each tick).
     void invalidationStage();
+    /** Probe delivery from an attached coherence agent (out of line
+     *  so invalidationStage stays one predicted-false test). */
+    void coherenceStage();
     void commitStage();
     void writebackStage();
     void issueStage();
@@ -263,6 +279,10 @@ class Core
     /** Invalidation waiting for a free LQ port. */
     Addr pendingInval_ = 0;
     bool pendingInvalValid_ = false;
+
+    /** Attached coherence agent, or nullptr (the common case). */
+    // lsqlint: no-serialize(attached coherence agent, wired by the owning harness)
+    ProbeAgent *coherence_ = nullptr;
 
     /** Attached event tracer, or nullptr (the common case). */
     // lsqlint: no-serialize(attached observer, wired by the owning Simulator)

@@ -103,6 +103,28 @@ class LoadBuffer
         return worst;
     }
 
+    /**
+     * Coherence snoop on behalf of an external invalidation of
+     * @p addr: find the *oldest* resident load to that line. Loads in
+     * this buffer executed while an older load was still non-issued,
+     * so a remote write to their line means the value they read may
+     * already be stale when the older load finally reads a newer one
+     * — exactly the R10000 "scheme 2" squash window, confined to this
+     * tiny CAM instead of the whole load queue.
+     *
+     * @return the vulnerable load's seq, or kNoSeq.
+     */
+    SeqNum
+    findMatch(Addr addr) const
+    {
+        SeqNum oldest = kNoSeq;
+        for (const Entry &e : live_) {
+            if (e.addr == addr && (oldest == kNoSeq || e.seq < oldest))
+                oldest = e.seq;
+        }
+        return oldest;
+    }
+
     void clear() { live_.clear(); }
 
   private:

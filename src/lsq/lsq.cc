@@ -502,6 +502,34 @@ StoreSearchOutcome
 Lsq::invalidate(Addr addr, Cycle now)
 {
     StoreSearchOutcome out;
+    if (params_.loadCheck == LoadCheckPolicy::LoadBuffer ||
+        params_.loadCheck == LoadCheckPolicy::InOrder) {
+        // Load-buffer scheme 2 (Section 2.2): only a load that issued
+        // past an older still-non-issued load can have read a value a
+        // remote write makes stale relative to what the older load
+        // will read — and those loads are exactly the load buffer's
+        // residents. The snoop is a lookup of the tiny CAM, free of
+        // LQ search ports (that is the point of the scheme; in-order
+        // issue keeps the buffer empty, so nothing is ever vulnerable).
+        SeqNum victim = lb_.findMatch(addr);
+        stats_.counter("lb.probes").inc();
+        LSQ_TRACE_HOOK(tracer_, TraceEvent::LbProbe, now,
+                       victim, addr,
+                       static_cast<std::uint8_t>(victim != kNoSeq));
+        out.accepted = true;
+        out.searchDoneCycle = now;
+        if (victim != kNoSeq) {
+            out.violationLoad = victim;
+            const LoadEntry *e = findLoad(victim);
+            LSQ_DCHECK(e != nullptr,
+                       "load-buffer resident missing from the LQ");
+            if (e != nullptr)
+                out.violationLoadPc = e->pc;
+        }
+        LSQ_CHECK_HOOK(onInvalidate(addr, now, out));
+        return out;
+    }
+
     // Plan: all segments holding executed loads to @p addr; the
     // oldest match is the squash target (it and everything younger
     // refetch, like the R10000's outstanding-load check).

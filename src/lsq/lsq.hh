@@ -158,6 +158,26 @@ class Lsq
     /** Commit the load at the LQ head (must be @p seq). */
     void commitLoad(SeqNum seq);
 
+    /**
+     * Snapshot of the LQ-head load the core is about to commit:
+     * feeds coherence-agent observation (memory/probe_agent.hh)
+     * without widening commitLoad's interface.
+     */
+    struct CommittedLoadInfo
+    {
+        Addr addr = 0;
+        Cycle executeCycle = kNoCycle;
+        SeqNum forwardedFrom = kNoSeq;
+    };
+    CommittedLoadInfo
+    headLoadInfo() const
+    {
+        LSQ_ASSERT(!lq_.empty(), "headLoadInfo on an empty LQ");
+        const LoadEntry &e = lq_.front();
+        return CommittedLoadInfo{e.addr, e.executeCycle,
+                                 e.forwardedFrom};
+    }
+
     // ------------------------------------------------ recovery -------
     /** Remove every entry with sequence number >= @p seq. */
     void squashFrom(SeqNum seq);

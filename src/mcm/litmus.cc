@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Litmus engine implementation (see litmus.hh for the model).
+ */
+
+#include "mcm/litmus.hh"
+
+#include <memory>
+#include <utility>
+
+#include "check/lsq_checker.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/core.hh"
+#include "harness/job_pool.hh"
+#include "workload/inst_source.hh"
+
+namespace lsqscale {
+
+const char *
+litmusTestName(LitmusTest test)
+{
+    switch (test) {
+      case LitmusTest::MP:   return "MP";
+      case LitmusTest::SB:   return "SB";
+      case LitmusTest::LB:   return "LB";
+      case LitmusTest::CoRR: return "CoRR";
+      case LitmusTest::SFV:  return "SFV";
+    }
+    return "?";
+}
+
+namespace {
+
+// Register roles inside a generated litmus program. Renaming removes
+// all false dependencies, so roles can be reused across iterations.
+constexpr ArchReg kChainReg = 8;  ///< serial imul delay chain
+constexpr ArchReg kReadyReg = 9;  ///< never written: always-ready source
+constexpr ArchReg kDest0 = 1;     ///< slot-0 load destination
+constexpr ArchReg kDest1 = 2;     ///< slot-1 load destination
+constexpr ArchReg kPadDest = 10;  ///< filler destination
+
+/**
+ * Generates one local agent's side of a litmus scenario: `iterations`
+ * repetitions of the two-op shape, with seeded delay chains (serial
+ * integer multiplies feeding the op that must issue late) and seeded
+ * padding so successive seeds sample different interleavings against
+ * the probe schedule. The interesting ops carry structured PCs
+ * (kLitmusPcBase + iteration*16 + slot) for outcome resolution;
+ * filler uses kLitmusPadPc. After the program, an endless stream of
+ * integer no-ops lets the pipeline drain the final iteration.
+ */
+class LitmusSource final : public InstSource
+{
+  public:
+    LitmusSource(LitmusTest test, std::uint64_t seed,
+                 unsigned iterations)
+    {
+        Rng rng(Rng::mix(seed) ^ 0x6c69746d7573ULL);
+        for (unsigned it = 0; it < iterations; ++it) {
+            Pc base = kLitmusPcBase + static_cast<Pc>(it) * 16;
+            switch (test) {
+              case LitmusTest::MP:
+                // Remote order: data then flag. Local order: load
+                // flag (chained, late), load data (early, OOO).
+                chain(1 + rng.below(6));
+                load(base + kLitmusSlot0, kLitmusFlag, kDest0,
+                     kChainReg);
+                load(base + kLitmusSlot1, kLitmusData, kDest1);
+                break;
+              case LitmusTest::SB:
+                store(base + kLitmusSlot0, kLitmusX, kReadyReg);
+                load(base + kLitmusSlot1, kLitmusY, kDest1);
+                break;
+              case LitmusTest::LB:
+                // The remote write to X chases this iteration's
+                // store to Y (a ProbeTrigger); some iterations delay
+                // the load so it can observe *earlier* iterations'
+                // triggered writes.
+                if (rng.chance(0.5))
+                    chain(1 + rng.below(4));
+                load(base + kLitmusSlot0, kLitmusX, kDest0,
+                     rng.chance(0.5) ? kChainReg : kNoArchReg);
+                store(base + kLitmusSlot1, kLitmusY, kReadyReg);
+                break;
+              case LitmusTest::CoRR:
+                chain(1 + rng.below(6));
+                load(base + kLitmusSlot0, kLitmusX, kDest0,
+                     kChainReg);
+                load(base + kLitmusSlot1, kLitmusX, kDest1);
+                break;
+              case LitmusTest::SFV:
+                // A chained store exposes its address late, forcing
+                // the load to execute prematurely and be caught by
+                // the store-load violation path before commit.
+                if (rng.chance(0.5)) {
+                    chain(1 + rng.below(4));
+                    store(base + kLitmusSlot0, kLitmusX, kChainReg);
+                } else {
+                    store(base + kLitmusSlot0, kLitmusX, kReadyReg);
+                }
+                load(base + kLitmusSlot1, kLitmusX, kDest1);
+                break;
+            }
+            for (std::uint64_t p = rng.below(3); p > 0; --p)
+                pad();
+        }
+    }
+
+    std::uint64_t programOps() const { return program_.size(); }
+
+    MicroOp
+    next() override
+    {
+        if (next_ < program_.size())
+            return program_[next_++];
+        MicroOp op;
+        op.seq = next_++;
+        op.pc = kLitmusPadPc;
+        op.op = OpClass::IntAlu;
+        op.dest = kPadDest;
+        return op;
+    }
+
+  private:
+    MicroOp &
+    emit(Pc pc, OpClass cls)
+    {
+        MicroOp op;
+        op.seq = program_.size();
+        op.pc = pc;
+        op.op = cls;
+        program_.push_back(op);
+        return program_.back();
+    }
+
+    /** Serial multiply chain through kChainReg (~3 cycles per link). */
+    void
+    chain(std::uint64_t links)
+    {
+        for (std::uint64_t i = 0; i < links; ++i) {
+            MicroOp &op = emit(kLitmusPadPc, OpClass::IntMult);
+            op.src1 = kChainReg;
+            op.dest = kChainReg;
+        }
+    }
+
+    void
+    load(Pc pc, Addr addr, ArchReg dest, ArchReg src = kNoArchReg)
+    {
+        MicroOp &op = emit(pc, OpClass::Load);
+        op.addr = addr;
+        op.dest = dest;
+        op.src1 = src;
+    }
+
+    void
+    store(Pc pc, Addr addr, ArchReg dataSrc)
+    {
+        MicroOp &op = emit(pc, OpClass::Store);
+        op.addr = addr;
+        op.src1 = dataSrc;
+    }
+
+    void
+    pad()
+    {
+        MicroOp &op = emit(kLitmusPadPc, OpClass::IntAlu);
+        op.dest = kPadDest;
+    }
+
+    std::vector<MicroOp> program_;
+    std::size_t next_ = 0;
+};
+
+/** Observed slot records of one litmus iteration. */
+struct IterObs
+{
+    bool haveLoad0 = false, haveLoad1 = false, haveStore0 = false,
+         haveStore1 = false;
+    Cycle exec0 = kNoCycle, exec1 = kNoCycle;
+    SeqNum fwd0 = kNoSeq, fwd1 = kNoSeq;
+    SeqNum storeSeq = kNoSeq;
+    Cycle storeCommit = kNoCycle;
+};
+
+} // namespace
+
+std::uint64_t
+litmusValueAt(const std::vector<RemoteWrite> &writes, Addr addr,
+              Cycle cycle)
+{
+    std::uint64_t n = 0;
+    for (const RemoteWrite &w : writes) {
+        if (w.addr == addr && w.visibleAt <= cycle)
+            ++n;
+    }
+    return n;
+}
+
+ProbeAgentParams
+litmusProbeParams(LitmusTest test, std::uint64_t seed)
+{
+    ProbeAgentParams p;
+    p.enabled = true;
+    p.seed = seed;
+    std::uint64_t h = Rng::mix(seed);
+    switch (test) {
+      case LitmusTest::MP:
+        // One data+flag write pair per period; the data probe is
+        // queued first, so it is always delivered (visible) first.
+        p.writers.push_back(
+            ProbeWriter{kLitmusData, 64 + h % 97, 97, 0});
+        p.writers.push_back(
+            ProbeWriter{kLitmusFlag, 64 + h % 97 + 11, 97, 0});
+        break;
+      case LitmusTest::SB:
+        p.writers.push_back(ProbeWriter{kLitmusY, 64 + h % 61, 61, 0});
+        break;
+      case LitmusTest::LB:
+        p.triggers.push_back(
+            ProbeTrigger{kLitmusY, kLitmusX, 3 + seed % 5});
+        break;
+      case LitmusTest::CoRR:
+        p.writers.push_back(ProbeWriter{kLitmusX, 64 + h % 89, 89, 0});
+        break;
+      case LitmusTest::SFV:
+        p.writers.push_back(ProbeWriter{kLitmusX, 64 + h % 53, 53, 0});
+        break;
+    }
+    return p;
+}
+
+LitmusResult
+resolveLitmus(LitmusTest test, unsigned iterations,
+              const std::vector<ProbeCommitRecord> &commits,
+              const std::vector<RemoteWrite> &writes)
+{
+    std::vector<IterObs> obs(iterations);
+    for (const ProbeCommitRecord &rec : commits) {
+        if (rec.pc < kLitmusPcBase ||
+            rec.pc >= kLitmusPcBase + static_cast<Pc>(iterations) * 16)
+            continue;
+        Pc rel = rec.pc - kLitmusPcBase;
+        IterObs &o = obs[rel / 16];
+        unsigned slot = rel % 16;
+        if (rec.isLoad && slot == kLitmusSlot0) {
+            o.haveLoad0 = true;
+            o.exec0 = rec.executeCycle;
+            o.fwd0 = rec.forwardedFrom;
+        } else if (rec.isLoad && slot == kLitmusSlot1) {
+            o.haveLoad1 = true;
+            o.exec1 = rec.executeCycle;
+            o.fwd1 = rec.forwardedFrom;
+        } else if (!rec.isLoad && slot == kLitmusSlot0) {
+            o.haveStore0 = true;
+            o.storeSeq = rec.seq;
+            o.storeCommit = rec.commitCycle;
+        } else if (!rec.isLoad && slot == kLitmusSlot1) {
+            o.haveStore1 = true;
+        }
+    }
+
+    LitmusResult r;
+    auto count = [&r](const std::string &label, bool isForbidden) {
+        ++r.histogram[label];
+        ++r.iterations;
+        if (isForbidden)
+            ++r.forbidden;
+    };
+
+    std::uint64_t prevY = 0;
+    for (unsigned it = 0; it < iterations; ++it) {
+        const IterObs &o = obs[it];
+        switch (test) {
+          case LitmusTest::MP: {
+            if (!o.haveLoad0 || !o.haveLoad1)
+                continue;
+            std::uint64_t flag = litmusValueAt(writes, kLitmusFlag,
+                                               o.exec0);
+            std::uint64_t data = litmusValueAt(writes, kLitmusData,
+                                               o.exec1);
+            if (data < flag)
+                count("forbidden: stale data after new flag", true);
+            else if (data == flag)
+                count("data==flag", false);
+            else
+                count("data ahead of flag", false);
+            break;
+          }
+          case LitmusTest::SB: {
+            if (!o.haveStore0 || !o.haveLoad1)
+                continue;
+            std::uint64_t y = litmusValueAt(writes, kLitmusY, o.exec1);
+            // Same-address loads in program order must observe
+            // non-decreasing remote values (coherence).
+            if (y < prevY)
+                count("forbidden: y regressed", true);
+            else
+                count(y > prevY ? "y advanced" : "y unchanged", false);
+            prevY = y;
+            break;
+          }
+          case LitmusTest::LB: {
+            if (!o.haveLoad0 || !o.haveStore1)
+                continue;
+            std::uint64_t x = litmusValueAt(writes, kLitmusX, o.exec0);
+            // Iteration `it` has exactly `it` older triggered writes;
+            // observing its own (or a later) one is a causal cycle.
+            if (x > it)
+                count("forbidden: causal cycle", true);
+            else
+                count(x == it ? "saw all prior" : "trailing", false);
+            break;
+          }
+          case LitmusTest::CoRR: {
+            if (!o.haveLoad0 || !o.haveLoad1)
+                continue;
+            std::uint64_t older = litmusValueAt(writes, kLitmusX,
+                                                o.exec0);
+            std::uint64_t younger = litmusValueAt(writes, kLitmusX,
+                                                  o.exec1);
+            if (older > younger)
+                count("forbidden: non-monotone read pair", true);
+            else
+                count(older == younger ? "equal" : "younger newer",
+                      false);
+            break;
+          }
+          case LitmusTest::SFV: {
+            if (!o.haveStore0 || !o.haveLoad1)
+                continue;
+            if (o.fwd1 != kNoSeq) {
+                if (o.fwd1 == o.storeSeq)
+                    count("forwarded own store", false);
+                else
+                    count("forbidden: forwarded from stale store",
+                          true);
+            } else if (o.exec1 < o.storeCommit) {
+                count("forbidden: read pre-store value", true);
+            } else {
+                count("read post-store cache", false);
+            }
+            break;
+          }
+        }
+    }
+    return r;
+}
+
+void
+LitmusResult::merge(const LitmusResult &other)
+{
+    for (const auto &[label, n] : other.histogram)
+        histogram[label] += n;
+    iterations += other.iterations;
+    forbidden += other.forbidden;
+    probesDelivered += other.probesDelivered;
+    probeSquashes += other.probeSquashes;
+    checkMismatches += other.checkMismatches;
+    runs += other.runs;
+    cycles += other.cycles;
+}
+
+std::string
+LitmusResult::summary() const
+{
+    std::string s = std::to_string(runs) + " run(s), " +
+                    std::to_string(iterations) + " iteration(s), " +
+                    std::to_string(forbidden) + " forbidden, " +
+                    std::to_string(probesDelivered) + " probe(s), " +
+                    std::to_string(probeSquashes) + " squash(es)";
+    for (const auto &[label, n] : histogram)
+        s += "\n  " + std::to_string(n) + "  " + label;
+    return s;
+}
+
+LitmusResult
+runLitmus(const LitmusConfig &cfg)
+{
+    auto source = std::make_unique<LitmusSource>(cfg.test, cfg.seed,
+                                                 cfg.iterations);
+    std::uint64_t programOps = source->programOps();
+
+    StatSet stats;
+    Core core(cfg.core, cfg.lsq, cfg.memory, std::move(source), stats);
+
+    ProbeAgent agent(litmusProbeParams(cfg.test, cfg.seed));
+    agent.setRecording(true);
+    core.attachCoherenceAgent(&agent);
+
+    std::unique_ptr<LsqChecker> checker;
+    if (cfg.checked) {
+        checker = std::make_unique<LsqChecker>(cfg.lsq);
+        core.lsq().attachChecker(checker.get());
+    }
+
+    // Commit is in order, so reaching programOps committed
+    // instructions retires every litmus iteration.
+    core.run(programOps);
+
+    core.attachCoherenceAgent(nullptr);
+    if (checker)
+        core.lsq().attachChecker(nullptr);
+
+    LitmusResult r = resolveLitmus(cfg.test, cfg.iterations,
+                                   agent.commits(), agent.writes());
+    r.probesDelivered = agent.deliveredCount();
+    r.probeSquashes = agent.squashCount();
+    r.checkMismatches = checker ? checker->mismatches() : 0;
+    if (checker && checker->mismatches() != 0)
+        LSQ_WARN("litmus %s seed=%llu: ordering oracle found "
+                 "mismatches:\n%s", litmusTestName(cfg.test),
+                 static_cast<unsigned long long>(cfg.seed),
+                 checker->report().c_str());
+    r.runs = 1;
+    r.cycles = core.cycle();
+    return r;
+}
+
+LitmusResult
+runLitmusSeeds(const LitmusConfig &cfg, unsigned numSeeds,
+               unsigned threads)
+{
+    std::vector<LitmusResult> results(numSeeds);
+    {
+        JobPool pool(threads);
+        for (unsigned i = 0; i < numSeeds; ++i) {
+            pool.submit([&results, &cfg, i] {
+                LitmusConfig c = cfg;
+                c.seed = cfg.seed + i;
+                results[i] = runLitmus(c);
+            });
+        }
+        pool.wait();
+    }
+    LitmusResult merged;
+    for (const LitmusResult &r : results)
+        merged.merge(r);
+    return merged;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Litmus-test engine for memory-consistency checking.
+ *
+ * Classic multi-agent litmus shapes (MP, SB, LB, CoRR, plus a
+ * store-forward-visibility variant) run against the real pipeline:
+ * the local agent is the simulated core executing a generated
+ * program, the remote agent is a ProbeAgent whose scripted writes
+ * become visible exactly when their invalidation probes are delivered
+ * to the LSQ (docs/CONSISTENCY.md).
+ *
+ * Remote write values are per-address 1-based indices, so a load's
+ * observed value is simply the number of remote writes to its address
+ * visible at its final execute cycle. The engine replays a scenario
+ * for many iterations, classifies each completed iteration's observed
+ * value tuple into an outcome histogram, and counts outcomes the
+ * memory model forbids — a correct design reports zero across every
+ * seed, while a design with a broken ordering path (e.g. a load
+ * buffer that never snoops probes) shows them immediately.
+ */
+
+#ifndef LSQSCALE_MCM_LITMUS_HH
+#define LSQSCALE_MCM_LITMUS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/core_params.hh"
+#include "lsq/lsq_params.hh"
+#include "memory/memory_system.hh"
+#include "memory/probe_agent.hh"
+
+namespace lsqscale {
+
+/** The litmus shapes the engine can run. */
+enum class LitmusTest : std::uint8_t {
+    /**
+     * Message passing. Remote: data write, then flag write. Local:
+     * load flag (delayed), then load data (issues out of order).
+     * Forbidden: new flag with stale data.
+     */
+    MP,
+    /**
+     * Store buffering. Local: store X, load Y; remote: writes to Y.
+     * Every outcome is allowed — the scenario checks histogram
+     * diversity (remote writes do interleave with local iterations).
+     */
+    SB,
+    /**
+     * Load buffering. Local: load X, then store Y; the remote agent
+     * writes X only *after* observing the local store to Y (a
+     * ProbeTrigger). Forbidden: the load observing a write its own
+     * later store caused.
+     */
+    LB,
+    /**
+     * Coherent read-read. Two program-order loads of one address, the
+     * older artificially delayed. Forbidden: the older load observing
+     * a newer value than the younger.
+     */
+    CoRR,
+    /**
+     * Store-forward visibility. Local: store X, then load X, under
+     * remote writes to X. Forbidden: the load reading a value older
+     * than its own program-order store.
+     */
+    SFV,
+};
+
+const char *litmusTestName(LitmusTest test);
+
+/** All litmus shapes, in declaration order (for grid tests). */
+inline constexpr LitmusTest kAllLitmusTests[] = {
+    LitmusTest::MP, LitmusTest::SB, LitmusTest::LB, LitmusTest::CoRR,
+    LitmusTest::SFV,
+};
+
+/** One litmus run: a scenario, a design point, a seed. */
+struct LitmusConfig
+{
+    LitmusTest test = LitmusTest::MP;
+    CoreParams core{};
+    LsqParams lsq{};
+    MemoryParams memory{};
+    std::uint64_t seed = 1;
+    /** Litmus iterations generated (and resolved) per run. */
+    unsigned iterations = 64;
+    /** Attach the ordering oracle (LsqChecker) to the run. */
+    bool checked = true;
+};
+
+/** Aggregated observation from one or more litmus runs. */
+struct LitmusResult
+{
+    /** Outcome label -> number of iterations observing it. */
+    std::map<std::string, std::uint64_t> histogram;
+    std::uint64_t iterations = 0;  ///< completed iterations resolved
+    std::uint64_t forbidden = 0;   ///< forbidden-outcome iterations
+    std::uint64_t probesDelivered = 0;
+    std::uint64_t probeSquashes = 0;
+    /** Ordering-oracle mismatches (0 unless a run was checked). */
+    std::uint64_t checkMismatches = 0;
+    std::uint64_t runs = 0;
+    Cycle cycles = 0;
+
+    /** Fold @p other into this result (histograms add). */
+    void merge(const LitmusResult &other);
+    /** One-line human summary ("MP seed=3 ..." style, label-free). */
+    std::string summary() const;
+};
+
+// ------------------------------------------------------------------
+// Pure outcome resolution (separated from the run so tests can feed
+// synthetic logs and prove the forbidden-outcome detector is not
+// vacuous).
+// ------------------------------------------------------------------
+
+/** PC labelling of generated litmus ops: base + iteration*16 + slot. */
+inline constexpr Pc kLitmusPcBase = 0x400000;
+/** Slot of the first interesting op (see LitmusTest docs). */
+inline constexpr unsigned kLitmusSlot0 = 0;
+/** Slot of the second interesting op. */
+inline constexpr unsigned kLitmusSlot1 = 1;
+/** PC of filler ops (delay chains, pads); never resolved. */
+inline constexpr Pc kLitmusPadPc = 0x700000;
+
+/** The four data addresses litmus programs touch (distinct lines). */
+inline constexpr Addr kLitmusData = 0x200000;
+inline constexpr Addr kLitmusFlag = 0x200040;
+inline constexpr Addr kLitmusX = 0x200080;
+inline constexpr Addr kLitmusY = 0x2000c0;
+
+/**
+ * Classify every completed iteration of @p test from a commit log and
+ * a remote-write log (ProbeAgent::commits() / writes()), filling
+ * histogram / iterations / forbidden of the returned result.
+ */
+LitmusResult resolveLitmus(LitmusTest test, unsigned iterations,
+                           const std::vector<ProbeCommitRecord> &commits,
+                           const std::vector<RemoteWrite> &writes);
+
+/** Remote-write value of @p addr visible at @p cycle (count of
+ *  writes delivered no later than @p cycle). */
+std::uint64_t litmusValueAt(const std::vector<RemoteWrite> &writes,
+                            Addr addr, Cycle cycle);
+
+/** The probe-agent script driving @p test for @p seed. */
+ProbeAgentParams litmusProbeParams(LitmusTest test, std::uint64_t seed);
+
+// ------------------------------------------------------------------
+// Running
+// ------------------------------------------------------------------
+
+/** Run one scenario at one design point with one seed. */
+LitmusResult runLitmus(const LitmusConfig &cfg);
+
+/**
+ * Run @p numSeeds consecutive seeds (cfg.seed, cfg.seed + 1, ...) on
+ * @p threads JobPool workers and merge the results in seed order, so
+ * the aggregate is deterministic regardless of scheduling.
+ */
+LitmusResult runLitmusSeeds(const LitmusConfig &cfg, unsigned numSeeds,
+                            unsigned threads);
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_MCM_LITMUS_HH

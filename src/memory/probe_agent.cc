@@ -1,0 +1,165 @@
+/**
+ * @file
+ * ProbeAgent implementation (see probe_agent.hh for the model).
+ */
+
+#include "memory/probe_agent.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lsqscale {
+
+ProbeAgent::ProbeAgent(const ProbeAgentParams &params)
+    : params_(params), rng_(Rng::mix(params.seed) ^ 0x70726f6265ULL)
+{
+    writerFired_.assign(params_.writers.size(), 0);
+    watch_.reserve(params_.watchCapacity);
+    for (const ProbeWriter &w : params_.writers) {
+        LSQ_ASSERT(w.interval > 0 || w.count <= 1,
+                   "repeating writer needs a non-zero interval");
+    }
+}
+
+bool
+ProbeAgent::due(Cycle now, Addr &addr)
+{
+    // Each cycle is scheduled exactly once; delivery retries of an
+    // already-pending probe must not re-roll the schedule.
+    if (lastCycle_ == kNoCycle || now > lastCycle_) {
+        lastCycle_ = now;
+
+        // Scripted periodic writers.
+        for (std::size_t i = 0; i < params_.writers.size(); ++i) {
+            const ProbeWriter &w = params_.writers[i];
+            if (now < w.start)
+                continue;
+            if (params_.writers[i].count != 0 &&
+                writerFired_[i] >= w.count)
+                continue;
+            bool fires;
+            if (w.interval == 0) {
+                fires = now == w.start && writerFired_[i] == 0;
+            } else {
+                fires = (now - w.start) % w.interval == 0;
+            }
+            if (fires) {
+                ++writerFired_[i];
+                pending_.push_back(w.addr);
+            }
+        }
+
+        // Trigger-delayed writes whose time has come.
+        for (std::size_t i = 0; i < delayed_.size();) {
+            if (delayed_[i].fireAt <= now) {
+                pending_.push_back(delayed_[i].addr);
+                delayed_.erase(delayed_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        // Random background traffic over the watch set.
+        if (params_.probesPerKCycle > 0.0 &&
+            rng_.chance(params_.probesPerKCycle / 1000.0) &&
+            !watch_.empty()) {
+            pending_.push_back(watch_[rng_.below(watch_.size())]);
+        }
+    }
+
+    if (pending_.empty())
+        return false;
+    addr = pending_.front();
+    return true;
+}
+
+void
+ProbeAgent::delivered(Addr addr, Cycle now, SeqNum squashedLoad)
+{
+    LSQ_ASSERT(!pending_.empty() && pending_.front() == addr,
+               "delivered() without a matching due() probe");
+    pending_.pop_front();
+
+    std::uint64_t value = 0;
+    for (auto &[a, count] : valueCounts_) {
+        if (a == addr) {
+            value = ++count;
+            break;
+        }
+    }
+    if (value == 0) {
+        valueCounts_.emplace_back(addr, 1);
+        value = 1;
+    }
+
+    writes_.push_back(RemoteWrite{addr, now, value, squashedLoad});
+    ++deliveredCount_;
+    if (squashedLoad != kNoSeq)
+        ++squashCount_;
+}
+
+void
+ProbeAgent::rejected()
+{
+    LSQ_ASSERT(!pending_.empty(), "rejected() with no pending probe");
+    ++rejectedCount_;
+}
+
+void
+ProbeAgent::observeLoadCommit(SeqNum seq, Addr pc, Addr addr,
+                              Cycle executeCycle, SeqNum forwardedFrom,
+                              Cycle now)
+{
+    watchLine(addr);
+    if (recording_) {
+        commits_.push_back(ProbeCommitRecord{true, seq, pc, addr,
+                                             executeCycle, forwardedFrom,
+                                             now});
+    }
+}
+
+void
+ProbeAgent::observeStoreCommit(SeqNum seq, Addr pc, Addr addr, Cycle now)
+{
+    watchLine(addr);
+    for (const ProbeTrigger &t : params_.triggers) {
+        if (t.onStoreAddr == addr)
+            delayed_.push_back(DelayedWrite{t.writeAddr, now + t.delay});
+    }
+    if (recording_) {
+        commits_.push_back(ProbeCommitRecord{false, seq, pc, addr,
+                                             kNoCycle, kNoSeq, now});
+    }
+}
+
+std::uint64_t
+ProbeAgent::valueAt(Addr addr, Cycle cycle) const
+{
+    // writes_ is append-only in delivery order, so per-addr visibleAt
+    // values are non-decreasing; a linear count keeps this simple (the
+    // log is litmus-iteration sized).
+    std::uint64_t n = 0;
+    for (const RemoteWrite &w : writes_) {
+        if (w.addr == addr && w.visibleAt <= cycle)
+            ++n;
+    }
+    return n;
+}
+
+void
+ProbeAgent::watchLine(Addr addr)
+{
+    if (params_.watchCapacity == 0)
+        return;
+    if (std::find(watch_.begin(), watch_.end(), addr) != watch_.end())
+        return;
+    if (watch_.size() >= params_.watchCapacity) {
+        watch_.erase(watch_.begin());
+        ++watchEvictions_;
+    }
+    watch_.push_back(addr);
+}
+
+} // namespace lsqscale

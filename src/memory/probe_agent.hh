@@ -1,0 +1,231 @@
+/**
+ * @file
+ * External coherence agent: a deterministic source of invalidation
+ * probes (docs/CONSISTENCY.md).
+ *
+ * The simulator models a single core; real load-buffer squashes are
+ * triggered by *other* agents writing lines this core has loaded
+ * (MESI invalidations reaching the LSQ, the R10000 "scheme 2" path).
+ * A ProbeAgent plays that remote writer. It never carries data — this
+ * is a timing simulator — but it gives every remote write two
+ * observable coordinates:
+ *
+ *  - a visibility time: the cycle the probe is *delivered* to the LSQ
+ *    (delivery == global visibility; the interconnect is in-order for
+ *    a given line);
+ *  - a value index: the per-line count of remote writes so far, so a
+ *    load "reads" value k iff exactly k remote writes to its line were
+ *    visible at its execute cycle (see valueAt()).
+ *
+ * Two operating modes, freely combinable:
+ *
+ *  - random mode (probesPerKCycle > 0): a seeded Bernoulli schedule
+ *    picks lines from a bounded FIFO watch set fed by the core's own
+ *    committed loads/stores — adversarial background traffic for the
+ *    fuzz harnesses;
+ *  - scripted mode (writers / triggers): periodic writers and
+ *    store-commit-triggered writes with fixed delays — the building
+ *    blocks the litmus engine (src/mcm/) uses to stage MP/SB/LB/CoRR
+ *    shapes.
+ *
+ * Probe delivery protocol (driven by Core::tick's invalidation stage):
+ *
+ *    Addr a;
+ *    if (agent->due(now, a)) {
+ *        if (lsq.invalidate(a, now).accepted)
+ *            agent->delivered(a, now, victimOrKNoSeq);
+ *        else
+ *            agent->rejected();        // retried next cycle
+ *    }
+ *
+ * The agent is attached (Core::attachCoherenceAgent) like a tracer —
+ * after warmup, outside the checkpoint format — and a null agent
+ * costs one pointer test per cycle. All methods are non-virtual: the
+ * call sites sit one level below Core::tick.
+ */
+
+#ifndef LSQSCALE_MEMORY_PROBE_AGENT_HH
+#define LSQSCALE_MEMORY_PROBE_AGENT_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace lsqscale {
+
+/** A scripted remote writer: writes @p addr every @p interval cycles. */
+struct ProbeWriter
+{
+    Addr addr = 0;
+    Cycle start = 0;        ///< first write is scheduled at this cycle
+    Cycle interval = 0;     ///< 0 = one-shot (only the start write)
+    std::uint64_t count = 0;///< total writes; 0 = unlimited
+};
+
+/**
+ * A scripted reaction: when the core commits a store to @p onStoreAddr,
+ * schedule a remote write to @p writeAddr @p delay cycles later. This
+ * is how the LB (load buffering) litmus shape closes the cross-agent
+ * cycle without a second simulated core.
+ */
+struct ProbeTrigger
+{
+    Addr onStoreAddr = 0;
+    Addr writeAddr = 0;
+    Cycle delay = 1;
+};
+
+/** Configuration (sim/sim_config.hh embeds one). */
+struct ProbeAgentParams
+{
+    /** Master switch; a disabled agent is never attached. */
+    bool enabled = false;
+
+    /** Seed for the random-mode schedule. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Expected random probes per 1000 cycles (Bernoulli per cycle).
+     * 0 disables random mode; scripted writers still run.
+     */
+    double probesPerKCycle = 0.0;
+
+    /** Random-mode watch-set capacity (FIFO of observed lines). */
+    unsigned watchCapacity = 8;
+
+    std::vector<ProbeWriter> writers;
+    std::vector<ProbeTrigger> triggers;
+};
+
+/** One delivered remote write (the agent's authoritative write log). */
+struct RemoteWrite
+{
+    Addr addr;
+    Cycle visibleAt;          ///< delivery cycle == visibility cycle
+    std::uint64_t value;      ///< 1-based per-addr write index
+    SeqNum squashedLoad;      ///< LB victim reported at delivery, or kNoSeq
+};
+
+/** One observed commit (recorded only while recording() is on). */
+struct ProbeCommitRecord
+{
+    bool isLoad;
+    SeqNum seq;
+    Addr pc;
+    Addr addr;
+    Cycle executeCycle;       ///< loads only (kNoCycle for stores)
+    SeqNum forwardedFrom;     ///< loads only (kNoSeq = from memory)
+    Cycle commitCycle;
+};
+
+/**
+ * The coherence agent. Concrete and final: its methods are invoked
+ * from the core's per-cycle stages and must devirtualize away.
+ */
+class ProbeAgent final
+{
+  public:
+    explicit ProbeAgent(const ProbeAgentParams &params);
+
+    ProbeAgent(const ProbeAgent &) = delete;
+    ProbeAgent &operator=(const ProbeAgent &) = delete;
+
+    // ------------------------------------------ core-facing protocol --
+
+    /**
+     * Advance the schedule to @p now (each cycle is processed once)
+     * and report whether a probe awaits delivery. On true, @p addr is
+     * the line to invalidate; the caller must answer with delivered()
+     * or rejected() before the next due() call.
+     */
+    bool due(Cycle now, Addr &addr);
+
+    /** The due probe reached the LSQ: log the write as visible now. */
+    void delivered(Addr addr, Cycle now, SeqNum squashedLoad);
+
+    /** The LSQ had no capacity this cycle; the probe stays queued. */
+    void rejected();
+
+    // ------------------------------------------ commit observation ----
+
+    /** The core committed a load (called before the LSQ releases it). */
+    void observeLoadCommit(SeqNum seq, Addr pc, Addr addr,
+                           Cycle executeCycle, SeqNum forwardedFrom,
+                           Cycle now);
+
+    /** The core committed a store this cycle. */
+    void observeStoreCommit(SeqNum seq, Addr pc, Addr addr, Cycle now);
+
+    // ------------------------------------------ inspection -------------
+
+    /**
+     * Value a non-forwarded load of @p addr executing at @p cycle
+     * observes: the number of remote writes to @p addr visible at or
+     * before @p cycle (0 = the initial value).
+     */
+    std::uint64_t valueAt(Addr addr, Cycle cycle) const;
+
+    const std::vector<RemoteWrite> &writes() const { return writes_; }
+    const std::vector<ProbeCommitRecord> &commits() const
+    {
+        return commits_;
+    }
+
+    /** Record observed commits (litmus engine); default off. */
+    void setRecording(bool on) { recording_ = on; }
+    bool recording() const { return recording_; }
+
+    const ProbeAgentParams &params() const { return params_; }
+
+    std::uint64_t deliveredCount() const { return deliveredCount_; }
+    std::uint64_t rejectedCount() const { return rejectedCount_; }
+    std::uint64_t squashCount() const { return squashCount_; }
+    std::uint64_t watchEvictions() const { return watchEvictions_; }
+    std::size_t watchSize() const { return watch_.size(); }
+    std::size_t pendingProbes() const { return pending_.size(); }
+
+  private:
+    void watchLine(Addr addr);
+
+    ProbeAgentParams params_;
+    Rng rng_;
+
+    /** Last cycle processed by due(); each cycle schedules once. */
+    Cycle lastCycle_ = kNoCycle;
+
+    /** FIFO watch set (random mode), oldest first, deduplicated. */
+    std::vector<Addr> watch_;
+
+    /** Per-writer count of writes already scheduled. */
+    std::vector<std::uint64_t> writerFired_;
+
+    /** Trigger-scheduled writes not yet moved into pending_. */
+    struct DelayedWrite
+    {
+        Addr addr;
+        Cycle fireAt;
+    };
+    std::vector<DelayedWrite> delayed_;
+
+    /** Probes awaiting delivery, oldest first. */
+    std::deque<Addr> pending_;
+
+    /** Per-addr count of delivered writes (value indices). */
+    std::vector<std::pair<Addr, std::uint64_t>> valueCounts_;
+
+    std::vector<RemoteWrite> writes_;
+    std::vector<ProbeCommitRecord> commits_;
+    bool recording_ = false;
+
+    std::uint64_t deliveredCount_ = 0;
+    std::uint64_t rejectedCount_ = 0;
+    std::uint64_t squashCount_ = 0;
+    std::uint64_t watchEvictions_ = 0;
+};
+
+} // namespace lsqscale
+
+#endif // LSQSCALE_MEMORY_PROBE_AGENT_HH

@@ -55,6 +55,11 @@ attributeStalls(const std::vector<TraceRecord> &records)
           case TraceEvent::ViolationSquash:
             ++att.violationSquashes;
             break;
+          case TraceEvent::ProbeDeliver:
+            ++att.probeDeliveries;
+            if (rec.a != 0)
+                ++att.probeSquashes;
+            break;
           case TraceEvent::Retire:
             ++att.retired;
             break;
@@ -67,6 +72,7 @@ attributeStalls(const std::vector<TraceRecord> &records)
           case TraceEvent::Complete:
           case TraceEvent::LbInsert:
           case TraceEvent::LbRelease:
+          case TraceEvent::LbProbe:
             break; // lifecycle/bookkeeping events carry no stall cost
         }
     }
@@ -120,6 +126,8 @@ renderStallTable(const StallAttribution &att)
          att.loadBufferStalls);
     t.separator();
     t.row({"violation squashes", u64(att.violationSquashes), "-", "-"});
+    t.row({"coherence probes (squashing)", u64(att.probeDeliveries),
+           u64(att.probeSquashes), "-"});
     t.row({"forwarding hits", u64(att.forwardingHits), "-", "-"});
     t.row({"searches skipped by predictor", u64(att.searchesSkipped),
            "-", "-"});

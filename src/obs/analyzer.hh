@@ -66,6 +66,12 @@ struct StallAttribution
     // ------------------------------------------------- recovery ------
     std::uint64_t violationSquashes = 0;
 
+    // ------------------------------------------- coherence probes ----
+    /// External invalidation probes delivered to the LSQ.
+    std::uint64_t probeDeliveries = 0;
+    /// Probe deliveries that squashed a vulnerable load.
+    std::uint64_t probeSquashes = 0;
+
     // -------------------------------------------------- context ------
     std::uint64_t retired = 0;
     std::uint64_t forwardingHits = 0;

@@ -108,6 +108,8 @@ reconstructLifecycles(const std::vector<TraceRecord> &records)
           case TraceEvent::LbRelease:
           case TraceEvent::LbFullStall:
           case TraceEvent::ViolationSquash:
+          case TraceEvent::ProbeDeliver:
+          case TraceEvent::LbProbe:
             break;
         }
     }

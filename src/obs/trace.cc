@@ -40,6 +40,8 @@ constexpr std::array<EventInfo, kNumTraceEvents> kEventTable = {{
     {TraceEvent::LbRelease, "lb.release"},
     {TraceEvent::LbFullStall, "lb.full"},
     {TraceEvent::ViolationSquash, "squash.violation"},
+    {TraceEvent::ProbeDeliver, "probe.deliver"},
+    {TraceEvent::LbProbe, "lb.probe"},
 }};
 
 const std::array<EventInfo, kNumTraceEvents> &
@@ -85,7 +87,8 @@ categoryTable()
                      TraceEvent::StoreCommitSearch,
                      TraceEvent::StoreCommitDelay,
                      TraceEvent::InvalSearch, TraceEvent::LbInsert,
-                     TraceEvent::LbRelease, TraceEvent::LbFullStall})},
+                     TraceEvent::LbRelease, TraceEvent::LbFullStall,
+                     TraceEvent::ProbeDeliver, TraceEvent::LbProbe})},
         {"pred",
          eventsMask({TraceEvent::SqSearchSkip, TraceEvent::PredFalseDep,
                      TraceEvent::PredWaitCycle})},

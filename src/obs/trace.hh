@@ -70,10 +70,16 @@ enum class TraceEvent : std::uint8_t {
 
     // ------------------------------------ recovery -------------------
     ViolationSquash,   ///< memory-order squash (seq=victim, a=reason)
+
+    // ------------------------------------ coherence probes -----------
+    ProbeDeliver,      ///< external probe delivered (payload=addr,
+                       ///< a=1 when it squashed a load)
+    LbProbe,           ///< probe snooped the load buffer (payload=addr,
+                       ///< seq=victim or kNoSeq, a=hit)
 };
 
 /** Number of TraceEvent values (mask bits / array sizing). */
-inline constexpr unsigned kNumTraceEvents = 20;
+inline constexpr unsigned kNumTraceEvents = 22;
 
 /** Short stable name of an event ("fetch", "sq.search", ...). */
 const char *traceEventName(TraceEvent ev);

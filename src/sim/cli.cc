@@ -120,6 +120,12 @@ cliUsage()
         "  --trace-out PATH     write the full binary event trace\n"
         "  --trace-konata PATH  export Konata/O3PipeView text\n"
         "                       (tracing needs a -DLSQ_TRACE=ON build)\n"
+        "  --probe-rate R       attach an external coherence agent that\n"
+        "                       delivers ~R invalidation probes per\n"
+        "                       kilocycle to recently loaded lines\n"
+        "                       (docs/CONSISTENCY.md)\n"
+        "  --probe-seed S       probe schedule seed (default 1)\n"
+        "  --probe-watch N      probe agent watch-set capacity\n"
         "  --interval-stats N   sample interval metrics every N cycles\n"
         "  --interval-json PATH write the lsqscale-intervals-v1 series\n"
         "  --host-profile       report host wall-clock phases (where\n"
@@ -308,6 +314,24 @@ parseCli(const std::vector<std::string> &args, CliOptions &opts)
                 return "--trace-konata needs a path";
             opts.config.trace.konataPath = v;
             opts.config.trace.enabled = true;
+        } else if (a == "--probe-rate") {
+            if (!value(v))
+                return "--probe-rate needs probes per kilocycle";
+            char *end = nullptr;
+            opts.config.probes.probesPerKCycle =
+                std::strtod(v.c_str(), &end);
+            if (!end || *end != '\0' ||
+                opts.config.probes.probesPerKCycle < 0)
+                return "--probe-rate needs probes per kilocycle";
+            opts.config.probes.enabled = true;
+        } else if (a == "--probe-seed") {
+            if (!value(v) || !parseU64(v, opts.config.probes.seed))
+                return "--probe-seed needs an integer seed";
+        } else if (a == "--probe-watch") {
+            if (!value(v) ||
+                !parseUnsigned(v, opts.config.probes.watchCapacity) ||
+                opts.config.probes.watchCapacity == 0)
+                return "--probe-watch needs a positive line count";
         } else if (a == "--interval-stats") {
             if (!value(v) ||
                 !parseU64(v, opts.config.intervalCycles) ||

@@ -17,6 +17,7 @@
 #include "core/core_params.hh"
 #include "lsq/lsq_params.hh"
 #include "memory/memory_system.hh"
+#include "memory/probe_agent.hh"
 #include "obs/trace.hh"
 #include "sample/sampler.hh"
 
@@ -47,6 +48,14 @@ struct SimConfig
      * compiles the hook sites out and warns when tracing is requested.
      */
     TraceConfig trace{};
+
+    /**
+     * External coherence agent (src/memory/probe_agent.hh). When
+     * probes.enabled, the simulator attaches a ProbeAgent after
+     * warm-up — like the tracer, it never perturbs a run in which it
+     * is absent (--probe-rate/--probe-seed/--probe-watch).
+     */
+    ProbeAgentParams probes{};
 
     /**
      * Interval-stats sampling period in cycles; 0 disables sampling

@@ -13,6 +13,7 @@
 // dependency on the harness job engine.
 // lsqlint: allow(layer-upward-include) -- results plumbing only
 #include "harness/sink.hh"
+#include "memory/probe_agent.hh"
 #include "obs/interval.hh"
 #include "obs/konata.hh"
 #include "obs/trace.hh"
@@ -208,6 +209,14 @@ Simulator::run()
         tracer = std::make_unique<Tracer>(config_.trace);
         core.attachTracer(tracer.get());
     }
+    // The external coherence agent also covers only the measurement
+    // window: attaching it after warm-up keeps the warm-up stream (and
+    // thus checkpoint reuse) identical to probe-free runs.
+    std::unique_ptr<ProbeAgent> probes;
+    if (config_.probes.enabled) {
+        probes = std::make_unique<ProbeAgent>(config_.probes);
+        core.attachCoherenceAgent(probes.get());
+    }
     std::unique_ptr<IntervalSampler> sampler;
     std::uint64_t interval = effectiveIntervalCycles(config_.intervalCycles);
     if (interval > 0) {
@@ -269,6 +278,8 @@ Simulator::run()
             writeFileCreatingDirs(config_.intervalJsonPath,
                                   result.intervals.toJson() + "\n");
     }
+    if (probes)
+        core.attachCoherenceAgent(nullptr);
     if (tracer) {
         core.attachTracer(nullptr);
         tracer->finish();

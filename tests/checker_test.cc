@@ -330,6 +330,126 @@ TEST(CheckerMutant, PhantomLoadLoadViolationFlagged)
         << kinds(c);
 }
 
+// ---------------------------------------- mutant: probe snoop ---------
+
+// Clean reference stream: a probe hits a vulnerable load, the LSQ
+// reports it, the core squashes and replays. Every step is legal.
+TEST(CheckerClean, ProbeSquashReplayAccepted)
+{
+    LsqParams p;
+    p.loadCheck = LoadCheckPolicy::LoadBuffer;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kA, 3, issued(true));   // OOO past load 0: vulnerable
+    c.onInvalidate(kA, 6, searched(1));      // snoop reports the victim
+    c.onSquash(1);                           // core squashes from it
+    c.onAllocateLoad(1, 0x104);              // replay
+    c.onLoadIssue(0, kB, 8, issued(true));
+    c.onLoadIssue(1, kA, 10, issued(true));  // re-executes after the write
+    c.onLoadCommit(0);
+    c.onLoadCommit(1);
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+}
+
+TEST(CheckerClean, RejectedProbeIsIgnored)
+{
+    // A rejected delivery (no LQ port) is retried by the coherence
+    // agent; it is not a visibility point and must not create a squash
+    // obligation.
+    LsqParams p;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onLoadIssue(0, kA, 2, issued(true));
+    StoreSearchOutcome noPort;   // accepted == false
+    c.onInvalidate(kA, 4, noPort);
+    c.onLoadCommit(0);
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+}
+
+// Mutant P1: the load-buffer CAM misses on a probe — a vulnerable
+// load is resident but the snoop reports no victim.
+TEST(CheckerMutant, ProbeSnoopMissFlagged)
+{
+    LsqParams p;
+    p.loadCheck = LoadCheckPolicy::LoadBuffer;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kA, 3, issued(true));   // vulnerable resident
+    c.onInvalidate(kA, 6, searched());       // mutant: no victim found
+    EXPECT_GE(c.mismatches(), 1u);
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::MissedProbeSquash))
+        << kinds(c);
+    EXPECT_EQ(c.errors().front().expected, 1u);
+}
+
+// Mutant P1b: same bug on a conventional design — the invalidation LQ
+// walk fails to report the outstanding load.
+TEST(CheckerMutant, ProbeWalkMissFlagged)
+{
+    LsqParams p;   // SearchLoadQueue
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onLoadIssue(0, kA, 2, issued(true));
+    c.onInvalidate(kA, 5, searched());       // mutant: walk found nothing
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::MissedProbeSquash))
+        << kinds(c);
+}
+
+// Mutant P2: the snoop reports the right victim but the core drops
+// the squash — the victim retires with its stale value. Both the
+// pending-obligation check and the end-to-end remote-write rule fire.
+TEST(CheckerMutant, DroppedProbeSquashFlaggedAtCommit)
+{
+    LsqParams p;
+    p.loadCheck = LoadCheckPolicy::LoadBuffer;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onLoadIssue(1, kA, 3, issued(true));
+    c.onInvalidate(kA, 6, searched(1));      // agreement: squash owed
+    EXPECT_EQ(c.mismatches(), 0u) << c.report();
+    c.onLoadIssue(0, kB, 8, issued(true));   // mutant: no squash happens
+    c.onLoadCommit(0);
+    c.onLoadCommit(1);                       // stale value retires
+    EXPECT_GE(c.mismatches(), 1u);
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::MissedProbeSquash))
+        << kinds(c);
+}
+
+// Mutant P3: the snoop cries wolf — an in-order-issued load (never in
+// the buffer, not vulnerable) is reported as a probe victim.
+TEST(CheckerMutant, SpuriousProbeSquashFlagged)
+{
+    LsqParams p;
+    p.loadCheck = LoadCheckPolicy::LoadBuffer;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onLoadIssue(0, kA, 2, issued(true));   // oldest: issued in order
+    c.onInvalidate(kA, 5, searched(0));      // mutant: phantom victim
+    EXPECT_GE(c.mismatches(), 1u);
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::SpuriousProbeSquash))
+        << kinds(c);
+}
+
+// Mutant P3b: over-squash — the snoop selects a load *older* than the
+// oldest vulnerable one, wiping work the probe did not invalidate.
+TEST(CheckerMutant, ProbeOverSquashFlagged)
+{
+    LsqParams p;
+    p.loadCheck = LoadCheckPolicy::LoadBuffer;
+    LsqChecker c(p);
+    c.onAllocateLoad(0, 0x100);
+    c.onAllocateLoad(1, 0x104);
+    c.onAllocateLoad(2, 0x108);
+    c.onLoadIssue(1, kA, 3, issued(true));   // the true victim
+    c.onLoadIssue(2, kA, 4, issued(true));
+    c.onInvalidate(kA, 6, searched(0));      // mutant: squashes seq 0
+    EXPECT_TRUE(hasKind(c, CheckErrorKind::SpuriousProbeSquash))
+        << kinds(c);
+}
+
 // ------------------------------------------- mutant: broken protocol --
 
 TEST(CheckerMutant, OutOfOrderCommitFlagged)

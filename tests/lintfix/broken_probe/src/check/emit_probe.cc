@@ -1,0 +1,13 @@
+// Oracle emit site: reports MissedForward only.
+
+#include "check/kinds_probe.hh"
+
+namespace lsqscale {
+
+CheckErrorKind
+classify()
+{
+    return CheckErrorKind::MissedForward;
+}
+
+} // namespace lsqscale

@@ -1,0 +1,18 @@
+// Probe-check mutant: CheckErrorKind::MissedProbeSquash exists in the
+// taxonomy but the oracle never emits it and no test mentions it — a
+// probe-squash check nobody has ever seen fire.
+
+#ifndef LINTFIX_KINDS_PROBE_HH
+#define LINTFIX_KINDS_PROBE_HH
+
+namespace lsqscale {
+
+enum class CheckErrorKind
+{
+    MissedForward,
+    MissedProbeSquash,
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_KINDS_PROBE_HH

@@ -1,0 +1,16 @@
+// The one hook site in this fixture: emits Fetch, never LbProbe — the
+// snoop path lost its trace emit in a refactor.
+
+#include "obs/trace_probe.hh"
+
+#define LSQ_TRACE_HOOK(tracer, ev, seq) ((void)(ev), (void)(seq))
+
+namespace lsqscale {
+
+void
+emitFetch(std::uint64_t seq)
+{
+    LSQ_TRACE_HOOK(tracer_, TraceEvent::Fetch, seq);
+}
+
+} // namespace lsqscale

@@ -1,0 +1,21 @@
+// Name table: maps BOTH events, so tax-trace-analyzer stays quiet —
+// the bug this fixture plants is the missing hook site only.
+
+#include "obs/trace_probe.hh"
+
+namespace lsqscale {
+namespace {
+
+struct NameRow
+{
+    TraceEvent ev;
+    const char *name;
+};
+
+const NameRow kNames[] = {
+    {TraceEvent::Fetch, "fetch"},
+    {TraceEvent::LbProbe, "lb-probe"},
+};
+
+} // namespace
+} // namespace lsqscale

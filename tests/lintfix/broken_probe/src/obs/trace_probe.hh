@@ -1,0 +1,22 @@
+// Probe-event mutant: TraceEvent::LbProbe is mapped by the analyzer
+// name table but no hook site emits it — the shape of an
+// "instrumented the enum, forgot the emit" coherence-probe refactor.
+
+// lsqlint: layer(common) -- hook-site interface, included from layer-1 code
+
+#ifndef LINTFIX_TRACE_PROBE_HH
+#define LINTFIX_TRACE_PROBE_HH
+
+#include <cstdint>
+
+namespace lsqscale {
+
+enum class TraceEvent : std::uint8_t
+{
+    Fetch,
+    LbProbe,
+};
+
+} // namespace lsqscale
+
+#endif // LINTFIX_TRACE_PROBE_HH

@@ -1,0 +1,10 @@
+// Test mention for MissedForward only; MissedProbeSquash is untested.
+
+#include "check/kinds_probe.hh"
+
+int
+main()
+{
+    using lsqscale::CheckErrorKind;
+    return classify() == CheckErrorKind::MissedForward ? 0 : 1;
+}

@@ -56,6 +56,14 @@ EXPECT = {
         "tax-check-emit": 1,
         "tax-check-test": 1,
     },
+    "broken_probe": {
+        # An analyzer-mapped probe event with no hook site, plus a
+        # probe-squash error kind the oracle never emits and no test
+        # mentions: the unhooked-probe shape lsqlint must flag.
+        "tax-trace-hook": 1,
+        "tax-check-emit": 1,
+        "tax-check-test": 1,
+    },
     "broken_legacy": {
         "raw-new": 1,
         "bare-assert": 1,

@@ -12,6 +12,7 @@
 #include "lsq/lsq.hh"
 #include "lsq/port_schedule.hh"
 #include "lsq/segment_allocator.hh"
+#include "memory/probe_agent.hh"
 
 using namespace lsqscale;
 
@@ -918,6 +919,245 @@ TEST(LsqInvalidate, OldestOutstandingLoadSquashed)
     f.lsq.issueLoad(1, 0xDD0, 0, true);
     f.lsq.issueLoad(2, 0xDD0, 1, true);
     EXPECT_EQ(f.lsq.invalidate(0xDD0, 5).violationLoad, 1u);
+}
+
+// Coherence probes under the load-buffer snoop policies: the probe
+// searches only the tiny out-of-order-issued-loads CAM and never
+// takes an LQ port (the point of the paper's scheme 2).
+
+TEST(LoadBuffer, FindMatchReturnsOldestResident)
+{
+    LoadBuffer lb(4);
+    lb.insert(7, 0xAA0, 10);
+    lb.insert(5, 0xAA0, 12);
+    lb.insert(6, 0xBB0, 11);
+    EXPECT_EQ(lb.findMatch(0xAA0), 5u);
+    EXPECT_EQ(lb.findMatch(0xBB0), 6u);
+    EXPECT_EQ(lb.findMatch(0xCC0), kNoSeq);
+    lb.release(5);                        // NILP passed it: replaced
+    EXPECT_EQ(lb.findMatch(0xAA0), 7u);
+    lb.squashFrom(6);
+    EXPECT_EQ(lb.findMatch(0xAA0), kNoSeq);
+}
+
+namespace {
+
+LsqParams
+lbPolicy(unsigned ports = 1, unsigned lbEntries = 4)
+{
+    LsqParams p = flat(ports);
+    p.loadCheck = LoadCheckPolicy::LoadBuffer;
+    p.loadBufferEntries = lbEntries;
+    return p;
+}
+
+} // namespace
+
+TEST(LsqInvalidate, LoadBufferSnoopSquashesVulnerableLoad)
+{
+    LsqFixture f(lbPolicy());
+    f.lsq.allocateLoad(1, 0x1000);        // never issues: load 2 is OOO
+    f.lsq.allocateLoad(2, 0x1004);
+    ASSERT_EQ(f.lsq.issueLoad(2, 0xAA0, 0, false).status,
+              LoadIssueStatus::Accepted);
+    StoreSearchOutcome out = f.lsq.invalidate(0xAA0, 3);
+    ASSERT_TRUE(out.accepted);
+    EXPECT_EQ(out.violationLoad, 2u);
+    EXPECT_EQ(out.violationLoadPc, 0x1004u);
+    // The snoop hits the load buffer, not the LQ CAM.
+    EXPECT_EQ(f.stats.value("lb.probes"), 1u);
+    EXPECT_EQ(f.stats.value("lq.searches.invalidation"), 0u);
+}
+
+TEST(LsqInvalidate, LoadBufferSnoopIsPortFree)
+{
+    // One search port, and it is busy: probes are still accepted in
+    // the same cycle, any number of them (no LQ walk reservation).
+    LsqFixture f(lbPolicy(1));
+    f.lsq.allocateLoad(1, 0x1000);
+    f.lsq.allocateLoad(2, 0x1004);
+    ASSERT_EQ(f.lsq.issueLoad(2, 0xAA0, 0, false).status,
+              LoadIssueStatus::Accepted);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(f.lsq.invalidate(0xDD0, 0).accepted);
+}
+
+TEST(LsqInvalidate, LoadBufferSnoopIgnoresInOrderIssuedLoad)
+{
+    // A load that issued in program order never enters the buffer, so
+    // a probe to its line reports no victim: the older-load horizon
+    // it could violate does not exist.
+    LsqFixture f(lbPolicy());
+    f.lsq.allocateLoad(1, 0x1000);
+    ASSERT_EQ(f.lsq.issueLoad(1, 0xAA0, 0, false).status,
+              LoadIssueStatus::Accepted);
+    StoreSearchOutcome out = f.lsq.invalidate(0xAA0, 2);
+    ASSERT_TRUE(out.accepted);
+    EXPECT_EQ(out.violationLoad, kNoSeq);
+}
+
+TEST(LsqInvalidate, LoadBufferSnoopMissesReleasedLoad)
+{
+    // Once the NILP passes an out-of-order-issued load (every older
+    // load has issued), it leaves the buffer and probes no longer
+    // squash it.
+    LsqFixture f(lbPolicy(2));
+    f.lsq.allocateLoad(1, 0x1000);
+    f.lsq.allocateLoad(2, 0x1004);
+    ASSERT_EQ(f.lsq.issueLoad(2, 0xAA0, 0, false).status,
+              LoadIssueStatus::Accepted);
+    EXPECT_EQ(f.lsq.invalidate(0xAA0, 1).violationLoad, 2u);
+    ASSERT_EQ(f.lsq.issueLoad(1, 0xBB0, 2, false).status,
+              LoadIssueStatus::Accepted);   // NILP passes load 2
+    EXPECT_EQ(f.lsq.invalidate(0xAA0, 3).violationLoad, kNoSeq);
+}
+
+TEST(LsqInvalidate, LoadBufferSnoopPicksOldestVulnerable)
+{
+    LsqFixture f(lbPolicy(2));
+    f.lsq.allocateLoad(1, 0x1000);        // never issues
+    f.lsq.allocateLoad(2, 0x1004);
+    f.lsq.allocateLoad(3, 0x1008);
+    ASSERT_EQ(f.lsq.issueLoad(3, 0xAA0, 0, false).status,
+              LoadIssueStatus::Accepted);
+    ASSERT_EQ(f.lsq.issueLoad(2, 0xAA0, 1, false).status,
+              LoadIssueStatus::Accepted);
+    EXPECT_EQ(f.lsq.invalidate(0xAA0, 2).violationLoad, 2u);
+}
+
+TEST(LsqInvalidate, SquashOnProbeEmptiesBuffer)
+{
+    // The squash a probe demands also removes the victim (and all
+    // younger loads) from the buffer: a replayed probe finds nothing.
+    LsqFixture f(lbPolicy());
+    f.lsq.allocateLoad(1, 0x1000);
+    f.lsq.allocateLoad(2, 0x1004);
+    f.lsq.allocateLoad(3, 0x1008);
+    ASSERT_EQ(f.lsq.issueLoad(2, 0xAA0, 0, false).status,
+              LoadIssueStatus::Accepted);
+    ASSERT_EQ(f.lsq.issueLoad(3, 0xAA0, 1, false).status,
+              LoadIssueStatus::Accepted);
+    SeqNum victim = f.lsq.invalidate(0xAA0, 2).violationLoad;
+    ASSERT_EQ(victim, 2u);
+    f.lsq.squashFrom(victim);
+    EXPECT_EQ(f.lsq.invalidate(0xAA0, 3).violationLoad, kNoSeq);
+}
+
+TEST(LsqInvalidate, InOrderPolicySnoopIsEmptyNoop)
+{
+    // The "0-entry load buffer" baseline: in-order issue keeps the
+    // buffer empty, so every probe is accepted and nothing is ever
+    // squashed — the scheme's correctness argument in miniature.
+    LsqParams p = flat(1);
+    p.loadCheck = LoadCheckPolicy::InOrder;
+    p.loadBufferEntries = 0;
+    LsqFixture f(p);
+    f.lsq.allocateLoad(1, 0x1000);
+    ASSERT_EQ(f.lsq.issueLoad(1, 0xAA0, 0, false).status,
+              LoadIssueStatus::Accepted);
+    StoreSearchOutcome out = f.lsq.invalidate(0xAA0, 1);
+    ASSERT_TRUE(out.accepted);
+    EXPECT_EQ(out.violationLoad, kNoSeq);
+}
+
+// ------------------------------------------------- ProbeAgent ---------
+
+TEST(ProbeAgent, ScriptedWritersFireOnSchedule)
+{
+    ProbeAgentParams p;
+    p.enabled = true;
+    p.writers.push_back(ProbeWriter{0xAA0, 10, 0, 0});    // one-shot
+    p.writers.push_back(ProbeWriter{0xBB0, 12, 5, 2});    // two writes
+    ProbeAgent agent(p);
+    Addr a = 0;
+    for (Cycle c = 0; c < 10; ++c)
+        EXPECT_FALSE(agent.due(c, a)) << c;
+    ASSERT_TRUE(agent.due(10, a));
+    EXPECT_EQ(a, 0xAA0u);
+    agent.delivered(a, 10, kNoSeq);
+    EXPECT_FALSE(agent.due(11, a));
+    ASSERT_TRUE(agent.due(12, a));
+    EXPECT_EQ(a, 0xBB0u);
+    agent.delivered(a, 12, kNoSeq);
+    ASSERT_TRUE(agent.due(17, a));
+    agent.delivered(a, 17, kNoSeq);
+    for (Cycle c = 18; c < 40; ++c)
+        EXPECT_FALSE(agent.due(c, a)) << c;   // count exhausted
+    EXPECT_EQ(agent.deliveredCount(), 3u);
+}
+
+TEST(ProbeAgent, RejectedProbeRetriesInFifoOrder)
+{
+    ProbeAgentParams p;
+    p.enabled = true;
+    p.writers.push_back(ProbeWriter{0xAA0, 5, 0, 0});
+    p.writers.push_back(ProbeWriter{0xBB0, 6, 0, 0});
+    ProbeAgent agent(p);
+    Addr a = 0;
+    ASSERT_TRUE(agent.due(5, a));
+    EXPECT_EQ(a, 0xAA0u);
+    agent.rejected();                     // no LQ port this cycle
+    ASSERT_TRUE(agent.due(6, a));
+    EXPECT_EQ(a, 0xAA0u);                 // still first in line
+    agent.delivered(a, 6, kNoSeq);
+    ASSERT_TRUE(agent.due(7, a));
+    EXPECT_EQ(a, 0xBB0u);
+    agent.delivered(a, 7, kNoSeq);
+    EXPECT_EQ(agent.rejectedCount(), 1u);
+    EXPECT_EQ(agent.pendingProbes(), 0u);
+}
+
+TEST(ProbeAgent, WatchSetOverflowEvictsOldest)
+{
+    ProbeAgentParams p;
+    p.enabled = true;
+    p.watchCapacity = 2;
+    ProbeAgent agent(p);
+    agent.observeLoadCommit(1, 0x100, 0xAA0, 5, kNoSeq, 6);
+    agent.observeLoadCommit(2, 0x104, 0xBB0, 6, kNoSeq, 7);
+    agent.observeLoadCommit(3, 0x108, 0xBB0, 7, kNoSeq, 8);  // dup
+    EXPECT_EQ(agent.watchSize(), 2u);
+    EXPECT_EQ(agent.watchEvictions(), 0u);
+    agent.observeStoreCommit(4, 0x10c, 0xCC0, 9);            // evicts AA0
+    EXPECT_EQ(agent.watchSize(), 2u);
+    EXPECT_EQ(agent.watchEvictions(), 1u);
+}
+
+TEST(ProbeAgent, TriggerChasesStoreCommit)
+{
+    ProbeAgentParams p;
+    p.enabled = true;
+    p.triggers.push_back(ProbeTrigger{0xBB0, 0xAA0, 3});
+    ProbeAgent agent(p);
+    Addr a = 0;
+    EXPECT_FALSE(agent.due(4, a));
+    agent.observeStoreCommit(1, 0x100, 0xBB0, 5);
+    EXPECT_FALSE(agent.due(6, a));        // fires at 5 + 3
+    EXPECT_FALSE(agent.due(7, a));
+    ASSERT_TRUE(agent.due(8, a));
+    EXPECT_EQ(a, 0xAA0u);
+    agent.delivered(a, 8, kNoSeq);
+}
+
+TEST(ProbeAgent, ValueIndicesCountPerAddress)
+{
+    ProbeAgentParams p;
+    p.enabled = true;
+    p.writers.push_back(ProbeWriter{0xAA0, 2, 4, 2});
+    p.writers.push_back(ProbeWriter{0xBB0, 4, 0, 0});
+    ProbeAgent agent(p);
+    Addr a = 0;
+    for (Cycle c = 0; c < 12; ++c) {
+        if (agent.due(c, a))
+            agent.delivered(a, c, kNoSeq);
+    }
+    ASSERT_EQ(agent.writes().size(), 3u);
+    EXPECT_EQ(agent.valueAt(0xAA0, 1), 0u);
+    EXPECT_EQ(agent.valueAt(0xAA0, 2), 1u);
+    EXPECT_EQ(agent.valueAt(0xAA0, 6), 2u);
+    EXPECT_EQ(agent.valueAt(0xBB0, 3), 0u);
+    EXPECT_EQ(agent.valueAt(0xBB0, 100), 1u);
+    EXPECT_EQ(agent.squashCount(), 0u);
 }
 
 TEST(LsqSegmented, CommitSchemeSearchesAcrossSegments)

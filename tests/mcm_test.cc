@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Litmus corpus for src/mcm: the full fig7 design grid runs every
+ * scenario with the ordering oracle attached and must observe zero
+ * forbidden outcomes; synthetic commit logs prove the forbidden-
+ * outcome detector itself is not vacuous (docs/CONSISTENCY.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mcm/litmus.hh"
+#include "sim/sim_config.hh"
+
+using namespace lsqscale;
+
+namespace {
+
+struct Design
+{
+    const char *name;
+    SimConfig cfg;
+};
+
+std::vector<Design>
+designGrid()
+{
+    SimConfig base = configs::base("bzip");
+    return {
+        {"conventional", base},
+        {"ports1", configs::withPorts(base, 1)},
+        {"lb8", configs::withLoadBuffer(base, 8)},
+        {"lb2", configs::withLoadBuffer(base, 2)},
+        {"inorder", configs::withInOrderLoads(base, false)},
+        {"inorder-always", configs::withInOrderLoads(base, true)},
+        {"alltech", configs::allTechniques(base)},
+    };
+}
+
+LitmusConfig
+litmusOn(const SimConfig &design, LitmusTest test,
+         unsigned iterations = 32)
+{
+    LitmusConfig cfg;
+    cfg.test = test;
+    cfg.core = design.core;
+    cfg.lsq = design.lsq;
+    cfg.memory = design.memory;
+    cfg.iterations = iterations;
+    cfg.checked = true;
+    return cfg;
+}
+
+// Synthetic-log builders for the non-vacuity tests: a commit record
+// for the "interesting" op of (iteration, slot), and a remote write.
+
+ProbeCommitRecord
+load(unsigned iter, unsigned slot, Addr addr, Cycle exec,
+     SeqNum fwd = kNoSeq)
+{
+    return ProbeCommitRecord{true, 100 + iter, kLitmusPcBase + iter * 16
+                             + slot, addr, exec, fwd, exec + 10};
+}
+
+ProbeCommitRecord
+store(unsigned iter, unsigned slot, Addr addr, SeqNum seq, Cycle commit)
+{
+    return ProbeCommitRecord{false, seq, kLitmusPcBase + iter * 16
+                             + slot, addr, kNoCycle, kNoSeq, commit};
+}
+
+RemoteWrite
+write(Addr addr, Cycle visibleAt, std::uint64_t value)
+{
+    return RemoteWrite{addr, visibleAt, value, kNoSeq};
+}
+
+void
+expectClean(const LitmusResult &r, const char *design, const char *test)
+{
+    EXPECT_EQ(r.forbidden, 0u)
+        << design << "/" << test << ":\n" << r.summary();
+    EXPECT_EQ(r.checkMismatches, 0u)
+        << design << "/" << test << ":\n" << r.summary();
+    EXPECT_GT(r.iterations, 0u) << design << "/" << test;
+}
+
+} // namespace
+
+// ----------------------------------------------- the litmus corpus ----
+
+TEST(McmGrid, NoForbiddenOutcomesAcrossDesignGrid)
+{
+    for (const Design &d : designGrid()) {
+        for (LitmusTest test : kAllLitmusTests) {
+            LitmusResult r =
+                runLitmusSeeds(litmusOn(d.cfg, test), 8, 2);
+            expectClean(r, d.name, litmusTestName(test));
+        }
+    }
+}
+
+TEST(McmGrid, LoadBufferDesignSquashesOnProbesAcross64Seeds)
+{
+    // The acceptance bar: under the load-buffer design the probes do
+    // provoke snoop squashes — and the oracle cross-checks every one.
+    SimConfig lb8 = configs::withLoadBuffer(configs::base("bzip"), 8);
+    LitmusResult r =
+        runLitmusSeeds(litmusOn(lb8, LitmusTest::MP, 64), 64, 4);
+    expectClean(r, "lb8", "MP");
+    EXPECT_GT(r.probeSquashes, 0u) << r.summary();
+    EXPECT_GT(r.probesDelivered, r.probeSquashes) << r.summary();
+}
+
+TEST(McmGrid, ConventionalDesignAlsoSquashesOnProbes)
+{
+    // The LQ-walk invalidation path (scheme 2 without a load buffer)
+    // protects the conventional design the same way.
+    SimConfig base = configs::base("bzip");
+    LitmusResult r =
+        runLitmusSeeds(litmusOn(base, LitmusTest::CoRR, 64), 16, 4);
+    expectClean(r, "conventional", "CoRR");
+    EXPECT_GT(r.probeSquashes, 0u) << r.summary();
+}
+
+TEST(McmHistogram, AllowedOutcomesAreDiverse)
+{
+    // If the remote writes never actually interleaved with the local
+    // iterations, every scenario would collapse into one outcome label
+    // and the forbidden checks would be vacuous at run level too.
+    SimConfig base = configs::base("bzip");
+
+    LitmusResult mp = runLitmusSeeds(litmusOn(base, LitmusTest::MP), 8, 2);
+    EXPECT_GT(mp.histogram["data==flag"], 0u) << mp.summary();
+    EXPECT_GT(mp.histogram["data ahead of flag"], 0u) << mp.summary();
+
+    LitmusResult sb = runLitmusSeeds(litmusOn(base, LitmusTest::SB), 8, 2);
+    EXPECT_GT(sb.histogram["y advanced"], 0u) << sb.summary();
+    EXPECT_GT(sb.histogram["y unchanged"], 0u) << sb.summary();
+
+    LitmusResult sfv =
+        runLitmusSeeds(litmusOn(base, LitmusTest::SFV), 8, 2);
+    EXPECT_GT(sfv.histogram["forwarded own store"], 0u) << sfv.summary();
+}
+
+// ------------------------------------- detector non-vacuity -----------
+// Feed resolveLitmus hand-built logs containing each violation shape
+// and require the matching forbidden label. A detector that cannot
+// flag a planted violation proves nothing when the real runs pass.
+
+TEST(McmResolve, FlagsStaleDataAfterNewFlagMP)
+{
+    std::vector<RemoteWrite> writes = {
+        write(kLitmusData, 5, 1), write(kLitmusFlag, 10, 1)};
+    // Flag load sees the flag write, data load executed before the
+    // data write became visible: the forbidden MP interleaving.
+    std::vector<ProbeCommitRecord> commits = {
+        load(0, kLitmusSlot0, kLitmusFlag, 20),
+        load(0, kLitmusSlot1, kLitmusData, 3)};
+    LitmusResult r = resolveLitmus(LitmusTest::MP, 1, commits, writes);
+    EXPECT_EQ(r.iterations, 1u);
+    EXPECT_EQ(r.forbidden, 1u);
+    EXPECT_EQ(r.histogram["forbidden: stale data after new flag"], 1u);
+}
+
+TEST(McmResolve, FlagsRegressedYSB)
+{
+    std::vector<RemoteWrite> writes = {write(kLitmusY, 10, 1)};
+    std::vector<ProbeCommitRecord> commits = {
+        store(0, kLitmusSlot0, kLitmusX, 1, 15),
+        load(0, kLitmusSlot1, kLitmusY, 20),   // y = 1
+        store(1, kLitmusSlot0, kLitmusX, 2, 25),
+        load(1, kLitmusSlot1, kLitmusY, 5)};   // y = 0: regression
+    LitmusResult r = resolveLitmus(LitmusTest::SB, 2, commits, writes);
+    EXPECT_EQ(r.forbidden, 1u);
+    EXPECT_EQ(r.histogram["forbidden: y regressed"], 1u);
+    EXPECT_EQ(r.histogram["y advanced"], 1u);
+}
+
+TEST(McmResolve, FlagsCausalCycleLB)
+{
+    // Iteration 0 has zero older triggered writes, yet its load of X
+    // observes one — it read the write its own store caused.
+    std::vector<RemoteWrite> writes = {write(kLitmusX, 8, 1)};
+    std::vector<ProbeCommitRecord> commits = {
+        load(0, kLitmusSlot0, kLitmusX, 9),
+        store(0, kLitmusSlot1, kLitmusY, 1, 12)};
+    LitmusResult r = resolveLitmus(LitmusTest::LB, 1, commits, writes);
+    EXPECT_EQ(r.forbidden, 1u);
+    EXPECT_EQ(r.histogram["forbidden: causal cycle"], 1u);
+}
+
+TEST(McmResolve, FlagsNonMonotoneReadPairCoRR)
+{
+    std::vector<RemoteWrite> writes = {write(kLitmusX, 10, 1)};
+    std::vector<ProbeCommitRecord> commits = {
+        load(0, kLitmusSlot0, kLitmusX, 20),   // older sees value 1
+        load(0, kLitmusSlot1, kLitmusX, 5)};   // younger sees value 0
+    LitmusResult r = resolveLitmus(LitmusTest::CoRR, 1, commits, writes);
+    EXPECT_EQ(r.forbidden, 1u);
+    EXPECT_EQ(r.histogram["forbidden: non-monotone read pair"], 1u);
+}
+
+TEST(McmResolve, FlagsStaleForwardAndPreStoreReadSFV)
+{
+    std::vector<RemoteWrite> writes;
+    std::vector<ProbeCommitRecord> commits = {
+        // Iteration 0: the load forwarded from some other store.
+        store(0, kLitmusSlot0, kLitmusX, 7, 10),
+        load(0, kLitmusSlot1, kLitmusX, 12, /*fwd=*/3),
+        // Iteration 1: not forwarded and executed before its own
+        // store's value could be in the cache.
+        store(1, kLitmusSlot0, kLitmusX, 9, 30),
+        load(1, kLitmusSlot1, kLitmusX, 25)};
+    LitmusResult r = resolveLitmus(LitmusTest::SFV, 2, commits, writes);
+    EXPECT_EQ(r.forbidden, 2u);
+    EXPECT_EQ(r.histogram["forbidden: forwarded from stale store"], 1u);
+    EXPECT_EQ(r.histogram["forbidden: read pre-store value"], 1u);
+}
+
+TEST(McmResolve, AcceptsCleanLogsAndSkipsIncompleteIterations)
+{
+    std::vector<RemoteWrite> writes = {write(kLitmusFlag, 10, 1),
+                                       write(kLitmusData, 8, 1)};
+    std::vector<ProbeCommitRecord> commits = {
+        load(0, kLitmusSlot0, kLitmusFlag, 20),
+        load(0, kLitmusSlot1, kLitmusData, 22),
+        // Iteration 1 is incomplete (flag load never committed) and
+        // must be skipped, not misclassified.
+        load(1, kLitmusSlot1, kLitmusData, 30)};
+    LitmusResult r = resolveLitmus(LitmusTest::MP, 2, commits, writes);
+    EXPECT_EQ(r.iterations, 1u);
+    EXPECT_EQ(r.forbidden, 0u);
+    EXPECT_EQ(r.histogram["data==flag"], 1u);
+}
+
+TEST(McmResolve, ValueAtCountsVisibleWrites)
+{
+    std::vector<RemoteWrite> writes = {
+        write(kLitmusX, 5, 1), write(kLitmusX, 9, 2),
+        write(kLitmusY, 7, 1)};
+    EXPECT_EQ(litmusValueAt(writes, kLitmusX, 4), 0u);
+    EXPECT_EQ(litmusValueAt(writes, kLitmusX, 5), 1u);
+    EXPECT_EQ(litmusValueAt(writes, kLitmusX, 8), 1u);
+    EXPECT_EQ(litmusValueAt(writes, kLitmusX, 9), 2u);
+    EXPECT_EQ(litmusValueAt(writes, kLitmusY, 100), 1u);
+    EXPECT_EQ(litmusValueAt(writes, kLitmusData, 100), 0u);
+}
+
+// ------------------------------------------------ determinism ---------
+
+TEST(McmDeterminism, SameConfigSameResult)
+{
+    SimConfig lb8 = configs::withLoadBuffer(configs::base("bzip"), 8);
+    LitmusConfig cfg = litmusOn(lb8, LitmusTest::MP);
+    LitmusResult a = runLitmus(cfg);
+    LitmusResult b = runLitmus(cfg);
+    EXPECT_EQ(a.histogram, b.histogram);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.probesDelivered, b.probesDelivered);
+    EXPECT_EQ(a.probeSquashes, b.probeSquashes);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(McmDeterminism, SeedMergeIsThreadCountInvariant)
+{
+    SimConfig base = configs::base("bzip");
+    LitmusConfig cfg = litmusOn(base, LitmusTest::CoRR);
+    LitmusResult serial = runLitmusSeeds(cfg, 8, 1);
+    LitmusResult parallel = runLitmusSeeds(cfg, 8, 4);
+    EXPECT_EQ(serial.histogram, parallel.histogram);
+    EXPECT_EQ(serial.iterations, parallel.iterations);
+    EXPECT_EQ(serial.probesDelivered, parallel.probesDelivered);
+    EXPECT_EQ(serial.probeSquashes, parallel.probeSquashes);
+    EXPECT_EQ(serial.cycles, parallel.cycles);
+}

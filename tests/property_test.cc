@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "check/lsq_checker.hh"
@@ -18,6 +19,7 @@
 #include "lsq/lsq.hh"
 #include "lsq/segment_allocator.hh"
 #include "core/core.hh"
+#include "memory/probe_agent.hh"
 #include "predictor/store_set.hh"
 #include "sample/checkpoint.hh"
 #include "sim/sim_config.hh"
@@ -212,9 +214,18 @@ INSTANTIATE_TEST_SUITE_P(
  * triggers a squash-and-replay, commits retire the oldest op — so the
  * oracle's zero-mismatch guarantee applies: any forwarding or ordering
  * bug the random trace tickles fails the test with full provenance.
+ *
+ * The third parameter turns on a randomized coherence-probe schedule:
+ * a ProbeAgent (scripted writers over the fuzz address range plus
+ * random traffic over its commit-fed watch set) injects invalidations
+ * through the same due/delivered/rejected protocol the core uses, and
+ * every reported victim is squashed. The oracle validates the probe
+ * path too — victim agreement, the squash obligation, and the
+ * end-to-end remote-write staleness rule at every commit.
  */
 class CheckedLsqFuzz
-    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>>
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, int, bool>>
 {
 };
 
@@ -231,7 +242,7 @@ fuzzAddr(SeqNum seq)
 
 TEST_P(CheckedLsqFuzz, OracleFindsNoMismatches)
 {
-    auto [seed, design] = GetParam();
+    auto [seed, design, probed] = GetParam();
     LsqParams params;
     params.lqEntries = 8;
     params.sqEntries = 8;
@@ -259,6 +270,18 @@ TEST_P(CheckedLsqFuzz, OracleFindsNoMismatches)
     lsq.attachChecker(&checker);
     Rng rng(seed);
 
+    std::unique_ptr<ProbeAgent> probes;
+    if (probed) {
+        ProbeAgentParams pp;
+        pp.enabled = true;
+        pp.seed = seed ^ 0x70726f6265ULL;
+        pp.probesPerKCycle = 25.0;
+        pp.watchCapacity = 4;
+        pp.writers.push_back(ProbeWriter{fuzzAddr(0), 40, 97, 0});
+        pp.writers.push_back(ProbeWriter{fuzzAddr(5), 60, 131, 0});
+        probes = std::make_unique<ProbeAgent>(pp);
+    }
+
     std::deque<ShadowLoad> loads;
     std::deque<ShadowStore> stores;
     SeqNum nextSeq = 0;
@@ -275,6 +298,21 @@ TEST_P(CheckedLsqFuzz, OracleFindsNoMismatches)
 
     for (int step = 0; step < 20000; ++step) {
         ++now;
+        if (probes) {
+            // The coherence stage the core would run: deliver one due
+            // probe, squash any reported victim, retry on rejection.
+            Addr pa = 0;
+            if (probes->due(now, pa)) {
+                StoreSearchOutcome out = lsq.invalidate(pa, now);
+                if (!out.accepted) {
+                    probes->rejected();
+                } else {
+                    probes->delivered(pa, now, out.violationLoad);
+                    if (out.violationLoad != kNoSeq)
+                        doSquash(out.violationLoad);
+                }
+            }
+        }
         double r = rng.uniform();
         if (r < 0.30) {
             bool isLoad = rng.chance(0.6);
@@ -339,6 +377,10 @@ TEST_P(CheckedLsqFuzz, OracleFindsNoMismatches)
                 if (loads.front().executed) {
                     lsq.commitLoad(oldestLoad);
                     loads.pop_front();
+                    if (probes)
+                        probes->observeLoadCommit(
+                            oldestLoad, 0x1000 + 4 * oldestLoad,
+                            fuzzAddr(oldestLoad), now, kNoSeq, now);
                 }
             } else if (oldestStore != kNoSeq &&
                        stores.front().executed) {
@@ -346,6 +388,10 @@ TEST_P(CheckedLsqFuzz, OracleFindsNoMismatches)
                     lsq.commitStore(oldestStore, now);
                 if (out.accepted) {
                     stores.pop_front();
+                    if (probes)
+                        probes->observeStoreCommit(
+                            oldestStore, 0x1000 + 4 * oldestStore,
+                            fuzzAddr(oldestStore), now);
                     if (out.violationLoad != kNoSeq)
                         doSquash(out.violationLoad);
                 }
@@ -422,7 +468,36 @@ TEST_P(CheckedLsqFuzz, OracleFindsNoMismatches)
 INSTANTIATE_TEST_SUITE_P(
     Designs, CheckedLsqFuzz,
     ::testing::Combine(::testing::Values(5u, 123u, 4242u),
-                       ::testing::Values(0, 1, 2, 3)));
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Bool()));
+
+// ------------------------------------------- probe bit-identity -------
+
+TEST(ProbeProperty, IdleAgentIsNonPerturbing)
+{
+    // The probe model must follow the tracer's discipline: attaching
+    // an agent that never fires cannot perturb the run — the golden
+    // suite stays valid for every probes-off configuration. Compare
+    // the full sorted stats dump byte for byte.
+    SimConfig cfg = configs::base("bzip");
+    auto runDump = [&cfg](bool attach) {
+        StatSet stats;
+        Core core(cfg.core, cfg.lsq, cfg.memory,
+                  profileFor(cfg.benchmark), cfg.seed, stats);
+        ProbeAgentParams pp;
+        pp.enabled = true;   // attached, but nothing ever scheduled
+        ProbeAgent agent(pp);
+        if (attach)
+            core.attachCoherenceAgent(&agent);
+        core.run(8000);
+        if (attach) {
+            core.attachCoherenceAgent(nullptr);
+            EXPECT_EQ(agent.deliveredCount(), 0u);
+        }
+        return stats.dump();
+    };
+    EXPECT_EQ(runDump(false), runDump(true));
+}
 
 // ------------------------------------------- StoreSet counter fuzz ----
 

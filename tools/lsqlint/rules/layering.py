@@ -7,7 +7,7 @@ The subsystem DAG (DESIGN.md):
     metrics                                 layer 1
     sim                                     layer 2
     check obs sample                        layer 3
-    harness inject                          layer 4
+    harness inject mcm                      layer 4
     serve                                   layer 5
 
 metrics sits at layer 1 (it includes only common): the host-telemetry
@@ -39,7 +39,7 @@ LAYERS = {
     "metrics": 1,
     "sim": 2,
     "check": 3, "obs": 3, "sample": 3,
-    "harness": 4, "inject": 4,
+    "harness": 4, "inject": 4, "mcm": 4,
     "serve": 5,
 }
 
@@ -117,7 +117,7 @@ def run(db):
                     f"includes point down the DAG "
                     f"common<-{{lsq,core,memory,predictor,workload}}"
                     f"<-sim<-{{check,obs,sample}}"
-                    f"<-{{harness,inject}}"))
+                    f"<-{{harness,inject,mcm}}"))
 
     # ---------------------------------------------- cycles ---------
     # Tarjan SCC over the file graph; any SCC of size > 1 (or a
