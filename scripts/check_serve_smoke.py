@@ -19,6 +19,18 @@ Three subcommands, one per promise the lsqd service makes:
       After SIGKILLing one in-flight worker child, exactly one cell
       carries the crash provenance (term_signal) and every other cell
       is healthy — a dead worker poisons its cell, never the service.
+
+  burst --lsqctl BIN --socket PATH [--hogs N]
+      Against a queue-limited daemon (--max-queue == N), saturate the
+      admission budget with N detached hogs. A surplus submit without
+      retries must be refused with an Overloaded hint; the same submit
+      with backoff retries armed must land once a hog is cancelled.
+
+  check-restart --lsqctl BIN --socket PATH --id N
+      After the daemon was SIGKILLed mid-grid and restarted, request N
+      must have been re-adopted from the durable spool and completed
+      cleanly: status shows it done with no poisoned cells, and the
+      telemetry registry counts at least one re-adoption.
 """
 
 import argparse
@@ -135,6 +147,95 @@ def cmd_check_killed(args):
           % (args.signal, len(healthy)))
 
 
+def _counters(args):
+    doc = json.loads(_run([args.lsqctl, "--socket", args.socket,
+                           "metrics"]))
+    if doc.get("schema") != "lsqscale-metrics-v1":
+        _fail("metrics document has schema %r" % doc.get("schema"))
+    return doc.get("counters", {})
+
+
+def cmd_burst(args):
+    def submit(name, extra, retry=()):
+        return ([args.lsqctl, "--socket", args.socket] + list(retry) +
+                ["submit", "--name", name, "--config", "base",
+                 "--bench", "bzip", "--jobs", "1"] + extra)
+
+    hogs = []
+    for n in range(args.hogs):
+        out = _run(submit("burst_hog_%d" % n,
+                          ["--insts", str(args.hog_insts), "--detach"]))
+        hogs.append(int(out.strip().splitlines()[-1]))
+
+    # With every admission slot held by a hog, a retry-less submit
+    # must bounce with the Overloaded hint rather than queue or hang.
+    refused = subprocess.run(
+        submit("burst_refused", ["--insts", "2000", "--quiet"]),
+        capture_output=True, text=True)
+    if refused.returncode == 0:
+        _fail("surplus submit was admitted past a full queue")
+    if "overloaded" not in refused.stderr.lower():
+        _fail("refused submit did not mention overload: %r"
+              % refused.stderr.strip())
+
+    # The same submit with backoff armed keeps knocking; cancelling a
+    # hog frees a slot and the retry must land and run to completion.
+    retry_json = args.workdir + "/burst_retry.json"
+    retrier = subprocess.Popen(
+        submit("burst_retry",
+               ["--insts", "2000", "--quiet", "--json", retry_json],
+               retry=["--retries", "200", "--backoff-ms", "50"]),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    time.sleep(0.3)
+    _run([args.lsqctl, "--socket", args.socket, "cancel",
+          str(hogs[0])])
+    _, retry_err = retrier.communicate(timeout=120)
+    if retrier.returncode != 0:
+        _fail("backoff-armed submit never landed: %s"
+              % retry_err.strip())
+    doc = _load(retry_json)
+    bad = [c for c in doc["cells"] if c["status"] != "ok"]
+    if bad:
+        _fail("retried submit completed with unhealthy cells: %r"
+              % bad)
+
+    for hog in hogs[1:]:
+        _run([args.lsqctl, "--socket", args.socket, "cancel",
+              str(hog)])
+    counters = _counters(args)
+    if counters.get("lsq_serve_overloaded_total", 0) < 1:
+        _fail("daemon counted no overload refusals: %r" % counters)
+    print("burst: %d hog(s) held the queue, surplus refused "
+          "(%d overload refusal(s)), retry landed %d cell(s)"
+          % (args.hogs, counters["lsq_serve_overloaded_total"],
+             len(doc["cells"])))
+
+
+def cmd_check_restart(args):
+    doc = json.loads(_run([args.lsqctl, "--socket", args.socket,
+                           "status", str(args.id)]))
+    reqs = [r for r in doc.get("requests", [])
+            if r.get("id") == args.id]
+    if len(reqs) != 1:
+        _fail("restarted daemon does not know request %d: %s"
+              % (args.id, doc))
+    req = reqs[0]
+    if req["state"] != "done":
+        _fail("re-adopted request %d is %r, want done"
+              % (args.id, req["state"]))
+    if req["poisoned"] != 0:
+        _fail("re-adopted request %d finished with %d poisoned "
+              "cell(s)" % (args.id, req["poisoned"]))
+    counters = _counters(args)
+    if counters.get("lsq_serve_readopted_total", 0) < 1:
+        _fail("daemon counted no re-adoptions after restart: %r"
+              % counters)
+    print("check-restart: request %d re-adopted and done "
+          "(%d record(s), %d re-adoption(s))"
+          % (args.id, req["records"],
+             counters["lsq_serve_readopted_total"]))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -159,6 +260,22 @@ def main():
     p.add_argument("served")
     p.add_argument("--signal", type=int, default=9)
     p.set_defaults(func=cmd_check_killed)
+
+    p = sub.add_parser("burst")
+    p.add_argument("--lsqctl", required=True)
+    p.add_argument("--socket", required=True)
+    p.add_argument("--workdir", default="/tmp")
+    p.add_argument("--hogs", type=int, default=2)
+    # Long enough that the hogs are still running when the surplus
+    # submit bounces and the retrier starts knocking.
+    p.add_argument("--hog-insts", type=int, default=400000)
+    p.set_defaults(func=cmd_burst)
+
+    p = sub.add_parser("check-restart")
+    p.add_argument("--lsqctl", required=True)
+    p.add_argument("--socket", required=True)
+    p.add_argument("--id", type=int, required=True)
+    p.set_defaults(func=cmd_check_restart)
 
     args = parser.parse_args()
     args.func(args)

@@ -101,14 +101,18 @@ banner "flavor: checker (fig7_sq_speedup bench under the oracle)"
 LSQSCALE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}" \
     ./build-ci-checker/bench/fig7_sq_speedup
 
-banner "flavor: tsan (harness/obs/sample/metrics tests under ThreadSanitizer)"
+banner "flavor: tsan (harness/obs/sample/metrics/serve tests under ThreadSanitizer)"
 cmake -B build-ci-tsan -S . -DLSQ_TSAN=ON >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" \
-    --target harness_test obs_test sample_test metrics_test
+    --target harness_test obs_test sample_test metrics_test serve_test
 ./build-ci-tsan/tests/harness_test
 ./build-ci-tsan/tests/obs_test
 ./build-ci-tsan/tests/sample_test
 ./build-ci-tsan/tests/metrics_test
+# The cache pin/unpin protocol and the concurrent-executor daemon
+# paths are exactly the races TSan exists to catch; the long
+# single-threaded protocol sweeps stay in the release flavor.
+./build-ci-tsan/tests/serve_test --gtest_filter='CkptCacheTest.*:ReqlogTest.*:ServeDaemonTest.ConcurrentExecutorsShareTheCacheBitIdentically:ServeDaemonTest.CancelMidRunPoisonsOnlyThatRequest:ServeDaemonTest.OverloadedSubmitsGetARetryHintThenSucceed'
 
 banner "flavor: mcm-smoke (litmus grid under the oracle, TSan, probe bit-identity)"
 MCM_DIR="build-ci-release/mcm-smoke"
@@ -402,7 +406,7 @@ SERVE_INSTS="${LSQSCALE_CI_BENCH_INSTS:-20000}"
 SERVE_SOCK="${TMPDIR:-/tmp}/lsqd-ci-$$.sock"
 LSQD=./build-ci-release/tools/lsqd
 LSQCTL=./build-ci-release/tools/lsqctl
-rm -rf "$SERVE_DIR" "$SERVE_SOCK" "$SERVE_SOCK.cache"
+rm -rf "$SERVE_DIR" "$SERVE_SOCK" "$SERVE_SOCK.cache" "$SERVE_SOCK.spool"
 mkdir -p "$SERVE_DIR/batch" "$SERVE_DIR/served"
 SERVE_PID=""
 trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null; rm -f "$SERVE_SOCK"' EXIT
@@ -497,6 +501,63 @@ DETACH_ID=$("$LSQCTL" --socket "$SERVE_SOCK" submit --name detach_smoke \
 "$LSQCTL" --socket "$SERVE_SOCK" attach "$DETACH_ID" \
     --journal "$SERVE_DIR/detach.journal" --quiet >/dev/null
 ./build-ci-release/tools/lsqjournal verify "$SERVE_DIR/detach.journal"
+
+"$LSQCTL" --socket "$SERVE_SOCK" shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+rm -f "$SERVE_SOCK"
+
+# --- burst admission: with both executor slots held by hogs, a
+# surplus submit without retries must bounce with an Overloaded hint,
+# and the same submit with backoff armed must land once a hog is
+# cancelled (docs/SERVICE.md failure matrix).
+"$LSQD" --socket "$SERVE_SOCK" --cache-dir "$SERVE_SOCK.cache" \
+    --executors 2 --max-queue 2 \
+    --spool-dir "$SERVE_DIR/burst.spool" &
+SERVE_PID=$!
+serve_wait_ready
+python3 scripts/check_serve_smoke.py burst \
+    --lsqctl "$LSQCTL" --socket "$SERVE_SOCK" --workdir "$SERVE_DIR"
+"$LSQCTL" --socket "$SERVE_SOCK" shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+rm -f "$SERVE_SOCK"
+
+# --- durable restart: SIGKILL the daemon itself mid-grid. A restart
+# on the same spool must re-adopt the journaled request, finish it,
+# and serve the complete journal to a backoff-armed attach.
+rm -rf "$SERVE_DIR/restart.spool"
+"$LSQD" --socket "$SERVE_SOCK" --cache-dir "$SERVE_SOCK.cache" \
+    --spool-dir "$SERVE_DIR/restart.spool" &
+SERVE_PID=$!
+serve_wait_ready
+RESTART_ID=$("$LSQCTL" --socket "$SERVE_SOCK" submit \
+    --name restart_smoke --config base,perfect --bench bzip \
+    --insts 400000 --jobs 1 --detach)
+WORKER=""
+for _ in $(seq 1 400); do
+    WORKER=$(pgrep -P "$SERVE_PID" | head -n1 || true)
+    [ -n "$WORKER" ] && break
+    sleep 0.01
+done
+if [ -z "$WORKER" ]; then
+    echo "serve-smoke: restart request never started a worker" >&2
+    exit 1
+fi
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+rm -f "$SERVE_SOCK"
+"$LSQD" --socket "$SERVE_SOCK" --cache-dir "$SERVE_SOCK.cache" \
+    --spool-dir "$SERVE_DIR/restart.spool" &
+SERVE_PID=$!
+serve_wait_ready
+LSQSCALE_CLIENT_RETRIES=20 LSQSCALE_CLIENT_BACKOFF_MS=100 \
+    "$LSQCTL" --socket "$SERVE_SOCK" attach "$RESTART_ID" \
+    --journal "$SERVE_DIR/restart.journal" --quiet >/dev/null
+./build-ci-release/tools/lsqjournal verify "$SERVE_DIR/restart.journal"
+python3 scripts/check_serve_smoke.py check-restart \
+    --lsqctl "$LSQCTL" --socket "$SERVE_SOCK" --id "$RESTART_ID"
 
 "$LSQCTL" --socket "$SERVE_SOCK" shutdown >/dev/null
 wait "$SERVE_PID"

@@ -195,17 +195,19 @@ JournalAccumulator::contents() const
 
 // ----------------------------------------------------------- reader --
 
+namespace {
+
+/** Slurp a journal file and check its magic. */
 bool
-readJournal(const std::string &path, JournalContents &out,
-            std::string &error)
+loadJournalBytes(const std::string &path, std::string &bytes,
+                 std::string &error)
 {
-    ScopedHostPhase prof(HostPhase::JournalIo);
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) {
         error = strfmt("cannot open journal %s", path.c_str());
         return false;
     }
-    std::string bytes;
+    bytes.clear();
     char buf[1 << 16];
     std::size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
@@ -223,6 +225,19 @@ readJournal(const std::string &path, JournalContents &out,
                        path.c_str());
         return false;
     }
+    return true;
+}
+
+} // namespace
+
+bool
+readJournal(const std::string &path, JournalContents &out,
+            std::string &error)
+{
+    ScopedHostPhase prof(HostPhase::JournalIo);
+    std::string bytes;
+    if (!loadJournalBytes(path, bytes, error))
+        return false;
 
     // Walk the records; stop (not fail) at the first torn one. The
     // accumulator implements later-record-wins for duplicates.
@@ -237,7 +252,8 @@ readJournal(const std::string &path, JournalContents &out,
         SerialReader head(bytes.data() + pos, 8);
         std::uint32_t len = head.u32();
         std::uint32_t crc = head.u32();
-        if (bytes.size() - pos - 8 < len) {
+        if (len > kMaxJournalRecordBytes ||
+            bytes.size() - pos - 8 < len) {
             truncated = true;
             break;
         }
@@ -261,6 +277,43 @@ readJournal(const std::string &path, JournalContents &out,
 
     out = acc.contents();
     out.truncatedTail = truncated;
+    return true;
+}
+
+bool
+readJournalRaw(const std::string &path,
+               std::vector<std::string> &payloads, bool &truncated,
+               std::string &error)
+{
+    ScopedHostPhase prof(HostPhase::JournalIo);
+    std::string bytes;
+    if (!loadJournalBytes(path, bytes, error))
+        return false;
+
+    payloads.clear();
+    truncated = false;
+    std::size_t pos = sizeof(kJournalMagic);
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < 8) {
+            truncated = true;
+            break;
+        }
+        SerialReader head(bytes.data() + pos, 8);
+        std::uint32_t len = head.u32();
+        std::uint32_t crc = head.u32();
+        if (len > kMaxJournalRecordBytes ||
+            bytes.size() - pos - 8 < len) {
+            truncated = true;
+            break;
+        }
+        const char *payload = bytes.data() + pos + 8;
+        if (crc32(payload, len) != crc) {
+            truncated = true;
+            break;
+        }
+        payloads.emplace_back(payload, len);
+        pos += 8 + len;
+    }
     return true;
 }
 

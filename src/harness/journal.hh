@@ -48,6 +48,15 @@ namespace lsqscale {
 inline constexpr char kJournalMagic[8] = {'L', 'S', 'Q', 'J',
                                           'R', 'N', 'L', '1'};
 
+/**
+ * Upper bound on one record payload, matching the serve-protocol frame
+ * cap: a journal record always fits in one lsqd Record frame. The
+ * reader treats a larger declared length as a torn tail even when the
+ * file happens to be big enough to hold it — a crafted or corrupted
+ * u32 len must never drive a multi-gigabyte allocation.
+ */
+inline constexpr std::uint32_t kMaxJournalRecordBytes = 64u << 20;
+
 /** One CellDone record, decoded. */
 struct JournalCell
 {
@@ -85,6 +94,19 @@ struct JournalContents
  */
 bool readJournal(const std::string &path, JournalContents &out,
                  std::string &error);
+
+/**
+ * Walk @p path like readJournal() but return the raw record payloads
+ * in file order, undecoded and un-deduplicated. This is the emission
+ * order a JournalWriter saw, which is exactly the order lsqd streamed
+ * the records — a restarted daemon re-adopting a request replays this
+ * sequence to rebuild its record array with the original stream
+ * indices intact, so a client's Attach(fromIndex) resume stays valid
+ * across the restart. Same failure contract as readJournal().
+ */
+bool readJournalRaw(const std::string &path,
+                    std::vector<std::string> &payloads, bool &truncated,
+                    std::string &error);
 
 // ------------------------------------------------- record codecs ----
 //

@@ -33,9 +33,13 @@ struct CacheMetrics
         metrics::counter("lsq_serve_cache_evictions_total");
     metrics::Counter &rejected =
         metrics::counter("lsq_serve_cache_rejected_total");
+    metrics::Counter &pinHits =
+        metrics::counter("lsq_serve_cache_pin_hits_total");
     metrics::Gauge &bytes = metrics::gauge("lsq_serve_cache_bytes");
     metrics::Gauge &entries =
         metrics::gauge("lsq_serve_cache_entries");
+    metrics::Gauge &pinned =
+        metrics::gauge("lsq_serve_cache_pinned_entries");
 };
 
 CacheMetrics &
@@ -132,10 +136,75 @@ CkptCache::lookup(std::uint64_t fingerprint, std::uint64_t ffInsts)
     return it->second.path;
 }
 
+std::string
+CkptCache::pinLookup(std::uint64_t fingerprint, std::uint64_t ffInsts)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find({fingerprint, ffInsts});
+    if (it == entries_.end()) {
+        ++misses_;
+        cacheMetrics().misses.add();
+        return "";
+    }
+    ++hits_;
+    ++pinHits_;
+    cacheMetrics().hits.add();
+    cacheMetrics().pinHits.add();
+    pinLocked(it->second);
+    lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+    return it->second.path;
+}
+
+void
+CkptCache::pinLocked(Entry &e)
+{
+    if (e.pins++ == 0) {
+        ++pinnedEntries_;
+        cacheMetrics().pinned.set(
+            static_cast<std::int64_t>(pinnedEntries_));
+    }
+}
+
+void
+CkptCache::unpin(std::uint64_t fingerprint, std::uint64_t ffInsts)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find({fingerprint, ffInsts});
+    // A pinned entry can never be evicted, so a missing entry or a
+    // zero refcount means an unbalanced lease — a caller bug.
+    LSQ_ASSERT(it != entries_.end() && it->second.pins > 0,
+               "checkpoint cache unpin without a matching lease");
+    if (--it->second.pins == 0) {
+        --pinnedEntries_;
+        cacheMetrics().pinned.set(
+            static_cast<std::int64_t>(pinnedEntries_));
+    }
+}
+
 bool
 CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
                   const std::string &srcPath, std::string &finalPath,
                   std::string &error)
+{
+    return insertImpl(fingerprint, ffInsts, srcPath, finalPath, error,
+                      false);
+}
+
+bool
+CkptCache::insertPinned(std::uint64_t fingerprint,
+                        std::uint64_t ffInsts,
+                        const std::string &srcPath,
+                        std::string &finalPath, std::string &error)
+{
+    return insertImpl(fingerprint, ffInsts, srcPath, finalPath, error,
+                      true);
+}
+
+bool
+CkptCache::insertImpl(std::uint64_t fingerprint, std::uint64_t ffInsts,
+                      const std::string &srcPath,
+                      std::string &finalPath, std::string &error,
+                      bool pin)
 {
     std::lock_guard<std::mutex> lock(mu_);
     Key key{fingerprint, ffInsts};
@@ -146,6 +215,8 @@ CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
         // copy (its readers may hold the path) and drop the newcomer.
         removeQuiet(srcPath);
         finalPath = existing->second.path;
+        if (pin)
+            pinLocked(existing->second);
         return true;
     }
 
@@ -216,6 +287,8 @@ CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
     adopt(key, dest, size);
     ++insertions_;
     cacheMetrics().insertions.add();
+    if (pin)
+        pinLocked(entries_[key]);
     finalPath = dest;
     return true;
 }
@@ -223,15 +296,22 @@ CkptCache::insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
 void
 CkptCache::evictToFit(std::uint64_t incoming)
 {
-    while (!lru_.empty() && bytes_ + incoming > budget_) {
-        Key victim = lru_.back();
-        auto it = entries_.find(victim);
-        LSQ_ASSERT(it != entries_.end(),
+    // Walk LRU-first, skipping pinned entries: a leased checkpoint is
+    // in (or about to be in) active restore by some executor, and
+    // unlinking it would hand that request a vanished file. If every
+    // survivor is pinned, the budget transiently overshoots instead.
+    auto it = lru_.end();
+    while (bytes_ + incoming > budget_ && it != lru_.begin()) {
+        --it;
+        auto e = entries_.find(*it);
+        LSQ_ASSERT(e != entries_.end(),
                    "checkpoint cache LRU/index desync");
-        bytes_ -= it->second.bytes;
-        removeQuiet(it->second.path);
-        entries_.erase(it);
-        lru_.pop_back();
+        if (e->second.pins > 0)
+            continue;
+        bytes_ -= e->second.bytes;
+        removeQuiet(e->second.path);
+        entries_.erase(e);
+        it = lru_.erase(it);
         ++evictions_;
         cacheMetrics().evictions.add();
     }
@@ -265,8 +345,10 @@ CkptCache::stats() const
     s.insertions = insertions_;
     s.evictions = evictions_;
     s.rejected = rejected_;
+    s.pinHits = pinHits_;
     s.bytes = bytes_;
     s.entries = entries_.size();
+    s.pinned = pinnedEntries_;
     s.byteBudget = budget_;
     return s;
 }
@@ -277,16 +359,65 @@ CkptCache::statsJson() const
     CkptCacheStats s = stats();
     return strfmt(
         "{\"hits\": %llu, \"misses\": %llu, \"insertions\": %llu, "
-        "\"evictions\": %llu, \"rejected\": %llu, \"bytes\": %llu, "
-        "\"entries\": %llu, \"byte_budget\": %llu}",
+        "\"evictions\": %llu, \"rejected\": %llu, \"pin_hits\": %llu, "
+        "\"bytes\": %llu, \"entries\": %llu, \"pinned\": %llu, "
+        "\"byte_budget\": %llu}",
         static_cast<unsigned long long>(s.hits),
         static_cast<unsigned long long>(s.misses),
         static_cast<unsigned long long>(s.insertions),
         static_cast<unsigned long long>(s.evictions),
         static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.pinHits),
         static_cast<unsigned long long>(s.bytes),
         static_cast<unsigned long long>(s.entries),
+        static_cast<unsigned long long>(s.pinned),
         static_cast<unsigned long long>(s.byteBudget));
+}
+
+std::string
+CkptCacheLease::pinLookup(std::uint64_t fingerprint,
+                          std::uint64_t ffInsts)
+{
+    std::string path = cache_.pinLookup(fingerprint, ffInsts);
+    if (path.empty())
+        return path;
+    if (!note(fingerprint, ffInsts))
+        cache_.unpin(fingerprint, ffInsts);
+    return path;
+}
+
+bool
+CkptCacheLease::insertPinned(std::uint64_t fingerprint,
+                             std::uint64_t ffInsts,
+                             const std::string &srcPath,
+                             std::string &finalPath,
+                             std::string &error)
+{
+    if (!cache_.insertPinned(fingerprint, ffInsts, srcPath, finalPath,
+                             error))
+        return false;
+    if (!note(fingerprint, ffInsts))
+        cache_.unpin(fingerprint, ffInsts);
+    return true;
+}
+
+void
+CkptCacheLease::release()
+{
+    for (const auto &key : keys_)
+        cache_.unpin(key.first, key.second);
+    keys_.clear();
+}
+
+bool
+CkptCacheLease::note(std::uint64_t fingerprint, std::uint64_t ffInsts)
+{
+    std::pair<std::uint64_t, std::uint64_t> key{fingerprint, ffInsts};
+    for (const auto &held : keys_)
+        if (held == key)
+            return false;
+    keys_.push_back(key);
+    return true;
 }
 
 } // namespace lsqscale

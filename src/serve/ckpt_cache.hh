@@ -18,10 +18,15 @@
  * being inserted. All counters the ISSUE's accounting tests rely on
  * (hits, misses, insertions, evictions, rejected) are exposed.
  *
- * Thread safety: every public method is mutex-guarded. Files are
- * only unlinked by eviction, which runs while a request's warm phase
- * holds the insert call — the single-executor daemon never reads a
- * cached checkpoint it could concurrently evict.
+ * Concurrency: every public method is mutex-guarded, and entries
+ * carry a refcounted **pin lease** (pinLookup / insertPinned / unpin)
+ * so the daemon can run requests on several executors at once.
+ * Eviction skips pinned files — a request restoring from a checkpoint
+ * can never race another request's eviction unlinking it — and an
+ * insert-vs-insert race on one key dedups onto the resident entry.
+ * While every resident entry is pinned, eviction may transiently
+ * overshoot the byte budget rather than unlink a leased file; the
+ * budget re-asserts itself as leases drain.
  */
 
 #ifndef LSQSCALE_SERVE_CKPT_CACHE_HH
@@ -33,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace lsqscale {
 
@@ -44,8 +50,10 @@ struct CkptCacheStats
     std::uint64_t insertions = 0; ///< files adopted into the cache
     std::uint64_t evictions = 0;  ///< files removed to fit the budget
     std::uint64_t rejected = 0;   ///< inserts refused (bad/oversized)
+    std::uint64_t pinHits = 0;    ///< pinLookup() hits (leased reuse)
     std::uint64_t bytes = 0;      ///< current resident bytes
     std::uint64_t entries = 0;    ///< current resident files
+    std::uint64_t pinned = 0;     ///< entries currently pin-protected
     std::uint64_t byteBudget = 0; ///< configured ceiling
 };
 
@@ -67,17 +75,43 @@ class CkptCache
                        std::uint64_t ffInsts);
 
     /**
+     * lookup() that also takes a pin lease on the hit entry: while
+     * any lease is held, eviction skips the file, so no concurrent
+     * request can unlink a checkpoint this caller is restoring from.
+     * Every hit counts toward pinHits (cross-request leased reuse).
+     * Balance each hit with exactly one unpin().
+     */
+    std::string pinLookup(std::uint64_t fingerprint,
+                          std::uint64_t ffInsts);
+
+    /**
      * Adopt the checkpoint file at @p srcPath (typically a warm
      * child's temporary) into the cache under (@p fingerprint,
      * @p ffInsts). Validates the file's header, payload CRC, and that
      * its recorded fingerprint/instCount match the key; rejects files
      * larger than the whole budget. On success @p finalPath names the
      * renamed in-cache file; on failure @p error says why. @p srcPath
-     * is consumed either way (renamed in, or removed).
+     * is consumed either way (renamed in, or removed). When two warms
+     * race to insert one key, the resident copy wins and the
+     * newcomer's file is dropped (still a success; @p finalPath names
+     * the resident file).
      */
     bool insert(std::uint64_t fingerprint, std::uint64_t ffInsts,
                 const std::string &srcPath, std::string &finalPath,
                 std::string &error);
+
+    /**
+     * insert() that leaves the resident entry holding one pin lease —
+     * also in the insert-vs-insert dedup case, where the *existing*
+     * entry gets the pin. Balance with unpin() on success.
+     */
+    bool insertPinned(std::uint64_t fingerprint,
+                      std::uint64_t ffInsts,
+                      const std::string &srcPath,
+                      std::string &finalPath, std::string &error);
+
+    /** Release one pin lease taken by pinLookup()/insertPinned(). */
+    void unpin(std::uint64_t fingerprint, std::uint64_t ffInsts);
 
     CkptCacheStats stats() const;
 
@@ -93,10 +127,19 @@ class CkptCache
     {
         std::string path;
         std::uint64_t bytes = 0;
+        unsigned pins = 0; ///< active leases; eviction skips > 0
         std::list<Key>::iterator lruPos;
     };
 
-    /** Drop LRU entries until @p incoming more bytes fit. mu_ held. */
+    /** Shared body of insert()/insertPinned(). */
+    bool insertImpl(std::uint64_t fingerprint, std::uint64_t ffInsts,
+                    const std::string &srcPath,
+                    std::string &finalPath, std::string &error,
+                    bool pin);
+    /** Take one pin lease on @p e. mu_ held. */
+    void pinLocked(Entry &e);
+    /** Drop unpinned LRU entries until @p incoming more bytes fit
+     *  (may overshoot when everything left is pinned). mu_ held. */
     void evictToFit(std::uint64_t incoming);
     /** Register a validated file. mu_ held. */
     void adopt(Key key, std::string path, std::uint64_t bytes);
@@ -110,8 +153,48 @@ class CkptCache
     std::uint64_t insertions_ = 0;
     std::uint64_t evictions_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t pinHits_ = 0;
+    std::uint64_t pinnedEntries_ = 0;
     std::list<Key> lru_; ///< front = most recently used
     std::map<Key, Entry> entries_;
+};
+
+/**
+ * RAII pin set for one request: every checkpoint the request warms or
+ * restores from stays leased (eviction-proof) until the lease object
+ * dies — including the early-exit paths (cancel, a throwing sweep),
+ * which is exactly when a forgotten unpin would wedge the cache.
+ */
+class CkptCacheLease
+{
+  public:
+    explicit CkptCacheLease(CkptCache &cache) : cache_(cache) {}
+    ~CkptCacheLease() { release(); }
+
+    CkptCacheLease(const CkptCacheLease &) = delete;
+    CkptCacheLease &operator=(const CkptCacheLease &) = delete;
+
+    /** pinLookup() tracked by this lease (one pin per key). */
+    std::string pinLookup(std::uint64_t fingerprint,
+                          std::uint64_t ffInsts);
+
+    /** insertPinned() tracked by this lease (one pin per key). */
+    bool insertPinned(std::uint64_t fingerprint,
+                      std::uint64_t ffInsts,
+                      const std::string &srcPath,
+                      std::string &finalPath, std::string &error);
+
+    /** Drop every pin now (idempotent; the destructor calls this). */
+    void release();
+
+    std::size_t held() const { return keys_.size(); }
+
+  private:
+    /** Record @p key; false (caller must rebalance) if already held. */
+    bool note(std::uint64_t fingerprint, std::uint64_t ffInsts);
+
+    CkptCache &cache_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> keys_;
 };
 
 } // namespace lsqscale

@@ -1,7 +1,9 @@
 #include "serve/client.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -10,6 +12,13 @@
 #include "common/logging.hh"
 
 namespace lsqscale {
+
+void
+ServeClient::setTimeouts(unsigned connectMs, unsigned ioMs)
+{
+    connectMs_ = connectMs;
+    ioMs_ = ioMs;
+}
 
 bool
 ServeClient::connect(std::string &error)
@@ -34,13 +43,43 @@ ServeClient::connect(std::string &error)
         error = strfmt("socket(): %s", std::strerror(errno));
         return false;
     }
-    int rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                       sizeof(addr));
-    if (rc != 0) {
+    // A Unix-domain connect() never half-completes: it succeeds, is
+    // refused, or fails with EAGAIN while the daemon's listen backlog
+    // is full (a burst symptom). With a connect timeout configured,
+    // EAGAIN retries until the deadline instead of failing outright.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(connectMs_);
+    for (;;) {
+        int rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr));
+        if (rc == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN && connectMs_ > 0 &&
+            std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            continue;
+        }
         error = strfmt("cannot reach lsqd at %s: %s",
                        socketPath_.c_str(), std::strerror(errno));
         close();
         return false;
+    }
+    if (ioMs_ > 0) {
+        timeval tv{};
+        tv.tv_sec = ioMs_ / 1000;
+        tv.tv_usec = static_cast<long>(ioMs_ % 1000) * 1000;
+        if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                         sizeof(tv)) != 0 ||
+            ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                         sizeof(tv)) != 0) {
+            error = strfmt("setsockopt(timeout): %s",
+                           std::strerror(errno));
+            close();
+            return false;
+        }
     }
     return true;
 }
@@ -76,13 +115,24 @@ ServeClient::roundTrip(const std::string &payload, std::string &reply,
 
 bool
 ServeClient::expectAck(const std::string &reply, std::uint64_t &id,
-                       std::string &error)
+                       std::string &error,
+                       std::uint64_t *retryAfterMs)
 {
     try {
         SerialReader r(reply);
         auto type = static_cast<ServeMsg>(r.u8());
         if (type == ServeMsg::Error) {
             error = r.str();
+            return false;
+        }
+        if (type == ServeMsg::Overloaded) {
+            std::uint64_t wait = r.u64();
+            std::string text = r.str();
+            if (retryAfterMs != nullptr)
+                *retryAfterMs = wait;
+            error = strfmt("daemon overloaded: %s (retry in %llu ms)",
+                           text.c_str(),
+                           static_cast<unsigned long long>(wait));
             return false;
         }
         if (type != ServeMsg::Ack) {
@@ -100,12 +150,12 @@ ServeClient::expectAck(const std::string &reply, std::uint64_t &id,
 
 bool
 ServeClient::submit(const SweepRequestSpec &spec, std::uint64_t &id,
-                    std::string &error)
+                    std::string &error, std::uint64_t *retryAfterMs)
 {
     std::string reply;
     if (!roundTrip(msgSubmit(spec), reply, error))
         return false;
-    if (!expectAck(reply, id, error)) {
+    if (!expectAck(reply, id, error, retryAfterMs)) {
         close();
         return false;
     }
@@ -131,7 +181,7 @@ bool
 ServeClient::stream(
     const std::function<void(std::uint64_t, const std::string &)>
         &onRecord,
-    DoneSummary &done, std::string &error)
+    DoneSummary &done, std::string &error, std::uint64_t *goneFloor)
 {
     if (fd_ < 0) {
         error = "no open stream (submit or attach first)";
@@ -162,6 +212,19 @@ ServeClient::stream(
                 return true;
             } else if (type == ServeMsg::Error) {
                 error = r.str();
+                close();
+                return false;
+            } else if (type == ServeMsg::Gone) {
+                r.u64(); // request id
+                std::uint64_t floor = r.u64();
+                std::string text = r.str();
+                r.expectEnd("gone frame");
+                if (goneFloor != nullptr)
+                    *goneFloor = floor;
+                error = strfmt(
+                    "%s (first index still available: %llu)",
+                    text.c_str(),
+                    static_cast<unsigned long long>(floor));
                 close();
                 return false;
             } else {

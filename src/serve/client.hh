@@ -42,12 +42,27 @@ class ServeClient
     ServeClient &operator=(const ServeClient &) = delete;
 
     /**
+     * Transport timeouts for every later connection: @p connectMs
+     * bounds dialing (retrying a momentarily-full listen backlog
+     * until the deadline), @p ioMs bounds each individual send and
+     * receive (SO_SNDTIMEO / SO_RCVTIMEO). 0 — the default — blocks
+     * indefinitely, preserving the original semantics for callers
+     * that never opt in.
+     */
+    void setTimeouts(unsigned connectMs, unsigned ioMs);
+
+    /**
      * Submit @p spec. On success @p id holds the daemon-assigned
      * request id and the connection is streaming — follow with
-     * stream().
+     * stream(). If the daemon refuses with Overloaded and
+     * @p retryAfterMs is non-null, it receives the daemon's retry
+     * hint (and stays untouched on every other failure) — only an
+     * Overloaded refusal is safe to retry blindly, since the daemon
+     * provably did not accept the request.
      */
     bool submit(const SweepRequestSpec &spec, std::uint64_t &id,
-                std::string &error);
+                std::string &error,
+                std::uint64_t *retryAfterMs = nullptr);
 
     /**
      * (Re)attach to request @p id, resuming the record stream at
@@ -60,12 +75,16 @@ class ServeClient
      * Consume Record frames after submit()/attach(), invoking
      * @p onRecord(index, payload) for each, until the Done frame
      * (true, @p done filled) or a transport error (false; the stream
-     * can be resumed via attach()).
+     * can be resumed via attach()). A Gone frame — the daemon evicted
+     * records below the resume index — also returns false, filling
+     * @p goneFloor (when non-null) with the first index still
+     * available; resuming below that floor can never succeed.
      */
     bool stream(
         const std::function<void(std::uint64_t, const std::string &)>
             &onRecord,
-        DoneSummary &done, std::string &error);
+        DoneSummary &done, std::string &error,
+        std::uint64_t *goneFloor = nullptr);
 
     /** Status of request @p id (0 = all) as a JSON document. */
     bool status(std::uint64_t id, std::string &json,
@@ -95,10 +114,13 @@ class ServeClient
                    std::string &error);
     /** Expect an Ack reply in @p reply; @p id gets its request id. */
     bool expectAck(const std::string &reply, std::uint64_t &id,
-                   std::string &error);
+                   std::string &error,
+                   std::uint64_t *retryAfterMs = nullptr);
 
     std::string socketPath_;
     int fd_ = -1;
+    unsigned connectMs_ = 0;
+    unsigned ioMs_ = 0;
 };
 
 /**

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <filesystem>
+#include <functional>
 #include <set>
 #include <stdexcept>
 #include <utility>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -41,11 +44,26 @@ struct ServeRequest
     /** Accept time, for the lsq_serve_queue_wait_us span. */
     std::uint64_t submitNs = 0;
 
+    /** Per-request journal under the spool (durable record copy). */
+    std::string journalPath;
+    /** True when a restarted daemon re-adopted this request. */
+    bool readopted = false;
+    /** Decoded journal contents for Sweep::setResume (readopted). */
+    JournalContents resume;
+
     std::mutex mu;
     std::condition_variable cv;
     RequestState state = RequestState::Queued;
-    /** Journal record payloads, in emission order; only appended to. */
-    std::vector<std::string> records;
+    /**
+     * Journal record payloads still retained, in emission order.
+     * Stream index i lives at records[i - recordsBase]; the budget
+     * enforcer pops the front of terminal requests, advancing the
+     * base (the request's Attach floor).
+     */
+    std::deque<std::string> records;
+    std::uint64_t recordsBase = 0;
+    /** Bytes across `records` (this request's retained share). */
+    std::uint64_t recordBytes = 0;
     /** Valid once state is terminal. */
     DoneSummary summary;
 };
@@ -67,8 +85,9 @@ terminal(RequestState s)
 class StreamSink : public ResultSink
 {
   public:
-    explicit StreamSink(std::shared_ptr<ServeRequest> req)
-        : req_(std::move(req))
+    StreamSink(std::shared_ptr<ServeRequest> req,
+               std::function<void(std::size_t)> onBytes)
+        : req_(std::move(req)), onBytes_(std::move(onBytes))
     {
     }
 
@@ -101,12 +120,20 @@ class StreamSink : public ResultSink
         // in a forked child), this counter always moves in the daemon
         // process itself.
         metrics::counter("lsq_serve_records_streamed_total").add();
-        std::lock_guard<std::mutex> lock(req_->mu);
-        req_->records.push_back(std::move(payload));
-        req_->cv.notify_all();
+        std::size_t bytes = payload.size();
+        {
+            std::lock_guard<std::mutex> lock(req_->mu);
+            req_->records.push_back(std::move(payload));
+            req_->recordBytes += bytes;
+            req_->cv.notify_all();
+        }
+        // Budget enforcement locks requestsMu_ then each request's mu,
+        // so it must run after req_->mu is released.
+        onBytes_(bytes);
     }
 
     std::shared_ptr<ServeRequest> req_;
+    std::function<void(std::size_t)> onBytes_;
 };
 
 } // namespace
@@ -131,6 +158,28 @@ resolveServeOptions(ServeOptions opts)
     if (clients > 256)
         clients = 256;
     opts.clientWorkers = static_cast<unsigned>(clients);
+    std::uint64_t executors =
+        envU64("LSQSCALE_SERVE_EXECUTORS", opts.executors);
+    if (executors < 1)
+        executors = 1;
+    if (executors > 64)
+        executors = 64;
+    opts.executors = static_cast<unsigned>(executors);
+    std::uint64_t maxQueue =
+        envU64("LSQSCALE_SERVE_MAX_QUEUE", opts.maxQueueDepth);
+    if (maxQueue < 1)
+        maxQueue = 1;
+    if (maxQueue > 4096)
+        maxQueue = 4096;
+    opts.maxQueueDepth = static_cast<unsigned>(maxQueue);
+    opts.recordBudgetBytes =
+        envU64("LSQSCALE_SERVE_RECORD_MB",
+               opts.recordBudgetBytes >> 20) << 20;
+    if (opts.spoolDir.empty()) {
+        const char *env = std::getenv("LSQSCALE_SERVE_SPOOL");
+        if (env != nullptr)
+            opts.spoolDir = env;
+    }
     return opts;
 }
 
@@ -176,6 +225,37 @@ parseServeArgs(const std::vector<std::string> &args, ServeOptions &opts,
                 return false;
             }
             opts.clientWorkers = static_cast<unsigned>(n);
+        } else if (a == "--executors") {
+            std::uint64_t n = 0;
+            if (!value() || !parseDigitsU64(v, n) || n == 0 ||
+                n > 64) {
+                error = "--executors needs a count in 1..64";
+                return false;
+            }
+            opts.executors = static_cast<unsigned>(n);
+        } else if (a == "--max-queue") {
+            std::uint64_t n = 0;
+            if (!value() || !parseDigitsU64(v, n) || n == 0 ||
+                n > 4096) {
+                error = "--max-queue needs a count in 1..4096";
+                return false;
+            }
+            opts.maxQueueDepth = static_cast<unsigned>(n);
+        } else if (a == "--record-mb") {
+            std::uint64_t mb = 0;
+            if (!value() || !parseDigitsU64(v, mb) ||
+                mb > (UINT64_MAX >> 20)) {
+                error = "--record-mb needs a plain decimal megabyte "
+                        "count";
+                return false;
+            }
+            opts.recordBudgetBytes = mb << 20;
+        } else if (a == "--spool-dir") {
+            if (!value()) {
+                error = "--spool-dir needs a path";
+                return false;
+            }
+            opts.spoolDir = v;
         } else if (a == "--metrics-out") {
             if (!value()) {
                 error = "--metrics-out needs a path";
@@ -215,6 +295,181 @@ requestStateName(RequestState s)
     return "?";
 }
 
+// ------------------------------------------------------------ reqlog --
+
+namespace {
+
+constexpr std::uint8_t kReqAccepted = 1;
+constexpr std::uint8_t kReqFinished = 2;
+
+/** Full write to a raw fd, retrying EINTR and short writes. */
+bool
+writeAllFd(int fd, const void *buf, std::size_t n, std::string &error)
+{
+    const char *p = static_cast<const char *>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        ssize_t rc = ::write(fd, p + done, n - done);
+        if (rc > 0) {
+            done += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc < 0 && errno == EINTR)
+            continue;
+        error = strfmt("write failed: %s", std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+/** Append one framed record and force it to disk. */
+bool
+reqlogAppendRecord(int fd, const std::string &payload,
+                   std::string &error)
+{
+    std::string frame = frameJournalRecord(payload);
+    if (!writeAllFd(fd, frame.data(), frame.size(), error))
+        return false;
+    if (::fsync(fd) != 0) {
+        error = strfmt("fsync failed: %s", std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+openReqlogForAppend(const std::string &path, std::string &error)
+{
+    int fd = ::open(path.c_str(),
+                    O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        error = strfmt("cannot open reqlog %s: %s", path.c_str(),
+                       std::strerror(errno));
+        return -1;
+    }
+    off_t end = ::lseek(fd, 0, SEEK_END);
+    if (end < 0) {
+        error = strfmt("cannot seek reqlog %s: %s", path.c_str(),
+                       std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    if (end == 0) {
+        if (!writeAllFd(fd, kReqlogMagic, sizeof(kReqlogMagic),
+                        error) ||
+            ::fsync(fd) != 0) {
+            if (error.empty())
+                error = strfmt("fsync failed: %s",
+                               std::strerror(errno));
+            ::close(fd);
+            return -1;
+        }
+    }
+    return fd;
+}
+
+bool
+reqlogAppendAccepted(int fd, std::uint64_t id,
+                     const SweepRequestSpec &spec, std::string &error)
+{
+    SerialWriter w;
+    w.u8(kReqAccepted);
+    w.u64(id);
+    spec.encode(w);
+    return reqlogAppendRecord(fd, w.buffer(), error);
+}
+
+bool
+reqlogAppendFinished(int fd, std::uint64_t id, std::uint8_t state,
+                     std::string &error)
+{
+    SerialWriter w;
+    w.u8(kReqFinished);
+    w.u64(id);
+    w.u8(state);
+    return reqlogAppendRecord(fd, w.buffer(), error);
+}
+
+bool
+readReqlog(const std::string &path, std::vector<ReqlogEntry> &out,
+           std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        error = strfmt("cannot open reqlog %s", path.c_str());
+        return false;
+    }
+    std::string bytes;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+    bool readErr = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readErr) {
+        error = strfmt("error reading reqlog %s", path.c_str());
+        return false;
+    }
+    if (bytes.size() < sizeof(kReqlogMagic) ||
+        std::memcmp(bytes.data(), kReqlogMagic,
+                    sizeof(kReqlogMagic)) != 0) {
+        error = strfmt("%s is not an lsqscale-reqlog-v1 file",
+                       path.c_str());
+        return false;
+    }
+
+    // Same torn-tail discipline as the sweep journal: stop trusting
+    // the file at the first short, oversized, or CRC-failing frame.
+    std::map<std::uint64_t, ReqlogEntry> entries;
+    std::size_t pos = sizeof(kReqlogMagic);
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < 8)
+            break;
+        SerialReader head(bytes.data() + pos, 8);
+        std::uint32_t len = head.u32();
+        std::uint32_t crc = head.u32();
+        if (len > kMaxJournalRecordBytes ||
+            bytes.size() - pos - 8 < len)
+            break;
+        const char *payload = bytes.data() + pos + 8;
+        if (crc32(payload, len) != crc)
+            break;
+        pos += 8 + len;
+        try {
+            SerialReader r(payload, len);
+            std::uint8_t type = r.u8();
+            if (type == kReqAccepted) {
+                ReqlogEntry e;
+                e.id = r.u64();
+                e.spec = SweepRequestSpec::decode(r);
+                r.expectEnd("reqlog accepted record");
+                entries[e.id] = std::move(e);
+            } else if (type == kReqFinished) {
+                std::uint64_t id = r.u64();
+                std::uint8_t state = r.u8();
+                r.expectEnd("reqlog finished record");
+                auto it = entries.find(id);
+                if (it != entries.end()) {
+                    it->second.finished = true;
+                    it->second.finalState = state;
+                }
+            }
+            // Unknown types: skip, like the journal reader.
+        } catch (const SerialError &e) {
+            LSQ_WARN("reqlog %s: bad record (%s); ignoring the rest",
+                     path.c_str(), e.what());
+            break;
+        }
+    }
+
+    out.clear();
+    for (auto &kv : entries)
+        out.push_back(std::move(kv.second));
+    return true;
+}
+
 // ------------------------------------------------------------ daemon --
 
 Daemon::Daemon(ServeOptions opts) : opts_(std::move(opts))
@@ -231,6 +486,8 @@ Daemon::~Daemon()
 {
     if (listenFd_ >= 0)
         ::close(listenFd_);
+    if (reqlogFd_ >= 0)
+        ::close(reqlogFd_);
 }
 
 int
@@ -255,7 +512,28 @@ Daemon::run()
     std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
                 opts_.socketPath.size() + 1);
 
-    // A stale socket file from a dead daemon would make bind() fail.
+    // A stale socket file from a dead daemon would make bind() fail —
+    // but blindly unlinking would silently steal a *live* daemon's
+    // socket (its clients reconnect to us mid-stream, with a different
+    // request table). Probe first: only an unanswered socket file is
+    // stale and safe to remove.
+    if (fs::exists(opts_.socketPath)) {
+        int pfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (pfd < 0) {
+            LSQ_WARN("lsqd: socket(): %s", std::strerror(errno));
+            return 1;
+        }
+        int prc = ::connect(pfd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr));
+        ::close(pfd);
+        if (prc == 0) {
+            LSQ_WARN("lsqd: a live daemon already answers on %s; "
+                     "refusing to steal its socket (shut it down "
+                     "first, or pick another --socket)",
+                     opts_.socketPath.c_str());
+            return 1;
+        }
+    }
     std::error_code ec;
     fs::remove(opts_.socketPath, ec);
 
@@ -277,14 +555,35 @@ Daemon::run()
         return 1;
     }
 
-    executor_ = std::make_unique<JobPool>(1);
+    if (!spoolInit())
+        return 1;
+    std::vector<ReqlogEntry> unfinished;
+    {
+        std::vector<ReqlogEntry> entries;
+        std::string rerr;
+        if (readReqlog(reqlogPath_, entries, rerr)) {
+            for (ReqlogEntry &e : entries) {
+                if (e.id >= nextId_)
+                    nextId_ = e.id + 1;
+                if (!e.finished)
+                    unfinished.push_back(std::move(e));
+            }
+        } else {
+            LSQ_WARN("lsqd: %s; starting with an empty queue",
+                     rerr.c_str());
+        }
+    }
+
+    executor_ = std::make_unique<JobPool>(opts_.executors);
     clients_ = std::make_unique<JobPool>(opts_.clientWorkers);
+    readoptRequests(unfinished);
     logLine(stderr,
             strfmt("lsqd: listening on %s (cache %s, budget %llu MiB, "
-                   "%s isolation)",
+                   "%u executor%s, %s isolation)",
                    opts_.socketPath.c_str(), opts_.cacheDir.c_str(),
                    static_cast<unsigned long long>(
                        opts_.cacheBudgetBytes >> 20),
+                   opts_.executors, opts_.executors == 1 ? "" : "s",
                    opts_.isolation == IsolationMode::Thread
                        ? "thread"
                        : "process"));
@@ -326,6 +625,259 @@ Daemon::run()
     fs::remove(opts_.socketPath, ec);
     logLine(stderr, "lsqd: shut down");
     return 0;
+}
+
+bool
+Daemon::spoolInit()
+{
+    if (opts_.spoolDir.empty())
+        opts_.spoolDir = opts_.socketPath + ".spool";
+    std::error_code ec;
+    fs::create_directories(opts_.spoolDir, ec);
+    if (ec) {
+        LSQ_WARN("lsqd: cannot create spool %s: %s",
+                 opts_.spoolDir.c_str(), ec.message().c_str());
+        return false;
+    }
+    reqlogPath_ = opts_.spoolDir + "/reqlog";
+
+    // Compact: rewrite the log as just its unfinished Accepted
+    // records. Finished requests stop costing restart time, and the
+    // log cannot grow without bound across restarts. nextId_ comes
+    // from the *pre*-compaction log so finished ids are never reused.
+    if (fs::exists(reqlogPath_)) {
+        std::vector<ReqlogEntry> entries;
+        std::string rerr;
+        if (!readReqlog(reqlogPath_, entries, rerr)) {
+            LSQ_WARN("lsqd: %s; renaming it aside and starting a "
+                     "fresh log",
+                     rerr.c_str());
+            fs::rename(reqlogPath_, reqlogPath_ + ".bad", ec);
+            if (ec) {
+                LSQ_WARN("lsqd: cannot move bad reqlog aside: %s",
+                         ec.message().c_str());
+                return false;
+            }
+        } else {
+            for (const ReqlogEntry &e : entries)
+                if (e.id >= nextId_)
+                    nextId_ = e.id + 1;
+            std::string tmp = reqlogPath_ + ".tmp";
+            fs::remove(tmp, ec); // a crashed compaction's leftover
+            std::string werr;
+            int tfd = openReqlogForAppend(tmp, werr);
+            bool ok = tfd >= 0;
+            for (const ReqlogEntry &e : entries) {
+                if (!ok)
+                    break;
+                if (!e.finished)
+                    ok = reqlogAppendAccepted(tfd, e.id, e.spec,
+                                              werr);
+            }
+            if (tfd >= 0 && ::close(tfd) != 0 && ok) {
+                ok = false;
+                werr = strfmt("close failed: %s",
+                              std::strerror(errno));
+            }
+            if (ok) {
+                fs::rename(tmp, reqlogPath_, ec);
+                if (ec) {
+                    ok = false;
+                    werr = ec.message();
+                }
+            }
+            if (!ok) {
+                // The old log is intact and every record in it is
+                // fsync'd, so keeping it is strictly safe — just
+                // uncompacted.
+                LSQ_WARN("lsqd: reqlog compaction failed (%s); "
+                         "keeping the old log",
+                         werr.c_str());
+                fs::remove(tmp, ec);
+            }
+        }
+    }
+
+    std::string oerr;
+    reqlogFd_ = openReqlogForAppend(reqlogPath_, oerr);
+    if (reqlogFd_ < 0) {
+        LSQ_WARN("lsqd: %s", oerr.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+Daemon::readoptRequests(const std::vector<ReqlogEntry> &unfinished)
+{
+    std::set<std::uint64_t> keep;
+    for (const ReqlogEntry &e : unfinished)
+        keep.insert(e.id);
+
+    // Janitor: a per-request journal whose request already finished
+    // (or never reached the log) is dead weight from a prior life.
+    std::error_code ec;
+    for (const auto &ent : fs::directory_iterator(opts_.spoolDir, ec)) {
+        std::string name = ent.path().filename().string();
+        if (name.size() < 13 || name.compare(0, 4, "req_") != 0 ||
+            name.compare(name.size() - 8, 8, ".journal") != 0)
+            continue;
+        std::uint64_t id = 0;
+        if (!parseDigitsU64(name.substr(4, name.size() - 12), id))
+            continue;
+        if (keep.count(id) == 0) {
+            std::error_code rec;
+            fs::remove(ent.path(), rec);
+        }
+    }
+
+    for (const ReqlogEntry &e : unfinished) {
+        auto req = std::make_shared<ServeRequest>();
+        req->id = e.id;
+        req->spec = e.spec;
+        req->submitNs = hostNowNs();
+        req->readopted = true;
+        req->journalPath =
+            strfmt("%s/req_%llu.journal", opts_.spoolDir.c_str(),
+                   static_cast<unsigned long long>(e.id));
+
+        // Rebuild the in-memory record stream from the journal in raw
+        // file order — the exact order the dead daemon streamed it —
+        // so a client resuming with Attach(fromIndex) still sees the
+        // indices it counted on.
+        if (fs::exists(req->journalPath)) {
+            std::vector<std::string> payloads;
+            bool torn = false;
+            std::string jerr;
+            if (readJournalRaw(req->journalPath, payloads, torn,
+                               jerr)) {
+                JournalAccumulator acc;
+                std::size_t kept = 0;
+                for (const std::string &p : payloads) {
+                    std::string aerr;
+                    if (!acc.add(p, aerr)) {
+                        LSQ_WARN("lsqd: journal %s: bad record (%s); "
+                                 "ignoring the rest",
+                                 req->journalPath.c_str(),
+                                 aerr.c_str());
+                        break;
+                    }
+                    ++kept;
+                }
+                std::uint64_t bytes = 0;
+                for (std::size_t i = 0; i < kept; ++i) {
+                    bytes += payloads[i].size();
+                    req->records.push_back(std::move(payloads[i]));
+                }
+                req->recordBytes = bytes;
+                req->resume = acc.contents();
+                if (bytes > 0) {
+                    std::uint64_t now =
+                        retainedBytes_.fetch_add(bytes) + bytes;
+                    metrics::gauge("lsq_serve_retained_record_bytes")
+                        .set(static_cast<std::int64_t>(now));
+                }
+            } else {
+                LSQ_WARN("lsqd: %s; request %llu re-runs from "
+                         "scratch",
+                         jerr.c_str(),
+                         static_cast<unsigned long long>(e.id));
+            }
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(requestsMu_);
+            requests_[req->id] = req;
+        }
+        activeRequests_.fetch_add(1);
+        metrics::counter("lsq_serve_readopted_total").add();
+        metrics::gauge("lsq_serve_queue_depth").add();
+        logLine(stderr,
+                strfmt("lsqd: re-adopted request %llu '%s' (%zu "
+                       "records already journaled)",
+                       static_cast<unsigned long long>(req->id),
+                       req->spec.name.c_str(), req->records.size()));
+        executor_->submit([this, req] { executeRequest(req); });
+    }
+}
+
+void
+Daemon::noteRecordBytes(std::size_t bytes)
+{
+    std::uint64_t now = retainedBytes_.fetch_add(bytes) + bytes;
+    metrics::gauge("lsq_serve_retained_record_bytes")
+        .set(static_cast<std::int64_t>(now));
+    if (now > opts_.recordBudgetBytes)
+        enforceRecordBudget();
+}
+
+void
+Daemon::enforceRecordBudget()
+{
+    // Evict terminal requests' oldest records, oldest request first,
+    // until back under budget; each pop advances that request's
+    // Attach floor. Live requests are exempt — their attached clients
+    // are still consuming the stream — so the budget can transiently
+    // overshoot while everything retained is live. Lock order:
+    // requestsMu_, then each request's mu (the handleStats order).
+    std::uint64_t evicted = 0;
+    std::lock_guard<std::mutex> lock(requestsMu_);
+    for (auto &kv : requests_) {
+        if (retainedBytes_.load() <= opts_.recordBudgetBytes)
+            break;
+        ServeRequest &req = *kv.second;
+        std::lock_guard<std::mutex> rlock(req.mu);
+        if (!terminal(req.state))
+            continue;
+        while (!req.records.empty() &&
+               retainedBytes_.load() > opts_.recordBudgetBytes) {
+            std::size_t n = req.records.front().size();
+            req.records.pop_front();
+            ++req.recordsBase;
+            req.recordBytes -= n;
+            retainedBytes_.fetch_sub(n);
+            ++evicted;
+        }
+    }
+    if (evicted > 0) {
+        metrics::counter("lsq_serve_records_evicted_total")
+            .add(evicted);
+        metrics::gauge("lsq_serve_retained_record_bytes")
+            .set(static_cast<std::int64_t>(retainedBytes_.load()));
+    }
+}
+
+void
+Daemon::finishRequest(const std::shared_ptr<ServeRequest> &req)
+{
+    std::uint8_t state = 0;
+    {
+        std::lock_guard<std::mutex> lock(req->mu);
+        if (!terminal(req->state))
+            return;
+        state = req->summary.state;
+    }
+    bool marked = false;
+    {
+        std::lock_guard<std::mutex> lock(reqlogMu_);
+        if (reqlogFd_ >= 0) {
+            std::string err;
+            marked = reqlogAppendFinished(reqlogFd_, req->id, state,
+                                          err);
+            if (!marked)
+                LSQ_WARN("lsqd: cannot mark request %llu finished: "
+                         "%s (a restart re-adopts it, idempotently)",
+                         static_cast<unsigned long long>(req->id),
+                         err.c_str());
+        }
+    }
+    // The journal only exists to make re-adoption cheap; once the
+    // Finished marker is durable, it is garbage. If marking failed,
+    // keep it — the re-adopting daemon needs it.
+    if (marked && !req->journalPath.empty()) {
+        std::error_code ec;
+        fs::remove(req->journalPath, ec);
+    }
 }
 
 void
@@ -428,6 +980,31 @@ Daemon::handleSubmit(int fd, SerialReader &r)
         return;
     }
 
+    // Admission control: beyond the live-request limit the daemon
+    // answers with a structured refusal and a retry hint that grows
+    // with the backlog, instead of queueing without bound.
+    unsigned active = activeRequests_.load();
+    for (;;) {
+        if (active >= opts_.maxQueueDepth) {
+            std::uint64_t wait =
+                200ull * (active - opts_.maxQueueDepth + 1);
+            if (wait < 100)
+                wait = 100;
+            if (wait > 10000)
+                wait = 10000;
+            metrics::counter("lsq_serve_overloaded_total").add();
+            sendFrame(fd,
+                      msgOverloaded(
+                          wait,
+                          strfmt("%u live requests (limit %u)",
+                                 active, opts_.maxQueueDepth)),
+                      error);
+            return;
+        }
+        if (activeRequests_.compare_exchange_weak(active, active + 1))
+            break;
+    }
+
     auto req = std::make_shared<ServeRequest>();
     req->spec = std::move(spec);
     req->submitNs = hostNowNs();
@@ -435,6 +1012,23 @@ Daemon::handleSubmit(int fd, SerialReader &r)
         std::lock_guard<std::mutex> lock(requestsMu_);
         req->id = nextId_++;
         requests_[req->id] = req;
+    }
+    req->journalPath =
+        strfmt("%s/req_%llu.journal", opts_.spoolDir.c_str(),
+               static_cast<unsigned long long>(req->id));
+    {
+        // Durable accept: once this record hits disk, a SIGKILL'd
+        // daemon re-adopts the request on restart.
+        std::lock_guard<std::mutex> lock(reqlogMu_);
+        if (reqlogFd_ >= 0) {
+            std::string lerr;
+            if (!reqlogAppendAccepted(reqlogFd_, req->id, req->spec,
+                                      lerr))
+                LSQ_WARN("lsqd: reqlog append failed: %s (request "
+                         "%llu will not survive a restart)",
+                         lerr.c_str(),
+                         static_cast<unsigned long long>(req->id));
+        }
     }
     metrics::counter("lsq_serve_requests_total").add();
     metrics::gauge("lsq_serve_queue_depth").add();
@@ -465,6 +1059,8 @@ Daemon::handleAttach(int fd, SerialReader &r)
                   error);
         return;
     }
+    if (from > 0)
+        metrics::counter("lsq_serve_stream_resumes_total").add();
     if (!sendFrame(fd, msgAck(id, "attached"), error))
         return;
     streamRecords(fd, req, from);
@@ -569,13 +1165,16 @@ Daemon::statusJson(std::uint64_t id)
         std::lock_guard<std::mutex> lock(req->mu);
         out += strfmt(
             "%s{\"id\": %llu, \"name\": \"%s\", \"state\": \"%s\", "
-            "\"cells\": %zu, \"records\": %zu, \"poisoned\": %llu}",
+            "\"cells\": %zu, \"records\": %llu, "
+            "\"records_floor\": %llu, \"poisoned\": %llu}",
             i == 0 ? "" : ", ",
             static_cast<unsigned long long>(req->id),
             jsonEscape(req->spec.name).c_str(),
             requestStateName(req->state),
             req->spec.configs.size() * req->spec.benchmarks.size(),
-            req->records.size(),
+            static_cast<unsigned long long>(req->recordsBase +
+                                            req->records.size()),
+            static_cast<unsigned long long>(req->recordsBase),
             static_cast<unsigned long long>(req->summary.poisoned));
     }
     out += "]}";
@@ -587,22 +1186,45 @@ Daemon::streamRecords(int fd, const std::shared_ptr<ServeRequest> &req,
                       std::uint64_t fromIndex)
 {
     std::string error;
-    std::size_t next = static_cast<std::size_t>(fromIndex);
+    std::uint64_t next = fromIndex;
     for (;;) {
         std::vector<std::string> batch;
         bool isTerminal = false;
+        bool gone = false;
+        std::uint64_t floor = 0;
         DoneSummary done;
         {
             std::unique_lock<std::mutex> lock(req->mu);
             req->cv.wait(lock, [&] {
-                return req->records.size() > next ||
+                return next < req->recordsBase ||
+                       req->recordsBase + req->records.size() > next ||
                        terminal(req->state);
             });
-            while (next < req->records.size())
-                batch.push_back(req->records[next++]);
-            isTerminal = terminal(req->state);
-            if (isTerminal)
-                done = req->summary;
+            if (next < req->recordsBase) {
+                // The budget enforcer evicted past this reader's
+                // position: an explicit answer beats silently
+                // resuming from the wrong index.
+                gone = true;
+                floor = req->recordsBase;
+            } else {
+                while (next <
+                       req->recordsBase + req->records.size()) {
+                    batch.push_back(req->records[static_cast<
+                        std::size_t>(next - req->recordsBase)]);
+                    ++next;
+                }
+                isTerminal = terminal(req->state);
+                if (isTerminal)
+                    done = req->summary;
+            }
+        }
+        if (gone) {
+            sendFrame(fd,
+                      msgGone(req->id, floor,
+                              "records below the retention floor "
+                              "were evicted"),
+                      error);
+            return false;
         }
         std::uint64_t index = next - batch.size();
         if (!batch.empty()) {
@@ -632,31 +1254,41 @@ Daemon::executeRequest(const std::shared_ptr<ServeRequest> &req)
     metrics::histogram("lsq_serve_queue_wait_us",
                        metrics::latencyBucketsUs())
         .observe((hostNowNs() - req->submitNs) / 1000);
+    bool skip = false;
     {
         std::lock_guard<std::mutex> lock(req->mu);
         if (req->state != RequestState::Queued)
-            return; // cancelled while queued
-        req->state = RequestState::Running;
+            skip = true; // cancelled while queued
+        else
+            req->state = RequestState::Running;
     }
-    metrics::gauge("lsq_serve_active_requests").add();
-    try {
-        runSweepForRequest(req);
-    } catch (const std::exception &e) {
-        LSQ_WARN("lsqd: request %llu failed: %s",
-                 static_cast<unsigned long long>(req->id), e.what());
-        std::lock_guard<std::mutex> lock(req->mu);
-        req->state = RequestState::Failed;
-        req->summary.state = 2;
-        req->summary.message = e.what();
-        req->cv.notify_all();
-    } catch (...) {
-        std::lock_guard<std::mutex> lock(req->mu);
-        req->state = RequestState::Failed;
-        req->summary.state = 2;
-        req->summary.message = "unknown error";
-        req->cv.notify_all();
+    if (!skip) {
+        metrics::gauge("lsq_serve_active_requests").add();
+        try {
+            runSweepForRequest(req);
+        } catch (const std::exception &e) {
+            LSQ_WARN("lsqd: request %llu failed: %s",
+                     static_cast<unsigned long long>(req->id),
+                     e.what());
+            std::lock_guard<std::mutex> lock(req->mu);
+            req->state = RequestState::Failed;
+            req->summary.state = 2;
+            req->summary.message = e.what();
+            req->cv.notify_all();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(req->mu);
+            req->state = RequestState::Failed;
+            req->summary.state = 2;
+            req->summary.message = "unknown error";
+            req->cv.notify_all();
+        }
+        metrics::gauge("lsq_serve_active_requests").sub();
     }
-    metrics::gauge("lsq_serve_active_requests").sub();
+    // Terminal either way: durably mark it finished and release the
+    // admission slot (every accepted or re-adopted request passes
+    // through here exactly once).
+    finishRequest(req);
+    activeRequests_.fetch_sub(1);
 }
 
 void
@@ -664,6 +1296,11 @@ Daemon::runSweepForRequest(const std::shared_ptr<ServeRequest> &req)
 {
     const SweepRequestSpec &spec = req->spec;
     auto t0 = std::chrono::steady_clock::now();
+
+    // Every checkpoint this request warms or restores from stays
+    // pinned (eviction-proof) until the sweep is over — including the
+    // throw/cancel exits, where the lease's destructor unpins.
+    CkptCacheLease lease(*cache_);
 
     std::vector<NamedConfig> rows;
     for (const std::string &label : spec.configs)
@@ -688,7 +1325,7 @@ Daemon::runSweepForRequest(const std::shared_ptr<ServeRequest> &req)
                 std::uint64_t fp = functionalFingerprint(cfg);
                 if (!seen.insert(fp).second)
                     continue;
-                std::string cached = cache_->lookup(fp, spec.ffInsts);
+                std::string cached = lease.pinLookup(fp, spec.ffInsts);
                 if (!cached.empty()) {
                     ++warmHits;
                     (*ckptByFp)[fp] = cached;
@@ -738,8 +1375,8 @@ Daemon::runSweepForRequest(const std::shared_ptr<ServeRequest> &req)
                 }
                 std::string finalPath;
                 std::string cerr;
-                if (cache_->insert(fp, spec.ffInsts, tmp, finalPath,
-                                   cerr))
+                if (lease.insertPinned(fp, spec.ffInsts, tmp,
+                                       finalPath, cerr))
                     (*ckptByFp)[fp] = finalPath;
                 else
                     LSQ_WARN("lsqd: checkpoint rejected for %s: %s",
@@ -782,10 +1419,26 @@ Daemon::runSweepForRequest(const std::shared_ptr<ServeRequest> &req)
     sopts.isolation = opts_.isolation;
 
     Sweep sweep(std::move(wrapped), spec.benchmarks, sopts);
-    StreamSink stream(req);
+    // The journal sink comes FIRST: a record reaches the durable
+    // per-request journal before any client can see it streamed, so
+    // after a crash the journal is always a superset of every
+    // client's stream.
+    JournalWriter journal(req->journalPath,
+                          /*append=*/req->readopted);
+    StreamSink stream(req,
+                     [this](std::size_t n) { noteRecordBytes(n); });
     ProgressSink progress;
+    sweep.addSink(&journal);
     sweep.addSink(&stream);
     sweep.addSink(&progress);
+    if (req->readopted && !req->resume.cells.empty()) {
+        // Cells already journaled by the previous life are restored
+        // without re-running (and without re-streaming: setResume
+        // fires no cellDone for them). The duplicate SweepBegin this
+        // run emits is harmless — journal replay is later-record-wins.
+        sweep.setResume(req->resume);
+        req->resume = JournalContents();
+    }
     std::shared_ptr<ServeRequest> rq = req;
     sweep.setJobFn(
         [rq](const SimConfig &cfg, const JobContext &ctx) {

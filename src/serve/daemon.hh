@@ -5,7 +5,7 @@
  * A long-lived process that owns a warmed-checkpoint cache
  * (serve/ckpt_cache.hh) and executes lsqscale-sweep-v1 grid requests
  * arriving over a Unix-domain socket (serve/proto.hh). Requests queue
- * FIFO onto a single executor; each request's cells shard across the
+ * FIFO onto an executor pool; each request's cells shard across the
  * crash-isolated sweep engine exactly as a batch run would, and every
  * journal record is retained in memory so any number of clients can
  * stream it — live, or after reconnecting with Attach and the index
@@ -15,14 +15,30 @@
  * loop runs on the caller of run()):
  *
  *   accept loop ── clients pool (N) ── one connection handler each
- *                  executor pool (1) ── runs requests FIFO; inside a
- *                                       request, the Sweep engine's
- *                                       own pool fans cells out
+ *                  executor pool (E) ── runs requests FIFO, E at a
+ *                                       time; inside a request, the
+ *                                       Sweep engine's own pool fans
+ *                                       cells out
  *
- * The single executor serializes sweeps (checkpoint-cache eviction can
- * therefore never race a running sweep's restores) while connection
+ * With --executors > 1 several sweeps run at once. The checkpoint
+ * cache stays safe under that concurrency because every request holds
+ * refcounted pin leases (CkptCacheLease) on the checkpoints it warms
+ * or restores from — eviction skips pinned files — while connection
  * handling stays concurrent: Status/Stats/Cancel answer instantly even
  * mid-sweep.
+ *
+ * Robustness (docs/SERVICE.md failure matrix):
+ *  - Admission control: more than --max-queue live requests gets a
+ *    structured Overloaded{retry_after_ms} refusal, never an unbounded
+ *    queue.
+ *  - Retained record streams live under a --record-mb byte budget;
+ *    terminal requests' oldest records evict first, and an Attach
+ *    below a request's eviction floor gets an explicit Gone answer.
+ *  - Durability: accepted requests append to an on-disk
+ *    lsqscale-reqlog-v1 (--spool-dir) and every cell record also lands
+ *    in a per-request journal, so a SIGKILL'd daemon re-adopts and
+ *    finishes its unfinished queue on restart — idempotently, because
+ *    journal replay is later-record-wins.
  */
 
 #ifndef LSQSCALE_SERVE_DAEMON_HH
@@ -59,6 +75,28 @@ struct ServeOptions
     /** Concurrent client connections served. */
     unsigned clientWorkers = 4;
 
+    /** Requests executed simultaneously (the executor pool width). */
+    unsigned executors = 1;
+
+    /**
+     * Admission limit: live (queued + running) requests beyond this
+     * are refused with Overloaded{retry_after_ms}.
+     */
+    unsigned maxQueueDepth = 32;
+
+    /**
+     * Byte budget across every request's retained record stream.
+     * Beyond it, terminal requests' oldest records evict (raising
+     * their Attach floor); live requests' records never evict.
+     */
+    std::uint64_t recordBudgetBytes = 256ull << 20;
+
+    /**
+     * Durable-request spool directory (reqlog + per-request
+     * journals); "" = socketPath + ".spool".
+     */
+    std::string spoolDir;
+
     /**
      * --metrics-out: file the accept loop refreshes (~2 s cadence,
      * plus once at shutdown) with the lsqscale-metrics-v1 registry
@@ -77,20 +115,69 @@ struct ServeOptions
 
 /**
  * Fill unset fields from the LSQSCALE_SERVE_SOCKET /
- * LSQSCALE_SERVE_CACHE_MB / LSQSCALE_SERVE_CLIENTS environment knobs
+ * LSQSCALE_SERVE_CACHE_MB / LSQSCALE_SERVE_CLIENTS /
+ * LSQSCALE_SERVE_EXECUTORS / LSQSCALE_SERVE_MAX_QUEUE /
+ * LSQSCALE_SERVE_RECORD_MB / LSQSCALE_SERVE_SPOOL environment knobs
  * (digits-only parsing per common/env.hh).
  */
 ServeOptions resolveServeOptions(ServeOptions opts);
 
 /**
  * Parse lsqd command-line flags (--socket PATH, --cache-dir PATH,
- * --cache-mb N, --clients N, --jobs N is per-request and rejected
- * here, --isolation thread|process) over @p opts. False with @p error
- * on an unknown flag or bad value; no output is printed (callers own
- * usage text).
+ * --cache-mb N, --clients N, --executors N, --max-queue N,
+ * --record-mb N, --spool-dir PATH, --jobs N is per-request and
+ * rejected here, --isolation thread|process) over @p opts. False with
+ * @p error on an unknown flag or bad value; no output is printed
+ * (callers own usage text).
  */
 bool parseServeArgs(const std::vector<std::string> &args,
                     ServeOptions &opts, std::string &error);
+
+// ------------------------------------------------------------ reqlog --
+//
+// lsqscale-reqlog-v1: the durable request log under --spool-dir.
+// Magic, then u32 len + u32 crc32(payload) frames (same discipline as
+// the sweep journal) where payload is
+//   u8 type 1 (Accepted): u64 id, SweepRequestSpec
+//   u8 type 2 (Finished): u64 id, u8 terminal DoneSummary state
+// Appends are fsync'd: an Accepted record survives any later SIGKILL,
+// which is what makes restart re-adoption possible at all.
+
+/** File magic, first 8 bytes of every reqlog. */
+inline constexpr char kReqlogMagic[8] = {'L', 'S', 'Q', 'R',
+                                         'Q', 'L', 'G', '1'};
+
+/** One request's reqlog verdict, deduplicated latest-wins. */
+struct ReqlogEntry
+{
+    std::uint64_t id = 0;
+    SweepRequestSpec spec;
+    bool finished = false;
+    std::uint8_t finalState = 0; ///< DoneSummary state when finished
+};
+
+/**
+ * Open (creating) a reqlog for appending, writing the magic when the
+ * file is fresh. Returns the fd, or -1 with @p error.
+ */
+int openReqlogForAppend(const std::string &path, std::string &error);
+
+/** Append (write + fsync) one Accepted record. */
+bool reqlogAppendAccepted(int fd, std::uint64_t id,
+                          const SweepRequestSpec &spec,
+                          std::string &error);
+
+/** Append (write + fsync) one Finished record. */
+bool reqlogAppendFinished(int fd, std::uint64_t id, std::uint8_t state,
+                          std::string &error);
+
+/**
+ * Parse @p path into id-ordered, deduplicated entries. Same failure
+ * contract as readJournal(): only an unusable file (unreadable / bad
+ * magic) fails; a torn tail just ends the walk early.
+ */
+bool readReqlog(const std::string &path, std::vector<ReqlogEntry> &out,
+                std::string &error);
 
 /** Lifecycle of one submitted request. */
 enum class RequestState : std::uint8_t
@@ -143,6 +230,16 @@ class Daemon
     std::shared_ptr<ServeRequest> findRequest(std::uint64_t id);
     std::string statusJson(std::uint64_t id);
 
+    /** Prepare the spool: compact the reqlog, open it for appends. */
+    bool spoolInit();
+    /** Re-adopt the compacted reqlog's unfinished requests. */
+    void readoptRequests(const std::vector<ReqlogEntry> &unfinished);
+    /** Record-stream byte accounting + budget enforcement. */
+    void noteRecordBytes(std::size_t bytes);
+    void enforceRecordBudget();
+    /** Durably mark a terminal request finished, drop its journal. */
+    void finishRequest(const std::shared_ptr<ServeRequest> &req);
+
     ServeOptions opts_;
     std::unique_ptr<CkptCache> cache_;
     std::unique_ptr<JobPool> clients_;
@@ -151,6 +248,15 @@ class Daemon
     int listenFd_ = -1;
     bool ran_ = false;
     std::uint64_t lastMetricsDumpNs_ = 0;
+
+    std::mutex reqlogMu_;
+    std::string reqlogPath_;
+    int reqlogFd_ = -1;
+
+    /** Live (accepted, not yet terminal-and-accounted) requests. */
+    std::atomic<unsigned> activeRequests_{0};
+    /** Bytes across every request's retained record stream. */
+    std::atomic<std::uint64_t> retainedBytes_{0};
 
     std::mutex requestsMu_;
     std::uint64_t nextId_ = 1;

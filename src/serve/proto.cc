@@ -297,4 +297,26 @@ msgInfo(const std::string &json)
     return w.buffer();
 }
 
+std::string
+msgOverloaded(std::uint64_t retryAfterMs, const std::string &text)
+{
+    SerialWriter w;
+    w.u8(static_cast<std::uint8_t>(ServeMsg::Overloaded));
+    w.u64(retryAfterMs);
+    w.str(text);
+    return w.buffer();
+}
+
+std::string
+msgGone(std::uint64_t id, std::uint64_t firstAvailable,
+        const std::string &text)
+{
+    SerialWriter w;
+    w.u8(static_cast<std::uint8_t>(ServeMsg::Gone));
+    w.u64(id);
+    w.u64(firstAvailable);
+    w.str(text);
+    return w.buffer();
+}
+
 } // namespace lsqscale

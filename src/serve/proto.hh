@@ -53,6 +53,11 @@ enum class ServeMsg : std::uint8_t
     Record = 66, ///< u64 index, str journal-record payload
     Done = 67,   ///< DoneSummary
     Info = 68,   ///< str json
+
+    // Additive server-to-client types (still lsqscale-serve-v1: old
+    // clients treat an unknown reply as an error and fail closed).
+    Overloaded = 69, ///< u64 retryAfterMs, str text (admission refusal)
+    Gone = 70,       ///< u64 id, u64 firstAvailable, str text
 };
 
 /**
@@ -125,6 +130,10 @@ std::string msgError(const std::string &text);
 std::string msgRecord(std::uint64_t index, const std::string &payload);
 std::string msgDone(const DoneSummary &done);
 std::string msgInfo(const std::string &json);
+std::string msgOverloaded(std::uint64_t retryAfterMs,
+                          const std::string &text);
+std::string msgGone(std::uint64_t id, std::uint64_t firstAvailable,
+                    const std::string &text);
 
 } // namespace lsqscale
 

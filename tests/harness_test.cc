@@ -791,6 +791,92 @@ TEST(JournalTest, TornTailIsToleratedNotFatal)
     std::remove(path.c_str());
 }
 
+TEST(JournalTest, OversizedRecordLengthIsATornTailNotAnAllocation)
+{
+    // A crafted (or bit-flipped) u32 length past the 64 MiB record
+    // cap must end the walk like a torn tail — never drive the reader
+    // into a multi-gigabyte allocation, even when the file happens to
+    // be long enough to "contain" the claimed record.
+    std::string path = testing::TempDir() + "/oversized.journal";
+    std::remove(path.c_str());
+    {
+        SweepOptions opts;
+        opts.jobs = 1;
+        Sweep sweep({{"a", tinyConfig}}, {"bzip"}, opts);
+        sweep.setJobFn([](const SimConfig &cfg, const JobContext &) {
+            return dummyResult(cfg.benchmark);
+        });
+        JournalWriter journal(path);
+        sweep.addSink(&journal);
+        sweep.run();
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        const std::uint32_t huge = 0x7fffffff;
+        out.write(reinterpret_cast<const char *>(&huge), sizeof huge);
+        out.write("\x00\x00\x00\x00", 4); // crc (never reached)
+        std::string padding(1024, 'x');
+        out.write(padding.data(),
+                  static_cast<std::streamsize>(padding.size()));
+    }
+    JournalContents j;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, j, error)) << error;
+    EXPECT_TRUE(j.truncatedTail);
+    EXPECT_EQ(j.cells.size(), 1u); // the intact prefix survives
+
+    // The raw walk (daemon re-adoption) applies the same cap.
+    std::vector<std::string> payloads;
+    bool torn = false;
+    ASSERT_TRUE(readJournalRaw(path, payloads, torn, error)) << error;
+    EXPECT_TRUE(torn);
+    EXPECT_EQ(payloads.size(), 2u); // SweepBegin + the one cell
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, RawWalkPreservesEmissionOrder)
+{
+    // readJournalRaw returns payloads exactly as written — including
+    // duplicates readJournal would dedup — because a restarted lsqd
+    // rebuilds its record stream (and the indices attached clients
+    // hold) from this order.
+    std::string path = testing::TempDir() + "/raw.journal";
+    std::remove(path.c_str());
+
+    const std::string begin =
+        encodeSweepBeginRecord("raw_unit", {"base"}, {"bzip"});
+    JournalCell cell;
+    cell.row = 0;
+    cell.col = 0;
+    cell.status = JobStatus::Failed;
+    cell.error = "first try";
+    const std::string first = encodeCellRecord(cell);
+    cell.status = JobStatus::TimedOut;
+    cell.error = "second try";
+    const std::string second = encodeCellRecord(cell);
+
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(kJournalMagic, sizeof kJournalMagic);
+        for (const std::string *p : {&begin, &first, &second}) {
+            std::string frame = frameJournalRecord(*p);
+            out.write(frame.data(),
+                      static_cast<std::streamsize>(frame.size()));
+        }
+    }
+
+    std::vector<std::string> payloads;
+    bool torn = true;
+    std::string error;
+    ASSERT_TRUE(readJournalRaw(path, payloads, torn, error)) << error;
+    EXPECT_FALSE(torn);
+    ASSERT_EQ(payloads.size(), 3u);
+    EXPECT_EQ(payloads[0], begin);
+    EXPECT_EQ(payloads[1], first);
+    EXPECT_EQ(payloads[2], second);
+    std::remove(path.c_str());
+}
+
 TEST(JournalTest, RejectsNonJournalFiles)
 {
     std::string path = testing::TempDir() + "/notajournal";

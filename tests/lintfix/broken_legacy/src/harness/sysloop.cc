@@ -12,4 +12,10 @@ spawnChild()
     fork();
 }
 
+void
+flushSpool()
+{
+    fsync(3);
+}
+
 } // namespace lsqscale

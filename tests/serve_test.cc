@@ -256,6 +256,94 @@ TEST(ServeProtoTest, DoneSummaryCodecRoundTrips)
     EXPECT_EQ(d.message, back.message);
 }
 
+TEST(ServeProtoTest, OverloadedAndGoneRepliesRoundTrip)
+{
+    // Additive server-to-client types: still lsqscale-serve-v1, but a
+    // robustness-aware client must decode both exactly.
+    {
+        const std::string msg = msgOverloaded(1234, "8 live requests");
+        SerialReader r(msg);
+        EXPECT_EQ(ServeMsg::Overloaded,
+                  static_cast<ServeMsg>(r.u8()));
+        EXPECT_EQ(1234u, r.u64());
+        EXPECT_EQ("8 live requests", r.str());
+        EXPECT_TRUE(r.done());
+    }
+    {
+        const std::string msg = msgGone(7, 42, "records evicted");
+        SerialReader r(msg);
+        EXPECT_EQ(ServeMsg::Gone, static_cast<ServeMsg>(r.u8()));
+        EXPECT_EQ(7u, r.u64());
+        EXPECT_EQ(42u, r.u64());
+        EXPECT_EQ("records evicted", r.str());
+        EXPECT_TRUE(r.done());
+    }
+}
+
+// =========================================================== reqlog ==
+
+TEST(ReqlogTest, RoundTripsDeduplicatesAndToleratesATornTail)
+{
+    const std::string path = scratch("reqlog");
+
+    SweepRequestSpec specA;
+    specA.name = "survivor";
+    specA.configs = {"base", "perfect"};
+    specA.benchmarks = {"bzip"};
+    specA.instructions = 4000;
+
+    SweepRequestSpec specB = specA;
+    specB.name = "finished";
+
+    std::string error;
+    int fd = openReqlogForAppend(path, error);
+    ASSERT_GE(fd, 0) << error;
+    ASSERT_TRUE(reqlogAppendAccepted(fd, 3, specA, error)) << error;
+    ASSERT_TRUE(reqlogAppendAccepted(fd, 4, specB, error)) << error;
+    ASSERT_TRUE(reqlogAppendFinished(fd, 4, 0, error)) << error;
+    ASSERT_EQ(0, ::close(fd));
+
+    std::vector<ReqlogEntry> entries;
+    ASSERT_TRUE(readReqlog(path, entries, error)) << error;
+    ASSERT_EQ(2u, entries.size());
+    EXPECT_EQ(3u, entries[0].id);
+    EXPECT_FALSE(entries[0].finished);
+    EXPECT_EQ("survivor", entries[0].spec.name);
+    EXPECT_EQ(specA.configs, entries[0].spec.configs);
+    EXPECT_EQ(4u, entries[1].id);
+    EXPECT_TRUE(entries[1].finished);
+    EXPECT_EQ(0u, entries[1].finalState);
+
+    // Reopening for append must not rewrite the magic mid-file.
+    fd = openReqlogForAppend(path, error);
+    ASSERT_GE(fd, 0) << error;
+    ASSERT_TRUE(reqlogAppendFinished(fd, 3, 1, error)) << error;
+    ASSERT_EQ(0, ::close(fd));
+    ASSERT_TRUE(readReqlog(path, entries, error)) << error;
+    ASSERT_EQ(2u, entries.size());
+    EXPECT_TRUE(entries[0].finished);
+    EXPECT_EQ(1u, entries[0].finalState);
+
+    // A SIGKILL mid-append leaves a partial frame; everything before
+    // it must still parse.
+    {
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::app);
+        out << "\x40\x00\x00\x00torn";
+    }
+    ASSERT_TRUE(readReqlog(path, entries, error)) << error;
+    EXPECT_EQ(2u, entries.size());
+
+    // The wrong magic is an unusable file, not an empty result.
+    const std::string bogus = scratch("bogus");
+    {
+        std::ofstream out(bogus, std::ios::binary);
+        out << "NOTALOG1";
+    }
+    EXPECT_FALSE(readReqlog(bogus, entries, error));
+    EXPECT_FALSE(error.empty());
+}
+
 // ========================================================= registry ==
 
 TEST(ServeRegistryTest, AcceptsTheDocumentedVocabulary)
@@ -486,6 +574,178 @@ TEST(CkptCacheTest, RestartReadoptsSurvivingEntries)
     EXPECT_FALSE(fs::exists(dir + "/junk.ckpt"));
 }
 
+TEST(CkptCacheTest, PinnedEntriesSurviveEvictionUntilUnpinned)
+{
+    const std::string srcA = scratch("a.ckpt.tmp");
+    const std::string srcB = scratch("b.ckpt.tmp");
+    const std::string srcC = scratch("c.ckpt.tmp");
+    SimConfig cfgA = produceCheckpoint("bzip", 2000, 1, srcA);
+    SimConfig cfgB = produceCheckpoint("gcc", 2000, 1, srcB);
+    produceCheckpoint("art", 2000, 1, srcC);
+    const std::uint64_t fpA = functionalFingerprint(cfgA);
+    const std::uint64_t fpB = functionalFingerprint(cfgB);
+    const std::uint64_t bytesA = fs::file_size(srcA);
+    const std::uint64_t bytesB = fs::file_size(srcB);
+
+    // The budget holds either file alone but never two at once.
+    CkptCache cache(scratch("cache"), bytesA + bytesB - 1);
+    std::string pathA, pathB, pathC, error;
+    ASSERT_TRUE(cache.insert(fpA, 2000, srcA, pathA, error)) << error;
+
+    // A pin lease on A turns the would-be eviction into a budget
+    // overshoot: both files stay resident.
+    EXPECT_EQ(pathA, cache.pinLookup(fpA, 2000));
+    ASSERT_TRUE(cache.insert(fpB, 2000, srcB, pathB, error)) << error;
+    EXPECT_TRUE(fs::exists(pathA));
+    EXPECT_TRUE(fs::exists(pathB));
+
+    CkptCacheStats s = cache.stats();
+    EXPECT_EQ(1u, s.pinHits);
+    EXPECT_EQ(1u, s.pinned);
+    EXPECT_EQ(0u, s.evictions);
+    EXPECT_EQ(2u, s.entries);
+    EXPECT_GT(s.bytes, s.byteBudget) << "overshoot, not eviction";
+
+    // Once the lease drops, A is evictable again (it is the LRU
+    // entry: B's insert refreshed B).
+    cache.unpin(fpA, 2000);
+    EXPECT_EQ(0u, cache.stats().pinned);
+    const std::uint64_t fpC =
+        functionalFingerprint(configs::base("art"));
+    ASSERT_TRUE(cache.insert(fpC, 2000, srcC, pathC, error)) << error;
+    EXPECT_EQ("", cache.lookup(fpA, 2000));
+    EXPECT_FALSE(fs::exists(pathA));
+    EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(CkptCacheTest, InsertRaceDedupsOntoTheResidentEntry)
+{
+    // Two concurrent warms of one key both insertPinned: the resident
+    // copy wins, the newcomer's temporary is dropped, and *both*
+    // requests hold a lease on the surviving file.
+    const std::string src1 = scratch("one.ckpt.tmp");
+    const std::string src2 = scratch("two.ckpt.tmp");
+    SimConfig cfg = produceCheckpoint("bzip", 2000, 1, src1);
+    produceCheckpoint("bzip", 2000, 1, src2);
+    const std::uint64_t fp = functionalFingerprint(cfg);
+
+    CkptCache cache(scratch("cache"), 64ull << 20);
+    std::string path1, path2, error;
+    ASSERT_TRUE(cache.insertPinned(fp, 2000, src1, path1, error))
+        << error;
+    ASSERT_TRUE(cache.insertPinned(fp, 2000, src2, path2, error))
+        << error;
+    EXPECT_EQ(path1, path2);
+    EXPECT_FALSE(fs::exists(src2)) << "loser's file must be dropped";
+
+    CkptCacheStats s = cache.stats();
+    EXPECT_EQ(1u, s.insertions);
+    EXPECT_EQ(1u, s.entries);
+    EXPECT_EQ(1u, s.pinned);
+
+    // Refcounted: one unpin keeps the entry protected, the second
+    // releases it.
+    cache.unpin(fp, 2000);
+    EXPECT_EQ(1u, cache.stats().pinned);
+    cache.unpin(fp, 2000);
+    EXPECT_EQ(0u, cache.stats().pinned);
+}
+
+TEST(CkptCacheTest, LeaseReleasesEveryPinOnExit)
+{
+    const std::string src = scratch("warm.ckpt.tmp");
+    SimConfig cfg = produceCheckpoint("bzip", 2000, 1, src);
+    const std::uint64_t fp = functionalFingerprint(cfg);
+
+    CkptCache cache(scratch("cache"), 64ull << 20);
+    {
+        CkptCacheLease lease(cache);
+        EXPECT_EQ("", lease.pinLookup(fp, 2000));
+        EXPECT_EQ(0u, lease.held()) << "a miss takes no lease";
+
+        std::string path, error;
+        ASSERT_TRUE(lease.insertPinned(fp, 2000, src, path, error))
+            << error;
+        EXPECT_EQ(1u, lease.held());
+
+        // Re-pinning a key the lease already holds rebalances to one
+        // pin — the destructor unpins each key exactly once.
+        EXPECT_EQ(path, lease.pinLookup(fp, 2000));
+        EXPECT_EQ(1u, lease.held());
+        EXPECT_EQ(1u, cache.stats().pinned);
+    }
+    EXPECT_EQ(0u, cache.stats().pinned)
+        << "destructor must release every pin";
+}
+
+TEST(CkptCacheTest, ConcurrentPinInsertEvictStress)
+{
+    // Race pinLookup/insertPinned/unpin against budget-driven eviction
+    // from several threads; run under the TSan CI flavor, this is the
+    // proof the pin-lease locking is sound. Every hit's file must
+    // exist for as long as the pin is held.
+    struct Source
+    {
+        std::uint64_t fp;
+        std::string path;
+        std::uint64_t bytes;
+    };
+    std::vector<Source> sources;
+    const char *benches[] = {"bzip", "gcc", "art"};
+    for (const char *bench : benches) {
+        std::string master = scratch(std::string(bench) + ".master");
+        SimConfig cfg = produceCheckpoint(bench, 2000, 1, master);
+        sources.push_back({functionalFingerprint(cfg), master,
+                           fs::file_size(master)});
+    }
+
+    // Budget holds roughly one and a half files: constant churn.
+    CkptCache cache(scratch("cache"),
+                    sources[0].bytes + sources[1].bytes / 2);
+
+    const unsigned kWorkers = 4;
+    const int kIters = 12;
+    JobPool pool(kWorkers);
+    for (unsigned w = 0; w < kWorkers; ++w) {
+        pool.submit([&, w] {
+            for (int i = 0; i < kIters; ++i) {
+                const Source &src =
+                    sources[(w + static_cast<unsigned>(i)) %
+                            sources.size()];
+                std::string hit = cache.pinLookup(src.fp, 2000);
+                if (hit.empty()) {
+                    std::string tmp = src.path + ".w" +
+                                      std::to_string(w) + "_" +
+                                      std::to_string(i) + ".tmp";
+                    std::error_code ec;
+                    fs::copy_file(src.path, tmp, ec);
+                    ASSERT_FALSE(ec);
+                    std::string finalPath, error;
+                    if (cache.insertPinned(src.fp, 2000, tmp,
+                                           finalPath, error)) {
+                        EXPECT_TRUE(fs::exists(finalPath));
+                        cache.unpin(src.fp, 2000);
+                    }
+                } else {
+                    // Pinned ⇒ no concurrent eviction may unlink it.
+                    EXPECT_TRUE(fs::exists(hit));
+                    cache.unpin(src.fp, 2000);
+                }
+            }
+        });
+    }
+    pool.wait();
+
+    CkptCacheStats s = cache.stats();
+    EXPECT_EQ(0u, s.pinned) << "every lease must be balanced";
+    EXPECT_GE(s.entries, 1u);
+    // Every iteration did exactly one pinLookup, and each hit took
+    // (and released) exactly one lease.
+    EXPECT_EQ(static_cast<std::uint64_t>(kWorkers * kIters),
+              s.hits + s.misses);
+    EXPECT_EQ(s.hits, s.pinHits);
+}
+
 // =========================================================== daemon ==
 
 /**
@@ -535,6 +795,10 @@ testOptions(const std::string &tag)
     opts.cacheDir = scratch(tag + ".cache");
     opts.clientWorkers = 4;
     opts.isolation = IsolationMode::Thread;
+    // Isolated spool: without this, the default (<socket>.spool)
+    // survives the scratch() cleanup and a previous run's unfinished
+    // requests would be re-adopted into an unrelated test.
+    opts.spoolDir = scratch(tag + ".spool");
     fs::remove(opts.socketPath);
     return opts;
 }
@@ -554,6 +818,28 @@ struct Stream
             done, error);
     }
 };
+
+/**
+ * Per-cell result fingerprints of a drained stream, in (row, col)
+ * order — the byte-identity currency of the concurrency tests (raw
+ * record payloads embed wall-clock seconds, so comparing them
+ * directly would be flaky by construction).
+ */
+std::vector<std::string>
+cellFingerprints(const Stream &stream)
+{
+    JournalAccumulator acc;
+    std::string error;
+    for (const auto &[index, payload] : stream.records)
+        EXPECT_TRUE(acc.add(payload, error)) << error;
+    std::vector<std::string> out;
+    for (const JournalCell &cell : acc.contents().cells) {
+        EXPECT_TRUE(cell.hasResult);
+        out.push_back(cell.hasResult ? fingerprint(cell.result)
+                                     : std::string());
+    }
+    return out;
+}
 
 TEST(ServeDaemonTest, StreamedResultsAreBitIdenticalToADirectSweep)
 {
@@ -813,6 +1099,410 @@ TEST(ServeDaemonTest, RejectsInvalidSubmissions)
     EXPECT_FALSE(c3.submit(spec, id, error));
 }
 
+TEST(ServeDaemonTest, ConcurrentExecutorsShareTheCacheBitIdentically)
+{
+    std::string error;
+
+    SweepRequestSpec specA;
+    specA.name = "grid_a";
+    specA.configs = {"base", "perfect"};
+    specA.benchmarks = {"bzip"};
+    specA.instructions = 1000;
+    specA.warmup = 200;
+    specA.ffInsts = 2000;
+    specA.baseSeed = 1;
+    specA.jobs = 2;
+
+    SweepRequestSpec specB = specA;
+    specB.name = "grid_b";
+    specB.configs = {"base", "aggressive"};
+
+    // Reference: the same two grids on a serial (one-executor) daemon.
+    std::vector<std::string> refA, refB;
+    {
+        DaemonHarness serial(testOptions("serial"));
+        for (int i = 0; i < 2; ++i) {
+            ServeClient client(serial.opts.socketPath);
+            std::uint64_t id = 0;
+            ASSERT_TRUE(client.submit(i == 0 ? specA : specB, id,
+                                      error))
+                << error;
+            Stream stream;
+            ASSERT_TRUE(stream.drain(client, error)) << error;
+            ASSERT_EQ(0, stream.done.state);
+            (i == 0 ? refA : refB) = cellFingerprints(stream);
+        }
+    }
+    ASSERT_EQ(2u, refA.size());
+    ASSERT_EQ(2u, refB.size());
+
+    ServeOptions opts = testOptions("burst");
+    opts.executors = 4; // the acceptance bar: both requests overlap
+    DaemonHarness harness(opts);
+
+    // Warm the cache first so both overlapping requests provably take
+    // pin leases on a checkpoint neither of them inserted.
+    {
+        SweepRequestSpec warm = specA;
+        warm.name = "warm";
+        warm.configs = {"base"};
+        ServeClient client(harness.opts.socketPath);
+        std::uint64_t id = 0;
+        ASSERT_TRUE(client.submit(warm, id, error)) << error;
+        Stream stream;
+        ASSERT_TRUE(stream.drain(client, error)) << error;
+        ASSERT_EQ(0, stream.done.state);
+    }
+
+    // Both submitted before either is drained: with spare executors
+    // the sweeps genuinely overlap, racing pinLookup/insert/evict on
+    // the shared cache.
+    ServeClient clientA(harness.opts.socketPath);
+    ServeClient clientB(harness.opts.socketPath);
+    std::uint64_t idA = 0, idB = 0;
+    ASSERT_TRUE(clientA.submit(specA, idA, error)) << error;
+    ASSERT_TRUE(clientB.submit(specB, idB, error)) << error;
+
+    Stream streamA, streamB;
+    ASSERT_TRUE(streamA.drain(clientA, error)) << error;
+    ASSERT_TRUE(streamB.drain(clientB, error)) << error;
+    ASSERT_EQ(0, streamA.done.state);
+    ASSERT_EQ(0, streamB.done.state);
+    EXPECT_GE(streamA.done.warmHits, 1u);
+    EXPECT_GE(streamB.done.warmHits, 1u);
+
+    // The contended results are the uncontended results, bit for bit.
+    EXPECT_EQ(refA, cellFingerprints(streamA));
+    EXPECT_EQ(refB, cellFingerprints(streamB));
+
+    CkptCacheStats s = harness.daemon.cache().stats();
+    EXPECT_GE(s.pinHits, 2u) << "cross-request leased reuse";
+
+    // The leases release in the sweep's epilogue, just after the Done
+    // frame becomes observable — poll briefly.
+    for (int i = 0; i < 200; ++i) {
+        if (harness.daemon.cache().stats().pinned == 0)
+            break;
+        ::usleep(10 * 1000);
+    }
+    EXPECT_EQ(0u, harness.daemon.cache().stats().pinned)
+        << "all leases released";
+}
+
+TEST(ServeDaemonTest, CancelMidRunPoisonsOnlyThatRequest)
+{
+    std::string error;
+
+    SweepRequestSpec fast;
+    fast.name = "survivor";
+    fast.configs = {"base", "perfect"};
+    fast.benchmarks = {"gcc"};
+    fast.instructions = 2000;
+    fast.warmup = 200;
+    fast.baseSeed = 7;
+    fast.jobs = 2;
+
+    // Reference: the survivor grid on an idle daemon.
+    std::vector<std::string> ref;
+    {
+        DaemonHarness solo(testOptions("solo"));
+        ServeClient client(solo.opts.socketPath);
+        std::uint64_t id = 0;
+        ASSERT_TRUE(client.submit(fast, id, error)) << error;
+        Stream stream;
+        ASSERT_TRUE(stream.drain(client, error)) << error;
+        ASSERT_EQ(0, stream.done.state);
+        ref = cellFingerprints(stream);
+    }
+
+    ServeOptions opts = testOptions("cancelrun");
+    opts.executors = 2;
+    DaemonHarness harness(opts);
+
+    // The doomed request holds one executor (and cache pins) while
+    // the survivor runs beside it on the other.
+    SweepRequestSpec doomed;
+    doomed.name = "doomed";
+    doomed.configs = {"base", "perfect", "aggressive"};
+    doomed.benchmarks = {"bzip"};
+    doomed.instructions = 150000;
+    doomed.warmup = 1000;
+    doomed.ffInsts = 2000;
+    doomed.jobs = 1;
+
+    ServeClient clientD(harness.opts.socketPath);
+    std::uint64_t idD = 0;
+    ASSERT_TRUE(clientD.submit(doomed, idD, error)) << error;
+    clientD.close();
+
+    ServeClient clientF(harness.opts.socketPath);
+    std::uint64_t idF = 0;
+    ASSERT_TRUE(clientF.submit(fast, idF, error)) << error;
+
+    ServeClient killer(harness.opts.socketPath);
+    ASSERT_TRUE(killer.cancel(idD, error)) << error;
+
+    // The survivor completes clean and bit-identical to its
+    // uncontended run — the poison stays in the cancelled request.
+    Stream streamF;
+    ASSERT_TRUE(streamF.drain(clientF, error)) << error;
+    EXPECT_EQ(0, streamF.done.state);
+    EXPECT_EQ(0u, streamF.done.poisoned);
+    EXPECT_EQ(ref, cellFingerprints(streamF));
+
+    // The doomed request terminates Cancelled, with a Done frame.
+    ServeClient watch(harness.opts.socketPath);
+    ASSERT_TRUE(watch.attach(idD, 0, error)) << error;
+    Stream streamD;
+    ASSERT_TRUE(streamD.drain(watch, error)) << error;
+    EXPECT_EQ(1, streamD.done.state);
+
+    // Its cache pins drain with the lease (destructor runs just after
+    // the Done frame is observable — poll briefly).
+    for (int i = 0; i < 200; ++i) {
+        if (harness.daemon.cache().stats().pinned == 0)
+            break;
+        ::usleep(10 * 1000);
+    }
+    EXPECT_EQ(0u, harness.daemon.cache().stats().pinned);
+}
+
+TEST(ServeDaemonTest, OverloadedSubmitsGetARetryHintThenSucceed)
+{
+    ServeOptions opts = testOptions("overload");
+    opts.executors = 1;
+    opts.maxQueueDepth = 1;
+    DaemonHarness harness(opts);
+    std::string error;
+
+    SweepRequestSpec slow;
+    slow.name = "hog";
+    slow.configs = {"base"};
+    slow.benchmarks = {"bzip"};
+    slow.instructions = 150000;
+    slow.warmup = 1000;
+
+    ServeClient hog(harness.opts.socketPath);
+    std::uint64_t idSlow = 0;
+    ASSERT_TRUE(hog.submit(slow, idSlow, error)) << error;
+    hog.close();
+
+    // The daemon is at its admission limit: a second submit gets a
+    // structured refusal with a retry hint, not an unbounded queue
+    // slot (and not a dead connection).
+    SweepRequestSpec quick;
+    quick.name = "retried";
+    quick.configs = {"base"};
+    quick.benchmarks = {"gcc"};
+    quick.instructions = 2000;
+    quick.warmup = 200;
+
+    std::uint64_t id = 0;
+    std::uint64_t retryAfterMs = 0;
+    {
+        ServeClient refused(harness.opts.socketPath);
+        ASSERT_FALSE(refused.submit(quick, id, error, &retryAfterMs));
+        EXPECT_GE(retryAfterMs, 100u);
+        EXPECT_LE(retryAfterMs, 10000u);
+        EXPECT_NE(std::string::npos, error.find("overloaded"));
+    }
+
+    // Free the slot, then retry the way lsqctl does: resubmit only on
+    // Overloaded refusals, backing off, until admitted.
+    ServeClient killer(harness.opts.socketPath);
+    ASSERT_TRUE(killer.cancel(idSlow, error)) << error;
+
+    bool accepted = false;
+    for (int i = 0; i < 500 && !accepted; ++i) {
+        ServeClient again(harness.opts.socketPath);
+        std::uint64_t hint = 0;
+        if (again.submit(quick, id, error, &hint)) {
+            accepted = true;
+            Stream stream;
+            ASSERT_TRUE(stream.drain(again, error)) << error;
+            EXPECT_EQ(0, stream.done.state);
+            EXPECT_EQ(1u, stream.done.cells);
+        } else {
+            ASSERT_NE(0u, hint)
+                << "only Overloaded is expected here: " << error;
+            ::usleep(10 * 1000);
+        }
+    }
+    EXPECT_TRUE(accepted);
+}
+
+TEST(ServeDaemonTest, EvictedRecordsRaiseTheAttachFloorWithGone)
+{
+    ServeOptions opts = testOptions("retention");
+    // A one-byte record budget: as soon as a later request streams,
+    // every terminal request's records evict.
+    opts.recordBudgetBytes = 1;
+    DaemonHarness harness(opts);
+    std::string error;
+
+    SweepRequestSpec spec;
+    spec.name = "first";
+    spec.configs = {"base"};
+    spec.benchmarks = {"bzip"};
+    spec.instructions = 2000;
+    spec.warmup = 200;
+
+    ServeClient c1(harness.opts.socketPath);
+    std::uint64_t id1 = 0;
+    ASSERT_TRUE(c1.submit(spec, id1, error)) << error;
+    Stream s1;
+    ASSERT_TRUE(s1.drain(c1, error)) << error;
+    ASSERT_EQ(0, s1.done.state);
+    ASSERT_GE(s1.records.size(), 2u);
+
+    // While the first request was live its records were exempt; the
+    // second request's streaming pushes the total over budget and
+    // evicts them (terminal, oldest id first).
+    SweepRequestSpec spec2 = spec;
+    spec2.name = "second";
+    ServeClient c2(harness.opts.socketPath);
+    std::uint64_t id2 = 0;
+    ASSERT_TRUE(c2.submit(spec2, id2, error)) << error;
+    Stream s2;
+    ASSERT_TRUE(s2.drain(c2, error)) << error;
+    ASSERT_EQ(0, s2.done.state);
+
+    // Attaching below the floor gets an explicit Gone answer naming
+    // the first index still available — never a silent wrong resume.
+    ServeClient below(harness.opts.socketPath);
+    ASSERT_TRUE(below.attach(id1, 0, error)) << error;
+    DoneSummary done;
+    std::uint64_t floor = 0;
+    EXPECT_FALSE(below.stream(nullptr, done, error, &floor));
+    EXPECT_EQ(s1.records.size(), floor)
+        << "every record of the terminal request evicts";
+    EXPECT_NE(std::string::npos, error.find("retention floor"));
+
+    // At (or above) the floor the stream is still serviceable: an
+    // empty replay that ends in the real Done frame.
+    ServeClient at(harness.opts.socketPath);
+    ASSERT_TRUE(at.attach(id1, floor, error)) << error;
+    Stream tail;
+    ASSERT_TRUE(tail.drain(at, error)) << error;
+    EXPECT_EQ(0u, tail.records.size());
+    EXPECT_EQ(0, tail.done.state);
+
+    // Status reports the raised floor.
+    ServeClient status(harness.opts.socketPath);
+    std::string json;
+    ASSERT_TRUE(status.status(id1, json, error)) << error;
+    std::string want =
+        "\"records_floor\": " + std::to_string(floor);
+    EXPECT_NE(std::string::npos, json.find(want)) << json;
+}
+
+TEST(ServeDaemonTest, RestartReadoptsJournaledRequests)
+{
+    ServeOptions opts = testOptions("readopt");
+    std::string error;
+    fs::create_directories(opts.spoolDir);
+
+    SweepRequestSpec spec;
+    spec.name = "readopt";
+    spec.configs = {"base", "perfect"};
+    spec.benchmarks = {"bzip"};
+    spec.instructions = 2000;
+    spec.warmup = 200;
+    spec.baseSeed = 3;
+    spec.jobs = 2;
+
+    // A dead daemon's spool: request 5 durably accepted but never
+    // finished, its journal holding the SweepBegin record it had
+    // already streamed — plus a stale journal from a request the
+    // reqlog knows nothing about.
+    int fd = openReqlogForAppend(opts.spoolDir + "/reqlog", error);
+    ASSERT_GE(fd, 0) << error;
+    ASSERT_TRUE(reqlogAppendAccepted(fd, 5, spec, error)) << error;
+    ASSERT_EQ(0, ::close(fd));
+
+    const std::string begin = encodeSweepBeginRecord(
+        spec.name, spec.configs, spec.benchmarks);
+    {
+        std::ofstream out(opts.spoolDir + "/req_5.journal",
+                          std::ios::binary);
+        out.write(kJournalMagic, sizeof kJournalMagic);
+        std::string frame = frameJournalRecord(begin);
+        out.write(frame.data(),
+                  static_cast<std::streamsize>(frame.size()));
+    }
+    {
+        std::ofstream out(opts.spoolDir + "/req_99.journal",
+                          std::ios::binary);
+        out << "stale";
+    }
+
+    {
+        DaemonHarness harness(opts);
+
+        // The janitor removed the journal nobody owns.
+        EXPECT_FALSE(fs::exists(opts.spoolDir + "/req_99.journal"));
+
+        // Request 5 is live again and completes; its stream still
+        // starts at index 0 with the record the dead daemon emitted,
+        // so a client's Attach(fromIndex) cursor stays valid.
+        ServeClient att(harness.opts.socketPath);
+        ASSERT_TRUE(att.attach(5, 0, error)) << error;
+        Stream stream;
+        ASSERT_TRUE(stream.drain(att, error)) << error;
+        EXPECT_EQ(0, stream.done.state);
+        ASSERT_GE(stream.records.size(), 3u);
+        EXPECT_EQ(begin, stream.records[0].second);
+
+        // The duplicate SweepBegin the re-run emits deduplicates away
+        // in replay; the grid comes back whole.
+        JournalAccumulator acc;
+        for (const auto &[index, payload] : stream.records)
+            ASSERT_TRUE(acc.add(payload, error)) << error;
+        JournalContents contents = acc.contents();
+        EXPECT_EQ(2u, contents.rows);
+        EXPECT_EQ(1u, contents.cols);
+        ASSERT_EQ(2u, contents.cells.size());
+        for (const JournalCell &cell : contents.cells)
+            EXPECT_EQ(JobStatus::Ok, cell.status);
+
+        // Ids of logged requests are never reissued.
+        ServeClient sub(harness.opts.socketPath);
+        SweepRequestSpec after = spec;
+        after.name = "after";
+        after.configs = {"base"};
+        std::uint64_t id = 0;
+        ASSERT_TRUE(sub.submit(after, id, error)) << error;
+        EXPECT_GE(id, 6u);
+        Stream afterStream;
+        ASSERT_TRUE(afterStream.drain(sub, error)) << error;
+        EXPECT_EQ(0, afterStream.done.state);
+    }
+
+    // Both requests were durably marked finished: a second restart
+    // compacts them away and re-adopts nothing.
+    EXPECT_FALSE(fs::exists(opts.spoolDir + "/req_5.journal"));
+    DaemonHarness reborn(opts);
+    ServeClient status(opts.socketPath);
+    std::string json;
+    ASSERT_TRUE(status.status(0, json, error)) << error;
+    EXPECT_EQ(std::string::npos, json.find("\"id\": 5")) << json;
+}
+
+TEST(ServeDaemonTest, RefusesToStealALiveDaemonsSocket)
+{
+    DaemonHarness harness(testOptions("steal"));
+
+    // A second daemon pointed at the same socket must probe, find a
+    // live answerer, and refuse — not silently unlink and rebind.
+    Daemon thief(harness.opts);
+    EXPECT_EQ(1, thief.run());
+
+    // The incumbent is unharmed.
+    ServeClient client(harness.opts.socketPath);
+    std::string json, error;
+    EXPECT_TRUE(client.status(0, json, error)) << error;
+}
+
 // ================================================= outcome rebuild ==
 
 TEST(ServeClientTest, OutcomeFromJournalFlagsMissingCells)
@@ -853,14 +1543,19 @@ TEST(ServeOptionsTest, ParseServeArgsCoversEveryFlag)
     std::string error;
     ASSERT_TRUE(parseServeArgs(
         {"--socket", "/tmp/x.sock", "--cache-dir", "/tmp/x.cache",
-         "--cache-mb", "8", "--clients", "2", "--isolation",
-         "thread"},
+         "--cache-mb", "8", "--clients", "2", "--executors", "3",
+         "--max-queue", "9", "--record-mb", "7", "--spool-dir",
+         "/tmp/x.spool", "--isolation", "thread"},
         opts, error))
         << error;
     EXPECT_EQ("/tmp/x.sock", opts.socketPath);
     EXPECT_EQ("/tmp/x.cache", opts.cacheDir);
     EXPECT_EQ(8ull << 20, opts.cacheBudgetBytes);
     EXPECT_EQ(2u, opts.clientWorkers);
+    EXPECT_EQ(3u, opts.executors);
+    EXPECT_EQ(9u, opts.maxQueueDepth);
+    EXPECT_EQ(7ull << 20, opts.recordBudgetBytes);
+    EXPECT_EQ("/tmp/x.spool", opts.spoolDir);
     EXPECT_EQ(IsolationMode::Thread, opts.isolation);
 
     ServeOptions bad;
@@ -868,6 +1563,11 @@ TEST(ServeOptionsTest, ParseServeArgsCoversEveryFlag)
     EXPECT_FALSE(parseServeArgs({"--isolation", "yolo"}, bad, error));
     EXPECT_FALSE(parseServeArgs({"--frobnicate"}, bad, error));
     EXPECT_FALSE(parseServeArgs({"--socket"}, bad, error));
+    EXPECT_FALSE(parseServeArgs({"--executors", "0"}, bad, error));
+    EXPECT_FALSE(parseServeArgs({"--executors", "65"}, bad, error));
+    EXPECT_FALSE(parseServeArgs({"--max-queue", "0"}, bad, error));
+    EXPECT_FALSE(parseServeArgs({"--record-mb", "many"}, bad, error));
+    EXPECT_FALSE(parseServeArgs({"--spool-dir"}, bad, error));
 }
 
 } // namespace

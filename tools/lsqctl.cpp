@@ -19,13 +19,25 @@
  * lsqscale-journal-v1 file (torn if the stream drops — reattach with
  * --from and append resumes it) and --json FILE to write the final
  * results document.
+ *
+ * Resilience (docs/SERVICE.md): --retries N / --backoff-ms N (or
+ * LSQSCALE_CLIENT_RETRIES / LSQSCALE_CLIENT_BACKOFF_MS) arm
+ * exponential-backoff recovery. A submit refused with Overloaded
+ * re-submits after the daemon's retry_after_ms hint (only that
+ * refusal is retried — a transport error mid-submit could mean the
+ * daemon accepted it, and blind re-submission would run the grid
+ * twice). A dropped record stream transparently re-attaches at the
+ * last index received — surviving even a daemon SIGKILL + restart —
+ * and the backoff counter resets whenever a reconnect makes progress.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.hh"
@@ -43,7 +55,15 @@ int
 usage(std::FILE *out)
 {
     std::fputs(
-        "usage: lsqctl [--socket PATH] COMMAND ...\n"
+        "usage: lsqctl [--socket PATH] [--retries N] [--backoff-ms N]\n"
+        "              COMMAND ...\n"
+        "\n"
+        "  --retries N     recover from overload refusals and dropped\n"
+        "                  streams with up to N backoff retries\n"
+        "                  (default $LSQSCALE_CLIENT_RETRIES or 0)\n"
+        "  --backoff-ms N  exponential backoff base, doubling per\n"
+        "                  attempt, capped at 10 s (default\n"
+        "                  $LSQSCALE_CLIENT_BACKOFF_MS or 250)\n"
         "\n"
         "  submit --config LABEL... --bench NAME[,NAME...]\n"
         "         [--name S] [--insts N] [--warmup N] [--seed N]\n"
@@ -104,6 +124,30 @@ parseCount(const std::string &flag, const std::string &v,
     return true;
 }
 
+/** Backoff policy, armed by --retries/--backoff-ms (or the envs). */
+struct RetryPolicy
+{
+    std::uint64_t retries = 0;    ///< extra attempts after the first
+    std::uint64_t backoffMs = 250; ///< base; doubles per attempt
+};
+
+RetryPolicy g_retry;
+
+std::uint64_t
+backoffDelayMs(std::uint64_t base, std::uint64_t attempt)
+{
+    std::uint64_t wait = base == 0 ? 1 : base;
+    for (std::uint64_t i = 0; i < attempt && wait < 10000; ++i)
+        wait *= 2;
+    return wait > 10000 ? 10000 : wait;
+}
+
+void
+sleepMs(std::uint64_t ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
 /** Shared record-stream consumer for submit/attach/results. */
 struct StreamOptions
 {
@@ -147,29 +191,82 @@ pumpStream(ServeClient &client, std::uint64_t id,
     bool journalTorn = false;
     DoneSummary done;
     std::string error;
-    bool complete = client.stream(
-        [&](std::uint64_t index, const std::string &payload) {
-            lastIndex = index + 1;
-            std::string recErr;
-            if (!acc.add(payload, recErr))
-                std::fprintf(stderr,
-                             "lsqctl: skipping bad record %llu: %s\n",
-                             static_cast<unsigned long long>(index),
-                             recErr.c_str());
-            if (journal) {
-                std::string frame = frameJournalRecord(payload);
-                if (std::fwrite(frame.data(), 1, frame.size(),
-                                journal.get()) != frame.size() ||
-                    std::fflush(journal.get()) != 0) {
-                    if (!journalTorn)
-                        std::fprintf(stderr,
-                                     "lsqctl: short write to %s\n",
-                                     opts.journalPath.c_str());
-                    journalTorn = true;
-                }
+    auto onRecord = [&](std::uint64_t index,
+                        const std::string &payload) {
+        lastIndex = index + 1;
+        std::string recErr;
+        if (!acc.add(payload, recErr))
+            std::fprintf(stderr,
+                         "lsqctl: skipping bad record %llu: %s\n",
+                         static_cast<unsigned long long>(index),
+                         recErr.c_str());
+        if (journal) {
+            std::string frame = frameJournalRecord(payload);
+            if (std::fwrite(frame.data(), 1, frame.size(),
+                            journal.get()) != frame.size() ||
+                std::fflush(journal.get()) != 0) {
+                if (!journalTorn)
+                    std::fprintf(stderr,
+                                 "lsqctl: short write to %s\n",
+                                 opts.journalPath.c_str());
+                journalTorn = true;
             }
-        },
-        done, error);
+        }
+    };
+
+    // Consume the stream; with retries armed, a dropped connection
+    // re-attaches at the last index received (exponential backoff,
+    // reset whenever a reconnect makes progress). The daemon replays
+    // retained records from that index, so the resumed stream is
+    // seamless — and after a daemon restart the re-adopted request
+    // re-journals, so even that outage heals here.
+    constexpr std::uint64_t kNoFloor = ~0ull;
+    bool complete = false;
+    bool streaming = true;
+    std::uint64_t attempt = 0;
+    for (;;) {
+        if (streaming) {
+            std::uint64_t before = lastIndex;
+            std::uint64_t goneFloor = kNoFloor;
+            complete = client.stream(onRecord, done, error,
+                                     &goneFloor);
+            if (complete)
+                break;
+            if (goneFloor != kNoFloor) {
+                // The daemon evicted past our position; no retry can
+                // recover the missing records.
+                std::fprintf(
+                    stderr, "lsqctl: cannot resume request %llu: %s\n",
+                    static_cast<unsigned long long>(id),
+                    error.c_str());
+                return 3;
+            }
+            if (lastIndex > before)
+                attempt = 0;
+            streaming = false;
+        }
+        if (attempt >= g_retry.retries)
+            break;
+        std::uint64_t wait =
+            backoffDelayMs(g_retry.backoffMs, attempt);
+        ++attempt;
+        if (!opts.quiet)
+            std::fprintf(
+                stderr,
+                "lsqctl: stream dropped after record %llu (%s); "
+                "reattaching in %llu ms (attempt %llu/%llu)\n",
+                static_cast<unsigned long long>(lastIndex),
+                error.c_str(),
+                static_cast<unsigned long long>(wait),
+                static_cast<unsigned long long>(attempt),
+                static_cast<unsigned long long>(g_retry.retries));
+        sleepMs(wait);
+        std::string aerr;
+        if (client.attach(id, lastIndex, aerr))
+            streaming = true;
+        else
+            error = aerr;
+    }
 
     if (!complete) {
         std::fprintf(stderr,
@@ -298,10 +395,34 @@ cmdSubmit(ServeClient &client, const std::vector<std::string> &args)
 
     std::uint64_t id = 0;
     std::string error;
-    if (!client.submit(spec, id, error)) {
-        std::fprintf(stderr, "lsqctl: submit failed: %s\n",
-                     error.c_str());
-        return 3;
+    std::uint64_t attempt = 0;
+    for (;;) {
+        std::uint64_t retryAfter = 0;
+        if (client.submit(spec, id, error, &retryAfter))
+            break;
+        // Only an Overloaded refusal retries: the daemon provably
+        // rejected the request, so re-submitting cannot double-run
+        // it. Any other failure is ambiguous and surfaces instead.
+        if (retryAfter == 0 || attempt >= g_retry.retries) {
+            std::fprintf(stderr, "lsqctl: submit failed: %s\n",
+                         error.c_str());
+            return 3;
+        }
+        std::uint64_t wait =
+            backoffDelayMs(g_retry.backoffMs, attempt);
+        if (wait < retryAfter)
+            wait = retryAfter;
+        ++attempt;
+        if (!sopts.quiet)
+            std::fprintf(
+                stderr,
+                "lsqctl: %s; resubmitting in %llu ms (attempt "
+                "%llu/%llu)\n",
+                error.c_str(),
+                static_cast<unsigned long long>(wait),
+                static_cast<unsigned long long>(attempt),
+                static_cast<unsigned long long>(g_retry.retries));
+        sleepMs(wait);
     }
     if (detach) {
         std::printf("%llu\n", static_cast<unsigned long long>(id));
@@ -404,12 +525,25 @@ main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
     std::string socket = socketFromEnv();
+    g_retry.retries = envU64("LSQSCALE_CLIENT_RETRIES", 0);
+    g_retry.backoffMs = envU64("LSQSCALE_CLIENT_BACKOFF_MS", 250);
 
     // Global flags before the command word.
     std::size_t at = 0;
     while (at < args.size()) {
         if (args[at] == "--socket" && at + 1 < args.size()) {
             socket = args[at + 1];
+            at += 2;
+        } else if (args[at] == "--retries" && at + 1 < args.size()) {
+            if (!parseCount("--retries", args[at + 1],
+                            g_retry.retries))
+                return 2;
+            at += 2;
+        } else if (args[at] == "--backoff-ms" &&
+                   at + 1 < args.size()) {
+            if (!parseCount("--backoff-ms", args[at + 1],
+                            g_retry.backoffMs))
+                return 2;
             at += 2;
         } else if (args[at] == "--help" || args[at] == "-h") {
             return usage(stdout);
@@ -425,6 +559,11 @@ main(int argc, char **argv)
                                   args.end());
 
     ServeClient client(socket);
+    // Dialing gets a 10 s bound (a wedged daemon must not hang the
+    // tool), but streamed reads stay unbounded: a big grid's next
+    // record can legitimately be minutes away, and a daemon that
+    // actually dies delivers EOF immediately anyway.
+    client.setTimeouts(10000, 0);
     std::string error;
     if (cmd == "submit")
         return cmdSubmit(client, rest);

@@ -30,6 +30,16 @@ usage(std::FILE *out)
         "  --clients N        concurrent client connections "
         "(default 4;\n"
         "                     or LSQSCALE_SERVE_CLIENTS)\n"
+        "  --executors N      requests executed simultaneously\n"
+        "                     (default 1; or LSQSCALE_SERVE_EXECUTORS)\n"
+        "  --max-queue N      live requests admitted before Overloaded\n"
+        "                     (default 32; or LSQSCALE_SERVE_MAX_QUEUE)\n"
+        "  --record-mb N      retained record-stream byte budget in\n"
+        "                     MiB (default 256; or\n"
+        "                     LSQSCALE_SERVE_RECORD_MB)\n"
+        "  --spool-dir PATH   durable-request spool directory\n"
+        "                     (default: <socket>.spool; or\n"
+        "                     LSQSCALE_SERVE_SPOOL)\n"
         "  --isolation MODE   'process' (default) or 'thread' cell\n"
         "                     isolation\n"
         "  --metrics-out PATH refresh PATH (~2 s cadence) with the\n"

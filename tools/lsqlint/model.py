@@ -25,7 +25,7 @@ import re
 
 from . import lexer
 
-FACTS_VERSION = 8  # bump to invalidate caches when extraction changes
+FACTS_VERSION = 9  # bump to invalidate caches when extraction changes
 
 # Annotation grammar (docs/STATIC_ANALYSIS.md):
 #   // lsqlint: allow(rule[, rule...]) [-- reason]
@@ -100,7 +100,7 @@ _STATDUMP_CALL_IDENTS = frozenset((
 ))
 
 _SYSCALL_IDENTS = frozenset((
-    "fork", "waitpid", "write", "rename",
+    "fork", "waitpid", "write", "rename", "fsync",
     "socket", "bind", "listen", "accept", "connect", "send", "recv",
 ))
 
